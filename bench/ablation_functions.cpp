@@ -1,0 +1,64 @@
+// Ablation: choice of built-in impact function (Eq. 1 vs Eq. 2) and error
+// function (Eq. 3 vs Eq. 4), and of the accumulation mode (cumulative vs
+// cancelling, §2.1) — design choices the paper leaves to the user. Measured
+// on AQHI at a 10% bound (Eq. 4 bounds are rescaled by the value range so
+// the comparison is meaningful).
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace smartflux;
+
+void run_config(const char* label, core::StepMonitor::Options monitor) {
+  core::ExperimentOptions opts = bench::aqhi_options();
+  opts.smartflux.monitor = monitor;
+  core::Experiment ex(bench::make_aqhi(0.10).make_workflow(), opts);
+  const auto res = ex.run_smartflux();
+  double min_conf = 1.0;
+  for (const auto& step : res.tracked_steps) {
+    min_conf = std::min(min_conf, res.confidence(step));
+  }
+  std::printf("%-34s savings=%5.1f%%  min_confidence=%5.1f%%  index_conf=%5.1f%%\n", label,
+              100.0 * res.savings_ratio(), 100.0 * min_conf,
+              100.0 * res.confidence("5_index"));
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation — impact/error function and accumulation mode (AQHI, 10%)");
+
+  core::StepMonitor::Options base;  // Eq. 1 impact, Eq. 3 error, cumulative
+  run_config("Eq1 impact + Eq3 error (default)", base);
+
+  {
+    auto m = base;
+    m.impact = core::ImpactKind::kRelative;
+    run_config("Eq2 impact + Eq3 error", m);
+  }
+  {
+    auto m = base;
+    m.error = core::ErrorKind::kRmse;
+    m.rmse_value_range = 100.0;  // sensor scale: bound 0.10 ≈ 10 units RMSE
+    run_config("Eq1 impact + Eq4 error (RMSE)", m);
+  }
+  {
+    auto m = base;
+    m.impact_mode = core::AccumulationMode::kCancelling;
+    run_config("cancelling impact accumulation", m);
+  }
+  {
+    auto m = base;
+    m.error_mode = core::AccumulationMode::kCancelling;
+    run_config("cancelling error accumulation", m);
+  }
+  {
+    auto m = base;
+    m.combine = core::CombineMode::kMax;
+    run_config("max input combination", m);
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Ablation: predictor configuration — recall bias (the paper's §3.2/§5.2
+// recall optimization: more bound compliance for fewer saved executions),
+// feature scope (own-impact vs the paper's full X matrix), and forest size.
+// Measured on LRB at a 10% bound, where the paper applied the recall tuning.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace smartflux;
+
+void run_config(const char* label, core::PredictorOptions predictor) {
+  core::ExperimentOptions opts = bench::lrb_options();
+  opts.smartflux.predictor = predictor;
+  core::Experiment ex(bench::make_lrb(0.10).make_workflow(), opts);
+  const auto res = ex.run_smartflux();
+  double min_conf = 1.0;
+  for (const auto& step : res.tracked_steps) {
+    min_conf = std::min(min_conf, res.confidence(step));
+  }
+  std::printf("%-36s savings=%5.1f%%  min_confidence=%5.1f%%  cv_recall=%.3f\n", label,
+              100.0 * res.savings_ratio(), 100.0 * min_conf,
+              res.test_report ? res.test_report->mean_recall : 0.0);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation — predictor configuration (LRB, 10% bound)");
+  std::printf("(expected: higher recall bias trades saved executions for confidence;\n"
+              " the full-impact-vector scope suffers under the application-phase\n"
+              " distribution shift)\n\n");
+
+  for (const double bias : {1.0, 2.0, 4.0, 8.0}) {
+    core::PredictorOptions p;
+    p.recall_bias = bias;
+    char label[64];
+    std::snprintf(label, sizeof label, "recall_bias = %.0f%s", bias,
+                  bias == 4.0 ? " (default)" : "");
+    run_config(label, p);
+  }
+
+  {
+    core::PredictorOptions p;
+    p.scope = core::FeatureScope::kAllImpacts;
+    run_config("feature scope = all impacts (X matrix)", p);
+  }
+
+  for (const std::size_t trees : {8u, 64u, 128u}) {
+    core::PredictorOptions p;
+    p.forest.num_trees = trees;
+    char label[64];
+    std::snprintf(label, sizeof label, "num_trees = %zu", static_cast<std::size_t>(trees));
+    run_config(label, p);
+  }
+
+  {
+    core::PredictorOptions p;
+    p.forest.tree.max_depth = 16;
+    p.forest.tree.min_samples_leaf = 1;
+    run_config("deep memorizing trees (d16, leaf1)", p);
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+#pragma once
+
+// Shared configuration for the figure/table regeneration benches: paper-scale
+// workload parameters (§5.1) and small printing helpers. Every bench prints
+// the same rows/series the paper reports, so results can be compared shape
+// for shape against the original figures.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "workloads/aqhi/aqhi.h"
+#include "workloads/lrb/lrb.h"
+
+namespace smartflux::bench {
+
+/// LRB at evaluation scale: 500 evaluation waves as in the paper (500 test
+/// examples, §5.2).
+inline workloads::LrbWorkload make_lrb(double bound) {
+  workloads::LrbParams p;
+  p.max_error = bound;
+  p.total_waves = 1200;
+  return workloads::LrbWorkload(p);
+}
+
+/// AQHI at evaluation scale: 384 test examples (§5.2), hourly waves.
+inline workloads::AqhiWorkload make_aqhi(double bound) {
+  workloads::AqhiParams p;
+  p.max_error = bound;
+  return workloads::AqhiWorkload(p);
+}
+
+inline core::ExperimentOptions lrb_options() {
+  core::ExperimentOptions opts;
+  opts.training_waves = 300;
+  opts.eval_waves = 500;
+  return opts;
+}
+
+inline core::ExperimentOptions aqhi_options() {
+  core::ExperimentOptions opts;
+  opts.training_waves = 168;  // one simulated week of hourly waves
+  opts.eval_waves = 384;
+  return opts;
+}
+
+/// The paper's headline bounds: 5%, 10%, 20%.
+inline const std::vector<double>& bounds() {
+  static const std::vector<double> kBounds{0.05, 0.10, 0.20};
+  return kBounds;
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// Downsamples a per-wave series to ~`points` evenly spaced samples.
+inline std::vector<std::pair<std::size_t, double>> sample_series(
+    const std::vector<double>& series, std::size_t points = 16) {
+  std::vector<std::pair<std::size_t, double>> out;
+  if (series.empty()) return out;
+  const std::size_t stride = std::max<std::size_t>(1, series.size() / points);
+  for (std::size_t i = stride - 1; i < series.size(); i += stride) {
+    out.emplace_back(i + 1, series[i]);
+  }
+  if (out.empty() || out.back().first != series.size()) {
+    out.emplace_back(series.size(), series.back());
+  }
+  return out;
+}
+
+}  // namespace smartflux::bench

@@ -1,0 +1,75 @@
+// Custom impact/error functions (paper §4.2): users can supply their own
+// update/compute metric implementations instead of the built-in Eq. 1-4.
+// This example defines a "peak change" impact — only the single largest
+// element change matters, regardless of how many elements moved — and runs
+// the fire-risk workflow with it. A peak metric suits alarm-style workloads
+// where one extreme sensor is more significant than many small jitters.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "core/experiment.h"
+#include "workloads/firerisk/firerisk.h"
+
+namespace {
+
+using namespace smartflux;
+
+/// The custom-function API of §4.2: `update` is called once per modified
+/// element with its current and previous value; `compute` returns the final
+/// metric when no more elements are expected.
+class PeakChangeImpact final : public core::ChangeMetric {
+ public:
+  void reset() noexcept override { peak_ = 0.0; }
+  void update(double current, double previous) noexcept override {
+    peak_ = std::max(peak_, std::abs(current - previous));
+  }
+  double compute(std::size_t, double) const noexcept override { return peak_; }
+  std::unique_ptr<ChangeMetric> clone() const override {
+    return std::make_unique<PeakChangeImpact>();
+  }
+  std::string name() const override { return "PeakChangeImpact(custom)"; }
+
+ private:
+  double peak_ = 0.0;
+};
+
+core::ExperimentResult run(const char* label, core::StepMonitor::Options monitor) {
+  workloads::FireRiskParams params;
+  params.max_error = 0.10;
+  const workloads::FireRiskWorkload workload(params);
+
+  core::ExperimentOptions options;
+  options.training_waves = 144;
+  options.eval_waves = 240;
+  options.smartflux.monitor = monitor;
+
+  core::Experiment experiment(workload.make_workflow(), options);
+  auto result = experiment.run_smartflux();
+  double min_conf = 1.0;
+  for (const auto& step : result.tracked_steps) {
+    min_conf = std::min(min_conf, result.confidence(step));
+  }
+  std::printf("%-28s savings=%5.1f%%  min confidence=%5.1f%%\n", label,
+              100.0 * result.savings_ratio(), 100.0 * min_conf);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("custom impact metric on the fire-risk workflow (10%% bound)\n");
+  std::printf("-----------------------------------------------------------\n");
+
+  run("built-in Eq.1 impact", {});
+
+  core::StepMonitor::Options custom;
+  custom.custom_impact = [] { return std::make_unique<PeakChangeImpact>(); };
+  run("custom peak-change impact", custom);
+
+  std::printf("\nBoth metrics flow through the same Monitoring -> Knowledge Base ->\n"
+              "Predictor pipeline; only the update/compute implementation differs.\n");
+  return 0;
+}

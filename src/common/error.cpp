@@ -1,0 +1,14 @@
+#include "common/error.h"
+
+#include <sstream>
+
+namespace smartflux::detail {
+
+void throw_check_failure(std::string_view cond, std::string_view file, int line,
+                         std::string_view msg) {
+  std::ostringstream os;
+  os << "check failed: (" << cond << ") at " << file << ":" << line << " — " << msg;
+  throw InvalidArgument(os.str());
+}
+
+}  // namespace smartflux::detail

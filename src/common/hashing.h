@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+
+namespace smartflux {
+
+/// splitmix64 finalizer — a strong 64-bit bit mixer.
+constexpr std::uint64_t mix64(std::uint64_t z) noexcept {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless hash of up to four coordinates — the basis of the pure
+/// (call-order-independent) synthetic data generators: the same
+/// (seed, a, b, c, d) always yields the same value, so the adaptive run and
+/// its synchronous shadow see identical streams.
+constexpr std::uint64_t hash64(std::uint64_t seed, std::uint64_t a, std::uint64_t b = 0,
+                               std::uint64_t c = 0, std::uint64_t d = 0) noexcept {
+  std::uint64_t h = mix64(seed ^ 0x2545f4914f6cdd1dULL);
+  h = mix64(h ^ a);
+  h = mix64(h ^ b);
+  h = mix64(h ^ c);
+  h = mix64(h ^ d);
+  return h;
+}
+
+/// Uniform double in [0, 1) from a stateless hash.
+constexpr double hash_unit(std::uint64_t seed, std::uint64_t a, std::uint64_t b = 0,
+                           std::uint64_t c = 0, std::uint64_t d = 0) noexcept {
+  return static_cast<double>(hash64(seed, a, b, c, d) >> 11) * 0x1.0p-53;
+}
+
+/// Piecewise-linear "smooth noise" in [-1, 1]: interpolates hash values at
+/// knots every `knot_period` waves, so consecutive waves vary gently (used to
+/// emulate the paper's smoothly varying sensor fields, §5.1).
+constexpr double smooth_noise(std::uint64_t seed, std::uint64_t stream, std::uint64_t wave,
+                              std::uint64_t knot_period) noexcept {
+  const std::uint64_t k = wave / knot_period;
+  const double frac =
+      static_cast<double>(wave % knot_period) / static_cast<double>(knot_period);
+  const double a = 2.0 * hash_unit(seed, stream, k) - 1.0;
+  const double b = 2.0 * hash_unit(seed, stream, k + 1) - 1.0;
+  return a * (1.0 - frac) + b * frac;
+}
+
+}  // namespace smartflux

@@ -1,0 +1,49 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+
+namespace smartflux {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel Logger::level() noexcept { return g_level.load(std::memory_order_relaxed); }
+
+void Logger::set_level(LogLevel level) noexcept {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+std::mutex& Logger::mutex() {
+  static std::mutex m;
+  return m;
+}
+
+void Logger::write(LogLevel level, const std::string& component, const std::string& message) {
+  if (Logger::level() > level) return;
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t t = std::chrono::system_clock::to_time_t(now);
+  std::tm tm{};
+  localtime_r(&t, &tm);
+  char ts[32];
+  std::strftime(ts, sizeof ts, "%H:%M:%S", &tm);
+  std::lock_guard<std::mutex> lock(mutex());
+  std::fprintf(stderr, "[%s] %-5s %s: %s\n", ts, level_name(level), component.c_str(),
+               message.c_str());
+}
+
+}  // namespace smartflux

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace smartflux {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Minimal thread-safe leveled logger writing to stderr. Global level is
+/// process-wide; default kWarn so library users are not spammed.
+class Logger {
+ public:
+  static LogLevel level() noexcept;
+  static void set_level(LogLevel level) noexcept;
+  static void write(LogLevel level, const std::string& component, const std::string& message);
+
+ private:
+  static std::mutex& mutex();
+};
+
+namespace detail {
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  ~LogLine() { Logger::write(level_, component_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace smartflux
+
+#define SF_LOG(sf_level_, sf_component_)                              \
+  if (::smartflux::Logger::level() <= (sf_level_))                    \
+  ::smartflux::detail::LogLine{(sf_level_), (sf_component_)}
+
+#define SF_LOG_DEBUG(component) SF_LOG(::smartflux::LogLevel::kDebug, (component))
+#define SF_LOG_INFO(component) SF_LOG(::smartflux::LogLevel::kInfo, (component))
+#define SF_LOG_WARN(component) SF_LOG(::smartflux::LogLevel::kWarn, (component))
+#define SF_LOG_ERROR(component) SF_LOG(::smartflux::LogLevel::kError, (component))

@@ -1,0 +1,138 @@
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <cmath>
+#include <vector>
+
+namespace smartflux {
+
+/// Deterministic, fast pseudo-random generator (xoshiro256**), seeded via
+/// splitmix64. All simulation and learning components take an explicit Rng so
+/// that every experiment in the repo is reproducible from a single seed.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    // splitmix64 to spread a small seed over the full 256-bit state.
+    auto next = [&seed]() noexcept {
+      seed += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      return z ^ (z >> 31);
+    };
+    for (auto& s : state_) s = next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). Precondition: n > 0.
+  std::uint64_t uniform_index(std::uint64_t n) noexcept {
+    // Lemire's multiply-shift rejection method (unbiased).
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = -n % n;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    uniform_index(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Standard normal via Marsaglia polar method.
+  double normal() noexcept {
+    if (has_spare_) {
+      has_spare_ = false;
+      return spare_;
+    }
+    double u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double f = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * f;
+    has_spare_ = true;
+    return u * f;
+  }
+
+  double normal(double mean, double stddev) noexcept { return mean + stddev * normal(); }
+
+  bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  /// Poisson-distributed count (Knuth for small lambda, normal approx above 64).
+  std::uint64_t poisson(double lambda) noexcept {
+    if (lambda <= 0.0) return 0;
+    if (lambda > 64.0) {
+      const double x = normal(lambda, std::sqrt(lambda));
+      return x <= 0.0 ? 0 : static_cast<std::uint64_t>(x + 0.5);
+    }
+    const double limit = std::exp(-lambda);
+    double prod = uniform();
+    std::uint64_t n = 0;
+    while (prod > limit) {
+      ++n;
+      prod *= uniform();
+    }
+    return n;
+  }
+
+  /// In-place Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      using std::swap;
+      swap(v[i - 1], v[uniform_index(i)]);
+    }
+  }
+
+  /// Fork a statistically independent child stream (for per-thread use).
+  Rng fork() noexcept { return Rng{(*this)() ^ 0xa0761d6478bd642fULL}; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+  double spare_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace smartflux

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace smartflux {
+
+/// Numerically stable streaming mean/variance accumulator (Welford).
+/// Thread-compatible; external synchronization required for shared use.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  /// Merge another accumulator (parallel reduction, Chan et al.).
+  void merge(const RunningStats& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ == 0 ? 0.0 : mean_; }
+  /// Population variance; 0 when fewer than 2 samples.
+  double variance() const noexcept;
+  /// Sample (Bessel-corrected) variance; 0 when fewer than 2 samples.
+  double sample_variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Sample Pearson correlation coefficient r in [-1, 1].
+/// Returns 0 when either series has zero variance or sizes mismatch/empty.
+double pearson_correlation(std::span<const double> x, std::span<const double> y) noexcept;
+
+/// Arithmetic mean; 0 for empty input.
+double mean(std::span<const double> v) noexcept;
+
+/// Geometric mean of non-negative values; 0 if any value is 0 or input empty.
+double geometric_mean(std::span<const double> v) noexcept;
+
+/// p-quantile (linear interpolation) of an unsorted copy; p in [0,1].
+double quantile(std::vector<double> v, double p) noexcept;
+
+/// Root-mean-square error between two equal-length series.
+double rmse(std::span<const double> a, std::span<const double> b) noexcept;
+
+}  // namespace smartflux

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace smartflux {
+
+/// Fixed-size worker pool. Tasks are plain callables; submit() returns a
+/// future that either holds the task's completion or its exception.
+/// Destruction drains the queue (pending tasks still run) and joins.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::future<void> submit(std::function<void()> task);
+
+  /// Runs every task and blocks until all complete. The first exception (in
+  /// task order) is rethrown after all tasks finished.
+  void run_all(std::vector<std::function<void()>> tasks);
+
+  std::size_t thread_count() const noexcept { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::packaged_task<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace smartflux

@@ -1,0 +1,65 @@
+#include "core/baselines.h"
+
+#include "common/error.h"
+
+namespace smartflux::core {
+
+RandomController::RandomController(double execute_probability, std::uint64_t seed)
+    : p_(execute_probability), rng_(seed) {
+  SF_CHECK(execute_probability >= 0.0 && execute_probability <= 1.0,
+           "execute_probability must be in [0,1]");
+}
+
+bool RandomController::should_execute(const wms::WorkflowSpec&, std::size_t, ds::Timestamp) {
+  return rng_.bernoulli(p_);
+}
+
+PeriodicController::PeriodicController(std::size_t period) : period_(period) {
+  SF_CHECK(period >= 1, "period must be >= 1");
+}
+
+bool PeriodicController::should_execute(const wms::WorkflowSpec&, std::size_t step_index,
+                                        ds::Timestamp) {
+  return ++waves_since_exec_[step_index] >= period_;
+}
+
+void PeriodicController::on_step_executed(const wms::WorkflowSpec&, std::size_t step_index,
+                                          ds::Timestamp) {
+  waves_since_exec_[step_index] = 0;
+}
+
+OracleController::OracleController(
+    const wms::WorkflowSpec& spec,
+    std::map<std::size_t, std::map<ds::Timestamp, double>> delta_errors)
+    : deltas_(std::move(delta_errors)) {
+  for (const auto& [step_index, _] : deltas_) {
+    SF_CHECK(step_index < spec.size(), "oracle delta for unknown step index");
+    SF_CHECK(spec.step_at(step_index).tolerates_error(),
+             "oracle deltas must target error-tolerant steps");
+  }
+}
+
+bool OracleController::should_execute(const wms::WorkflowSpec& spec, std::size_t step_index,
+                                      ds::Timestamp wave) {
+  auto step_it = deltas_.find(step_index);
+  if (step_it == deltas_.end()) return true;  // no ground truth — be safe
+  const auto wave_it = step_it->second.find(wave);
+  const double delta = wave_it == step_it->second.end() ? 0.0 : wave_it->second;
+  const double bound = *spec.step_at(step_index).max_error;
+  double& acc = accumulated_[step_index];
+  if (acc + delta > bound) {
+    // Skipping this wave would push the deferred error past max_ε: execute
+    // now, which brings the output up to date (error back to zero).
+    acc = 0.0;
+    return true;
+  }
+  acc += delta;
+  return false;
+}
+
+double OracleController::accumulated_error(std::size_t step_index) const {
+  auto it = accumulated_.find(step_index);
+  return it == accumulated_.end() ? 0.0 : it->second;
+}
+
+}  // namespace smartflux::core

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "wms/engine.h"
+
+namespace smartflux::core {
+
+/// Fig. 11 baseline: skips or executes each tolerant step with equal
+/// probability ("random").
+class RandomController final : public wms::TriggerController {
+ public:
+  explicit RandomController(double execute_probability = 0.5, std::uint64_t seed = 7);
+
+  bool should_execute(const wms::WorkflowSpec&, std::size_t, ds::Timestamp) override;
+
+ private:
+  double p_;
+  Rng rng_;
+};
+
+/// Fig. 11 baseline: executes each tolerant step every `period` waves
+/// ("seqX"); period 1 degenerates to the synchronous model.
+class PeriodicController final : public wms::TriggerController {
+ public:
+  explicit PeriodicController(std::size_t period);
+
+  bool should_execute(const wms::WorkflowSpec& spec, std::size_t step_index,
+                      ds::Timestamp wave) override;
+  void on_step_executed(const wms::WorkflowSpec& spec, std::size_t step_index,
+                        ds::Timestamp wave) override;
+
+ private:
+  std::size_t period_;
+  std::map<std::size_t, std::size_t> waves_since_exec_;  // step index -> skipped count
+};
+
+/// Fig. 12 "optimal": a perfect, fully-accurate predictor. It is given the
+/// true per-wave output-error deltas (obtained from a synchronous profiling
+/// run of the same deterministic workload) and defers each step as long as
+/// possible without the accumulated error exceeding the bound.
+class OracleController final : public wms::TriggerController {
+ public:
+  /// `delta_errors[step_index]` maps wave -> that wave's error delta.
+  OracleController(const wms::WorkflowSpec& spec,
+                   std::map<std::size_t, std::map<ds::Timestamp, double>> delta_errors);
+
+  bool should_execute(const wms::WorkflowSpec& spec, std::size_t step_index,
+                      ds::Timestamp wave) override;
+
+  /// Accumulated (bounded) error per step right now.
+  double accumulated_error(std::size_t step_index) const;
+
+ private:
+  std::map<std::size_t, std::map<ds::Timestamp, double>> deltas_;
+  std::map<std::size_t, double> accumulated_;
+};
+
+}  // namespace smartflux::core

@@ -1,0 +1,114 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/baselines.h"
+#include "core/smartflux.h"
+#include "wms/engine.h"
+
+namespace smartflux::core {
+
+/// Configuration of one paired (adaptive vs synchronous-shadow) experiment.
+struct ExperimentOptions {
+  std::size_t training_waves = 100;
+  std::size_t eval_waves = 400;
+  SmartFluxOptions smartflux{};
+  /// Steps whose output error is measured against the synchronous shadow;
+  /// empty = every error-tolerant step.
+  std::vector<wms::StepId> tracked_steps;
+};
+
+/// Per-wave record of the evaluation phase.
+struct WaveStats {
+  ds::Timestamp wave = 0;
+  std::size_t adaptive_executions = 0;      ///< tolerant steps executed (adaptive)
+  std::size_t sync_executions = 0;          ///< tolerant steps executed (shadow)
+  std::map<wms::StepId, int> decision;      ///< 1 = executed
+  std::map<wms::StepId, double> measured_error;   ///< adaptive output vs shadow output
+  std::map<wms::StepId, double> predicted_error;  ///< accumulated shadow deltas while skipping
+  std::map<wms::StepId, bool> violation;          ///< measured > max_ε
+};
+
+/// Full result of an experiment run.
+struct ExperimentResult {
+  std::string policy;  ///< "smartflux", "sync", "random", "seq3", "oracle", ...
+  std::vector<WaveStats> waves;
+  std::vector<wms::StepId> tracked_steps;
+  std::map<wms::StepId, double> bounds;
+
+  /// Test-phase cross-validation report (smartflux policy only).
+  std::optional<Predictor::TestReport> test_report;
+
+  std::size_t total_adaptive_executions = 0;  ///< tolerant-step executions, eval phase
+  std::size_t total_sync_executions = 0;      ///< shadow tolerant-step executions
+
+  /// 1 − adaptive/sync execution ratio over the evaluation phase.
+  double savings_ratio() const noexcept;
+  /// Fraction of evaluation waves where `step` stayed within its bound.
+  double confidence(const wms::StepId& step) const;
+  /// Normalized cumulative confidence per wave (Fig. 10): entry w is the
+  /// fraction of waves ≤ w without violation for `step`.
+  std::vector<double> confidence_curve(const wms::StepId& step) const;
+  /// Minimum confidence curve across all tracked steps (workflow-level).
+  std::vector<double> overall_confidence_curve() const;
+  /// Cumulative executed-fraction per wave relative to sync (Fig. 12a/c).
+  std::vector<double> normalized_executions_curve() const;
+  std::size_t violation_count(const wms::StepId& step) const;
+  /// Largest measured-error overshoot above the bound for `step`.
+  double max_violation_magnitude(const wms::StepId& step) const;
+};
+
+/// Runs the paper's evaluation protocol for one workload (§5): a training
+/// phase executed synchronously, model construction and cross-validation,
+/// then an evaluation phase where the adaptive engine runs side by side with
+/// a synchronous shadow of the same deterministic workload. The shadow gives
+/// ground-truth outputs, from which measured errors, predicted errors, and
+/// the oracle ("optimal") execution counts derive.
+class Experiment {
+ public:
+  /// `spec` must be driven by a deterministic generator: running it twice on
+  /// two stores over the same waves must produce identical data.
+  Experiment(wms::WorkflowSpec spec, ExperimentOptions options);
+
+  /// Adaptive SmartFlux run (training → test → application).
+  ExperimentResult run_smartflux();
+
+  /// Baseline run under an arbitrary controller for the evaluation phase
+  /// (training waves run synchronously for warm-up, no learning).
+  ExperimentResult run_controller(const std::string& policy_name,
+                                  wms::TriggerController& controller);
+
+  /// Perfect-predictor run: executes only when the true deferred error would
+  /// exceed the bound (Fig. 12 "optimal").
+  ExperimentResult run_oracle();
+
+  /// The synchronous model itself (every step every wave).
+  ExperimentResult run_sync();
+
+  /// Per-step per-wave true error deltas from a synchronous profiling run of
+  /// the evaluation waves (consumed by run_oracle; exposed for benches).
+  std::map<std::size_t, std::map<ds::Timestamp, double>> profile_sync_deltas();
+
+  const wms::WorkflowSpec& spec() const noexcept { return spec_; }
+  const ExperimentOptions& options() const noexcept { return options_; }
+
+ private:
+  std::vector<std::size_t> tracked_indices() const;
+
+  /// Shared evaluation loop. `run_adaptive_wave` executes one adaptive wave
+  /// and returns its result; the shadow runs the same wave synchronously.
+  ExperimentResult evaluate(
+      const std::string& policy_name,
+      const std::function<wms::WaveResult(ds::Timestamp)>& run_adaptive_wave,
+      ds::DataStore& adaptive_store);
+
+  wms::WorkflowSpec spec_;
+  ExperimentOptions options_;
+};
+
+}  // namespace smartflux::core

@@ -1,0 +1,84 @@
+#include "core/incremental_monitor.h"
+
+#include "common/error.h"
+
+namespace smartflux::core {
+
+IncrementalTracker::IncrementalTracker(ds::DataStore& store, ds::ContainerRef container,
+                                       std::unique_ptr<ChangeMetric> metric,
+                                       AccumulationMode mode)
+    : store_(&store), container_(std::move(container)), metric_(std::move(metric)), mode_(mode) {
+  SF_CHECK(metric_ != nullptr, "IncrementalTracker needs a metric");
+  // Anchor the mirror and baseline on the container's current state, then
+  // start listening.
+  current_ = store.snapshot(container_);
+  baseline_ = current_;
+  token_ = store.subscribe([this](const ds::Mutation& m) { on_mutation(m); });
+}
+
+IncrementalTracker::~IncrementalTracker() { store_->unsubscribe(token_); }
+
+void IncrementalTracker::on_mutation(const ds::Mutation& m) {
+  if (!container_.matches(m.table, m.row, m.column)) return;
+  const std::string key = m.row + '\x1f' + m.column;
+  std::lock_guard lock(mutex_);
+  // Record the element's value as of the previous harvest exactly once.
+  if (!pending_prev_.contains(key)) {
+    auto it = current_.find(key);
+    pending_prev_.emplace(key, it == current_.end() ? 0.0 : it->second);
+  }
+  if (m.kind == ds::MutationKind::kPut) {
+    current_[key] = m.new_value;
+  } else {
+    current_.erase(key);
+  }
+}
+
+double IncrementalTracker::harvest() {
+  std::lock_guard lock(mutex_);
+  // Per-wave delta over the pending changes only (O(changed)): the previous
+  // state is the current state with the pending changes undone. Eq. 3 needs
+  // Σ previous over ALL elements, including the ones deleted this wave.
+  metric_->reset();
+  double prev_total = 0.0;
+  for (const auto& [key, value] : current_) {
+    auto it = pending_prev_.find(key);
+    prev_total += it == pending_prev_.end() ? value : it->second;
+  }
+  for (const auto& [key, prev] : pending_prev_) {
+    if (!current_.contains(key)) prev_total += prev;  // deleted element
+  }
+  for (const auto& [key, prev] : pending_prev_) {
+    auto it = current_.find(key);
+    const double cur = it == current_.end() ? 0.0 : it->second;
+    if (cur != prev) metric_->update(cur, prev);
+  }
+  const std::size_t n = current_.empty() ? pending_prev_.size() : current_.size();
+  last_delta_ = metric_->compute(n, prev_total);
+
+  switch (mode_) {
+    case AccumulationMode::kCumulative:
+      accumulated_ += last_delta_;
+      break;
+    case AccumulationMode::kCancelling:
+      accumulated_ = compute_change(current_, baseline_, *metric_);
+      break;
+  }
+  pending_prev_.clear();
+  return accumulated_;
+}
+
+void IncrementalTracker::reset() {
+  std::lock_guard lock(mutex_);
+  baseline_ = current_;
+  pending_prev_.clear();
+  accumulated_ = 0.0;
+  last_delta_ = 0.0;
+}
+
+std::size_t IncrementalTracker::pending_changes() const {
+  std::lock_guard lock(mutex_);
+  return pending_prev_.size();
+}
+
+}  // namespace smartflux::core

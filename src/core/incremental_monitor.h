@@ -1,0 +1,73 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/change_metric.h"
+#include "core/monitoring.h"
+#include "datastore/datastore.h"
+
+namespace smartflux::core {
+
+/// Observer-driven container tracking — the paper's data-store-level
+/// integration option (§4: "custom code that is triggered and executed at
+/// the data store level upon client requests", like HBase co-processors).
+///
+/// Where ContainerTracker snapshots the whole container every wave (O(n)),
+/// an IncrementalTracker subscribes to the store's mutation stream and folds
+/// each write into pending per-element change records, so harvesting a
+/// wave's metric costs O(changed elements). Semantics match
+/// ContainerTracker exactly: for an element mutated several times within a
+/// wave, the change is measured from its value at the previous harvest to
+/// its latest value (equivalence is covered by tests).
+///
+/// Thread-compatible like the rest of monitoring: mutations may arrive from
+/// any thread (the observer only appends under its own lock), but harvest /
+/// reset must not race with mutating steps.
+class IncrementalTracker {
+ public:
+  IncrementalTracker(ds::DataStore& store, ds::ContainerRef container,
+                     std::unique_ptr<ChangeMetric> metric, AccumulationMode mode);
+  ~IncrementalTracker();
+
+  IncrementalTracker(const IncrementalTracker&) = delete;
+  IncrementalTracker& operator=(const IncrementalTracker&) = delete;
+
+  /// Folds the pending mutations into the accumulation and returns the new
+  /// accumulated value. Call once per wave (the equivalent of
+  /// ContainerTracker::observe).
+  double harvest();
+
+  double accumulated() const noexcept { return accumulated_; }
+  double last_delta() const noexcept { return last_delta_; }
+
+  /// Marks the consumer step as executed: accumulation restarts and the
+  /// current state becomes the new reference.
+  void reset();
+
+  const ds::ContainerRef& container() const noexcept { return container_; }
+  /// Number of element changes currently pending (diagnostics).
+  std::size_t pending_changes() const;
+
+ private:
+  void on_mutation(const ds::Mutation& m);
+
+  ds::DataStore* store_;
+  ds::ContainerRef container_;
+  std::unique_ptr<ChangeMetric> metric_;
+  AccumulationMode mode_;
+  std::size_t token_ = 0;
+
+  mutable std::mutex mutex_;
+  /// Live mirror of the container (maintained from mutations).
+  std::map<std::string, double> current_;
+  /// Element value at the previous harvest, recorded on first mutation since.
+  std::map<std::string, double> pending_prev_;
+  /// Baseline state at the last reset (cancelling mode).
+  std::map<std::string, double> baseline_;
+  double accumulated_ = 0.0;
+  double last_delta_ = 0.0;
+};
+
+}  // namespace smartflux::core

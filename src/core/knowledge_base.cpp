@@ -1,0 +1,100 @@
+#include "core/knowledge_base.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace smartflux::core {
+
+KnowledgeBase::KnowledgeBase(std::vector<std::string> step_ids) : step_ids_(std::move(step_ids)) {
+  SF_CHECK(!step_ids_.empty(), "KnowledgeBase needs at least one tolerant step");
+}
+
+void KnowledgeBase::append(TrainingRow row) {
+  SF_CHECK(row.impacts.size() == step_ids_.size(), "impact vector width mismatch");
+  SF_CHECK(row.exceeds.size() == step_ids_.size(), "label vector width mismatch");
+  SF_CHECK(row.errors.size() == step_ids_.size(), "error vector width mismatch");
+  rows_.push_back(std::move(row));
+}
+
+ml::MultiLabelDataset KnowledgeBase::to_dataset(std::size_t begin, std::size_t end) const {
+  end = std::min(end, rows_.size());
+  SF_CHECK(begin <= end, "invalid row range");
+  ml::MultiLabelDataset out(step_ids_.size(), step_ids_.size());
+  for (std::size_t i = begin; i < end; ++i) {
+    out.add(rows_[i].impacts, rows_[i].exceeds);
+  }
+  return out;
+}
+
+double KnowledgeBase::positive_rate(std::size_t step_index) const {
+  SF_CHECK(step_index < step_ids_.size(), "step index out of range");
+  if (rows_.empty()) return 0.0;
+  std::size_t positives = 0;
+  for (const auto& row : rows_) positives += row.exceeds[step_index] == 1 ? 1 : 0;
+  return static_cast<double>(positives) / static_cast<double>(rows_.size());
+}
+
+void KnowledgeBase::save_csv(std::ostream& os) const {
+  os << "wave";
+  for (const auto& id : step_ids_) os << ",imp_" << id;
+  for (const auto& id : step_ids_) os << ",err_" << id;
+  for (const auto& id : step_ids_) os << ",lab_" << id;
+  os << '\n';
+  os.precision(17);
+  for (const auto& row : rows_) {
+    os << row.wave;
+    for (double v : row.impacts) os << ',' << v;
+    for (double v : row.errors) os << ',' << v;
+    for (int v : row.exceeds) os << ',' << v;
+    os << '\n';
+  }
+}
+
+KnowledgeBase KnowledgeBase::load_csv(std::istream& is) {
+  std::string header;
+  if (!std::getline(is, header)) throw InvalidArgument("empty knowledge-base CSV");
+
+  std::vector<std::string> step_ids;
+  {
+    std::stringstream ss(header);
+    std::string field;
+    if (!std::getline(ss, field, ',') || field != "wave") {
+      throw InvalidArgument("knowledge-base CSV must start with a 'wave' column");
+    }
+    while (std::getline(ss, field, ',')) {
+      if (field.rfind("imp_", 0) == 0) step_ids.push_back(field.substr(4));
+    }
+  }
+  if (step_ids.empty()) throw InvalidArgument("knowledge-base CSV has no imp_ columns");
+
+  KnowledgeBase kb(step_ids);
+  const std::size_t k = step_ids.size();
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::stringstream ss(line);
+    std::string field;
+    TrainingRow row;
+    SF_CHECK(static_cast<bool>(std::getline(ss, field, ',')), "truncated CSV row");
+    row.wave = static_cast<ds::Timestamp>(std::stoull(field));
+    auto read_doubles = [&](std::vector<double>& out) {
+      for (std::size_t i = 0; i < k; ++i) {
+        SF_CHECK(static_cast<bool>(std::getline(ss, field, ',')), "truncated CSV row");
+        out.push_back(std::stod(field));
+      }
+    };
+    read_doubles(row.impacts);
+    read_doubles(row.errors);
+    for (std::size_t i = 0; i < k; ++i) {
+      SF_CHECK(static_cast<bool>(std::getline(ss, field, ',')), "truncated CSV row");
+      row.exceeds.push_back(std::stoi(field));
+    }
+    kb.append(std::move(row));
+  }
+  return kb;
+}
+
+}  // namespace smartflux::core

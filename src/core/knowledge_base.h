@@ -1,0 +1,58 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "datastore/types.h"
+#include "ml/multilabel.h"
+
+namespace smartflux::core {
+
+/// One training observation: the input impact of every error-tolerant step at
+/// a wave, and whether each step's (simulated) deferred error exceeded its
+/// bound at that wave.
+struct TrainingRow {
+  ds::Timestamp wave = 0;
+  std::vector<double> impacts;       ///< ι per tolerant step (feature vector)
+  std::vector<int> exceeds;          ///< 1 if ε > max_ε, else 0 (label vector)
+  std::vector<double> errors;        ///< the simulated ε values (diagnostics)
+};
+
+/// The paper's Knowledge Base component (§4): the training log filled by
+/// Monitoring during the training phase and consumed by the Predictor.
+class KnowledgeBase {
+ public:
+  KnowledgeBase() = default;
+  /// `step_ids` names the tolerant steps, fixing feature/label order.
+  explicit KnowledgeBase(std::vector<std::string> step_ids);
+
+  void append(TrainingRow row);
+
+  std::size_t size() const noexcept { return rows_.size(); }
+  bool empty() const noexcept { return rows_.empty(); }
+  std::size_t num_steps() const noexcept { return step_ids_.size(); }
+  const std::vector<std::string>& step_ids() const noexcept { return step_ids_; }
+  const TrainingRow& row(std::size_t i) const { return rows_[i]; }
+  const std::vector<TrainingRow>& rows() const noexcept { return rows_; }
+
+  /// Exports rows [begin, end) as a multi-label dataset (full log if
+  /// defaulted).
+  ml::MultiLabelDataset to_dataset(std::size_t begin = 0,
+                                   std::size_t end = static_cast<std::size_t>(-1)) const;
+
+  /// Positive-label rate of one step's label column (diagnostics).
+  double positive_rate(std::size_t step_index) const;
+
+  void clear() noexcept { rows_.clear(); }
+
+  /// CSV round-trip: "wave,imp_<id>...,err_<id>...,lab_<id>..." with header.
+  void save_csv(std::ostream& os) const;
+  static KnowledgeBase load_csv(std::istream& is);
+
+ private:
+  std::vector<std::string> step_ids_;
+  std::vector<TrainingRow> rows_;
+};
+
+}  // namespace smartflux::core

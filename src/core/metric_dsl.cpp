@@ -1,0 +1,285 @@
+#include "core/metric_dsl.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "common/error.h"
+
+namespace smartflux::core {
+
+namespace {
+
+/// Statistics accumulated over the modified elements (plus the container
+/// totals supplied to compute()). This is the DSL's variable environment.
+struct Stats {
+  double m = 0.0;
+  double n = 0.0;
+  double sum_abs_diff = 0.0;
+  double sum_sq_diff = 0.0;
+  double sum_max = 0.0;
+  double sum_cur = 0.0;
+  double sum_prev_mod = 0.0;
+  double max_abs_diff = 0.0;
+  double sum_prev = 0.0;
+};
+
+using VariableGetter = double (*)(const Stats&);
+
+const std::map<std::string, VariableGetter, std::less<>>& variable_table() {
+  static const std::map<std::string, VariableGetter, std::less<>> kTable{
+      {"m", [](const Stats& s) { return s.m; }},
+      {"n", [](const Stats& s) { return s.n; }},
+      {"sum_abs_diff", [](const Stats& s) { return s.sum_abs_diff; }},
+      {"sum_sq_diff", [](const Stats& s) { return s.sum_sq_diff; }},
+      {"sum_max", [](const Stats& s) { return s.sum_max; }},
+      {"sum_cur", [](const Stats& s) { return s.sum_cur; }},
+      {"sum_prev_mod", [](const Stats& s) { return s.sum_prev_mod; }},
+      {"max_abs_diff", [](const Stats& s) { return s.max_abs_diff; }},
+      {"sum_prev", [](const Stats& s) { return s.sum_prev; }},
+  };
+  return kTable;
+}
+
+struct Expr {
+  virtual ~Expr() = default;
+  virtual double eval(const Stats& stats) const = 0;
+};
+using ExprPtr = std::shared_ptr<const Expr>;
+
+struct Literal final : Expr {
+  explicit Literal(double v) : value(v) {}
+  double eval(const Stats&) const override { return value; }
+  double value;
+};
+
+struct Variable final : Expr {
+  explicit Variable(VariableGetter g) : getter(g) {}
+  double eval(const Stats& stats) const override { return getter(stats); }
+  VariableGetter getter;
+};
+
+struct Binary final : Expr {
+  Binary(char op, ExprPtr l, ExprPtr r) : op(op), lhs(std::move(l)), rhs(std::move(r)) {}
+  double eval(const Stats& stats) const override {
+    const double a = lhs->eval(stats);
+    const double b = rhs->eval(stats);
+    switch (op) {
+      case '+': return a + b;
+      case '-': return a - b;
+      case '*': return a * b;
+      case '/': return b == 0.0 ? 0.0 : a / b;  // metrics must stay finite
+    }
+    return 0.0;
+  }
+  char op;
+  ExprPtr lhs, rhs;
+};
+
+struct Call final : Expr {
+  enum class Fn { kSqrt, kAbs, kMin, kMax, kClamp01 };
+  Call(Fn fn, std::vector<ExprPtr> args) : fn(fn), args(std::move(args)) {}
+  double eval(const Stats& stats) const override {
+    switch (fn) {
+      case Fn::kSqrt: {
+        const double v = args[0]->eval(stats);
+        return v <= 0.0 ? 0.0 : std::sqrt(v);
+      }
+      case Fn::kAbs: return std::abs(args[0]->eval(stats));
+      case Fn::kMin: return std::min(args[0]->eval(stats), args[1]->eval(stats));
+      case Fn::kMax: return std::max(args[0]->eval(stats), args[1]->eval(stats));
+      case Fn::kClamp01: return std::clamp(args[0]->eval(stats), 0.0, 1.0);
+    }
+    return 0.0;
+  }
+  Fn fn;
+  std::vector<ExprPtr> args;
+};
+
+/// Recursive-descent parser over the expression grammar:
+///   expr    := term (('+'|'-') term)*
+///   term    := unary (('*'|'/') unary)*
+///   unary   := '-' unary | primary
+///   primary := number | identifier | identifier '(' expr (',' expr)* ')'
+///            | '(' expr ')'
+class DslParser {
+ public:
+  explicit DslParser(std::string_view text) : text_(text) {}
+
+  ExprPtr parse() {
+    auto expr = parse_expr();
+    skip_space();
+    if (pos_ != text_.size()) fail("unexpected trailing input");
+    return expr;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw InvalidArgument("metric DSL error at position " + std::to_string(pos_) + ": " +
+                          message + " in '" + std::string(text_) + "'");
+  }
+
+  void skip_space() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+  }
+
+  bool consume(char c) {
+    skip_space();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  ExprPtr parse_expr() {
+    auto lhs = parse_term();
+    for (;;) {
+      if (consume('+')) {
+        lhs = std::make_shared<Binary>('+', lhs, parse_term());
+      } else if (consume('-')) {
+        lhs = std::make_shared<Binary>('-', lhs, parse_term());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  ExprPtr parse_term() {
+    auto lhs = parse_unary();
+    for (;;) {
+      if (consume('*')) {
+        lhs = std::make_shared<Binary>('*', lhs, parse_unary());
+      } else if (consume('/')) {
+        lhs = std::make_shared<Binary>('/', lhs, parse_unary());
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  ExprPtr parse_unary() {
+    if (consume('-')) {
+      return std::make_shared<Binary>('-', std::make_shared<Literal>(0.0), parse_unary());
+    }
+    return parse_primary();
+  }
+
+  ExprPtr parse_primary() {
+    skip_space();
+    if (pos_ >= text_.size()) fail("unexpected end of expression");
+    const char c = text_[pos_];
+
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') {
+      std::size_t consumed = 0;
+      double value = 0.0;
+      try {
+        value = std::stod(std::string(text_.substr(pos_)), &consumed);
+      } catch (const std::exception&) {
+        fail("malformed number");
+      }
+      pos_ += consumed;
+      return std::make_shared<Literal>(value);
+    }
+
+    if (c == '(') {
+      ++pos_;
+      auto inner = parse_expr();
+      if (!consume(')')) fail("expected ')'");
+      return inner;
+    }
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      const std::size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '_')) {
+        ++pos_;
+      }
+      const std::string_view name = text_.substr(start, pos_ - start);
+
+      if (consume('(')) {
+        static const std::map<std::string, std::pair<Call::Fn, std::size_t>, std::less<>>
+            kFunctions{{"sqrt", {Call::Fn::kSqrt, 1}},
+                       {"abs", {Call::Fn::kAbs, 1}},
+                       {"min", {Call::Fn::kMin, 2}},
+                       {"max", {Call::Fn::kMax, 2}},
+                       {"clamp01", {Call::Fn::kClamp01, 1}}};
+        auto it = kFunctions.find(name);
+        if (it == kFunctions.end()) fail("unknown function '" + std::string(name) + "'");
+        std::vector<ExprPtr> args;
+        args.push_back(parse_expr());
+        while (consume(',')) args.push_back(parse_expr());
+        if (!consume(')')) fail("expected ')' after function arguments");
+        if (args.size() != it->second.second) {
+          fail("function '" + std::string(name) + "' expects " +
+               std::to_string(it->second.second) + " argument(s)");
+        }
+        return std::make_shared<Call>(it->second.first, std::move(args));
+      }
+
+      auto it = variable_table().find(name);
+      if (it == variable_table().end()) fail("unknown variable '" + std::string(name) + "'");
+      return std::make_shared<Variable>(it->second);
+    }
+
+    fail(std::string("unexpected character '") + c + "'");
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+/// ChangeMetric backed by a compiled DSL expression.
+class DslMetric final : public ChangeMetric {
+ public:
+  DslMetric(ExprPtr expr, std::string source) : expr_(std::move(expr)), source_(std::move(source)) {}
+
+  void reset() noexcept override { stats_ = Stats{}; }
+
+  void update(double current, double previous) noexcept override {
+    const double diff = current - previous;
+    stats_.m += 1.0;
+    stats_.sum_abs_diff += std::abs(diff);
+    stats_.sum_sq_diff += diff * diff;
+    stats_.sum_max += std::max(current, previous);
+    stats_.sum_cur += current;
+    stats_.sum_prev_mod += previous;
+    stats_.max_abs_diff = std::max(stats_.max_abs_diff, std::abs(diff));
+  }
+
+  double compute(std::size_t total_elements, double previous_total_sum) const noexcept override {
+    Stats stats = stats_;
+    stats.n = static_cast<double>(total_elements);
+    stats.sum_prev = previous_total_sum;
+    return expr_->eval(stats);
+  }
+
+  std::unique_ptr<ChangeMetric> clone() const override {
+    return std::make_unique<DslMetric>(expr_, source_);
+  }
+
+  std::string name() const override { return "DslMetric(" + source_ + ")"; }
+
+ private:
+  ExprPtr expr_;
+  std::string source_;
+  Stats stats_;
+};
+
+}  // namespace
+
+std::function<std::unique_ptr<ChangeMetric>()> compile_metric(std::string_view expression) {
+  auto expr = DslParser(expression).parse();
+  std::string source(expression);
+  return [expr = std::move(expr), source = std::move(source)]() {
+    return std::make_unique<DslMetric>(expr, source);
+  };
+}
+
+std::unique_ptr<ChangeMetric> make_dsl_metric(std::string_view expression) {
+  return compile_metric(expression)();
+}
+
+}  // namespace smartflux::core

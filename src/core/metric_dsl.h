@@ -1,0 +1,46 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "core/change_metric.h"
+
+namespace smartflux::core {
+
+/// Compiles a metric expression into a ChangeMetric factory — the high-level
+/// DSL for non-expert users that the paper lists as future work (§4.2). The
+/// expression is evaluated once per compute() over statistics accumulated
+/// across the modified elements of a container.
+///
+/// Variables (per metric evaluation):
+///   m              number of modified elements
+///   n              total number of elements in the container
+///   sum_abs_diff   Σ |x − x′| over modified elements
+///   sum_sq_diff    Σ (x − x′)² over modified elements
+///   sum_max        Σ max(x, x′) over modified elements
+///   sum_cur        Σ x over modified elements
+///   sum_prev_mod   Σ x′ over modified elements
+///   max_abs_diff   max |x − x′| over modified elements
+///   sum_prev       Σ x′ over ALL elements of the container
+///
+/// Functions: sqrt(e), abs(e), min(a,b), max(a,b), clamp01(e).
+/// Operators: + − * / with usual precedence and parentheses; numeric
+/// literals in decimal or scientific notation. Division by zero evaluates
+/// to 0 (metrics must stay finite).
+///
+/// The paper's built-in equations expressed in the DSL:
+///   Eq. 1:  "sum_abs_diff * m"
+///   Eq. 2:  "clamp01((sum_abs_diff * m) / (sum_max * n))"
+///   Eq. 3:  "clamp01((sum_abs_diff * m) / (sum_prev * n))"
+///   Eq. 4:  "sqrt(sum_sq_diff / m)"
+///
+/// Throws smartflux::InvalidArgument (with position information) on syntax
+/// errors or unknown identifiers.
+std::function<std::unique_ptr<ChangeMetric>()> compile_metric(std::string_view expression);
+
+/// Convenience: compile and instantiate once.
+std::unique_ptr<ChangeMetric> make_dsl_metric(std::string_view expression);
+
+}  // namespace smartflux::core

@@ -1,0 +1,152 @@
+#include "core/predictor.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "ml/decision_tree.h"
+#include "ml/linear.h"
+#include "ml/mlp.h"
+#include "ml/naive_bayes.h"
+
+namespace smartflux::core {
+
+const char* algorithm_name(Algorithm a) noexcept {
+  switch (a) {
+    case Algorithm::kRandomForest: return "RandomForest";
+    case Algorithm::kDecisionTree: return "DecisionTree";
+    case Algorithm::kNaiveBayes: return "NaiveBayes";
+    case Algorithm::kLogisticRegression: return "LogisticRegression";
+    case Algorithm::kLinearSvm: return "LinearSVM";
+    case Algorithm::kKNearestNeighbors: return "KNearestNeighbors";
+    case Algorithm::kNeuralNetwork: return "NeuralNetwork";
+  }
+  return "?";
+}
+
+Predictor::Predictor(PredictorOptions options) : options_(options) {
+  SF_CHECK(options_.recall_bias > 0.0, "recall_bias must be positive");
+}
+
+ml::ClassifierFactory Predictor::factory() const {
+  const PredictorOptions opts = options_;
+  switch (opts.algorithm) {
+    case Algorithm::kRandomForest:
+      return [opts]() -> std::unique_ptr<ml::Classifier> {
+        ml::ForestOptions f = opts.forest;
+        f.tree.positive_class_weight = opts.recall_bias;
+        // A recall bias also lowers the vote threshold proportionally.
+        if (opts.recall_bias > 1.0) {
+          f.decision_threshold = std::max(0.05, 0.5 / opts.recall_bias);
+        }
+        return std::make_unique<ml::RandomForest>(f, opts.seed);
+      };
+    case Algorithm::kDecisionTree:
+      return [opts]() -> std::unique_ptr<ml::Classifier> {
+        ml::TreeOptions t;
+        t.positive_class_weight = opts.recall_bias;
+        return std::make_unique<ml::DecisionTree>(t, opts.seed);
+      };
+    case Algorithm::kNaiveBayes:
+      return []() -> std::unique_ptr<ml::Classifier> {
+        return std::make_unique<ml::GaussianNaiveBayes>();
+      };
+    case Algorithm::kLogisticRegression:
+      return [opts]() -> std::unique_ptr<ml::Classifier> {
+        return std::make_unique<ml::LogisticRegression>(ml::LinearOptions{}, opts.seed);
+      };
+    case Algorithm::kLinearSvm:
+      return [opts]() -> std::unique_ptr<ml::Classifier> {
+        return std::make_unique<ml::LinearSVM>(
+            ml::LinearOptions{.epochs = 200, .learning_rate = 0.1, .lambda = 1e-3}, opts.seed);
+      };
+    case Algorithm::kKNearestNeighbors:
+      return []() -> std::unique_ptr<ml::Classifier> {
+        return std::make_unique<ml::KNearestNeighbors>(5);
+      };
+    case Algorithm::kNeuralNetwork:
+      return [opts]() -> std::unique_ptr<ml::Classifier> {
+        return std::make_unique<ml::MultiLayerPerceptron>(ml::MlpOptions{}, opts.seed);
+      };
+  }
+  throw InvalidArgument("unknown Algorithm");
+}
+
+void Predictor::train(const KnowledgeBase& kb) {
+  SF_CHECK(!kb.empty(), "cannot train on an empty knowledge base");
+  train(kb.to_dataset());
+}
+
+void Predictor::train(const ml::MultiLabelDataset& data) {
+  SF_CHECK(!data.empty(), "cannot train on an empty dataset");
+  model_ = std::make_unique<ml::BinaryRelevance>(factory());
+  if (options_.scope == FeatureScope::kOwnImpact && data.num_features() == data.num_labels()) {
+    std::vector<std::vector<std::size_t>> subsets(data.num_labels());
+    for (std::size_t l = 0; l < data.num_labels(); ++l) subsets[l] = {l};
+    model_->set_feature_subsets(std::move(subsets));
+  }
+  model_->fit(data);
+  feature_ranges_.assign(data.num_features(), {0.0, 0.0});
+  for (std::size_t f = 0; f < data.num_features(); ++f) {
+    feature_ranges_[f] = {data.features(0)[f], data.features(0)[f]};
+  }
+  for (std::size_t i = 1; i < data.size(); ++i) {
+    const auto row = data.features(i);
+    for (std::size_t f = 0; f < data.num_features(); ++f) {
+      feature_ranges_[f].first = std::min(feature_ranges_[f].first, row[f]);
+      feature_ranges_[f].second = std::max(feature_ranges_[f].second, row[f]);
+    }
+  }
+}
+
+std::vector<double> Predictor::clamp_to_training_range(std::span<const double> impacts) const {
+  SF_CHECK(impacts.size() == feature_ranges_.size(), "impact vector width mismatch");
+  std::vector<double> out(impacts.begin(), impacts.end());
+  for (std::size_t f = 0; f < out.size(); ++f) {
+    out[f] = std::clamp(out[f], feature_ranges_[f].first, feature_ranges_[f].second);
+  }
+  return out;
+}
+
+std::size_t Predictor::num_labels() const {
+  if (!is_trained()) throw StateError("Predictor not trained yet");
+  return model_->num_labels();
+}
+
+std::vector<int> Predictor::predict(std::span<const double> impacts) const {
+  if (!is_trained()) throw StateError("Predictor::predict called before train");
+  return model_->predict(clamp_to_training_range(impacts));
+}
+
+std::vector<double> Predictor::predict_scores(std::span<const double> impacts) const {
+  if (!is_trained()) throw StateError("Predictor::predict_scores called before train");
+  return model_->predict_scores(clamp_to_training_range(impacts));
+}
+
+Predictor::TestReport Predictor::test(const KnowledgeBase& kb, std::size_t folds) const {
+  SF_CHECK(kb.size() >= folds, "knowledge base smaller than fold count");
+  const ml::MultiLabelDataset data = kb.to_dataset();
+  TestReport report;
+  report.per_label.resize(data.num_labels());
+  const auto base_factory = factory();
+  const bool own_scope =
+      options_.scope == FeatureScope::kOwnImpact && data.num_features() == data.num_labels();
+  for (std::size_t l = 0; l < data.num_labels(); ++l) {
+    const std::size_t own[] = {l};
+    const ml::Dataset proj = own_scope ? data.project(l, own) : data.project(l);
+    if (proj.classes().size() < 2) continue;  // constant label — nothing to learn
+    report.per_label[l] = ml::cross_validate(base_factory, proj, folds, options_.seed + l);
+    report.mean_accuracy += report.per_label[l].accuracy;
+    report.mean_precision += report.per_label[l].precision;
+    report.mean_recall += report.per_label[l].recall;
+    ++report.evaluated_labels;
+  }
+  if (report.evaluated_labels > 0) {
+    const auto n = static_cast<double>(report.evaluated_labels);
+    report.mean_accuracy /= n;
+    report.mean_precision /= n;
+    report.mean_recall /= n;
+  }
+  return report;
+}
+
+}  // namespace smartflux::core

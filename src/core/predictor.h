@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/knowledge_base.h"
+#include "ml/evaluation.h"
+#include "ml/multilabel.h"
+#include "ml/random_forest.h"
+
+namespace smartflux::core {
+
+/// Classification algorithm to back the predictor. Random Forest is the
+/// paper's default (§3.2: best mean ROC area across both benchmarks); the
+/// others are the algorithms it was compared against.
+enum class Algorithm {
+  kRandomForest,
+  kDecisionTree,
+  kNaiveBayes,
+  kLogisticRegression,
+  kLinearSvm,
+  kKNearestNeighbors,
+  kNeuralNetwork,
+};
+
+const char* algorithm_name(Algorithm a) noexcept;
+
+/// Which impact columns each step's per-label classifier sees.
+enum class FeatureScope {
+  /// Only the step's own accumulated input impact — the paper's core premise
+  /// (§2: a step's QoD "corresponds to the impact on its input"). Robust to
+  /// the distribution shift that adaptive execution induces on *other*
+  /// steps' impact columns, so this is the default.
+  kOwnImpact,
+  /// The full impact vector of all tolerant steps (the X matrix of §3.1).
+  kAllImpacts,
+};
+
+struct PredictorOptions {
+  Algorithm algorithm = Algorithm::kRandomForest;
+  FeatureScope scope = FeatureScope::kOwnImpact;
+  /// Paper §3.2: prediction quality is adjusted through the number of trees
+  /// and their maximum depth. Moderately shallow trees with a minimum leaf
+  /// population generalize to the application phase far better than
+  /// memorizing trees (the training set is a few hundred rows).
+  ml::ForestOptions forest{
+      .num_trees = 64,
+      .tree = {.max_depth = 8, .min_samples_leaf = 5, .min_samples_split = 2,
+               .max_features = 0, .positive_class_weight = 1.0},
+      .bootstrap_fraction = 1.0,
+      .decision_threshold = 0.5};
+  /// > 1 weights the positive (execute) class, favouring recall over
+  /// precision; the paper tunes its classifier this way to minimize max_ε
+  /// violations (§3.2, §5.2: "we decided to optimize its classifier for
+  /// recall"). Error compliance matters more than savings for decision
+  /// making, so the default is recall-biased. Applies to tree-based
+  /// algorithms; for the others the decision threshold is lowered instead.
+  double recall_bias = 4.0;
+  std::uint64_t seed = 17;
+};
+
+/// The paper's Predictor component: a multi-label classifier that maps the
+/// per-step input-impact vector to the configuration of steps whose error
+/// bound would be exceeded (i.e. that must execute this wave).
+class Predictor {
+ public:
+  explicit Predictor(PredictorOptions options = {});
+
+  /// Builds a model from the knowledge base (the paper's "model construction"
+  /// at the end of the training phase).
+  void train(const KnowledgeBase& kb);
+  void train(const ml::MultiLabelDataset& data);
+
+  bool is_trained() const noexcept { return model_ != nullptr && model_->is_fitted(); }
+  std::size_t num_labels() const;
+
+  /// Per-step execute/skip decisions for one impact vector.
+  std::vector<int> predict(std::span<const double> impacts) const;
+  std::vector<double> predict_scores(std::span<const double> impacts) const;
+
+  /// The paper's test phase: stratified k-fold cross-validation per label on
+  /// the training set (accuracy / precision / recall). Labels whose column is
+  /// constant are skipped (their step either always or never re-executes).
+  struct TestReport {
+    std::vector<ml::CvMetrics> per_label;  ///< empty metrics for constant labels
+    double mean_accuracy = 0.0;
+    double mean_precision = 0.0;
+    double mean_recall = 0.0;
+    std::size_t evaluated_labels = 0;
+  };
+  TestReport test(const KnowledgeBase& kb, std::size_t folds = 10) const;
+
+  const PredictorOptions& options() const noexcept { return options_; }
+
+  /// Factory for the configured base classifier (used by CV and the §3.2
+  /// algorithm-comparison bench).
+  ml::ClassifierFactory factory() const;
+
+ private:
+  /// Clamps a query vector to the per-feature range seen during training.
+  /// Accumulated impacts in the application phase can exceed anything the
+  /// synchronous training phase produced; tree models extrapolate poorly, so
+  /// out-of-range queries are mapped to the nearest trained region.
+  std::vector<double> clamp_to_training_range(std::span<const double> impacts) const;
+
+  PredictorOptions options_;
+  std::unique_ptr<ml::BinaryRelevance> model_;
+  std::vector<std::pair<double, double>> feature_ranges_;
+};
+
+}  // namespace smartflux::core

@@ -1,0 +1,145 @@
+#include "core/qod_engine.h"
+
+#include "common/error.h"
+#include "common/logging.h"
+
+namespace smartflux::core {
+
+TolerantIndex::TolerantIndex(const wms::WorkflowSpec& spec)
+    : tolerant_(spec.error_tolerant_steps()), ordinal_of_(spec.size(), npos) {
+  for (std::size_t ord = 0; ord < tolerant_.size(); ++ord) ordinal_of_[tolerant_[ord]] = ord;
+}
+
+std::size_t TolerantIndex::ordinal_of(std::size_t step_index) const noexcept {
+  return step_index < ordinal_of_.size() ? ordinal_of_[step_index] : npos;
+}
+
+std::vector<std::string> TolerantIndex::step_ids(const wms::WorkflowSpec& spec) const {
+  std::vector<std::string> out;
+  out.reserve(tolerant_.size());
+  for (std::size_t i : tolerant_) out.push_back(spec.step_at(i).id);
+  return out;
+}
+
+namespace {
+std::vector<StepMonitor> make_monitors(const wms::WorkflowSpec& spec, const TolerantIndex& index,
+                                       const StepMonitor::Options& options) {
+  std::vector<StepMonitor> monitors;
+  monitors.reserve(index.count());
+  for (std::size_t step_index : index.step_indices()) {
+    monitors.emplace_back(spec.step_at(step_index), options);
+  }
+  return monitors;
+}
+
+std::vector<double> collect_bounds(const wms::WorkflowSpec& spec, const TolerantIndex& index) {
+  std::vector<double> bounds;
+  bounds.reserve(index.count());
+  for (std::size_t step_index : index.step_indices()) {
+    bounds.push_back(*spec.step_at(step_index).max_error);
+  }
+  return bounds;
+}
+}  // namespace
+
+TrainingController::TrainingController(const wms::WorkflowSpec& spec, const ds::DataStore& store,
+                                       StepMonitor::Options options)
+    : store_(&store),
+      index_(spec),
+      monitors_(make_monitors(spec, index_, options)),
+      bounds_(collect_bounds(spec, index_)),
+      kb_(index_.count() > 0 ? KnowledgeBase(index_.step_ids(spec)) : KnowledgeBase()) {
+  SF_CHECK(index_.count() > 0, "workflow has no error-tolerant steps — nothing to learn");
+}
+
+void TrainingController::begin_wave(ds::Timestamp wave) {
+  current_row_ = TrainingRow{};
+  current_row_.wave = wave;
+  // Steps not queried this wave (predecessors not yet executed) keep their
+  // previous accumulated impact as the feature and a negative label.
+  current_row_.impacts.resize(index_.count(), 0.0);
+  current_row_.errors.resize(index_.count(), 0.0);
+  current_row_.exceeds.resize(index_.count(), 0);
+  for (std::size_t ord = 0; ord < index_.count(); ++ord) {
+    current_row_.impacts[ord] = monitors_[ord].input_impact();
+  }
+}
+
+bool TrainingController::should_execute(const wms::WorkflowSpec&, std::size_t step_index,
+                                        ds::Timestamp) {
+  const std::size_t ord = index_.ordinal_of(step_index);
+  if (ord != TolerantIndex::npos) {
+    // Fold this wave's input updates into the accumulated impact: this is the
+    // feature the classifier will see at the same point in the application
+    // phase.
+    current_row_.impacts[ord] = monitors_[ord].observe_inputs(*store_);
+  }
+  return true;  // training mode runs fully synchronously
+}
+
+void TrainingController::on_step_executed(const wms::WorkflowSpec&, std::size_t step_index,
+                                          ds::Timestamp) {
+  const std::size_t ord = index_.ordinal_of(step_index);
+  if (ord == TolerantIndex::npos) return;
+  // Simulated deferred error: the changes this execution applied to the
+  // output container are exactly what skipping it would have missed.
+  const double eps = monitors_[ord].observe_outputs(*store_);
+  current_row_.errors[ord] = eps;
+  const bool exceeded = eps > bounds_[ord];
+  current_row_.exceeds[ord] = exceeded ? 1 : 0;
+  if (exceeded) {
+    // Simulated execution: both the deferred error and the accumulated input
+    // impact restart from the current state.
+    monitors_[ord].reset_outputs(*store_);
+    monitors_[ord].reset_inputs(*store_);
+  }
+}
+
+void TrainingController::end_wave(ds::Timestamp) { kb_.append(current_row_); }
+
+QodController::QodController(const wms::WorkflowSpec& spec, const ds::DataStore& store,
+                             const Predictor& predictor, StepMonitor::Options options)
+    : store_(&store),
+      predictor_(&predictor),
+      index_(spec),
+      monitors_(make_monitors(spec, index_, options)),
+      features_(index_.count(), 0.0),
+      decisions_(index_.count(), 0) {
+  SF_CHECK(index_.count() > 0, "workflow has no error-tolerant steps — nothing to control");
+  if (!predictor.is_trained()) {
+    throw StateError("QodController requires a trained Predictor (run the training phase first)");
+  }
+}
+
+void QodController::begin_wave(ds::Timestamp) {
+  std::fill(decisions_.begin(), decisions_.end(), 0);
+}
+
+bool QodController::should_execute(const wms::WorkflowSpec& spec, std::size_t step_index,
+                                   ds::Timestamp wave) {
+  const std::size_t ord = index_.ordinal_of(step_index);
+  SF_CHECK(ord != TolerantIndex::npos, "queried for a non-tolerant step");
+  features_[ord] = monitors_[ord].observe_inputs(*store_);
+  const std::vector<int> predicted = predictor_->predict(features_);
+  const bool execute = predicted[ord] == 1;
+  decisions_[ord] = execute ? 1 : 0;
+  if (execute) {
+    ++triggered_;
+  } else {
+    ++skipped_;
+  }
+  SF_LOG_DEBUG("qod") << "wave " << wave << " step '" << spec.step_at(step_index).id
+                      << "' impact=" << features_[ord] << " -> "
+                      << (execute ? "execute" : "skip");
+  return execute;
+}
+
+void QodController::on_step_executed(const wms::WorkflowSpec&, std::size_t step_index,
+                                     ds::Timestamp) {
+  const std::size_t ord = index_.ordinal_of(step_index);
+  if (ord == TolerantIndex::npos) return;
+  monitors_[ord].reset_inputs(*store_);
+  features_[ord] = 0.0;
+}
+
+}  // namespace smartflux::core

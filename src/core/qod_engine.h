@@ -1,0 +1,98 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/knowledge_base.h"
+#include "core/monitoring.h"
+#include "core/predictor.h"
+#include "wms/engine.h"
+
+namespace smartflux::core {
+
+/// Maps workflow step indices to feature/label columns over the
+/// error-tolerant steps, shared by the training and application controllers.
+class TolerantIndex {
+ public:
+  explicit TolerantIndex(const wms::WorkflowSpec& spec);
+
+  std::size_t count() const noexcept { return tolerant_.size(); }
+  const std::vector<std::size_t>& step_indices() const noexcept { return tolerant_; }
+  /// Feature column for a spec step index, or npos if not tolerant.
+  std::size_t ordinal_of(std::size_t step_index) const noexcept;
+  std::vector<std::string> step_ids(const wms::WorkflowSpec& spec) const;
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+ private:
+  std::vector<std::size_t> tolerant_;           // ordinal -> step index
+  std::vector<std::size_t> ordinal_of_;         // step index -> ordinal or npos
+};
+
+/// Training-mode controller (§3.2 "Training Phase" / §4.1 training mode):
+/// executes every step synchronously while simulating the deferred-execution
+/// policy — per wave it logs each tolerant step's accumulated input impact ι
+/// and whether the simulated accumulated error ε exceeds max_ε; on a
+/// simulated execution both accumulations reset.
+class TrainingController final : public wms::TriggerController {
+ public:
+  TrainingController(const wms::WorkflowSpec& spec, const ds::DataStore& store,
+                     StepMonitor::Options options);
+
+  void begin_wave(ds::Timestamp wave) override;
+  bool should_execute(const wms::WorkflowSpec& spec, std::size_t step_index,
+                      ds::Timestamp wave) override;
+  void on_step_executed(const wms::WorkflowSpec& spec, std::size_t step_index,
+                        ds::Timestamp wave) override;
+  void end_wave(ds::Timestamp wave) override;
+
+  const KnowledgeBase& knowledge_base() const noexcept { return kb_; }
+  KnowledgeBase take_knowledge_base() { return std::move(kb_); }
+  const TolerantIndex& index() const noexcept { return index_; }
+
+ private:
+  const ds::DataStore* store_;
+  TolerantIndex index_;
+  std::vector<StepMonitor> monitors_;   // per tolerant ordinal
+  std::vector<double> bounds_;          // max_ε per tolerant ordinal
+  KnowledgeBase kb_;
+  TrainingRow current_row_;
+};
+
+/// Application-mode controller (§4.1 execution mode): the paper's QoD Engine.
+/// At each triggering query it folds the step's fresh input impact into the
+/// feature vector, asks the Predictor which steps exceed their bound, and
+/// triggers accordingly; an actual execution resets that step's impact
+/// accumulation.
+class QodController final : public wms::TriggerController {
+ public:
+  QodController(const wms::WorkflowSpec& spec, const ds::DataStore& store,
+                const Predictor& predictor, StepMonitor::Options options);
+
+  void begin_wave(ds::Timestamp wave) override;
+  bool should_execute(const wms::WorkflowSpec& spec, std::size_t step_index,
+                      ds::Timestamp wave) override;
+  void on_step_executed(const wms::WorkflowSpec& spec, std::size_t step_index,
+                        ds::Timestamp wave) override;
+
+  /// Decisions of the last completed/current wave, per tolerant ordinal
+  /// (1 = execute). Steps not queried in a wave keep 0.
+  const std::vector<int>& last_decisions() const noexcept { return decisions_; }
+  /// Current accumulated impact feature vector.
+  const std::vector<double>& features() const noexcept { return features_; }
+  const TolerantIndex& index() const noexcept { return index_; }
+
+  std::size_t skipped_count() const noexcept { return skipped_; }
+  std::size_t triggered_count() const noexcept { return triggered_; }
+
+ private:
+  const ds::DataStore* store_;
+  const Predictor* predictor_;
+  TolerantIndex index_;
+  std::vector<StepMonitor> monitors_;
+  std::vector<double> features_;
+  std::vector<int> decisions_;
+  std::size_t skipped_ = 0;
+  std::size_t triggered_ = 0;
+};
+
+}  // namespace smartflux::core

@@ -1,0 +1,59 @@
+#include "core/session.h"
+
+#include "common/error.h"
+
+namespace smartflux::core {
+
+Session::Session(std::string name, wms::WorkflowSpec spec, ds::DataStore& store,
+                 SmartFluxOptions options)
+    : name_(std::move(name)),
+      engine_(std::make_unique<wms::WorkflowEngine>(std::move(spec), store)),
+      smartflux_(std::make_unique<SmartFluxEngine>(*engine_, options)) {
+  SF_CHECK(!name_.empty(), "session name must not be empty");
+}
+
+Session& SessionManager::create_session(const std::string& name, wms::WorkflowSpec spec,
+                                        SmartFluxOptions options) {
+  SF_CHECK(!name.empty(), "session name must not be empty");
+  auto session = std::make_unique<Session>(name, std::move(spec), *store_, options);
+  auto [it, inserted] = sessions_.emplace(name, std::move(session));
+  if (!inserted) throw InvalidArgument("a session named '" + name + "' already exists");
+  return *it->second;
+}
+
+Session& SessionManager::session(const std::string& name) {
+  auto it = sessions_.find(name);
+  if (it == sessions_.end()) throw NotFound("no session named '" + name + "'");
+  return *it->second;
+}
+
+const Session& SessionManager::session(const std::string& name) const {
+  auto it = sessions_.find(name);
+  if (it == sessions_.end()) throw NotFound("no session named '" + name + "'");
+  return *it->second;
+}
+
+bool SessionManager::contains(const std::string& name) const noexcept {
+  return sessions_.contains(name);
+}
+
+void SessionManager::remove_session(const std::string& name) {
+  if (sessions_.erase(name) == 0) throw NotFound("no session named '" + name + "'");
+}
+
+std::vector<std::string> SessionManager::session_names() const {
+  std::vector<std::string> out;
+  out.reserve(sessions_.size());
+  for (const auto& [name, _] : sessions_) out.push_back(name);
+  return out;
+}
+
+std::size_t SessionManager::total_executions() const {
+  std::size_t total = 0;
+  for (const auto& [_, session] : sessions_) {
+    total += session->engine().total_executions();
+  }
+  return total;
+}
+
+}  // namespace smartflux::core

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/smartflux.h"
+
+namespace smartflux::core {
+
+/// One managed workflow: its WMS engine plus the SmartFlux middleware
+/// coupled to it.
+class Session {
+ public:
+  Session(std::string name, wms::WorkflowSpec spec, ds::DataStore& store,
+          SmartFluxOptions options);
+
+  const std::string& name() const noexcept { return name_; }
+  wms::WorkflowEngine& engine() noexcept { return *engine_; }
+  SmartFluxEngine& smartflux() noexcept { return *smartflux_; }
+  const SmartFluxEngine& smartflux() const noexcept { return *smartflux_; }
+  SmartFluxEngine::Phase phase() const noexcept { return smartflux_->phase(); }
+
+ private:
+  std::string name_;
+  std::unique_ptr<wms::WorkflowEngine> engine_;
+  std::unique_ptr<SmartFluxEngine> smartflux_;
+};
+
+/// The paper's Session Management component (Fig. 4): one SmartFlux
+/// deployment serves several workflow applications over a shared data
+/// store, each with its own monitoring state, knowledge base and model.
+class SessionManager {
+ public:
+  explicit SessionManager(ds::DataStore& store) : store_(&store) {}
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Registers a workflow under a unique session name.
+  Session& create_session(const std::string& name, wms::WorkflowSpec spec,
+                          SmartFluxOptions options = {});
+
+  Session& session(const std::string& name);
+  const Session& session(const std::string& name) const;
+  bool contains(const std::string& name) const noexcept;
+  void remove_session(const std::string& name);
+
+  std::vector<std::string> session_names() const;
+  std::size_t size() const noexcept { return sessions_.size(); }
+
+  /// Total step executions across all sessions (deployment-wide load).
+  std::size_t total_executions() const;
+
+  ds::DataStore& store() noexcept { return *store_; }
+
+ private:
+  ds::DataStore* store_;
+  std::map<std::string, std::unique_ptr<Session>> sessions_;
+};
+
+}  // namespace smartflux::core

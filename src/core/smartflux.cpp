@@ -1,0 +1,72 @@
+#include "core/smartflux.h"
+
+#include "common/error.h"
+#include "common/logging.h"
+
+namespace smartflux::core {
+
+SmartFluxEngine::SmartFluxEngine(wms::WorkflowEngine& engine, SmartFluxOptions options)
+    : engine_(&engine), options_(options), predictor_(options.predictor) {}
+
+std::vector<wms::WaveResult> SmartFluxEngine::train(ds::Timestamp first_wave,
+                                                    std::size_t waves) {
+  SF_CHECK(waves > 0, "training needs at least one wave");
+  if (!trainer_) {
+    trainer_ = std::make_unique<TrainingController>(engine_->spec(), engine_->store(),
+                                                    options_.monitor);
+  }
+  phase_ = Phase::kTraining;
+  auto results = engine_->run_waves(first_wave, waves, *trainer_);
+  SF_LOG_INFO("smartflux") << "training phase: knowledge base now has "
+                           << trainer_->knowledge_base().size() << " examples";
+  return results;
+}
+
+void SmartFluxEngine::build_model() {
+  if (!trainer_ || trainer_->knowledge_base().empty()) {
+    throw StateError("no training data collected — run train() first");
+  }
+  predictor_.train(trainer_->knowledge_base());
+  // A fresh QoD controller: its impact baselines re-anchor on the current
+  // store state at the first application wave.
+  qod_ = std::make_unique<QodController>(engine_->spec(), engine_->store(), predictor_,
+                                         options_.monitor);
+  phase_ = Phase::kReady;
+}
+
+Predictor::TestReport SmartFluxEngine::test() const {
+  if (!trainer_ || trainer_->knowledge_base().empty()) {
+    throw StateError("no training data collected — run train() first");
+  }
+  return predictor_.test(trainer_->knowledge_base(), options_.cv_folds);
+}
+
+bool SmartFluxEngine::passes_gates(const Predictor::TestReport& report) const {
+  return report.mean_accuracy >= options_.min_accuracy &&
+         report.mean_recall >= options_.min_recall;
+}
+
+std::vector<wms::WaveResult> SmartFluxEngine::run(ds::Timestamp first_wave, std::size_t waves) {
+  std::vector<wms::WaveResult> out;
+  out.reserve(waves);
+  for (std::size_t k = 0; k < waves; ++k) out.push_back(run_wave(first_wave + k));
+  return out;
+}
+
+wms::WaveResult SmartFluxEngine::run_wave(ds::Timestamp wave) {
+  if (!qod_) throw StateError("model not built — call build_model() after training");
+  phase_ = Phase::kApplication;
+  return engine_->run_wave(wave, *qod_);
+}
+
+const KnowledgeBase& SmartFluxEngine::knowledge_base() const {
+  if (!trainer_) throw StateError("no training phase has run yet");
+  return trainer_->knowledge_base();
+}
+
+QodController& SmartFluxEngine::controller() {
+  if (!qod_) throw StateError("model not built — call build_model() after training");
+  return *qod_;
+}
+
+}  // namespace smartflux::core

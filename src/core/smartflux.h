@@ -1,0 +1,79 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/knowledge_base.h"
+#include "core/monitoring.h"
+#include "core/predictor.h"
+#include "core/qod_engine.h"
+#include "wms/engine.h"
+
+namespace smartflux::core {
+
+/// Framework-level configuration: metric choices, classifier options and
+/// test-phase quality gates (§3.2: "if results are not satisfactory w.r.t.
+/// defined thresholds, a training phase takes place again").
+struct SmartFluxOptions {
+  StepMonitor::Options monitor{};
+  PredictorOptions predictor{};
+  std::size_t cv_folds = 10;
+  /// Minimum test-phase metrics to accept a model; 0 disables the gate.
+  double min_accuracy = 0.0;
+  double min_recall = 0.0;
+};
+
+/// The SmartFlux middleware façade (§4): couples a WorkflowEngine (the WMS)
+/// with its DataStore, owns the Monitoring / Knowledge Base / Predictor / QoD
+/// Engine components, and drives the operating modes:
+///
+///   training mode  — train(): synchronous execution, knowledge-base capture
+///   test phase     — test(): k-fold cross-validation of the learned model
+///   execution mode — run(): adaptive, classifier-gated triggering
+///
+/// Additional training waves may be appended at any time (online
+/// re-training, §3.1) with train(); build_model() rebuilds the classifier
+/// from the full accumulated knowledge base.
+class SmartFluxEngine {
+ public:
+  enum class Phase { kIdle, kTraining, kReady, kApplication };
+
+  SmartFluxEngine(wms::WorkflowEngine& engine, SmartFluxOptions options = {});
+
+  /// Runs `waves` synchronous waves starting at `first_wave`, appending to
+  /// the knowledge base.
+  std::vector<wms::WaveResult> train(ds::Timestamp first_wave, std::size_t waves);
+
+  /// Builds the classification model from the accumulated knowledge base.
+  /// Throws StateError if no training data was collected.
+  void build_model();
+
+  /// Test phase: cross-validates the configured classifier on the knowledge
+  /// base. `passes_gates` tells whether the configured minimum accuracy /
+  /// recall thresholds hold (more training is needed otherwise).
+  Predictor::TestReport test() const;
+  bool passes_gates(const Predictor::TestReport& report) const;
+
+  /// Application mode: runs `waves` adaptive waves. Requires build_model().
+  std::vector<wms::WaveResult> run(ds::Timestamp first_wave, std::size_t waves);
+  wms::WaveResult run_wave(ds::Timestamp wave);
+
+  Phase phase() const noexcept { return phase_; }
+  const KnowledgeBase& knowledge_base() const;
+  const Predictor& predictor() const noexcept { return predictor_; }
+  /// The live QoD engine; valid during the application phase.
+  QodController& controller();
+  wms::WorkflowEngine& workflow_engine() noexcept { return *engine_; }
+  const SmartFluxOptions& options() const noexcept { return options_; }
+
+ private:
+  wms::WorkflowEngine* engine_;
+  SmartFluxOptions options_;
+  Phase phase_ = Phase::kIdle;
+  std::unique_ptr<TrainingController> trainer_;
+  Predictor predictor_;
+  std::unique_ptr<QodController> qod_;
+};
+
+}  // namespace smartflux::core

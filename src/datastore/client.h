@@ -1,0 +1,62 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <utility>
+
+#include "datastore/datastore.h"
+
+namespace smartflux::ds {
+
+/// Adapted client library handed to processing steps (the paper's
+/// "Application Libraries" integration option, §4): same get/put/delete shape
+/// as the native store client, but every write flows through the shared
+/// DataStore whose observers feed SmartFlux monitoring. A Client is bound to
+/// the timestamp (wave) the step is executing in, so steps never manage
+/// timestamps themselves.
+class Client {
+ public:
+  Client(DataStore& store, Timestamp wave) noexcept : store_(&store), wave_(wave) {}
+
+  Timestamp wave() const noexcept { return wave_; }
+
+  void put(const TableName& table, const RowKey& row, const ColumnKey& column, double value) {
+    store_->put(table, row, column, wave_, value);
+  }
+
+  /// Bulk put of (row, value) pairs into one column.
+  void put_column(const TableName& table, const ColumnKey& column,
+                  std::span<const std::pair<RowKey, double>> cells) {
+    for (const auto& [row, value] : cells) put(table, row, column, value);
+  }
+
+  void erase(const TableName& table, const RowKey& row, const ColumnKey& column) {
+    store_->erase(table, row, column, wave_);
+  }
+
+  std::optional<double> get(const TableName& table, const RowKey& row,
+                            const ColumnKey& column) const {
+    return store_->get(table, row, column);
+  }
+
+  /// Previous retained version — the store piggybacks it on the same read
+  /// (the paper's zero-overhead previous-state retrieval).
+  std::optional<double> get_previous(const TableName& table, const RowKey& row,
+                                     const ColumnKey& column) const {
+    return store_->get_previous(table, row, column);
+  }
+
+  void scan(const ContainerRef& container,
+            const std::function<void(const RowKey&, const ColumnKey&, double)>& visit) const {
+    store_->scan_container(container, visit);
+  }
+
+  DataStore& store() noexcept { return *store_; }
+  const DataStore& store() const noexcept { return *store_; }
+
+ private:
+  DataStore* store_;
+  Timestamp wave_;
+};
+
+}  // namespace smartflux::ds

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <string>
+
+#include "datastore/types.h"
+
+namespace smartflux::ds {
+
+/// Addresses a *data container*: the unit of data a processing step reads or
+/// writes (§2 of the paper). A container is a table, optionally narrowed to a
+/// single column and/or a row-key prefix — mirroring the paper's "table,
+/// column, row, or group of any of these".
+class ContainerRef {
+ public:
+  ContainerRef() = default;
+  explicit ContainerRef(TableName table, ColumnKey column = {}, RowKey row_prefix = {})
+      : table_(std::move(table)), column_(std::move(column)), row_prefix_(std::move(row_prefix)) {}
+
+  static ContainerRef whole_table(TableName table) { return ContainerRef{std::move(table)}; }
+  static ContainerRef column(TableName table, ColumnKey column) {
+    return ContainerRef{std::move(table), std::move(column)};
+  }
+
+  const TableName& table() const noexcept { return table_; }
+  const ColumnKey& column_key() const noexcept { return column_; }
+  const RowKey& row_prefix() const noexcept { return row_prefix_; }
+  bool has_column() const noexcept { return !column_.empty(); }
+  bool has_row_prefix() const noexcept { return !row_prefix_.empty(); }
+
+  /// True when a mutation of (table, row, column) falls inside this container.
+  bool matches(const TableName& table, const RowKey& row, const ColumnKey& column) const {
+    if (table != table_) return false;
+    if (has_column() && column != column_) return false;
+    if (has_row_prefix() && row.rfind(row_prefix_, 0) != 0) return false;
+    return true;
+  }
+
+  /// Stable identifier used as map key ("table/column/prefix").
+  std::string id() const { return table_ + "/" + column_ + "/" + row_prefix_; }
+
+  friend bool operator==(const ContainerRef&, const ContainerRef&) = default;
+  friend auto operator<=>(const ContainerRef&, const ContainerRef&) = default;
+
+ private:
+  TableName table_;
+  ColumnKey column_;
+  RowKey row_prefix_;
+};
+
+}  // namespace smartflux::ds

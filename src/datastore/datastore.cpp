@@ -1,0 +1,158 @@
+#include "datastore/datastore.h"
+
+#include "common/error.h"
+
+namespace smartflux::ds {
+
+DataStore::DataStore(std::size_t max_versions) : max_versions_(max_versions) {
+  SF_CHECK(max_versions >= 1, "DataStore must retain at least one version");
+}
+
+DataStore::TableEntry& DataStore::entry_for(const TableName& table) {
+  std::lock_guard lock(tables_mutex_);
+  auto& slot = tables_[table];
+  if (!slot) slot = std::make_unique<TableEntry>(max_versions_);
+  return *slot;
+}
+
+const DataStore::TableEntry* DataStore::find_entry(const TableName& table) const {
+  std::lock_guard lock(tables_mutex_);
+  auto it = tables_.find(table);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+void DataStore::put(const TableName& table, const RowKey& row, const ColumnKey& column,
+                    Timestamp ts, double value) {
+  TableEntry& entry = entry_for(table);
+  std::optional<double> previous;
+  {
+    std::lock_guard lock(entry.mutex);
+    previous = entry.table.put(row, column, ts, value);
+  }
+  Mutation m;
+  m.kind = MutationKind::kPut;
+  m.table = table;
+  m.row = row;
+  m.column = column;
+  m.timestamp = ts;
+  m.new_value = value;
+  m.old_value = previous.value_or(0.0);
+  m.had_old_value = previous.has_value();
+  notify(m);
+}
+
+void DataStore::erase(const TableName& table, const RowKey& row, const ColumnKey& column,
+                      Timestamp ts) {
+  const TableEntry* entry = find_entry(table);
+  if (entry == nullptr) return;
+  std::optional<double> removed;
+  {
+    auto& mutable_entry = const_cast<TableEntry&>(*entry);
+    std::lock_guard lock(mutable_entry.mutex);
+    removed = mutable_entry.table.erase(row, column);
+  }
+  if (!removed) return;
+  Mutation m;
+  m.kind = MutationKind::kDelete;
+  m.table = table;
+  m.row = row;
+  m.column = column;
+  m.timestamp = ts;
+  m.old_value = *removed;
+  m.had_old_value = true;
+  notify(m);
+}
+
+std::optional<double> DataStore::get(const TableName& table, const RowKey& row,
+                                     const ColumnKey& column) const {
+  const TableEntry* entry = find_entry(table);
+  if (entry == nullptr) return std::nullopt;
+  std::lock_guard lock(entry->mutex);
+  return entry->table.get(row, column);
+}
+
+std::optional<double> DataStore::get_previous(const TableName& table, const RowKey& row,
+                                              const ColumnKey& column) const {
+  const TableEntry* entry = find_entry(table);
+  if (entry == nullptr) return std::nullopt;
+  std::lock_guard lock(entry->mutex);
+  return entry->table.get_previous(row, column);
+}
+
+void DataStore::scan_container(
+    const ContainerRef& container,
+    const std::function<void(const RowKey&, const ColumnKey&, double)>& visit) const {
+  const TableEntry* entry = find_entry(container.table());
+  if (entry == nullptr) return;
+  std::lock_guard lock(entry->mutex);
+  entry->table.scan([&](const RowKey& row, const ColumnKey& column, double value) {
+    if (container.matches(container.table(), row, column)) visit(row, column, value);
+  });
+}
+
+std::map<std::string, double> DataStore::snapshot(const ContainerRef& container) const {
+  std::map<std::string, double> out;
+  scan_container(container, [&out](const RowKey& row, const ColumnKey& column, double value) {
+    out.emplace(row + '\x1f' + column, value);
+  });
+  return out;
+}
+
+std::size_t DataStore::cell_count(const TableName& table) const {
+  const TableEntry* entry = find_entry(table);
+  if (entry == nullptr) return 0;
+  std::lock_guard lock(entry->mutex);
+  return entry->table.cell_count();
+}
+
+std::size_t DataStore::container_cell_count(const ContainerRef& container) const {
+  std::size_t n = 0;
+  scan_container(container, [&n](const RowKey&, const ColumnKey&, double) { ++n; });
+  return n;
+}
+
+bool DataStore::has_table(const TableName& table) const { return find_entry(table) != nullptr; }
+
+std::vector<TableName> DataStore::table_names() const {
+  std::lock_guard lock(tables_mutex_);
+  std::vector<TableName> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) out.push_back(name);
+  return out;
+}
+
+void DataStore::drop_table(const TableName& table) {
+  std::lock_guard lock(tables_mutex_);
+  tables_.erase(table);
+}
+
+void DataStore::clear() {
+  std::lock_guard lock(tables_mutex_);
+  tables_.clear();
+}
+
+std::size_t DataStore::subscribe(MutationObserver observer) {
+  SF_CHECK(static_cast<bool>(observer), "observer must be callable");
+  std::lock_guard lock(observers_mutex_);
+  const std::size_t token = next_token_++;
+  observers_.emplace_back(token, std::move(observer));
+  return token;
+}
+
+void DataStore::unsubscribe(std::size_t token) {
+  std::lock_guard lock(observers_mutex_);
+  std::erase_if(observers_, [token](const auto& p) { return p.first == token; });
+}
+
+void DataStore::notify(const Mutation& m) const {
+  // Copy the observer list so observers may unsubscribe others concurrently.
+  std::vector<MutationObserver> copy;
+  {
+    std::lock_guard lock(observers_mutex_);
+    copy.reserve(observers_.size());
+    for (const auto& [_, obs] : observers_) copy.push_back(obs);
+  }
+  for (const auto& obs : copy) obs(m);
+}
+
+}  // namespace smartflux::ds

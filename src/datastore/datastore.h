@@ -1,0 +1,87 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "datastore/container_ref.h"
+#include "datastore/table.h"
+#include "datastore/types.h"
+
+namespace smartflux::ds {
+
+/// Observer callback invoked synchronously for every mutation, equivalent to
+/// the paper's data-store-level Observer / adapted client-library options for
+/// making SmartFlux aware of all updates (§4). Observers must not call back
+/// into the store.
+using MutationObserver = std::function<void(const Mutation&)>;
+
+/// In-process, versioned, column-oriented key-value store standing in for
+/// HBase. Tables are created lazily on first write. All public operations are
+/// thread-safe (per-table locking; table map under its own mutex).
+class DataStore {
+ public:
+  explicit DataStore(std::size_t max_versions = 2);
+
+  DataStore(const DataStore&) = delete;
+  DataStore& operator=(const DataStore&) = delete;
+
+  /// Writes a cell, notifying observers. Creates the table if needed.
+  void put(const TableName& table, const RowKey& row, const ColumnKey& column, Timestamp ts,
+           double value);
+
+  /// Deletes a cell (all versions), notifying observers if it existed.
+  void erase(const TableName& table, const RowKey& row, const ColumnKey& column, Timestamp ts);
+
+  std::optional<double> get(const TableName& table, const RowKey& row,
+                            const ColumnKey& column) const;
+  std::optional<double> get_previous(const TableName& table, const RowKey& row,
+                                     const ColumnKey& column) const;
+
+  /// Visits the latest value of every cell inside `container`, in
+  /// (row, column) order. The visitor runs under the table lock and must
+  /// not call back into the store for the same table (self-deadlock);
+  /// collect into a local structure instead.
+  void scan_container(const ContainerRef& container,
+                      const std::function<void(const RowKey&, const ColumnKey&, double)>& visit)
+      const;
+
+  /// Dense snapshot of a container keyed by "row\x1f column".
+  std::map<std::string, double> snapshot(const ContainerRef& container) const;
+
+  std::size_t cell_count(const TableName& table) const;
+  std::size_t container_cell_count(const ContainerRef& container) const;
+  bool has_table(const TableName& table) const;
+  std::vector<TableName> table_names() const;
+  void drop_table(const TableName& table);
+  void clear();
+
+  /// Registers a mutation observer; returns a token for unsubscribe.
+  std::size_t subscribe(MutationObserver observer);
+  void unsubscribe(std::size_t token);
+
+ private:
+  struct TableEntry {
+    mutable std::mutex mutex;
+    Table table;
+    explicit TableEntry(std::size_t max_versions) : table(max_versions) {}
+  };
+
+  TableEntry& entry_for(const TableName& table);
+  const TableEntry* find_entry(const TableName& table) const;
+  void notify(const Mutation& m) const;
+
+  std::size_t max_versions_;
+  mutable std::mutex tables_mutex_;
+  std::map<TableName, std::unique_ptr<TableEntry>> tables_;
+
+  mutable std::mutex observers_mutex_;
+  std::vector<std::pair<std::size_t, MutationObserver>> observers_;
+  std::size_t next_token_ = 1;
+};
+
+}  // namespace smartflux::ds

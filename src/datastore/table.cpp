@@ -1,0 +1,97 @@
+#include "datastore/table.h"
+
+#include "common/error.h"
+
+namespace smartflux::ds {
+
+Table::Table(std::size_t max_versions) : max_versions_(max_versions) {
+  SF_CHECK(max_versions >= 1, "a table must retain at least one version per cell");
+}
+
+std::optional<double> Table::put(const RowKey& row, const ColumnKey& column, Timestamp ts,
+                                 double value) {
+  Cell& cell = rows_[row][column];
+  std::optional<double> previous;
+  if (!cell.empty()) {
+    previous = cell.front().value;
+    SF_CHECK(ts >= cell.front().timestamp, "cell timestamps must be non-decreasing");
+    if (cell.front().timestamp == ts) {
+      cell.front().value = value;
+      return previous;
+    }
+  } else {
+    ++cell_count_;
+  }
+  cell.insert(cell.begin(), CellVersion{ts, value});
+  if (cell.size() > max_versions_) cell.resize(max_versions_);
+  return previous;
+}
+
+std::optional<double> Table::erase(const RowKey& row, const ColumnKey& column) {
+  auto row_it = rows_.find(row);
+  if (row_it == rows_.end()) return std::nullopt;
+  auto col_it = row_it->second.find(column);
+  if (col_it == row_it->second.end()) return std::nullopt;
+  std::optional<double> removed;
+  if (!col_it->second.empty()) removed = col_it->second.front().value;
+  row_it->second.erase(col_it);
+  --cell_count_;
+  if (row_it->second.empty()) rows_.erase(row_it);
+  return removed;
+}
+
+std::optional<double> Table::get(const RowKey& row, const ColumnKey& column) const {
+  auto row_it = rows_.find(row);
+  if (row_it == rows_.end()) return std::nullopt;
+  auto col_it = row_it->second.find(column);
+  if (col_it == row_it->second.end() || col_it->second.empty()) return std::nullopt;
+  return col_it->second.front().value;
+}
+
+std::optional<double> Table::get_previous(const RowKey& row, const ColumnKey& column) const {
+  auto row_it = rows_.find(row);
+  if (row_it == rows_.end()) return std::nullopt;
+  auto col_it = row_it->second.find(column);
+  if (col_it == row_it->second.end() || col_it->second.size() < 2) return std::nullopt;
+  return col_it->second[1].value;
+}
+
+std::vector<CellVersion> Table::versions(const RowKey& row, const ColumnKey& column) const {
+  auto row_it = rows_.find(row);
+  if (row_it == rows_.end()) return {};
+  auto col_it = row_it->second.find(column);
+  if (col_it == row_it->second.end()) return {};
+  return col_it->second;
+}
+
+void Table::scan_column(const ColumnKey& column,
+                        const std::function<void(const RowKey&, double)>& visit) const {
+  for (const auto& [row, columns] : rows_) {
+    auto col_it = columns.find(column);
+    if (col_it != columns.end() && !col_it->second.empty()) {
+      visit(row, col_it->second.front().value);
+    }
+  }
+}
+
+void Table::scan(
+    const std::function<void(const RowKey&, const ColumnKey&, double)>& visit) const {
+  for (const auto& [row, columns] : rows_) {
+    for (const auto& [column, cell] : columns) {
+      if (!cell.empty()) visit(row, column, cell.front().value);
+    }
+  }
+}
+
+std::vector<double> Table::column_values(const ColumnKey& column) const {
+  std::vector<double> out;
+  scan_column(column, [&out](const RowKey&, double v) { out.push_back(v); });
+  return out;
+}
+
+void Table::clear() noexcept {
+  rows_.clear();
+  cell_count_ = 0;
+}
+
+}  // namespace smartflux::ds

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "datastore/types.h"
+
+namespace smartflux::ds {
+
+/// A sparse, sorted, multi-versioned column-oriented table: a map indexed by
+/// (row, column, timestamp), modeled after BigTable/HBase. Cells keep up to
+/// `max_versions` timestamped versions, newest first.
+///
+/// Thread-compatible: the owning DataStore serializes access per table.
+class Table {
+ public:
+  explicit Table(std::size_t max_versions = 2);
+
+  /// Writes a cell version. Timestamps must be non-decreasing per cell; an
+  /// equal timestamp overwrites the newest version in place.
+  /// Returns the previous latest value, if the cell existed.
+  std::optional<double> put(const RowKey& row, const ColumnKey& column, Timestamp ts,
+                            double value);
+
+  /// Removes a cell entirely (all versions). Returns the removed latest value.
+  std::optional<double> erase(const RowKey& row, const ColumnKey& column);
+
+  /// Latest version of a cell, if present.
+  std::optional<double> get(const RowKey& row, const ColumnKey& column) const;
+
+  /// Version immediately preceding the latest, if retained.
+  std::optional<double> get_previous(const RowKey& row, const ColumnKey& column) const;
+
+  /// Full retained history, newest first.
+  std::vector<CellVersion> versions(const RowKey& row, const ColumnKey& column) const;
+
+  /// Visits every latest cell of the given column in row order.
+  void scan_column(const ColumnKey& column,
+                   const std::function<void(const RowKey&, double)>& visit) const;
+
+  /// Visits every latest cell in the table in (row, column) order.
+  void scan(const std::function<void(const RowKey&, const ColumnKey&, double)>& visit) const;
+
+  /// Latest values of a column, in row order (dense snapshot).
+  std::vector<double> column_values(const ColumnKey& column) const;
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+  std::size_t cell_count() const noexcept { return cell_count_; }
+  std::size_t max_versions() const noexcept { return max_versions_; }
+  bool empty() const noexcept { return rows_.empty(); }
+  void clear() noexcept;
+
+ private:
+  // Newest-first bounded version list.
+  using Cell = std::vector<CellVersion>;
+  using Columns = std::map<ColumnKey, Cell>;
+
+  std::size_t max_versions_;
+  std::map<RowKey, Columns> rows_;
+  std::size_t cell_count_ = 0;
+};
+
+}  // namespace smartflux::ds

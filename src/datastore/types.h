@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace smartflux::ds {
+
+/// Logical timestamp. In continuous workflow processing this is usually the
+/// wave number, but any monotonically non-decreasing value works.
+using Timestamp = std::uint64_t;
+
+using RowKey = std::string;
+/// Flattened "family:qualifier" column name, HBase-style.
+using ColumnKey = std::string;
+using TableName = std::string;
+
+/// One timestamped version of a cell. The store keeps a bounded history of
+/// these per cell (newest first), which is how SmartFlux reads the current
+/// and previous state in a single request (§5.3 of the paper).
+struct CellVersion {
+  Timestamp timestamp = 0;
+  double value = 0.0;
+
+  friend bool operator==(const CellVersion&, const CellVersion&) = default;
+};
+
+/// Kind of mutation applied to a cell, reported to write observers.
+enum class MutationKind { kPut, kDelete };
+
+/// A single observed mutation, as delivered to registered observers.
+struct Mutation {
+  MutationKind kind = MutationKind::kPut;
+  TableName table;
+  RowKey row;
+  ColumnKey column;
+  Timestamp timestamp = 0;
+  double new_value = 0.0;   ///< Meaningful for kPut.
+  double old_value = 0.0;   ///< Latest value before this mutation (0 if cell was absent).
+  bool had_old_value = false;
+};
+
+}  // namespace smartflux::ds

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "ml/dataset.h"
+
+namespace smartflux::ml {
+
+/// Common interface for all supervised classifiers in the library.
+///
+/// Contract: `fit` must be called before `predict`/`predict_score`;
+/// implementations throw smartflux::StateError otherwise. `predict_score`
+/// returns a monotone score for membership in class 1 (used for ROC curves
+/// and threshold tuning); for multiclass models it is the posterior of the
+/// largest non-zero class.
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  virtual void fit(const Dataset& data) = 0;
+  virtual int predict(std::span<const double> x) const = 0;
+  virtual double predict_score(std::span<const double> x) const = 0;
+  virtual bool is_fitted() const noexcept = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Produces fresh untrained classifier instances; used by cross-validation
+/// and the binary-relevance multi-label wrapper.
+using ClassifierFactory = std::function<std::unique_ptr<Classifier>()>;
+
+}  // namespace smartflux::ml

@@ -1,0 +1,65 @@
+#include "ml/dataset.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace smartflux::ml {
+
+Dataset::Dataset(std::size_t num_features) : num_features_(num_features) {
+  SF_CHECK(num_features >= 1, "a dataset needs at least one feature");
+}
+
+void Dataset::add(std::span<const double> x, int label) {
+  SF_CHECK(num_features_ != 0, "dataset not initialized with a feature count");
+  SF_CHECK(x.size() == num_features_, "feature vector width mismatch");
+  SF_CHECK(label >= 0, "labels must be non-negative");
+  data_.insert(data_.end(), x.begin(), x.end());
+  labels_.push_back(label);
+}
+
+std::vector<int> Dataset::classes() const {
+  std::vector<int> out(labels_.begin(), labels_.end());
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::size_t Dataset::count_label(int label) const noexcept {
+  return static_cast<std::size_t>(std::count(labels_.begin(), labels_.end(), label));
+}
+
+Dataset Dataset::subset(std::span<const std::size_t> indices) const {
+  Dataset out(num_features_);
+  out.reserve(indices.size());
+  for (std::size_t i : indices) out.add(features(i), label(i));
+  return out;
+}
+
+std::vector<std::pair<double, double>> Dataset::feature_ranges() const {
+  if (empty()) return {};
+  std::vector<std::pair<double, double>> ranges(num_features_);
+  for (std::size_t f = 0; f < num_features_; ++f) {
+    ranges[f] = {features(0)[f], features(0)[f]};
+  }
+  for (std::size_t i = 1; i < size(); ++i) {
+    const auto row = features(i);
+    for (std::size_t f = 0; f < num_features_; ++f) {
+      ranges[f].first = std::min(ranges[f].first, row[f]);
+      ranges[f].second = std::max(ranges[f].second, row[f]);
+    }
+  }
+  return ranges;
+}
+
+void Dataset::reserve(std::size_t rows) {
+  data_.reserve(rows * num_features_);
+  labels_.reserve(rows);
+}
+
+void Dataset::clear() noexcept {
+  data_.clear();
+  labels_.clear();
+}
+
+}  // namespace smartflux::ml

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace smartflux::ml {
+
+/// Dense numeric dataset: a row-major feature matrix with one integer class
+/// label per row. Labels are small non-negative integers (0/1 for the binary
+/// problems SmartFlux produces, but multiclass is supported).
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::size_t num_features);
+
+  /// Appends one example. Precondition: x.size() == num_features().
+  void add(std::span<const double> x, int label);
+
+  std::size_t size() const noexcept { return labels_.size(); }
+  bool empty() const noexcept { return labels_.empty(); }
+  std::size_t num_features() const noexcept { return num_features_; }
+
+  std::span<const double> features(std::size_t i) const noexcept {
+    return {data_.data() + i * num_features_, num_features_};
+  }
+  int label(std::size_t i) const noexcept { return labels_[i]; }
+  std::span<const int> labels() const noexcept { return labels_; }
+
+  /// Sorted unique labels present in the dataset.
+  std::vector<int> classes() const;
+
+  /// Number of examples with the given label.
+  std::size_t count_label(int label) const noexcept;
+
+  /// New dataset with the selected rows (duplicates allowed — bootstrap).
+  Dataset subset(std::span<const std::size_t> indices) const;
+
+  /// Per-feature (min, max) over the dataset; empty if no rows.
+  std::vector<std::pair<double, double>> feature_ranges() const;
+
+  void reserve(std::size_t rows);
+  void clear() noexcept;
+
+ private:
+  std::size_t num_features_ = 0;
+  std::vector<double> data_;  // row-major, size() * num_features_
+  std::vector<int> labels_;
+};
+
+}  // namespace smartflux::ml

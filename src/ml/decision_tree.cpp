@@ -1,0 +1,248 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <limits>
+#include <numeric>
+#include <ostream>
+
+#include "common/error.h"
+
+namespace smartflux::ml {
+
+DecisionTree::DecisionTree(TreeOptions options, std::uint64_t seed)
+    : options_(options), rng_(seed) {
+  SF_CHECK(options_.max_depth >= 1, "max_depth must be >= 1");
+  SF_CHECK(options_.min_samples_leaf >= 1, "min_samples_leaf must be >= 1");
+  SF_CHECK(options_.positive_class_weight > 0.0, "positive_class_weight must be positive");
+}
+
+double DecisionTree::class_weight(int label) const noexcept {
+  return label == 1 ? options_.positive_class_weight : 1.0;
+}
+
+void DecisionTree::fit(const Dataset& data) {
+  SF_CHECK(!data.empty(), "cannot fit a tree on an empty dataset");
+  std::vector<std::size_t> indices(data.size());
+  std::iota(indices.begin(), indices.end(), std::size_t{0});
+  fit_indices(data, indices);
+}
+
+void DecisionTree::fit_indices(const Dataset& data, std::span<const std::size_t> indices) {
+  SF_CHECK(!indices.empty(), "cannot fit a tree without samples");
+  nodes_.clear();
+  depth_ = 0;
+  num_features_ = data.num_features();
+  num_classes_ = 0;
+  for (std::size_t i : indices) {
+    num_classes_ = std::max(num_classes_, static_cast<std::size_t>(data.label(i)) + 1);
+  }
+  std::vector<std::size_t> work(indices.begin(), indices.end());
+  build(data, work, 0, work.size(), 0);
+}
+
+namespace {
+/// Weighted Gini impurity of a class-count histogram.
+double gini(std::span<const double> counts, double total) noexcept {
+  if (total <= 0.0) return 0.0;
+  double sum_sq = 0.0;
+  for (double c : counts) sum_sq += c * c;
+  return 1.0 - sum_sq / (total * total);
+}
+}  // namespace
+
+std::int32_t DecisionTree::make_leaf(const Dataset& data, std::span<const std::size_t> indices) {
+  Node leaf;
+  std::vector<double> counts(num_classes_, 0.0);
+  for (std::size_t i : indices) counts[static_cast<std::size_t>(data.label(i))] += 1.0;
+  double total = 0.0;
+  for (double c : counts) total += c;
+  leaf.distribution.resize(num_classes_, 0.0);
+  double best = -1.0;
+  for (std::size_t c = 0; c < num_classes_; ++c) {
+    leaf.distribution[c] = counts[c] / total;
+    // Majority vote is weight-adjusted so positive_class_weight also shifts
+    // the decision boundary, not just split selection.
+    const double weighted = counts[c] * class_weight(static_cast<int>(c));
+    if (weighted > best) {
+      best = weighted;
+      leaf.majority = static_cast<int>(c);
+    }
+  }
+  nodes_.push_back(std::move(leaf));
+  return static_cast<std::int32_t>(nodes_.size() - 1);
+}
+
+std::int32_t DecisionTree::build(const Dataset& data, std::vector<std::size_t>& indices,
+                                 std::size_t begin, std::size_t end, std::size_t depth) {
+  depth_ = std::max(depth_, depth);
+  const std::size_t n = end - begin;
+  const std::span<const std::size_t> node_indices{indices.data() + begin, n};
+
+  // Stop: depth, size, or purity.
+  bool pure = true;
+  for (std::size_t k = 1; k < n; ++k) {
+    if (data.label(node_indices[k]) != data.label(node_indices[0])) {
+      pure = false;
+      break;
+    }
+  }
+  if (pure || depth >= options_.max_depth || n < options_.min_samples_split ||
+      n < 2 * options_.min_samples_leaf) {
+    return make_leaf(data, node_indices);
+  }
+
+  // Candidate features: all, or a random subset of size max_features.
+  std::vector<std::size_t> feats(num_features_);
+  std::iota(feats.begin(), feats.end(), std::size_t{0});
+  std::size_t n_feats = num_features_;
+  if (options_.max_features != 0 && options_.max_features < num_features_) {
+    rng_.shuffle(feats);
+    n_feats = options_.max_features;
+  }
+
+  // Parent weighted class counts.
+  std::vector<double> parent_counts(num_classes_, 0.0);
+  for (std::size_t i : node_indices) {
+    parent_counts[static_cast<std::size_t>(data.label(i))] += class_weight(data.label(i));
+  }
+  double parent_total = 0.0;
+  for (double c : parent_counts) parent_total += c;
+  const double parent_gini = gini(parent_counts, parent_total);
+
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  double best_gain = 1e-12;
+
+  std::vector<std::pair<double, int>> sorted;  // (feature value, label)
+  sorted.reserve(n);
+  std::vector<double> left_counts(num_classes_);
+
+  for (std::size_t fi = 0; fi < n_feats; ++fi) {
+    const std::size_t f = feats[fi];
+    sorted.clear();
+    for (std::size_t i : node_indices) sorted.emplace_back(data.features(i)[f], data.label(i));
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.front().first == sorted.back().first) continue;  // constant feature
+
+    std::fill(left_counts.begin(), left_counts.end(), 0.0);
+    double left_total = 0.0;
+    std::size_t left_n = 0;
+    for (std::size_t k = 0; k + 1 < n; ++k) {
+      const double w = class_weight(sorted[k].second);
+      left_counts[static_cast<std::size_t>(sorted[k].second)] += w;
+      left_total += w;
+      ++left_n;
+      if (sorted[k].first == sorted[k + 1].first) continue;  // not a valid cut point
+      if (left_n < options_.min_samples_leaf || n - left_n < options_.min_samples_leaf) continue;
+
+      const double right_total = parent_total - left_total;
+      double right_gini_sum = 0.0;
+      {
+        double sum_sq = 0.0;
+        for (std::size_t c = 0; c < num_classes_; ++c) {
+          const double rc = parent_counts[c] - left_counts[c];
+          sum_sq += rc * rc;
+        }
+        right_gini_sum = right_total <= 0.0 ? 0.0 : 1.0 - sum_sq / (right_total * right_total);
+      }
+      const double wl = left_total / parent_total;
+      const double wr = right_total / parent_total;
+      const double gain = parent_gini - (wl * gini(left_counts, left_total) + wr * right_gini_sum);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(f);
+        best_threshold = 0.5 * (sorted[k].first + sorted[k + 1].first);
+      }
+    }
+  }
+
+  if (best_feature < 0) return make_leaf(data, node_indices);
+
+  // Partition indices in place around the threshold.
+  const auto mid_it = std::partition(
+      indices.begin() + static_cast<std::ptrdiff_t>(begin),
+      indices.begin() + static_cast<std::ptrdiff_t>(end), [&](std::size_t i) {
+        return data.features(i)[static_cast<std::size_t>(best_feature)] <= best_threshold;
+      });
+  const auto mid = static_cast<std::size_t>(mid_it - indices.begin());
+  if (mid == begin || mid == end) return make_leaf(data, node_indices);
+
+  // Reserve this node's slot before recursing so the root stays at index 0.
+  nodes_.emplace_back();
+  const auto self = static_cast<std::int32_t>(nodes_.size() - 1);
+  const std::int32_t left = build(data, indices, begin, mid, depth + 1);
+  const std::int32_t right = build(data, indices, mid, end, depth + 1);
+  Node& node = nodes_[static_cast<std::size_t>(self)];
+  node.feature = best_feature;
+  node.threshold = best_threshold;
+  node.left = left;
+  node.right = right;
+  return self;
+}
+
+const DecisionTree::Node& DecisionTree::descend(std::span<const double> x) const {
+  if (nodes_.empty()) throw StateError("DecisionTree::predict called before fit");
+  SF_CHECK(x.size() == num_features_, "feature vector width mismatch");
+  const Node* node = &nodes_[0];
+  while (node->left != -1) {
+    const bool go_left = x[static_cast<std::size_t>(node->feature)] <= node->threshold;
+    node = &nodes_[static_cast<std::size_t>(go_left ? node->left : node->right)];
+  }
+  return *node;
+}
+
+int DecisionTree::predict(std::span<const double> x) const { return descend(x).majority; }
+
+double DecisionTree::predict_score(std::span<const double> x) const {
+  const Node& leaf = descend(x);
+  return leaf.distribution.size() > 1 ? leaf.distribution[1] : 0.0;
+}
+
+std::vector<double> DecisionTree::leaf_distribution(std::span<const double> x) const {
+  return descend(x).distribution;
+}
+
+void DecisionTree::save(std::ostream& os) const {
+  if (nodes_.empty()) throw StateError("cannot save an unfitted DecisionTree");
+  os.precision(17);
+  os << "tree " << num_features_ << ' ' << num_classes_ << ' ' << depth_ << ' '
+     << nodes_.size() << '\n';
+  for (const Node& node : nodes_) {
+    os << node.feature << ' ' << node.threshold << ' ' << node.left << ' ' << node.right << ' '
+       << node.majority << ' ' << node.distribution.size();
+    for (double p : node.distribution) os << ' ' << p;
+    os << '\n';
+  }
+}
+
+DecisionTree DecisionTree::load(std::istream& is) {
+  std::string magic;
+  std::size_t node_count = 0;
+  DecisionTree tree;
+  if (!(is >> magic >> tree.num_features_ >> tree.num_classes_ >> tree.depth_ >> node_count) ||
+      magic != "tree") {
+    throw InvalidArgument("malformed DecisionTree stream (bad header)");
+  }
+  tree.nodes_.resize(node_count);
+  for (Node& node : tree.nodes_) {
+    std::size_t dist_size = 0;
+    if (!(is >> node.feature >> node.threshold >> node.left >> node.right >> node.majority >>
+          dist_size)) {
+      throw InvalidArgument("malformed DecisionTree stream (truncated node)");
+    }
+    node.distribution.resize(dist_size);
+    for (double& p : node.distribution) {
+      if (!(is >> p)) throw InvalidArgument("malformed DecisionTree stream (truncated node)");
+    }
+    const auto count = static_cast<std::int64_t>(node_count);
+    if (node.left >= count || node.right >= count) {
+      throw InvalidArgument("malformed DecisionTree stream (child index out of range)");
+    }
+  }
+  if (tree.nodes_.empty()) throw InvalidArgument("DecisionTree stream contains no nodes");
+  return tree;
+}
+
+}  // namespace smartflux::ml

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/classifier.h"
+
+namespace smartflux::ml {
+
+/// Options shared by DecisionTree and RandomForest.
+struct TreeOptions {
+  std::size_t max_depth = 16;
+  std::size_t min_samples_leaf = 1;
+  std::size_t min_samples_split = 2;
+  /// Number of features examined per split; 0 = all (single tree) or
+  /// floor(sqrt(F)) when used inside a RandomForest.
+  std::size_t max_features = 0;
+  /// Relative weight of class 1 vs class 0 when computing impurity; > 1
+  /// biases the tree toward recall on class 1 (the paper tunes its forest to
+  /// favor recall for LRB). Ignored for multiclass data.
+  double positive_class_weight = 1.0;
+};
+
+/// CART-style binary decision tree with Gini impurity on numeric features.
+/// Deterministic given the same data and Rng seed.
+class DecisionTree final : public Classifier {
+ public:
+  explicit DecisionTree(TreeOptions options = {}, std::uint64_t seed = 1);
+
+  void fit(const Dataset& data) override;
+  /// Fits on a subset of rows (bootstrap support for forests).
+  void fit_indices(const Dataset& data, std::span<const std::size_t> indices);
+
+  int predict(std::span<const double> x) const override;
+  double predict_score(std::span<const double> x) const override;
+  bool is_fitted() const noexcept override { return !nodes_.empty(); }
+  std::string name() const override { return "DecisionTree"; }
+
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  std::size_t depth() const noexcept { return depth_; }
+  const TreeOptions& options() const noexcept { return options_; }
+
+  /// Class distribution at the leaf reached by x (normalized).
+  std::vector<double> leaf_distribution(std::span<const double> x) const;
+
+  /// Persists the fitted tree in a line-oriented text format; load() restores
+  /// a tree making identical predictions (training options are not needed at
+  /// prediction time and are not stored).
+  void save(std::ostream& os) const;
+  static DecisionTree load(std::istream& is);
+
+ private:
+  struct Node {
+    // Internal node: feature/threshold valid, children set.
+    // Leaf: left == -1; `distribution` holds normalized class posteriors.
+    int feature = -1;
+    double threshold = 0.0;
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    int majority = 0;
+    std::vector<double> distribution;
+  };
+
+  std::int32_t build(const Dataset& data, std::vector<std::size_t>& indices, std::size_t begin,
+                     std::size_t end, std::size_t depth);
+  std::int32_t make_leaf(const Dataset& data, std::span<const std::size_t> indices);
+  const Node& descend(std::span<const double> x) const;
+  double class_weight(int label) const noexcept;
+
+  TreeOptions options_;
+  Rng rng_;
+  std::vector<Node> nodes_;
+  std::size_t depth_ = 0;
+  std::size_t num_classes_ = 0;
+  std::size_t num_features_ = 0;
+};
+
+}  // namespace smartflux::ml

@@ -1,0 +1,162 @@
+#include "ml/evaluation.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace smartflux::ml {
+
+void Confusion::add(int truth, int predicted) noexcept {
+  if (truth == 1) {
+    predicted == 1 ? ++tp : ++fn;
+  } else {
+    predicted == 1 ? ++fp : ++tn;
+  }
+}
+
+double Confusion::accuracy() const noexcept {
+  const std::size_t n = total();
+  return n == 0 ? 0.0 : static_cast<double>(tp + tn) / static_cast<double>(n);
+}
+
+double Confusion::precision() const noexcept {
+  return tp + fp == 0 ? 1.0 : static_cast<double>(tp) / static_cast<double>(tp + fp);
+}
+
+double Confusion::recall() const noexcept {
+  return tp + fn == 0 ? 1.0 : static_cast<double>(tp) / static_cast<double>(tp + fn);
+}
+
+double Confusion::f1() const noexcept {
+  const double p = precision();
+  const double r = recall();
+  return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double roc_auc(std::span<const double> scores, std::span<const int> labels) noexcept {
+  if (scores.size() != labels.size() || scores.empty()) return 0.5;
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&scores](std::size_t a, std::size_t b) { return scores[a] < scores[b]; });
+
+  // Mid-ranks with tie handling.
+  std::vector<double> rank(scores.size());
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j + 1 < order.size() && scores[order[j + 1]] == scores[order[i]]) ++j;
+    const double mid = 0.5 * static_cast<double>(i + j) + 1.0;  // 1-based mid-rank
+    for (std::size_t k = i; k <= j; ++k) rank[order[k]] = mid;
+    i = j + 1;
+  }
+
+  double rank_sum_pos = 0.0;
+  std::size_t n_pos = 0;
+  for (std::size_t k = 0; k < labels.size(); ++k) {
+    if (labels[k] == 1) {
+      rank_sum_pos += rank[k];
+      ++n_pos;
+    }
+  }
+  const std::size_t n_neg = labels.size() - n_pos;
+  if (n_pos == 0 || n_neg == 0) return 0.5;
+  const double u =
+      rank_sum_pos - static_cast<double>(n_pos) * (static_cast<double>(n_pos) + 1.0) / 2.0;
+  return u / (static_cast<double>(n_pos) * static_cast<double>(n_neg));
+}
+
+Confusion evaluate(const Classifier& clf, const Dataset& test) {
+  Confusion c;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    c.add(test.label(i), clf.predict(test.features(i)));
+  }
+  return c;
+}
+
+namespace {
+/// Shuffled per-class index buckets for stratified partitioning.
+std::vector<std::vector<std::size_t>> stratified_buckets(const Dataset& data, Rng& rng) {
+  std::vector<std::vector<std::size_t>> buckets;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto c = static_cast<std::size_t>(data.label(i));
+    if (c >= buckets.size()) buckets.resize(c + 1);
+    buckets[c].push_back(i);
+  }
+  for (auto& b : buckets) rng.shuffle(b);
+  return buckets;
+}
+}  // namespace
+
+CvMetrics cross_validate(const ClassifierFactory& factory, const Dataset& data, std::size_t folds,
+                         std::uint64_t seed) {
+  SF_CHECK(folds >= 2, "cross-validation requires at least 2 folds");
+  SF_CHECK(data.size() >= folds, "fewer examples than folds");
+  Rng rng(seed);
+  const auto buckets = stratified_buckets(data, rng);
+
+  // Assign each example a fold id, round-robin within its class bucket.
+  std::vector<std::size_t> fold_of(data.size(), 0);
+  for (const auto& bucket : buckets) {
+    for (std::size_t k = 0; k < bucket.size(); ++k) fold_of[bucket[k]] = k % folds;
+  }
+
+  CvMetrics out;
+  std::size_t used_folds = 0;
+  for (std::size_t fold = 0; fold < folds; ++fold) {
+    std::vector<std::size_t> train_idx, test_idx;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      (fold_of[i] == fold ? test_idx : train_idx).push_back(i);
+    }
+    if (train_idx.empty() || test_idx.empty()) continue;
+    const Dataset train = data.subset(train_idx);
+    const Dataset test = data.subset(test_idx);
+    auto clf = factory();
+    clf->fit(train);
+
+    Confusion c;
+    std::vector<double> scores;
+    std::vector<int> labels;
+    scores.reserve(test.size());
+    labels.reserve(test.size());
+    for (std::size_t i = 0; i < test.size(); ++i) {
+      c.add(test.label(i), clf->predict(test.features(i)));
+      scores.push_back(clf->predict_score(test.features(i)));
+      labels.push_back(test.label(i));
+    }
+    out.accuracy += c.accuracy();
+    out.precision += c.precision();
+    out.recall += c.recall();
+    out.f1 += c.f1();
+    out.roc_area += roc_auc(scores, labels);
+    ++used_folds;
+  }
+  SF_CHECK(used_folds > 0, "no usable folds (dataset too small or degenerate)");
+  const auto n = static_cast<double>(used_folds);
+  out.accuracy /= n;
+  out.precision /= n;
+  out.recall /= n;
+  out.f1 /= n;
+  out.roc_area /= n;
+  out.folds = used_folds;
+  return out;
+}
+
+std::pair<Dataset, Dataset> train_test_split(const Dataset& data, double test_fraction,
+                                             std::uint64_t seed) {
+  SF_CHECK(test_fraction > 0.0 && test_fraction < 1.0, "test_fraction must be in (0, 1)");
+  Rng rng(seed);
+  const auto buckets = stratified_buckets(data, rng);
+  std::vector<std::size_t> train_idx, test_idx;
+  for (const auto& bucket : buckets) {
+    const auto n_test = static_cast<std::size_t>(
+        test_fraction * static_cast<double>(bucket.size()) + 0.5);
+    for (std::size_t k = 0; k < bucket.size(); ++k) {
+      (k < n_test ? test_idx : train_idx).push_back(bucket[k]);
+    }
+  }
+  return {data.subset(train_idx), data.subset(test_idx)};
+}
+
+}  // namespace smartflux::ml

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/classifier.h"
+
+namespace smartflux::ml {
+
+/// Binary confusion-matrix counts (class 1 = positive).
+struct Confusion {
+  std::size_t tp = 0;
+  std::size_t tn = 0;
+  std::size_t fp = 0;
+  std::size_t fn = 0;
+
+  std::size_t total() const noexcept { return tp + tn + fp + fn; }
+  void add(int truth, int predicted) noexcept;
+
+  /// Proportion of instances correctly classified (paper §3.2).
+  double accuracy() const noexcept;
+  /// TP / (TP + FP); 1 when no positive predictions were made.
+  double precision() const noexcept;
+  /// TP / (TP + FN); 1 when there are no positives.
+  double recall() const noexcept;
+  double f1() const noexcept;
+};
+
+/// Area under the ROC curve from scores and binary labels (rank statistic /
+/// Mann–Whitney U, with tie correction). Returns 0.5 when one class is absent.
+double roc_auc(std::span<const double> scores, std::span<const int> labels) noexcept;
+
+/// Evaluates a fitted classifier on a test set.
+Confusion evaluate(const Classifier& clf, const Dataset& test);
+
+struct CvMetrics {
+  double accuracy = 0.0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  double roc_area = 0.0;
+  std::size_t folds = 0;
+};
+
+/// Stratified k-fold cross-validation (paper §3.1 uses 10-fold). Trains a
+/// fresh classifier per fold via `factory` and averages fold metrics.
+CvMetrics cross_validate(const ClassifierFactory& factory, const Dataset& data, std::size_t folds,
+                         std::uint64_t seed = 42);
+
+/// Random train/test split preserving class ratios (stratified).
+std::pair<Dataset, Dataset> train_test_split(const Dataset& data, double test_fraction,
+                                             std::uint64_t seed = 42);
+
+}  // namespace smartflux::ml

@@ -1,0 +1,202 @@
+#include "ml/linear.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace smartflux::ml {
+
+void Standardizer::fit(const Dataset& data) {
+  SF_CHECK(!data.empty(), "cannot fit a standardizer on an empty dataset");
+  const std::size_t nf = data.num_features();
+  means_.assign(nf, 0.0);
+  inv_stddevs_.assign(nf, 0.0);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto row = data.features(i);
+    for (std::size_t f = 0; f < nf; ++f) means_[f] += row[f];
+  }
+  for (double& m : means_) m /= static_cast<double>(data.size());
+  std::vector<double> var(nf, 0.0);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto row = data.features(i);
+    for (std::size_t f = 0; f < nf; ++f) {
+      const double d = row[f] - means_[f];
+      var[f] += d * d;
+    }
+  }
+  for (std::size_t f = 0; f < nf; ++f) {
+    const double sd = std::sqrt(var[f] / static_cast<double>(data.size()));
+    inv_stddevs_[f] = sd > 1e-12 ? 1.0 / sd : 0.0;
+  }
+}
+
+std::vector<double> Standardizer::transform(std::span<const double> x) const {
+  SF_CHECK(x.size() == means_.size(), "feature vector width mismatch");
+  std::vector<double> out(x.size());
+  for (std::size_t f = 0; f < x.size(); ++f) out[f] = (x[f] - means_[f]) * inv_stddevs_[f];
+  return out;
+}
+
+namespace {
+void check_binary_labels(const Dataset& data, const char* who) {
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (data.label(i) != 0 && data.label(i) != 1) {
+      throw InvalidArgument(std::string(who) + " supports binary labels {0,1} only");
+    }
+  }
+}
+double sigmoid(double z) noexcept { return 1.0 / (1.0 + std::exp(-z)); }
+}  // namespace
+
+LogisticRegression::LogisticRegression(LinearOptions options, std::uint64_t seed)
+    : options_(options), rng_(seed) {
+  SF_CHECK(options_.epochs >= 1, "epochs must be >= 1");
+  SF_CHECK(options_.learning_rate > 0.0, "learning_rate must be positive");
+}
+
+void LogisticRegression::fit(const Dataset& data) {
+  SF_CHECK(!data.empty(), "cannot fit on an empty dataset");
+  check_binary_labels(data, "LogisticRegression");
+  standardizer_.fit(data);
+  weights_.assign(data.num_features(), 0.0);
+  bias_ = 0.0;
+
+  std::vector<std::size_t> order(data.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  for (std::size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng_.shuffle(order);
+    const double lr = options_.learning_rate / (1.0 + 0.01 * static_cast<double>(epoch));
+    for (std::size_t i : order) {
+      const auto x = standardizer_.transform(data.features(i));
+      double z = bias_;
+      for (std::size_t f = 0; f < x.size(); ++f) z += weights_[f] * x[f];
+      const double err = sigmoid(z) - static_cast<double>(data.label(i));
+      for (std::size_t f = 0; f < x.size(); ++f) {
+        weights_[f] -= lr * (err * x[f] + options_.lambda * weights_[f]);
+      }
+      bias_ -= lr * err;
+    }
+  }
+  fitted_ = true;
+}
+
+double LogisticRegression::margin(std::span<const double> x) const {
+  if (!fitted_) throw StateError("LogisticRegression::predict called before fit");
+  const auto z = standardizer_.transform(x);
+  double m = bias_;
+  for (std::size_t f = 0; f < z.size(); ++f) m += weights_[f] * z[f];
+  return m;
+}
+
+int LogisticRegression::predict(std::span<const double> x) const {
+  return margin(x) >= 0.0 ? 1 : 0;
+}
+
+double LogisticRegression::predict_score(std::span<const double> x) const {
+  return sigmoid(margin(x));
+}
+
+LinearSVM::LinearSVM(LinearOptions options, std::uint64_t seed) : options_(options), rng_(seed) {
+  SF_CHECK(options_.epochs >= 1, "epochs must be >= 1");
+  SF_CHECK(options_.lambda > 0.0, "lambda must be positive for Pegasos");
+}
+
+void LinearSVM::fit(const Dataset& data) {
+  SF_CHECK(!data.empty(), "cannot fit on an empty dataset");
+  check_binary_labels(data, "LinearSVM");
+  standardizer_.fit(data);
+  weights_.assign(data.num_features(), 0.0);
+  bias_ = 0.0;
+
+  // Pegasos: step size 1/(lambda * t) over epochs * n iterations.
+  std::size_t t = 0;
+  std::vector<std::size_t> order(data.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  for (std::size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng_.shuffle(order);
+    for (std::size_t i : order) {
+      ++t;
+      const double eta = 1.0 / (options_.lambda * static_cast<double>(t));
+      const auto x = standardizer_.transform(data.features(i));
+      const double y = data.label(i) == 1 ? 1.0 : -1.0;
+      double m = bias_;
+      for (std::size_t f = 0; f < x.size(); ++f) m += weights_[f] * x[f];
+      const double scale = 1.0 - eta * options_.lambda;
+      for (double& w : weights_) w *= scale;
+      if (y * m < 1.0) {
+        for (std::size_t f = 0; f < x.size(); ++f) weights_[f] += eta * y * x[f];
+        bias_ += eta * y;
+      }
+    }
+  }
+  fitted_ = true;
+}
+
+double LinearSVM::margin(std::span<const double> x) const {
+  if (!fitted_) throw StateError("LinearSVM::predict called before fit");
+  const auto z = standardizer_.transform(x);
+  double m = bias_;
+  for (std::size_t f = 0; f < z.size(); ++f) m += weights_[f] * z[f];
+  return m;
+}
+
+int LinearSVM::predict(std::span<const double> x) const { return margin(x) >= 0.0 ? 1 : 0; }
+
+double LinearSVM::predict_score(std::span<const double> x) const { return sigmoid(margin(x)); }
+
+KNearestNeighbors::KNearestNeighbors(std::size_t k) : k_(k) {
+  SF_CHECK(k >= 1, "k must be >= 1");
+}
+
+void KNearestNeighbors::fit(const Dataset& data) {
+  SF_CHECK(!data.empty(), "cannot fit on an empty dataset");
+  standardizer_.fit(data);
+  train_.clear();
+  labels_.clear();
+  train_.reserve(data.size());
+  labels_.reserve(data.size());
+  num_classes_ = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    train_.push_back(standardizer_.transform(data.features(i)));
+    labels_.push_back(data.label(i));
+    num_classes_ = std::max(num_classes_, static_cast<std::size_t>(data.label(i)) + 1);
+  }
+}
+
+std::vector<std::pair<double, int>> KNearestNeighbors::neighbours(
+    std::span<const double> x) const {
+  if (train_.empty()) throw StateError("KNearestNeighbors::predict called before fit");
+  const auto z = standardizer_.transform(x);
+  std::vector<std::pair<double, int>> dist;
+  dist.reserve(train_.size());
+  for (std::size_t i = 0; i < train_.size(); ++i) {
+    double d = 0.0;
+    for (std::size_t f = 0; f < z.size(); ++f) {
+      const double diff = z[f] - train_[i][f];
+      d += diff * diff;
+    }
+    dist.emplace_back(d, labels_[i]);
+  }
+  const std::size_t k = std::min(k_, dist.size());
+  std::partial_sort(dist.begin(), dist.begin() + static_cast<std::ptrdiff_t>(k), dist.end());
+  dist.resize(k);
+  return dist;
+}
+
+int KNearestNeighbors::predict(std::span<const double> x) const {
+  const auto nn = neighbours(x);
+  std::vector<std::size_t> votes(num_classes_, 0);
+  for (const auto& [_, label] : nn) ++votes[static_cast<std::size_t>(label)];
+  return static_cast<int>(std::max_element(votes.begin(), votes.end()) - votes.begin());
+}
+
+double KNearestNeighbors::predict_score(std::span<const double> x) const {
+  const auto nn = neighbours(x);
+  std::size_t ones = 0;
+  for (const auto& [_, label] : nn) ones += label == 1 ? 1 : 0;
+  return static_cast<double>(ones) / static_cast<double>(nn.size());
+}
+
+}  // namespace smartflux::ml

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/classifier.h"
+
+namespace smartflux::ml {
+
+/// Per-feature z-score standardization fitted on training data and reused at
+/// prediction time. Constant features map to 0.
+class Standardizer {
+ public:
+  void fit(const Dataset& data);
+  std::vector<double> transform(std::span<const double> x) const;
+  bool is_fitted() const noexcept { return !means_.empty(); }
+
+ private:
+  std::vector<double> means_;
+  std::vector<double> inv_stddevs_;
+};
+
+struct LinearOptions {
+  std::size_t epochs = 200;
+  double learning_rate = 0.1;
+  /// L2 regularization strength.
+  double lambda = 1e-4;
+};
+
+/// Binary logistic regression trained by SGD on standardized features.
+/// One of the baseline algorithms of the paper's §3.2 comparison ("Logistic").
+/// Binary only: labels must be 0/1.
+class LogisticRegression final : public Classifier {
+ public:
+  explicit LogisticRegression(LinearOptions options = {}, std::uint64_t seed = 1);
+
+  void fit(const Dataset& data) override;
+  int predict(std::span<const double> x) const override;
+  double predict_score(std::span<const double> x) const override;  // sigmoid probability
+  bool is_fitted() const noexcept override { return fitted_; }
+  std::string name() const override { return "LogisticRegression"; }
+
+ private:
+  double margin(std::span<const double> x) const;
+
+  LinearOptions options_;
+  Rng rng_;
+  Standardizer standardizer_;
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+  bool fitted_ = false;
+};
+
+/// Linear soft-margin SVM trained with the Pegasos SGD scheme on standardized
+/// features; scores are squashed through a logistic link for thresholding /
+/// ROC purposes. Binary only: labels must be 0/1.
+class LinearSVM final : public Classifier {
+ public:
+  explicit LinearSVM(LinearOptions options = {.epochs = 200, .learning_rate = 0.0, .lambda = 1e-3},
+                     std::uint64_t seed = 1);
+
+  void fit(const Dataset& data) override;
+  int predict(std::span<const double> x) const override;
+  double predict_score(std::span<const double> x) const override;
+  bool is_fitted() const noexcept override { return fitted_; }
+  std::string name() const override { return "LinearSVM"; }
+
+ private:
+  double margin(std::span<const double> x) const;
+
+  LinearOptions options_;
+  Rng rng_;
+  Standardizer standardizer_;
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+  bool fitted_ = false;
+};
+
+/// k-nearest-neighbours with Euclidean distance on standardized features.
+/// Serves as the simple non-parametric baseline.
+class KNearestNeighbors final : public Classifier {
+ public:
+  explicit KNearestNeighbors(std::size_t k = 5);
+
+  void fit(const Dataset& data) override;
+  int predict(std::span<const double> x) const override;
+  double predict_score(std::span<const double> x) const override;  // fraction of 1-neighbours
+  bool is_fitted() const noexcept override { return !train_.empty(); }
+  std::string name() const override { return "KNearestNeighbors"; }
+
+ private:
+  std::vector<std::pair<double, int>> neighbours(std::span<const double> x) const;
+
+  std::size_t k_;
+  Standardizer standardizer_;
+  std::vector<std::vector<double>> train_;
+  std::vector<int> labels_;
+  std::size_t num_classes_ = 0;
+};
+
+}  // namespace smartflux::ml

@@ -1,0 +1,96 @@
+#include "ml/mlp.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace smartflux::ml {
+
+namespace {
+double sigmoid(double z) noexcept { return 1.0 / (1.0 + std::exp(-z)); }
+}  // namespace
+
+MultiLayerPerceptron::MultiLayerPerceptron(MlpOptions options, std::uint64_t seed)
+    : options_(options), rng_(seed) {
+  SF_CHECK(options_.hidden_units >= 1, "need at least one hidden unit");
+  SF_CHECK(options_.epochs >= 1, "epochs must be >= 1");
+  SF_CHECK(options_.learning_rate > 0.0, "learning_rate must be positive");
+}
+
+double MultiLayerPerceptron::forward(std::span<const double> x,
+                                     std::vector<double>& hidden) const {
+  const std::size_t H = options_.hidden_units;
+  hidden.resize(H);
+  for (std::size_t h = 0; h < H; ++h) {
+    double z = b1_[h];
+    const double* w = w1_.data() + h * num_features_;
+    for (std::size_t f = 0; f < num_features_; ++f) z += w[f] * x[f];
+    hidden[h] = std::tanh(z);
+  }
+  double out = b2_;
+  for (std::size_t h = 0; h < H; ++h) out += w2_[h] * hidden[h];
+  return out;
+}
+
+void MultiLayerPerceptron::fit(const Dataset& data) {
+  SF_CHECK(!data.empty(), "cannot fit on an empty dataset");
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (data.label(i) != 0 && data.label(i) != 1) {
+      throw InvalidArgument("MultiLayerPerceptron supports binary labels {0,1} only");
+    }
+  }
+  standardizer_.fit(data);
+  num_features_ = data.num_features();
+  const std::size_t H = options_.hidden_units;
+
+  // Xavier-style initialization.
+  const double scale1 = 1.0 / std::sqrt(static_cast<double>(num_features_));
+  const double scale2 = 1.0 / std::sqrt(static_cast<double>(H));
+  w1_.resize(H * num_features_);
+  b1_.assign(H, 0.0);
+  w2_.resize(H);
+  b2_ = 0.0;
+  for (double& w : w1_) w = rng_.normal(0.0, scale1);
+  for (double& w : w2_) w = rng_.normal(0.0, scale2);
+
+  std::vector<std::size_t> order(data.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::vector<double> hidden(H);
+
+  for (std::size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng_.shuffle(order);
+    const double lr = options_.learning_rate / (1.0 + 0.005 * static_cast<double>(epoch));
+    for (std::size_t i : order) {
+      const auto x = standardizer_.transform(data.features(i));
+      const double logit = forward(x, hidden);
+      // Cross-entropy gradient at the output.
+      const double delta_out = sigmoid(logit) - static_cast<double>(data.label(i));
+
+      // Hidden-layer backprop: d tanh = 1 - a^2.
+      for (std::size_t h = 0; h < H; ++h) {
+        const double delta_h = delta_out * w2_[h] * (1.0 - hidden[h] * hidden[h]);
+        double* w = w1_.data() + h * num_features_;
+        for (std::size_t f = 0; f < num_features_; ++f) {
+          w[f] -= lr * (delta_h * x[f] + options_.lambda * w[f]);
+        }
+        b1_[h] -= lr * delta_h;
+        w2_[h] -= lr * (delta_out * hidden[h] + options_.lambda * w2_[h]);
+      }
+      b2_ -= lr * delta_out;
+    }
+  }
+  fitted_ = true;
+}
+
+int MultiLayerPerceptron::predict(std::span<const double> x) const {
+  return predict_score(x) >= 0.5 ? 1 : 0;
+}
+
+double MultiLayerPerceptron::predict_score(std::span<const double> x) const {
+  if (!fitted_) throw StateError("MultiLayerPerceptron::predict called before fit");
+  std::vector<double> hidden;
+  return sigmoid(forward(standardizer_.transform(x), hidden));
+}
+
+}  // namespace smartflux::ml

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/classifier.h"
+#include "ml/linear.h"
+
+namespace smartflux::ml {
+
+struct MlpOptions {
+  std::size_t hidden_units = 16;
+  std::size_t epochs = 300;
+  double learning_rate = 0.05;
+  /// L2 regularization strength.
+  double lambda = 1e-4;
+};
+
+/// Single-hidden-layer perceptron (tanh hidden layer, sigmoid output)
+/// trained with SGD on standardized features — the paper's "Neuronal
+/// Network" baseline in the §3.2 classifier comparison. Binary only:
+/// labels must be 0/1.
+class MultiLayerPerceptron final : public Classifier {
+ public:
+  explicit MultiLayerPerceptron(MlpOptions options = {}, std::uint64_t seed = 1);
+
+  void fit(const Dataset& data) override;
+  int predict(std::span<const double> x) const override;
+  double predict_score(std::span<const double> x) const override;  // sigmoid probability
+  bool is_fitted() const noexcept override { return fitted_; }
+  std::string name() const override { return "MultiLayerPerceptron"; }
+
+  const MlpOptions& options() const noexcept { return options_; }
+
+ private:
+  /// Forward pass; fills `hidden` with tanh activations, returns the output
+  /// pre-activation (logit).
+  double forward(std::span<const double> x, std::vector<double>& hidden) const;
+
+  MlpOptions options_;
+  Rng rng_;
+  Standardizer standardizer_;
+  std::size_t num_features_ = 0;
+  // w1_[h * num_features_ + f], b1_[h]: input -> hidden.
+  std::vector<double> w1_;
+  std::vector<double> b1_;
+  // w2_[h], b2_: hidden -> output logit.
+  std::vector<double> w2_;
+  double b2_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace smartflux::ml

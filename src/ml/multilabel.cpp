@@ -1,0 +1,147 @@
+#include "ml/multilabel.h"
+
+#include "common/error.h"
+#include "ml/evaluation.h"
+
+namespace smartflux::ml {
+
+MultiLabelDataset::MultiLabelDataset(std::size_t num_features, std::size_t num_labels)
+    : num_features_(num_features), num_labels_(num_labels) {
+  SF_CHECK(num_features >= 1, "need at least one feature");
+  SF_CHECK(num_labels >= 1, "need at least one label");
+}
+
+void MultiLabelDataset::add(std::span<const double> x, std::span<const int> labels) {
+  SF_CHECK(num_features_ != 0, "dataset not initialized");
+  SF_CHECK(x.size() == num_features_, "feature width mismatch");
+  SF_CHECK(labels.size() == num_labels_, "label width mismatch");
+  features_.insert(features_.end(), x.begin(), x.end());
+  labels_.insert(labels_.end(), labels.begin(), labels.end());
+  ++rows_;
+}
+
+Dataset MultiLabelDataset::project(std::size_t label_index) const {
+  SF_CHECK(label_index < num_labels_, "label index out of range");
+  Dataset out(num_features_);
+  out.reserve(rows_);
+  for (std::size_t i = 0; i < rows_; ++i) out.add(features(i), labels(i)[label_index]);
+  return out;
+}
+
+Dataset MultiLabelDataset::project(std::size_t label_index,
+                                   std::span<const std::size_t> feature_subset) const {
+  SF_CHECK(label_index < num_labels_, "label index out of range");
+  if (feature_subset.empty()) return project(label_index);
+  for (std::size_t f : feature_subset) SF_CHECK(f < num_features_, "feature index out of range");
+  Dataset out(feature_subset.size());
+  out.reserve(rows_);
+  std::vector<double> row(feature_subset.size());
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const auto full = features(i);
+    for (std::size_t k = 0; k < feature_subset.size(); ++k) row[k] = full[feature_subset[k]];
+    out.add(row, labels(i)[label_index]);
+  }
+  return out;
+}
+
+MultiLabelDataset MultiLabelDataset::slice(std::size_t begin, std::size_t end) const {
+  SF_CHECK(begin <= end && end <= rows_, "slice bounds out of range");
+  MultiLabelDataset out(num_features_, num_labels_);
+  for (std::size_t i = begin; i < end; ++i) out.add(features(i), labels(i));
+  return out;
+}
+
+BinaryRelevance::BinaryRelevance(ClassifierFactory factory) : factory_(std::move(factory)) {
+  SF_CHECK(static_cast<bool>(factory_), "factory must be callable");
+}
+
+void BinaryRelevance::set_feature_subsets(std::vector<std::vector<std::size_t>> subsets) {
+  SF_CHECK(!fitted_, "feature subsets must be set before fit");
+  feature_subsets_ = std::move(subsets);
+}
+
+std::vector<double> BinaryRelevance::project_features(std::size_t label,
+                                                      std::span<const double> x) const {
+  if (label >= feature_subsets_.size() || feature_subsets_[label].empty()) {
+    return {x.begin(), x.end()};
+  }
+  std::vector<double> out;
+  out.reserve(feature_subsets_[label].size());
+  for (std::size_t f : feature_subsets_[label]) {
+    SF_CHECK(f < x.size(), "feature index out of range");
+    out.push_back(x[f]);
+  }
+  return out;
+}
+
+void BinaryRelevance::fit(const MultiLabelDataset& data) {
+  SF_CHECK(!data.empty(), "cannot fit on an empty multi-label dataset");
+  SF_CHECK(feature_subsets_.empty() || feature_subsets_.size() == data.num_labels(),
+           "feature subsets must cover every label");
+  models_.clear();
+  models_.resize(data.num_labels());
+  for (std::size_t l = 0; l < data.num_labels(); ++l) {
+    const Dataset proj = l < feature_subsets_.size()
+                             ? data.project(l, feature_subsets_[l])
+                             : data.project(l);
+    const auto classes = proj.classes();
+    if (classes.size() < 2) {
+      models_[l].is_constant = true;
+      models_[l].constant_label = classes.empty() ? 0 : classes.front();
+      continue;
+    }
+    models_[l].model = factory_();
+    models_[l].model->fit(proj);
+  }
+  fitted_ = true;
+}
+
+std::vector<int> BinaryRelevance::predict(std::span<const double> x) const {
+  if (!fitted_) throw StateError("BinaryRelevance::predict called before fit");
+  std::vector<int> out(models_.size(), 0);
+  for (std::size_t l = 0; l < models_.size(); ++l) {
+    out[l] = models_[l].is_constant ? models_[l].constant_label
+                                    : models_[l].model->predict(project_features(l, x));
+  }
+  return out;
+}
+
+std::vector<double> BinaryRelevance::predict_scores(std::span<const double> x) const {
+  if (!fitted_) throw StateError("BinaryRelevance::predict_scores called before fit");
+  std::vector<double> out(models_.size(), 0.0);
+  for (std::size_t l = 0; l < models_.size(); ++l) {
+    out[l] = models_[l].is_constant ? static_cast<double>(models_[l].constant_label)
+                                    : models_[l].model->predict_score(project_features(l, x));
+  }
+  return out;
+}
+
+BinaryRelevance::MlMetrics BinaryRelevance::evaluate(const MultiLabelDataset& test) const {
+  SF_CHECK(!test.empty(), "cannot evaluate on an empty dataset");
+  std::size_t exact = 0;
+  std::vector<Confusion> per_label(models_.size());
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    const auto predicted = predict(test.features(i));
+    const auto truth = test.labels(i);
+    bool all = true;
+    for (std::size_t l = 0; l < models_.size(); ++l) {
+      per_label[l].add(truth[l], predicted[l]);
+      all = all && predicted[l] == truth[l];
+    }
+    if (all) ++exact;
+  }
+  MlMetrics m;
+  m.subset_accuracy = static_cast<double>(exact) / static_cast<double>(test.size());
+  for (const auto& c : per_label) {
+    m.hamming_accuracy += c.accuracy();
+    m.mean_precision += c.precision();
+    m.mean_recall += c.recall();
+  }
+  const auto nl = static_cast<double>(models_.size());
+  m.hamming_accuracy /= nl;
+  m.mean_precision /= nl;
+  m.mean_recall /= nl;
+  return m;
+}
+
+}  // namespace smartflux::ml

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace smartflux::ml {
+
+/// Multi-label dataset: one shared feature matrix, L binary labels per row
+/// (the paper's classifier maps per-step input impacts to the configuration
+/// of steps to execute, §3.1).
+class MultiLabelDataset {
+ public:
+  MultiLabelDataset() = default;
+  MultiLabelDataset(std::size_t num_features, std::size_t num_labels);
+
+  void add(std::span<const double> x, std::span<const int> labels);
+
+  std::size_t size() const noexcept { return rows_; }
+  bool empty() const noexcept { return rows_ == 0; }
+  std::size_t num_features() const noexcept { return num_features_; }
+  std::size_t num_labels() const noexcept { return num_labels_; }
+
+  std::span<const double> features(std::size_t i) const noexcept {
+    return {features_.data() + i * num_features_, num_features_};
+  }
+  std::span<const int> labels(std::size_t i) const noexcept {
+    return {labels_.data() + i * num_labels_, num_labels_};
+  }
+
+  /// Projects to the single-label dataset for one label index.
+  Dataset project(std::size_t label_index) const;
+  /// Same, keeping only the given feature columns.
+  Dataset project(std::size_t label_index, std::span<const std::size_t> feature_subset) const;
+
+  /// Rows [begin, end) as a new multi-label dataset.
+  MultiLabelDataset slice(std::size_t begin, std::size_t end) const;
+
+ private:
+  std::size_t num_features_ = 0;
+  std::size_t num_labels_ = 0;
+  std::size_t rows_ = 0;
+  std::vector<double> features_;
+  std::vector<int> labels_;
+};
+
+/// Binary Relevance multi-label classifier: one independent binary classifier
+/// per label, produced by a shared factory. Labels whose training column is
+/// constant are handled with a constant predictor (no degenerate fits).
+class BinaryRelevance {
+ public:
+  explicit BinaryRelevance(ClassifierFactory factory);
+
+  /// Restricts label `l` to the given feature columns (empty = all features).
+  /// Must be called before fit. Useful when each label is known to depend on
+  /// a subset of features — e.g. SmartFlux's per-step impact columns.
+  void set_feature_subsets(std::vector<std::vector<std::size_t>> subsets);
+
+  void fit(const MultiLabelDataset& data);
+  std::vector<int> predict(std::span<const double> x) const;
+  std::vector<double> predict_scores(std::span<const double> x) const;
+  bool is_fitted() const noexcept { return fitted_; }
+  std::size_t num_labels() const noexcept { return models_.size(); }
+
+  /// Exact-match ratio and per-label mean accuracy on a test set.
+  struct MlMetrics {
+    double subset_accuracy = 0.0;  ///< All labels of a row correct.
+    double hamming_accuracy = 0.0; ///< Mean per-label accuracy.
+    double mean_precision = 0.0;
+    double mean_recall = 0.0;
+  };
+  MlMetrics evaluate(const MultiLabelDataset& test) const;
+
+ private:
+  struct PerLabel {
+    std::unique_ptr<Classifier> model;  // null when constant
+    int constant_label = 0;
+    bool is_constant = false;
+  };
+
+  /// Features of `x` used by label `l`'s model (identity when no subset set).
+  std::vector<double> project_features(std::size_t label, std::span<const double> x) const;
+
+  ClassifierFactory factory_;
+  std::vector<std::vector<std::size_t>> feature_subsets_;
+  std::vector<PerLabel> models_;
+  bool fitted_ = false;
+};
+
+}  // namespace smartflux::ml

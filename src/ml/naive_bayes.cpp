@@ -1,0 +1,85 @@
+#include "ml/naive_bayes.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace smartflux::ml {
+
+void GaussianNaiveBayes::fit(const Dataset& data) {
+  SF_CHECK(!data.empty(), "cannot fit on an empty dataset");
+  num_features_ = data.num_features();
+  std::size_t num_classes = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    num_classes = std::max(num_classes, static_cast<std::size_t>(data.label(i)) + 1);
+  }
+  priors_.assign(num_classes, 0.0);
+  means_.assign(num_classes, std::vector<double>(num_features_, 0.0));
+  variances_.assign(num_classes, std::vector<double>(num_features_, 0.0));
+  std::vector<double> counts(num_classes, 0.0);
+
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto c = static_cast<std::size_t>(data.label(i));
+    counts[c] += 1.0;
+    const auto row = data.features(i);
+    for (std::size_t f = 0; f < num_features_; ++f) means_[c][f] += row[f];
+  }
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    if (counts[c] == 0.0) continue;
+    for (double& m : means_[c]) m /= counts[c];
+  }
+  double global_var = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto c = static_cast<std::size_t>(data.label(i));
+    const auto row = data.features(i);
+    for (std::size_t f = 0; f < num_features_; ++f) {
+      const double d = row[f] - means_[c][f];
+      variances_[c][f] += d * d;
+      global_var += d * d;
+    }
+  }
+  global_var /= static_cast<double>(data.size() * num_features_);
+  const double floor = std::max(1e-9, 1e-9 * global_var);
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    priors_[c] = counts[c] / static_cast<double>(data.size());
+    for (std::size_t f = 0; f < num_features_; ++f) {
+      variances_[c][f] =
+          counts[c] > 1.0 ? std::max(variances_[c][f] / counts[c], floor) : std::max(global_var, floor);
+    }
+  }
+}
+
+std::vector<double> GaussianNaiveBayes::log_joint(std::span<const double> x) const {
+  if (priors_.empty()) throw StateError("GaussianNaiveBayes::predict called before fit");
+  SF_CHECK(x.size() == num_features_, "feature vector width mismatch");
+  std::vector<double> out(priors_.size(), -std::numeric_limits<double>::infinity());
+  for (std::size_t c = 0; c < priors_.size(); ++c) {
+    if (priors_[c] <= 0.0) continue;
+    double lj = std::log(priors_[c]);
+    for (std::size_t f = 0; f < num_features_; ++f) {
+      const double var = variances_[c][f];
+      const double d = x[f] - means_[c][f];
+      lj += -0.5 * (std::log(2.0 * M_PI * var) + d * d / var);
+    }
+    out[c] = lj;
+  }
+  return out;
+}
+
+int GaussianNaiveBayes::predict(std::span<const double> x) const {
+  const auto lj = log_joint(x);
+  return static_cast<int>(std::max_element(lj.begin(), lj.end()) - lj.begin());
+}
+
+double GaussianNaiveBayes::predict_score(std::span<const double> x) const {
+  const auto lj = log_joint(x);
+  if (lj.size() < 2) return 0.0;
+  // Softmax posterior of class 1 (log-sum-exp for stability).
+  const double mx = *std::max_element(lj.begin(), lj.end());
+  double denom = 0.0;
+  for (double v : lj) denom += std::exp(v - mx);
+  return std::exp(lj[1] - mx) / denom;
+}
+
+}  // namespace smartflux::ml

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace smartflux::ml {
+
+/// Gaussian Naive Bayes: per-class, per-feature normal likelihoods with a
+/// variance floor for numerical stability. Stands in for the paper's "Bayes
+/// Network" baseline in the classifier-selection experiment (§3.2).
+class GaussianNaiveBayes final : public Classifier {
+ public:
+  GaussianNaiveBayes() = default;
+
+  void fit(const Dataset& data) override;
+  int predict(std::span<const double> x) const override;
+  double predict_score(std::span<const double> x) const override;
+  bool is_fitted() const noexcept override { return !priors_.empty(); }
+  std::string name() const override { return "GaussianNaiveBayes"; }
+
+ private:
+  /// Log-joint log p(c) + sum log p(x_f | c) per class.
+  std::vector<double> log_joint(std::span<const double> x) const;
+
+  std::size_t num_features_ = 0;
+  std::vector<double> priors_;                  // per class
+  std::vector<std::vector<double>> means_;      // [class][feature]
+  std::vector<std::vector<double>> variances_;  // [class][feature]
+};
+
+}  // namespace smartflux::ml

@@ -1,0 +1,131 @@
+#include "ml/random_forest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+
+#include "common/error.h"
+
+namespace smartflux::ml {
+
+RandomForest::RandomForest(ForestOptions options, std::uint64_t seed)
+    : options_(options), rng_(seed) {
+  SF_CHECK(options_.num_trees >= 1, "a forest needs at least one tree");
+  SF_CHECK(options_.bootstrap_fraction > 0.0, "bootstrap_fraction must be positive");
+  SF_CHECK(options_.decision_threshold > 0.0 && options_.decision_threshold < 1.0,
+           "decision_threshold must be in (0, 1)");
+}
+
+void RandomForest::fit(const Dataset& data) {
+  SF_CHECK(!data.empty(), "cannot fit a forest on an empty dataset");
+  trees_.clear();
+  trees_.reserve(options_.num_trees);
+  num_classes_ = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    num_classes_ = std::max(num_classes_, static_cast<std::size_t>(data.label(i)) + 1);
+  }
+
+  TreeOptions tree_opts = options_.tree;
+  if (tree_opts.max_features == 0) {
+    // WEKA-style default: log2(F) + 1 candidate features per split. For the
+    // low-dimensional feature vectors SmartFlux produces this examines more
+    // features than sqrt(F) would, which matters when one feature (the
+    // step's own impact) carries most of the signal.
+    tree_opts.max_features = static_cast<std::size_t>(
+        std::max(1.0, std::floor(std::log2(static_cast<double>(data.num_features()))) + 1.0));
+  }
+
+  const auto sample_size = static_cast<std::size_t>(
+      std::max(1.0, options_.bootstrap_fraction * static_cast<double>(data.size())));
+
+  // Out-of-bag vote accumulation: votes[i][c] over trees where i was not drawn.
+  std::vector<std::vector<double>> oob_votes(data.size(), std::vector<double>(num_classes_, 0.0));
+  std::vector<char> in_bag(data.size());
+  std::vector<std::size_t> bootstrap(sample_size);
+
+  for (std::size_t t = 0; t < options_.num_trees; ++t) {
+    std::fill(in_bag.begin(), in_bag.end(), char{0});
+    for (std::size_t k = 0; k < sample_size; ++k) {
+      const std::size_t idx = rng_.uniform_index(data.size());
+      bootstrap[k] = idx;
+      in_bag[idx] = 1;
+    }
+    DecisionTree tree(tree_opts, rng_());
+    tree.fit_indices(data, bootstrap);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      if (in_bag[i]) continue;
+      const int c = tree.predict(data.features(i));
+      if (static_cast<std::size_t>(c) < num_classes_) {
+        oob_votes[i][static_cast<std::size_t>(c)] += 1.0;
+      }
+    }
+    trees_.push_back(std::move(tree));
+  }
+
+  std::size_t evaluated = 0, correct = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto& votes = oob_votes[i];
+    double total = 0.0;
+    for (double v : votes) total += v;
+    if (total == 0.0) continue;
+    const auto best =
+        static_cast<int>(std::max_element(votes.begin(), votes.end()) - votes.begin());
+    ++evaluated;
+    if (best == data.label(i)) ++correct;
+  }
+  oob_accuracy_ = evaluated == 0
+                      ? std::nan("")
+                      : static_cast<double>(correct) / static_cast<double>(evaluated);
+}
+
+double RandomForest::predict_score(std::span<const double> x) const {
+  if (trees_.empty()) throw StateError("RandomForest::predict called before fit");
+  double sum = 0.0;
+  for (const auto& tree : trees_) sum += tree.predict_score(x);
+  return sum / static_cast<double>(trees_.size());
+}
+
+void RandomForest::save(std::ostream& os) const {
+  if (trees_.empty()) throw StateError("cannot save an unfitted RandomForest");
+  os.precision(17);
+  os << "forest " << trees_.size() << ' ' << num_classes_ << ' '
+     << options_.decision_threshold << ' ' << oob_accuracy_ << '\n';
+  for (const auto& tree : trees_) tree.save(os);
+}
+
+RandomForest RandomForest::load(std::istream& is) {
+  std::string magic;
+  std::size_t num_trees = 0;
+  std::size_t num_classes = 0;
+  double threshold = 0.5;
+  double oob = 0.0;
+  if (!(is >> magic >> num_trees >> num_classes >> threshold >> oob) || magic != "forest") {
+    throw InvalidArgument("malformed RandomForest stream (bad header)");
+  }
+  SF_CHECK(num_trees >= 1, "RandomForest stream declares no trees");
+  ForestOptions options;
+  options.num_trees = num_trees;
+  options.decision_threshold = threshold;
+  RandomForest forest(options);
+  forest.num_classes_ = num_classes;
+  forest.oob_accuracy_ = oob;
+  forest.trees_.reserve(num_trees);
+  for (std::size_t t = 0; t < num_trees; ++t) forest.trees_.push_back(DecisionTree::load(is));
+  return forest;
+}
+
+int RandomForest::predict(std::span<const double> x) const {
+  if (trees_.empty()) throw StateError("RandomForest::predict called before fit");
+  if (num_classes_ <= 2) {
+    return predict_score(x) >= options_.decision_threshold ? 1 : 0;
+  }
+  std::vector<double> votes(num_classes_, 0.0);
+  for (const auto& tree : trees_) {
+    const auto dist = tree.leaf_distribution(x);
+    for (std::size_t c = 0; c < dist.size() && c < num_classes_; ++c) votes[c] += dist[c];
+  }
+  return static_cast<int>(std::max_element(votes.begin(), votes.end()) - votes.begin());
+}
+
+}  // namespace smartflux::ml

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "ml/decision_tree.h"
+
+namespace smartflux::ml {
+
+struct ForestOptions {
+  std::size_t num_trees = 64;
+  TreeOptions tree;
+  /// Fraction of the training set drawn (with replacement) per tree.
+  double bootstrap_fraction = 1.0;
+  /// Score threshold above which class 1 is predicted; lowering it below 0.5
+  /// trades precision for recall (paper §3.2 / §5.2: the LRB classifier is
+  /// optimized for recall).
+  double decision_threshold = 0.5;
+};
+
+/// Random Forest (Breiman 2001): bagged CART trees with per-split feature
+/// subsampling. The default classifier of SmartFlux (paper §3.2: best mean
+/// ROC area, 0.86, across both benchmark workloads).
+class RandomForest final : public Classifier {
+ public:
+  explicit RandomForest(ForestOptions options = {}, std::uint64_t seed = 1);
+
+  void fit(const Dataset& data) override;
+  int predict(std::span<const double> x) const override;
+  /// Fraction of trees voting for class 1 (binary); mean posterior otherwise.
+  double predict_score(std::span<const double> x) const override;
+  bool is_fitted() const noexcept override { return !trees_.empty(); }
+  std::string name() const override { return "RandomForest"; }
+
+  std::size_t num_trees() const noexcept { return trees_.size(); }
+  const ForestOptions& options() const noexcept { return options_; }
+
+  /// Out-of-bag accuracy estimate from the last fit (NaN if bootstrap
+  /// produced no OOB samples, e.g. bootstrap_fraction heavily > 1).
+  double oob_accuracy() const noexcept { return oob_accuracy_; }
+
+  /// Persists the fitted forest (trees + decision threshold); load() restores
+  /// a forest making identical predictions.
+  void save(std::ostream& os) const;
+  static RandomForest load(std::istream& is);
+
+ private:
+  ForestOptions options_;
+  Rng rng_;
+  std::vector<DecisionTree> trees_;
+  std::size_t num_classes_ = 0;
+  double oob_accuracy_ = 0.0;
+};
+
+}  // namespace smartflux::ml

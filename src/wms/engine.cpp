@@ -1,0 +1,205 @@
+#include "wms/engine.h"
+
+#include "common/error.h"
+#include "common/logging.h"
+#include "datastore/client.h"
+
+namespace smartflux::wms {
+
+std::size_t WaveResult::executed_count() const noexcept {
+  std::size_t n = 0;
+  for (bool e : executed) n += e ? 1 : 0;
+  return n;
+}
+
+WorkflowEngine::WorkflowEngine(WorkflowSpec spec, ds::DataStore& store)
+    : WorkflowEngine(std::move(spec), store, Options{}) {}
+
+WorkflowEngine::WorkflowEngine(WorkflowSpec spec, ds::DataStore& store, Options options)
+    : spec_(std::move(spec)),
+      store_(&store),
+      options_(options),
+      exec_counts_(spec_.size(), 0),
+      failure_counts_(spec_.size(), 0),
+      last_exec_wave_(spec_.size()) {
+  if (options_.worker_threads > 0) {
+    pool_ = std::make_unique<ThreadPool>(options_.worker_threads);
+  }
+}
+
+bool WorkflowEngine::eligible(std::size_t index) const {
+  // Eligibility: all predecessors must have completed at least one execution
+  // ever (paper §2 triggering semantics).
+  for (std::size_t pred : spec_.predecessors(index)) {
+    if (exec_counts_[pred] == 0) return false;
+  }
+  return true;
+}
+
+WaveResult WorkflowEngine::run_wave(ds::Timestamp wave, TriggerController& controller) {
+  if (last_wave_ && wave <= *last_wave_) {
+    throw InvalidArgument("waves must be strictly increasing (got " + std::to_string(wave) +
+                          " after " + std::to_string(*last_wave_) + ")");
+  }
+  last_wave_ = wave;
+  ++waves_run_;
+  return pool_ ? run_wave_parallel(wave, controller) : run_wave_serial(wave, controller);
+}
+
+WaveResult WorkflowEngine::run_wave_serial(ds::Timestamp wave, TriggerController& controller) {
+  WaveResult result;
+  result.wave = wave;
+  result.executed.assign(spec_.size(), false);
+  result.durations.assign(spec_.size(), std::chrono::nanoseconds{0});
+
+  controller.begin_wave(wave);
+  for (std::size_t index : spec_.topological_order()) {
+    if (!eligible(index)) continue;
+    const StepSpec& step = spec_.step_at(index);
+    const bool run = !step.tolerates_error() || controller.should_execute(spec_, index, wave);
+    if (run) execute_step(index, wave, result, controller);
+  }
+  controller.end_wave(wave);
+  return result;
+}
+
+WaveResult WorkflowEngine::run_wave_parallel(ds::Timestamp wave, TriggerController& controller) {
+  WaveResult result;
+  result.wave = wave;
+  result.executed.assign(spec_.size(), false);
+  result.durations.assign(spec_.size(), std::chrono::nanoseconds{0});
+
+  controller.begin_wave(wave);
+  for (const auto& level : spec_.levels()) {
+    // Phase 1 (serial, spec order): triggering decisions. Same-level steps
+    // cannot depend on one another, so their inputs are already final.
+    std::vector<std::size_t> to_run;
+    for (std::size_t index : level) {
+      if (!eligible(index)) continue;
+      const StepSpec& step = spec_.step_at(index);
+      if (!step.tolerates_error() || controller.should_execute(spec_, index, wave)) {
+        to_run.push_back(index);
+      }
+    }
+
+    // Phase 2 (parallel): execute the approved steps of this level. The
+    // failure policy runs inside each task; under kPropagate the first
+    // exception surfaces from run_all after the level completes.
+    std::vector<std::optional<std::chrono::nanoseconds>> durations(to_run.size());
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(to_run.size());
+    for (std::size_t k = 0; k < to_run.size(); ++k) {
+      tasks.push_back([this, wave, index = to_run[k], &durations, k] {
+        durations[k] = run_step_fn(index, wave);
+      });
+    }
+    pool_->run_all(std::move(tasks));
+
+    // Phase 3 (serial, spec order): bookkeeping and notifications.
+    for (std::size_t k = 0; k < to_run.size(); ++k) {
+      if (durations[k]) {
+        record_execution(to_run[k], wave, result, *durations[k], controller);
+      }
+    }
+  }
+  controller.end_wave(wave);
+  return result;
+}
+
+std::optional<std::chrono::nanoseconds> WorkflowEngine::run_step_fn(std::size_t index,
+                                                                    ds::Timestamp wave) {
+  const StepSpec& step = spec_.step_at(index);
+  const std::size_t attempts =
+      options_.failure_policy == FailurePolicy::kRetryOnce ? 2 : 1;
+  for (std::size_t attempt = 1; attempt <= attempts; ++attempt) {
+    ds::Client client(*store_, wave);
+    StepContext ctx{client, wave, step.id};
+    const auto start = std::chrono::steady_clock::now();
+    try {
+      step.fn(ctx);
+      return std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start);
+    } catch (const std::exception& e) {
+      if (options_.failure_policy == FailurePolicy::kPropagate) throw;
+      {
+        std::lock_guard lock(failure_mutex_);
+        last_failure_ = e.what();
+      }
+      SF_LOG_WARN("wms") << "step '" << step.id << "' failed at wave " << wave << " (attempt "
+                         << attempt << "/" << attempts << "): " << e.what();
+    } catch (...) {
+      if (options_.failure_policy == FailurePolicy::kPropagate) throw;
+      {
+        std::lock_guard lock(failure_mutex_);
+        last_failure_ = "unknown exception";
+      }
+      SF_LOG_WARN("wms") << "step '" << step.id << "' failed at wave " << wave
+                         << " with a non-std exception";
+    }
+  }
+  std::lock_guard lock(failure_mutex_);
+  ++failure_counts_[index];
+  return std::nullopt;
+}
+
+void WorkflowEngine::execute_step(std::size_t index, ds::Timestamp wave, WaveResult& result,
+                                  TriggerController& controller) {
+  if (const auto elapsed = run_step_fn(index, wave)) {
+    record_execution(index, wave, result, *elapsed, controller);
+  }
+}
+
+void WorkflowEngine::record_execution(std::size_t index, ds::Timestamp wave, WaveResult& result,
+                                      std::chrono::nanoseconds duration,
+                                      TriggerController& controller) {
+  const StepSpec& step = spec_.step_at(index);
+  result.executed[index] = true;
+  result.durations[index] = duration;
+  ++exec_counts_[index];
+  ++total_executions_;
+  last_exec_wave_[index] = wave;
+
+  controller.on_step_executed(spec_, index, wave);
+  for (const auto& listener : listeners_) listener(step.id, wave);
+  SF_LOG_DEBUG("wms") << "wave " << wave << ": executed step '" << step.id << "'";
+}
+
+std::vector<WaveResult> WorkflowEngine::run_waves(ds::Timestamp first, std::size_t count,
+                                                  TriggerController& controller) {
+  std::vector<WaveResult> out;
+  out.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) out.push_back(run_wave(first + k, controller));
+  return out;
+}
+
+std::size_t WorkflowEngine::execution_count(std::size_t step_index) const {
+  SF_CHECK(step_index < spec_.size(), "step index out of range");
+  return exec_counts_[step_index];
+}
+
+std::optional<ds::Timestamp> WorkflowEngine::last_executed_wave(std::size_t step_index) const {
+  SF_CHECK(step_index < spec_.size(), "step index out of range");
+  return last_exec_wave_[step_index];
+}
+
+std::size_t WorkflowEngine::failure_count(std::size_t step_index) const {
+  SF_CHECK(step_index < spec_.size(), "step index out of range");
+  return failure_counts_[step_index];
+}
+
+void WorkflowEngine::add_completion_listener(StepCompletionListener listener) {
+  SF_CHECK(static_cast<bool>(listener), "listener must be callable");
+  listeners_.push_back(std::move(listener));
+}
+
+void WorkflowEngine::reset_history() {
+  std::fill(exec_counts_.begin(), exec_counts_.end(), std::size_t{0});
+  std::fill(failure_counts_.begin(), failure_counts_.end(), std::size_t{0});
+  last_failure_.clear();
+  std::fill(last_exec_wave_.begin(), last_exec_wave_.end(), std::optional<ds::Timestamp>{});
+  total_executions_ = 0;
+  waves_run_ = 0;
+  last_wave_.reset();
+}
+
+}  // namespace smartflux::wms

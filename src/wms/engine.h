@@ -1,0 +1,146 @@
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "datastore/datastore.h"
+#include "wms/workflow_spec.h"
+
+namespace smartflux::wms {
+
+/// Decides, per wave, whether an eligible error-tolerant step runs. This is
+/// the integration point SmartFlux plugs into (the paper's "triggering
+/// notification" API between the framework and the WMS, §4): the controller
+/// receives wave begin/end and step completion callbacks and answers
+/// triggering queries.
+class TriggerController {
+ public:
+  virtual ~TriggerController() = default;
+
+  virtual void begin_wave(ds::Timestamp wave) { (void)wave; }
+  /// Queried once per eligible, error-tolerant step per wave.
+  virtual bool should_execute(const WorkflowSpec& spec, std::size_t step_index,
+                              ds::Timestamp wave) = 0;
+  /// Notified after every step execution (tolerant or not).
+  virtual void on_step_executed(const WorkflowSpec& spec, std::size_t step_index,
+                                ds::Timestamp wave) {
+    (void)spec;
+    (void)step_index;
+    (void)wave;
+  }
+  virtual void end_wave(ds::Timestamp wave) { (void)wave; }
+};
+
+/// The traditional Synchronous Data-Flow policy: every eligible step runs at
+/// every wave (the paper's baseline "sync" model).
+class SyncController final : public TriggerController {
+ public:
+  bool should_execute(const WorkflowSpec&, std::size_t, ds::Timestamp) override { return true; }
+};
+
+/// Outcome of one wave of execution.
+struct WaveResult {
+  ds::Timestamp wave = 0;
+  /// Per-step (spec order): did the step run this wave?
+  std::vector<bool> executed;
+  /// Per-step wall-clock execution time (zero for skipped steps).
+  std::vector<std::chrono::nanoseconds> durations;
+
+  std::size_t executed_count() const noexcept;
+};
+
+/// Notified after a step finishes (the paper's Oozie notification scheme:
+/// "Oozie only has to notify when a step finishes its execution").
+using StepCompletionListener = std::function<void(const StepId&, ds::Timestamp)>;
+
+/// The workflow management system: executes a WorkflowSpec against a
+/// DataStore, wave by wave, delegating triggering decisions for
+/// error-tolerant steps to a TriggerController.
+///
+/// Eligibility rule (§2): a step may run only when every predecessor has
+/// completed at least one execution (in this or an earlier wave).
+/// Error-intolerant steps run at every wave in which they are eligible.
+class WorkflowEngine {
+ public:
+  /// What to do when a step's computation throws (real WMSs retry failed
+  /// actions; Oozie has per-action retry policies).
+  enum class FailurePolicy {
+    kPropagate,  ///< rethrow to the run_wave caller (default)
+    kRetryOnce,  ///< retry once, then record the failure and continue the wave
+    kSkipStep,   ///< record the failure and continue the wave
+  };
+
+  struct Options {
+    /// Number of worker threads for intra-wave parallelism. 0 = serial.
+    /// With workers, steps of the same dependency level whose execution was
+    /// approved run concurrently; controller queries and notifications stay
+    /// serialized in spec order, so TriggerController implementations need
+    /// no internal locking.
+    std::size_t worker_threads = 0;
+    FailurePolicy failure_policy = FailurePolicy::kPropagate;
+  };
+
+  WorkflowEngine(WorkflowSpec spec, ds::DataStore& store);
+  WorkflowEngine(WorkflowSpec spec, ds::DataStore& store, Options options);
+
+  /// Runs one wave. Steps execute in topological order; each step receives a
+  /// Client stamped with the wave timestamp. Waves must be strictly
+  /// increasing.
+  WaveResult run_wave(ds::Timestamp wave, TriggerController& controller);
+
+  /// Convenience: runs waves [first, first+count) under one controller.
+  std::vector<WaveResult> run_waves(ds::Timestamp first, std::size_t count,
+                                    TriggerController& controller);
+
+  const WorkflowSpec& spec() const noexcept { return spec_; }
+  ds::DataStore& store() noexcept { return *store_; }
+
+  /// Total executions of a step across all waves so far.
+  std::size_t execution_count(std::size_t step_index) const;
+  std::size_t total_executions() const noexcept { return total_executions_; }
+  std::size_t waves_run() const noexcept { return waves_run_; }
+  /// Wave of the most recent execution of a step; nullopt if never run.
+  std::optional<ds::Timestamp> last_executed_wave(std::size_t step_index) const;
+
+  void add_completion_listener(StepCompletionListener listener);
+
+  /// Failures swallowed by kRetryOnce/kSkipStep, per step.
+  std::size_t failure_count(std::size_t step_index) const;
+  /// what() of the most recent swallowed failure (empty if none).
+  const std::string& last_failure_message() const noexcept { return last_failure_; }
+
+  /// Resets execution-history bookkeeping (not the data store).
+  void reset_history();
+
+ private:
+  void execute_step(std::size_t index, ds::Timestamp wave, WaveResult& result,
+                    TriggerController& controller);
+  WaveResult run_wave_serial(ds::Timestamp wave, TriggerController& controller);
+  WaveResult run_wave_parallel(ds::Timestamp wave, TriggerController& controller);
+  bool eligible(std::size_t index) const;
+  /// Runs a step's computation under the failure policy. Returns the
+  /// duration on success; nullopt when the failure was swallowed.
+  std::optional<std::chrono::nanoseconds> run_step_fn(std::size_t index, ds::Timestamp wave);
+  void record_execution(std::size_t index, ds::Timestamp wave, WaveResult& result,
+                        std::chrono::nanoseconds duration, TriggerController& controller);
+
+  WorkflowSpec spec_;
+  ds::DataStore* store_;
+  Options options_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<std::size_t> exec_counts_;
+  std::vector<std::size_t> failure_counts_;
+  std::mutex failure_mutex_;  ///< guards the two fields below under parallel waves
+  std::string last_failure_;
+  std::vector<std::optional<ds::Timestamp>> last_exec_wave_;
+  std::vector<StepCompletionListener> listeners_;
+  std::size_t total_executions_ = 0;
+  std::size_t waves_run_ = 0;
+  std::optional<ds::Timestamp> last_wave_;
+};
+
+}  // namespace smartflux::wms

@@ -1,0 +1,114 @@
+#include "wms/workflow_spec.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/error.h"
+
+namespace smartflux::wms {
+
+WorkflowSpec::WorkflowSpec(std::string name, std::vector<StepSpec> steps)
+    : name_(std::move(name)), steps_(std::move(steps)) {
+  SF_CHECK(!name_.empty(), "workflow name must not be empty");
+  SF_CHECK(!steps_.empty(), "a workflow needs at least one step");
+  validate_and_index();
+}
+
+void WorkflowSpec::validate_and_index() {
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    const StepSpec& s = steps_[i];
+    SF_CHECK(!s.id.empty(), "step id must not be empty");
+    SF_CHECK(static_cast<bool>(s.fn), "step '" + s.id + "' has no computation");
+    if (s.max_error) {
+      // Relative error metrics (Eq. 3) live in [0,1], but RMSE-based bounds
+      // (Eq. 4) are only bounded below — accept any non-negative bound.
+      SF_CHECK(*s.max_error >= 0.0, "step '" + s.id + "': max_error must be non-negative");
+    }
+    const auto [_, inserted] = index_.emplace(s.id, i);
+    if (!inserted) throw InvalidArgument("duplicate step id '" + s.id + "'");
+  }
+
+  successors_.assign(steps_.size(), {});
+  predecessors_.assign(steps_.size(), {});
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    for (const StepId& pred : steps_[i].predecessors) {
+      auto it = index_.find(pred);
+      if (it == index_.end()) {
+        throw InvalidArgument("step '" + steps_[i].id + "' references unknown predecessor '" +
+                              pred + "'");
+      }
+      SF_CHECK(it->second != i, "step '" + steps_[i].id + "' cannot depend on itself");
+      predecessors_[i].push_back(it->second);
+      successors_[it->second].push_back(i);
+    }
+  }
+
+  // Kahn's algorithm: topological sort + cycle detection.
+  std::vector<std::size_t> in_degree(steps_.size());
+  for (std::size_t i = 0; i < steps_.size(); ++i) in_degree[i] = predecessors_[i].size();
+  std::deque<std::size_t> ready;
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    if (in_degree[i] == 0) ready.push_back(i);
+  }
+  topo_order_.clear();
+  topo_order_.reserve(steps_.size());
+  while (!ready.empty()) {
+    const std::size_t i = ready.front();
+    ready.pop_front();
+    topo_order_.push_back(i);
+    for (std::size_t succ : successors_[i]) {
+      if (--in_degree[succ] == 0) ready.push_back(succ);
+    }
+  }
+  if (topo_order_.size() != steps_.size()) {
+    throw InvalidArgument("workflow '" + name_ + "' contains a dependency cycle");
+  }
+
+  // Dependency-depth levels: level(i) = 1 + max(level(pred)).
+  std::vector<std::size_t> level_of(steps_.size(), 0);
+  std::size_t max_level = 0;
+  for (std::size_t i : topo_order_) {
+    for (std::size_t pred : predecessors_[i]) {
+      level_of[i] = std::max(level_of[i], level_of[pred] + 1);
+    }
+    max_level = std::max(max_level, level_of[i]);
+  }
+  levels_.assign(max_level + 1, {});
+  for (std::size_t i = 0; i < steps_.size(); ++i) levels_[level_of[i]].push_back(i);
+}
+
+const StepSpec& WorkflowSpec::step(const StepId& id) const { return steps_[index_of(id)]; }
+
+std::size_t WorkflowSpec::index_of(const StepId& id) const {
+  auto it = index_.find(id);
+  if (it == index_.end()) throw NotFound("no step named '" + id + "'");
+  return it->second;
+}
+
+bool WorkflowSpec::contains(const StepId& id) const noexcept { return index_.contains(id); }
+
+std::vector<std::size_t> WorkflowSpec::sinks() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    if (successors_[i].empty()) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<std::size_t> WorkflowSpec::sources() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    if (predecessors_[i].empty()) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<std::size_t> WorkflowSpec::error_tolerant_steps() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    if (steps_[i].tolerates_error()) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace smartflux::wms

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "datastore/client.h"
+#include "datastore/container_ref.h"
+
+namespace smartflux::wms {
+
+using StepId = std::string;
+
+/// Execution context handed to a step's computation: the wave it runs in and
+/// an adapted data-store client (all I/O goes through the store — steps share
+/// no other state, exactly as in the paper's model).
+struct StepContext {
+  ds::Client& client;
+  ds::Timestamp wave;
+  StepId step;
+};
+
+using StepFn = std::function<void(StepContext&)>;
+
+/// Declarative description of one processing step (the paper's extended Oozie
+/// action: computation + data containers + QoD error bound).
+struct StepSpec {
+  StepId id;
+  StepFn fn;
+  std::vector<StepId> predecessors;
+  /// Containers this step reads; impact is monitored on these.
+  std::vector<ds::ContainerRef> inputs;
+  /// Containers this step writes; output error is measured on these.
+  std::vector<ds::ContainerRef> outputs;
+  /// Maximum tolerated output error max_ε (in [0,1] for the relative error
+  /// metric, any non-negative value for RMSE). Unset = the step is
+  /// error-intolerant and always executes synchronously (paper: steps that
+  /// feed real-time queries or critical alerts).
+  std::optional<double> max_error;
+
+  bool tolerates_error() const noexcept { return max_error.has_value(); }
+};
+
+/// A validated DAG of processing steps. Construction performs full
+/// validation: unique ids, resolvable predecessors, acyclicity, and at least
+/// one source step. Immutable after construction.
+class WorkflowSpec {
+ public:
+  WorkflowSpec(std::string name, std::vector<StepSpec> steps);
+
+  const std::string& name() const noexcept { return name_; }
+  const std::vector<StepSpec>& steps() const noexcept { return steps_; }
+  std::size_t size() const noexcept { return steps_.size(); }
+
+  const StepSpec& step(const StepId& id) const;
+  const StepSpec& step_at(std::size_t index) const { return steps_[index]; }
+  std::size_t index_of(const StepId& id) const;
+  bool contains(const StepId& id) const noexcept;
+
+  /// Step indices in a valid topological order (computed at construction).
+  const std::vector<std::size_t>& topological_order() const noexcept { return topo_order_; }
+
+  /// Steps grouped by dependency depth (longest path from a source): steps
+  /// within one level share no dependency path, so a parallel engine may run
+  /// them concurrently. Levels are ordered; within a level, indices follow
+  /// spec order.
+  const std::vector<std::vector<std::size_t>>& levels() const noexcept { return levels_; }
+
+  /// Direct successor indices of a step.
+  const std::vector<std::size_t>& successors(std::size_t index) const {
+    return successors_[index];
+  }
+  /// Direct predecessor indices of a step.
+  const std::vector<std::size_t>& predecessors(std::size_t index) const {
+    return predecessors_[index];
+  }
+
+  /// Indices of sink steps (no successors) — these produce the workflow
+  /// output (§1: "steps that do not have any successor steps").
+  std::vector<std::size_t> sinks() const;
+  /// Indices of source steps (no predecessors).
+  std::vector<std::size_t> sources() const;
+
+  /// Indices of steps that declare an error bound (the learnable labels).
+  std::vector<std::size_t> error_tolerant_steps() const;
+
+ private:
+  void validate_and_index();
+
+  std::string name_;
+  std::vector<StepSpec> steps_;
+  std::map<StepId, std::size_t> index_;
+  std::vector<std::vector<std::size_t>> successors_;
+  std::vector<std::vector<std::size_t>> predecessors_;
+  std::vector<std::size_t> topo_order_;
+  std::vector<std::vector<std::size_t>> levels_;
+};
+
+}  // namespace smartflux::wms

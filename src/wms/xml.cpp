@@ -1,0 +1,209 @@
+#include "wms/xml.h"
+
+#include <cctype>
+
+#include "common/error.h"
+
+namespace smartflux::wms::xml {
+
+const Element* Element::child(std::string_view tag) const {
+  for (const auto& c : children) {
+    if (c->tag == tag) return c.get();
+  }
+  return nullptr;
+}
+
+std::vector<const Element*> Element::children_named(std::string_view tag) const {
+  std::vector<const Element*> out;
+  for (const auto& c : children) {
+    if (c->tag == tag) out.push_back(c.get());
+  }
+  return out;
+}
+
+std::string Element::attribute(std::string_view name, std::string fallback) const {
+  auto it = attributes.find(std::string(name));
+  return it == attributes.end() ? std::move(fallback) : it->second;
+}
+
+bool Element::has_attribute(std::string_view name) const {
+  return attributes.contains(std::string(name));
+}
+
+std::string Element::child_text(std::string_view tag, std::string fallback) const {
+  const Element* c = child(tag);
+  return c == nullptr ? std::move(fallback) : c->text;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view doc) : doc_(doc) {}
+
+  std::unique_ptr<Element> parse_document() {
+    skip_misc();
+    auto root = parse_element();
+    skip_misc();
+    if (pos_ != doc_.size()) fail("trailing content after root element");
+    return root;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    std::size_t line = 1;
+    for (std::size_t i = 0; i < pos_ && i < doc_.size(); ++i) {
+      if (doc_[i] == '\n') ++line;
+    }
+    throw InvalidArgument("XML parse error at line " + std::to_string(line) + ": " + message);
+  }
+
+  bool eof() const noexcept { return pos_ >= doc_.size(); }
+  char peek() const noexcept { return eof() ? '\0' : doc_[pos_]; }
+  char get() {
+    if (eof()) fail("unexpected end of document");
+    return doc_[pos_++];
+  }
+  bool consume(std::string_view token) {
+    if (doc_.substr(pos_, token.size()) == token) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  void skip_whitespace() {
+    while (!eof() && std::isspace(static_cast<unsigned char>(peek()))) ++pos_;
+  }
+
+  /// Skips whitespace, comments and processing instructions between nodes.
+  void skip_misc() {
+    for (;;) {
+      skip_whitespace();
+      if (consume("<!--")) {
+        const auto end = doc_.find("-->", pos_);
+        if (end == std::string_view::npos) fail("unterminated comment");
+        pos_ = end + 3;
+      } else if (consume("<?")) {
+        const auto end = doc_.find("?>", pos_);
+        if (end == std::string_view::npos) fail("unterminated processing instruction");
+        pos_ = end + 2;
+      } else {
+        return;
+      }
+    }
+  }
+
+  static bool is_name_char(char c) noexcept {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '-' || c == '_' || c == '.' ||
+           c == ':';
+  }
+
+  std::string parse_name() {
+    const std::size_t start = pos_;
+    while (!eof() && is_name_char(peek())) ++pos_;
+    if (pos_ == start) fail("expected a name");
+    return std::string(doc_.substr(start, pos_ - start));
+  }
+
+  std::string decode_entities(std::string_view raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (std::size_t i = 0; i < raw.size();) {
+      if (raw[i] != '&') {
+        out.push_back(raw[i++]);
+        continue;
+      }
+      const auto end = raw.find(';', i);
+      if (end == std::string_view::npos) fail("unterminated entity reference");
+      const std::string_view entity = raw.substr(i + 1, end - i - 1);
+      if (entity == "lt") {
+        out.push_back('<');
+      } else if (entity == "gt") {
+        out.push_back('>');
+      } else if (entity == "amp") {
+        out.push_back('&');
+      } else if (entity == "quot") {
+        out.push_back('"');
+      } else if (entity == "apos") {
+        out.push_back('\'');
+      } else {
+        fail("unknown entity '&" + std::string(entity) + ";'");
+      }
+      i = end + 1;
+    }
+    return out;
+  }
+
+  std::string parse_attribute_value() {
+    const char quote = get();
+    if (quote != '"' && quote != '\'') fail("attribute value must be quoted");
+    const std::size_t start = pos_;
+    while (!eof() && peek() != quote) ++pos_;
+    if (eof()) fail("unterminated attribute value");
+    const auto raw = doc_.substr(start, pos_ - start);
+    ++pos_;  // closing quote
+    return decode_entities(raw);
+  }
+
+  static std::string trim(std::string s) {
+    const auto not_space = [](unsigned char c) { return !std::isspace(c); };
+    while (!s.empty() && !not_space(static_cast<unsigned char>(s.front()))) s.erase(s.begin());
+    while (!s.empty() && !not_space(static_cast<unsigned char>(s.back()))) s.pop_back();
+    return s;
+  }
+
+  std::unique_ptr<Element> parse_element() {
+    if (!consume("<")) fail("expected '<'");
+    auto element = std::make_unique<Element>();
+    element->tag = parse_name();
+
+    // Attributes.
+    for (;;) {
+      skip_whitespace();
+      if (consume("/>")) return element;  // self-closing
+      if (consume(">")) break;
+      const std::string name = parse_name();
+      skip_whitespace();
+      if (!consume("=")) fail("expected '=' after attribute name");
+      skip_whitespace();
+      const auto [_, inserted] = element->attributes.emplace(name, parse_attribute_value());
+      if (!inserted) fail("duplicate attribute '" + name + "'");
+    }
+
+    // Content: text, children, comments, until the matching end tag.
+    std::string text;
+    for (;;) {
+      if (eof()) fail("unterminated element <" + element->tag + ">");
+      if (consume("<!--")) {
+        const auto end = doc_.find("-->", pos_);
+        if (end == std::string_view::npos) fail("unterminated comment");
+        pos_ = end + 3;
+      } else if (consume("</")) {
+        const std::string closing = parse_name();
+        if (closing != element->tag) {
+          fail("mismatched end tag </" + closing + "> for <" + element->tag + ">");
+        }
+        skip_whitespace();
+        if (!consume(">")) fail("malformed end tag");
+        element->text = trim(decode_entities(text));
+        return element;
+      } else if (peek() == '<') {
+        element->children.push_back(parse_element());
+      } else {
+        text.push_back(get());
+      }
+    }
+  }
+
+  std::string_view doc_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Element> parse(std::string_view document) {
+  return Parser(document).parse_document();
+}
+
+}  // namespace smartflux::wms::xml

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace smartflux::wms::xml {
+
+/// A parsed XML element: tag, attributes, child elements and concatenated
+/// text content. Covers the subset of XML that workflow definitions use
+/// (no namespaces, DTDs or CDATA) with the five predefined entities.
+struct Element {
+  std::string tag;
+  std::map<std::string, std::string> attributes;
+  std::vector<std::unique_ptr<Element>> children;
+  std::string text;  ///< trimmed concatenation of text nodes
+
+  /// First child with the given tag, or nullptr.
+  const Element* child(std::string_view tag) const;
+  /// All children with the given tag.
+  std::vector<const Element*> children_named(std::string_view tag) const;
+  /// Attribute value or `fallback`.
+  std::string attribute(std::string_view name, std::string fallback = {}) const;
+  bool has_attribute(std::string_view name) const;
+  /// Text of the first child with the given tag, or `fallback`.
+  std::string child_text(std::string_view tag, std::string fallback = {}) const;
+};
+
+/// Parses a document and returns its root element. Throws
+/// smartflux::InvalidArgument with a line number on malformed input.
+std::unique_ptr<Element> parse(std::string_view document);
+
+}  // namespace smartflux::wms::xml

@@ -1,0 +1,104 @@
+#include "wms/xml_loader.h"
+
+#include <sstream>
+
+#include "common/error.h"
+#include "wms/xml.h"
+
+namespace smartflux::wms {
+
+void StepRegistry::register_step(std::string name, StepFn fn) {
+  SF_CHECK(!name.empty(), "step implementation name must not be empty");
+  SF_CHECK(static_cast<bool>(fn), "step implementation must be callable");
+  const auto [_, inserted] = fns_.emplace(std::move(name), std::move(fn));
+  if (!inserted) throw InvalidArgument("duplicate step implementation");
+}
+
+const StepFn& StepRegistry::resolve(const std::string& name) const {
+  auto it = fns_.find(name);
+  if (it == fns_.end()) throw NotFound("no step implementation named '" + name + "'");
+  return it->second;
+}
+
+bool StepRegistry::contains(const std::string& name) const noexcept {
+  return fns_.contains(name);
+}
+
+namespace {
+
+std::vector<std::string> split_csv(const std::string& value) {
+  std::vector<std::string> out;
+  std::stringstream ss(value);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    // Trim surrounding whitespace.
+    const auto begin = item.find_first_not_of(" \t\n\r");
+    const auto end = item.find_last_not_of(" \t\n\r");
+    if (begin != std::string::npos) out.push_back(item.substr(begin, end - begin + 1));
+  }
+  return out;
+}
+
+ds::ContainerRef parse_container(const xml::Element& element, const std::string& action) {
+  const std::string table = element.attribute("table");
+  if (table.empty()) {
+    throw InvalidArgument("action '" + action + "': <container> needs a table attribute");
+  }
+  return ds::ContainerRef(table, element.attribute("column"), element.attribute("row-prefix"));
+}
+
+double parse_bound(const std::string& text, const std::string& action) {
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(text, &consumed);
+    if (consumed != text.size()) throw std::invalid_argument(text);
+    return value;
+  } catch (const std::exception&) {
+    throw InvalidArgument("action '" + action + "': malformed <max-error> value '" + text + "'");
+  }
+}
+
+}  // namespace
+
+WorkflowSpec load_workflow_xml(std::string_view document, const StepRegistry& registry) {
+  const auto root = xml::parse(document);
+  if (root->tag != "workflow-app") {
+    throw InvalidArgument("workflow definition must have a <workflow-app> root, got <" +
+                          root->tag + ">");
+  }
+  const std::string name = root->attribute("name");
+  if (name.empty()) throw InvalidArgument("<workflow-app> needs a name attribute");
+
+  std::vector<StepSpec> steps;
+  for (const xml::Element* action : root->children_named("action")) {
+    StepSpec step;
+    step.id = action->attribute("name");
+    if (step.id.empty()) throw InvalidArgument("every <action> needs a name attribute");
+
+    const std::string impl = action->child_text("impl", step.id);
+    step.fn = registry.resolve(impl);
+    step.predecessors = split_csv(action->child_text("predecessors"));
+
+    if (const xml::Element* qod = action->child("qod")) {
+      for (const xml::Element* container : qod->children_named("container")) {
+        const std::string role = container->attribute("role", "input");
+        if (role == "input") {
+          step.inputs.push_back(parse_container(*container, step.id));
+        } else if (role == "output") {
+          step.outputs.push_back(parse_container(*container, step.id));
+        } else {
+          throw InvalidArgument("action '" + step.id + "': container role must be input|output");
+        }
+      }
+      if (const xml::Element* bound = qod->child("max-error")) {
+        step.max_error = parse_bound(bound->text, step.id);
+      }
+    }
+    steps.push_back(std::move(step));
+  }
+  if (steps.empty()) throw InvalidArgument("workflow '" + name + "' declares no actions");
+
+  return WorkflowSpec(name, std::move(steps));
+}
+
+}  // namespace smartflux::wms

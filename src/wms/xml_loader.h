@@ -1,0 +1,51 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "wms/workflow_spec.h"
+
+namespace smartflux::wms {
+
+/// Maps the <impl> names referenced by a workflow definition to executable
+/// step functions, mirroring how Oozie actions reference deployed
+/// application code.
+class StepRegistry {
+ public:
+  /// Registers a step implementation under a name. Throws on duplicates.
+  void register_step(std::string name, StepFn fn);
+  const StepFn& resolve(const std::string& name) const;
+  bool contains(const std::string& name) const noexcept;
+  std::size_t size() const noexcept { return fns_.size(); }
+
+ private:
+  std::map<std::string, StepFn> fns_;
+};
+
+/// Loads a WorkflowSpec from an XML workflow definition — the paper's
+/// integration path (§4.2): QoD error bounds and data containers are
+/// declared inside each action element of an (Oozie-style) workflow schema.
+///
+/// Schema:
+///
+///   <workflow-app name="aqhi">
+///     <action name="2_concentration">
+///       <impl>concentration</impl>            <!-- StepRegistry key -->
+///       <predecessors>1_feed</predecessors>   <!-- comma separated -->
+///       <qod>                                 <!-- the paper's XSD extension -->
+///         <container role="input"  table="sensors"/>
+///         <container role="output" table="concentration" column="conc"/>
+///         <max-error>0.10</max-error>         <!-- omit: error-intolerant -->
+///       </qod>
+///     </action>
+///     ...
+///   </workflow-app>
+///
+/// Containers accept optional `column` and `row-prefix` attributes (the
+/// paper's "table, column, row, or group of any of these"). Validation
+/// errors (unknown impl, malformed bounds, duplicate actions, DAG cycles)
+/// throw smartflux::InvalidArgument.
+WorkflowSpec load_workflow_xml(std::string_view document, const StepRegistry& registry);
+
+}  // namespace smartflux::wms

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "datastore/types.h"
+#include "wms/workflow_spec.h"
+
+namespace smartflux::workloads {
+
+/// Parameters of the seismic-hazard workload — the paper's third §2.3
+/// generality example (CyberShake): "the input corresponds to rupture
+/// descriptions and the output is an hazard map. It is only worthy to
+/// recompute parts of the map if the new probability variations of ruptures
+/// are impactful against a previous state."
+struct CyberShakeParams {
+  std::size_t sources = 40;   ///< rupture sources (faults)
+  std::size_t grid = 12;      ///< hazard-map sites per side
+  /// Uniform max_ε for the error-tolerant steps.
+  double max_error = 0.10;
+  std::uint64_t seed = 23;
+};
+
+/// Builder for the 4-step rupture-forecast → ground-motion → hazard-curve →
+/// hazard-map workflow:
+///
+///   1_forecast (sync) → 2_gmpe → 3_hazard → 4_map
+///
+/// Rupture rates and magnitudes drift slowly (stress accumulation) with
+/// occasional step changes when a source's forecast is revised — a pure
+/// function of (seed, wave), so adaptive and shadow runs see identical data.
+class CyberShakeWorkload {
+ public:
+  explicit CyberShakeWorkload(CyberShakeParams params);
+
+  wms::WorkflowSpec make_workflow() const;
+
+  /// Annual occurrence rate of a rupture source at a wave.
+  double rupture_rate(std::size_t source, ds::Timestamp wave) const;
+  /// Characteristic magnitude of a source at a wave.
+  double rupture_magnitude(std::size_t source, ds::Timestamp wave) const;
+  /// Source epicentre in map units ([0, grid) × [0, grid)).
+  std::pair<double, double> source_location(std::size_t source) const;
+
+  const CyberShakeParams& params() const noexcept { return *params_; }
+
+ private:
+  std::shared_ptr<const CyberShakeParams> params_;
+};
+
+}  // namespace smartflux::workloads

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "datastore/types.h"
+#include "wms/workflow_spec.h"
+
+namespace smartflux::workloads {
+
+/// Parameters of the forest fire-risk workload — the paper's motivating
+/// example (Figs. 1–3): a grid of sensors captures temperature, precipitation
+/// and wind with smooth diurnal evolution; occasionally a hot, dry spell
+/// develops in a region and may escalate into a fire.
+struct FireRiskParams {
+  std::size_t grid = 16;        ///< sensors per side
+  std::size_t area = 4;         ///< area side length in sensors
+  /// Probability of a new hot-spell per wave. The paper's scenario (Fig. 3)
+  /// is a normal smooth day, so this defaults to 0. Setting it > 0 injects
+  /// rare, localized extreme events — inputs whose impact metric does NOT
+  /// correlate with the output error, i.e. exactly the workload class §2.3
+  /// excludes. Useful to stress-test / demonstrate the model's limits.
+  double fire_probability = 0.0;
+  std::size_t fire_duration = 30;  ///< waves a hot spell lasts
+  /// Uniform max_ε for the error-tolerant steps.
+  double max_error = 0.10;
+  std::uint64_t seed = 7;
+};
+
+/// Builder for the 7-step fire-risk workflow of Fig. 2:
+///
+///   1_map_update (sync) → 2a_areas → 3_area_risk → 4a_overall
+///                       ↘ 2b_thermal_map
+///   3_area_risk → 4b_satellite (sync) → 5_dispatch (sync)
+///
+/// Steps 2a/2b/3/4a tolerate error; 4b and 5 are critical for fire detection
+/// and therefore always execute (§2.4).
+class FireRiskWorkload {
+ public:
+  explicit FireRiskWorkload(FireRiskParams params);
+
+  wms::WorkflowSpec make_workflow() const;
+
+  double temperature(std::size_t x, std::size_t y, ds::Timestamp wave) const;
+  double precipitation(std::size_t x, std::size_t y, ds::Timestamp wave) const;
+  double wind(std::size_t x, std::size_t y, ds::Timestamp wave) const;
+  /// True when a hot spell is active at this sensor.
+  bool hot_spell(std::size_t x, std::size_t y, ds::Timestamp wave) const;
+
+  const FireRiskParams& params() const noexcept { return *params_; }
+
+ private:
+  std::shared_ptr<const FireRiskParams> params_;
+};
+
+}  // namespace smartflux::workloads

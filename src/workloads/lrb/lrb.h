@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "datastore/types.h"
+#include "wms/workflow_spec.h"
+
+namespace smartflux::workloads {
+
+/// Parameters of the Linear Road variable-tolling workload (paper §5.1,
+/// Fig. 5). Vehicles drive on a set of expressways divided into segments,
+/// emitting position reports each wave; accidents occur and clear; historical
+/// queries ask for travel-time estimates. The traffic simulation stands in
+/// for the MIT-SIMLab feed used by the paper.
+struct LrbParams {
+  std::size_t num_xways = 4;
+  std::size_t segments = 50;            ///< per expressway
+  std::size_t vehicles = 600;           ///< total, spread over expressways
+  std::size_t total_waves = 1200;       ///< simulation horizon (precomputed)
+  std::size_t queries_per_wave = 5;
+  double accident_probability = 0.015;  ///< new accident per xway per wave
+  std::size_t accident_duration = 15;   ///< waves until an accident clears
+  /// Uniform max_ε for the error-tolerant steps (paper sweeps 5/10/20%).
+  double max_error = 0.10;
+  std::uint64_t seed = 42;
+};
+
+/// Builder for the 9-step Linear Road workflow:
+///
+///   1_feed (sync) → 2a_positions → {3a_avgspeed, 3b_numcars, 3c_accidents}
+///                 → 4_congestion → 5a_classify
+///   1_feed (sync) → 2b_queries (sync) → 5b_travel (sync, also reads step 4)
+///
+/// The traffic state for every wave is precomputed deterministically at
+/// construction, so an adaptive run and its synchronous shadow observe
+/// identical report streams.
+class LrbWorkload {
+ public:
+  explicit LrbWorkload(LrbParams params);
+
+  wms::WorkflowSpec make_workflow() const;
+
+  struct VehicleState {
+    double position = 0.0;  ///< in segment units along the expressway
+    double speed = 0.0;     ///< km/h
+  };
+
+  std::size_t xway_of(std::size_t vehicle) const noexcept;
+  const VehicleState& vehicle(std::size_t vehicle, ds::Timestamp wave) const;
+  bool accident_active(std::size_t xway, std::size_t segment, ds::Timestamp wave) const;
+
+  const LrbParams& params() const noexcept;
+
+ private:
+  struct Impl;
+  std::shared_ptr<const Impl> impl_;
+};
+
+}  // namespace smartflux::workloads

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "datastore/types.h"
+#include "wms/workflow_spec.h"
+
+namespace smartflux::workloads {
+
+/// Parameters of the PageRank / web-crawl workload — the first of the
+/// paper's §2.3 generality examples: "it is only worthy to process the new
+/// crawled documents if the differences in the link counts is sufficient to
+/// significantly change the page rank of documents".
+struct PageRankParams {
+  std::size_t pages = 200;
+  double link_density = 0.04;      ///< baseline probability of a link i → j
+  std::size_t link_stability = 25; ///< waves a link-set epoch lasts per page
+  double churn = 0.15;             ///< fraction of a page's links that flips per epoch
+  double damping = 0.85;
+  std::size_t iterations = 20;     ///< power-iteration steps per execution
+  std::size_t top_k = 10;
+  /// Uniform max_ε for the error-tolerant steps.
+  double max_error = 0.10;
+  std::uint64_t seed = 11;
+};
+
+/// Builder for the 4-step crawl → link-stats → PageRank → top-k workflow:
+///
+///   1_crawl (sync) → 2_linkstats → 3_pagerank → 4_topk
+///
+/// The link structure is a pure function of (seed, wave): links live in
+/// epochs of `link_stability` waves, with a `churn` fraction flipping at
+/// each epoch boundary and a rotating "hot topic" window attracting extra
+/// in-links — so page ranks drift continuously with occasional larger
+/// shifts, the regime the paper's crawler example describes.
+class PageRankWorkload {
+ public:
+  explicit PageRankWorkload(PageRankParams params);
+
+  wms::WorkflowSpec make_workflow() const;
+
+  /// Whether page `from` links to page `to` at the given wave.
+  bool has_link(std::size_t from, std::size_t to, ds::Timestamp wave) const;
+  /// All out-links of a page at a wave.
+  std::vector<std::size_t> out_links(std::size_t page, ds::Timestamp wave) const;
+
+  /// Reference PageRank vector computed directly from the generator (used
+  /// by tests to validate the workflow's output).
+  std::vector<double> reference_ranks(ds::Timestamp wave) const;
+
+  const PageRankParams& params() const noexcept { return *params_; }
+
+ private:
+  std::shared_ptr<const PageRankParams> params_;
+};
+
+}  // namespace smartflux::workloads

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/baselines.h"
+
+namespace smartflux::core {
+namespace {
+
+wms::WorkflowSpec two_step_spec() {
+  wms::StepSpec a;
+  a.id = "a";
+  a.fn = [](wms::StepContext&) {};
+  wms::StepSpec b;
+  b.id = "b";
+  b.predecessors = {"a"};
+  b.max_error = 0.1;
+  b.fn = [](wms::StepContext&) {};
+  return wms::WorkflowSpec("w", {a, b});
+}
+
+TEST(RandomController, ProbabilityZeroNeverExecutes) {
+  const auto spec = two_step_spec();
+  RandomController ctl(0.0);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(ctl.should_execute(spec, 1, 1));
+}
+
+TEST(RandomController, ProbabilityOneAlwaysExecutes) {
+  const auto spec = two_step_spec();
+  RandomController ctl(1.0);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(ctl.should_execute(spec, 1, 1));
+}
+
+TEST(RandomController, HalfProbabilityBalanced) {
+  const auto spec = two_step_spec();
+  RandomController ctl(0.5, 3);
+  int fires = 0;
+  for (int i = 0; i < 10000; ++i) fires += ctl.should_execute(spec, 1, 1) ? 1 : 0;
+  EXPECT_NEAR(fires / 10000.0, 0.5, 0.03);
+}
+
+TEST(RandomController, RejectsInvalidProbability) {
+  EXPECT_THROW(RandomController(-0.1), smartflux::InvalidArgument);
+  EXPECT_THROW(RandomController(1.1), smartflux::InvalidArgument);
+}
+
+TEST(PeriodicController, ExecutesEveryPeriodWaves) {
+  const auto spec = two_step_spec();
+  PeriodicController ctl(3);
+  std::vector<bool> decisions;
+  for (ds::Timestamp w = 1; w <= 9; ++w) {
+    const bool run = ctl.should_execute(spec, 1, w);
+    decisions.push_back(run);
+    if (run) ctl.on_step_executed(spec, 1, w);
+  }
+  const std::vector<bool> expected{false, false, true, false, false, true, false, false, true};
+  EXPECT_EQ(decisions, expected);
+}
+
+TEST(PeriodicController, PeriodOneIsSynchronous) {
+  const auto spec = two_step_spec();
+  PeriodicController ctl(1);
+  for (ds::Timestamp w = 1; w <= 5; ++w) {
+    EXPECT_TRUE(ctl.should_execute(spec, 1, w));
+    ctl.on_step_executed(spec, 1, w);
+  }
+}
+
+TEST(PeriodicController, TracksStepsIndependently) {
+  const auto spec = two_step_spec();
+  PeriodicController ctl(2);
+  EXPECT_FALSE(ctl.should_execute(spec, 0, 1));
+  EXPECT_FALSE(ctl.should_execute(spec, 1, 1));
+  EXPECT_TRUE(ctl.should_execute(spec, 0, 2));
+  ctl.on_step_executed(spec, 0, 2);
+  // Step 1 was never executed: still on its own schedule.
+  EXPECT_TRUE(ctl.should_execute(spec, 1, 2));
+}
+
+TEST(PeriodicController, RejectsZeroPeriod) {
+  EXPECT_THROW(PeriodicController(0), smartflux::InvalidArgument);
+}
+
+TEST(OracleController, DefersUntilBoundWouldBeExceeded) {
+  const auto spec = two_step_spec();
+  const std::size_t agg = spec.index_of("b");
+  // Deltas of 0.04 per wave against a bound of 0.1: accumulate 0.04, 0.08,
+  // then executing at the third wave (0.12 would exceed).
+  std::map<std::size_t, std::map<ds::Timestamp, double>> deltas;
+  for (ds::Timestamp w = 1; w <= 9; ++w) deltas[agg][w] = 0.04;
+  OracleController oracle(spec, deltas);
+
+  std::vector<bool> decisions;
+  for (ds::Timestamp w = 1; w <= 9; ++w) decisions.push_back(oracle.should_execute(spec, agg, w));
+  const std::vector<bool> expected{false, false, true, false, false, true, false, false, true};
+  EXPECT_EQ(decisions, expected);
+}
+
+TEST(OracleController, AccumulatedErrorNeverExceedsBound) {
+  const auto spec = two_step_spec();
+  const std::size_t agg = spec.index_of("b");
+  std::map<std::size_t, std::map<ds::Timestamp, double>> deltas;
+  for (ds::Timestamp w = 1; w <= 50; ++w) {
+    deltas[agg][w] = 0.01 + 0.05 * static_cast<double>(w % 3);
+  }
+  OracleController oracle(spec, deltas);
+  for (ds::Timestamp w = 1; w <= 50; ++w) {
+    oracle.should_execute(spec, agg, w);
+    EXPECT_LE(oracle.accumulated_error(agg), 0.1 + 1e-12);
+  }
+}
+
+TEST(OracleController, ExecutesWhenNoGroundTruth) {
+  const auto spec = two_step_spec();
+  OracleController oracle(spec, {});
+  EXPECT_TRUE(oracle.should_execute(spec, 1, 1));
+}
+
+TEST(OracleController, MissingWaveTreatedAsZeroDelta) {
+  const auto spec = two_step_spec();
+  const std::size_t agg = spec.index_of("b");
+  std::map<std::size_t, std::map<ds::Timestamp, double>> deltas;
+  deltas[agg][5] = 0.2;  // only wave 5 has a delta
+  OracleController oracle(spec, deltas);
+  EXPECT_FALSE(oracle.should_execute(spec, agg, 1));
+  EXPECT_FALSE(oracle.should_execute(spec, agg, 2));
+  EXPECT_TRUE(oracle.should_execute(spec, agg, 5));  // 0.2 > 0.1
+}
+
+TEST(OracleController, RejectsDeltasForIntolerantSteps) {
+  const auto spec = two_step_spec();
+  std::map<std::size_t, std::map<ds::Timestamp, double>> deltas;
+  deltas[spec.index_of("a")][1] = 0.5;
+  EXPECT_THROW(OracleController(spec, deltas), smartflux::InvalidArgument);
+}
+
+TEST(OracleController, RejectsUnknownStepIndex) {
+  const auto spec = two_step_spec();
+  std::map<std::size_t, std::map<ds::Timestamp, double>> deltas;
+  deltas[99][1] = 0.5;
+  EXPECT_THROW(OracleController(spec, deltas), smartflux::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace smartflux::core

@@ -1,0 +1,263 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace smartflux {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a() == b() ? 1 : 0;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.5, 9.25);
+    EXPECT_GE(u, -3.5);
+    EXPECT_LT(u, 9.25);
+  }
+}
+
+TEST(Rng, UniformMeanIsCentered) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIndexCoversAllValues) {
+  Rng rng(3);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) ++counts[rng.uniform_index(10)];
+  for (int c : counts) EXPECT_GT(c, 700);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo = saw_lo || v == -2;
+    saw_hi = saw_hi || v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(13);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) s.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(s.mean(), 10.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 50000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 50000.0, 0.3, 0.01);
+}
+
+TEST(Rng, PoissonMeanMatchesLambda) {
+  Rng rng(19);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) sum += static_cast<double>(rng.poisson(4.5));
+  EXPECT_NEAR(sum / 20000.0, 4.5, 0.1);
+}
+
+TEST(Rng, PoissonZeroLambda) {
+  Rng rng(19);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+  EXPECT_EQ(rng.poisson(-1.0), 0u);
+}
+
+TEST(Rng, PoissonLargeLambdaUsesNormalApprox) {
+  Rng rng(23);
+  double sum = 0.0;
+  for (int i = 0; i < 5000; ++i) sum += static_cast<double>(rng.poisson(200.0));
+  EXPECT_NEAR(sum / 5000.0, 200.0, 2.0);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(29);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  rng.shuffle(v);
+  auto sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(sorted[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(31);
+  Rng b = a.fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a() == b() ? 1 : 0;
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RunningStats, EmptyDefaults) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MatchesNaiveComputation) {
+  Rng rng(37);
+  std::vector<double> xs;
+  RunningStats s;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-5, 5);
+    xs.push_back(x);
+    s.add(x);
+  }
+  double m = 0;
+  for (double x : xs) m += x;
+  m /= static_cast<double>(xs.size());
+  double var = 0;
+  for (double x : xs) var += (x - m) * (x - m);
+  var /= static_cast<double>(xs.size());
+  EXPECT_NEAR(s.mean(), m, 1e-9);
+  EXPECT_NEAR(s.variance(), var, 1e-9);
+  EXPECT_EQ(s.count(), xs.size());
+  EXPECT_NEAR(s.min(), *std::min_element(xs.begin(), xs.end()), 1e-12);
+  EXPECT_NEAR(s.max(), *std::max_element(xs.begin(), xs.end()), 1e-12);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  Rng rng(41);
+  RunningStats all, left, right;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.normal();
+    all.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(left.count(), all.count());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_NEAR(b.mean(), 2.0, 1e-12);
+}
+
+TEST(RunningStats, SampleVarianceBesselCorrected) {
+  RunningStats s;
+  s.add(1.0);
+  s.add(2.0);
+  s.add(3.0);
+  EXPECT_NEAR(s.variance(), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(s.sample_variance(), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectPositive) {
+  std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> y{2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson_correlation(x, y), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectNegative) {
+  std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> y{5, 4, 3, 2, 1};
+  EXPECT_NEAR(pearson_correlation(x, y), -1.0, 1e-12);
+}
+
+TEST(Pearson, ZeroVarianceGivesZero) {
+  std::vector<double> x{1, 1, 1};
+  std::vector<double> y{1, 2, 3};
+  EXPECT_EQ(pearson_correlation(x, y), 0.0);
+}
+
+TEST(Pearson, MismatchedSizesGiveZero) {
+  std::vector<double> x{1, 2};
+  std::vector<double> y{1, 2, 3};
+  EXPECT_EQ(pearson_correlation(x, y), 0.0);
+}
+
+TEST(Pearson, UncorrelatedNearZero) {
+  Rng rng(43);
+  std::vector<double> x, y;
+  for (int i = 0; i < 5000; ++i) {
+    x.push_back(rng.normal());
+    y.push_back(rng.normal());
+  }
+  EXPECT_LT(std::abs(pearson_correlation(x, y)), 0.05);
+}
+
+TEST(Stats, MeanOfEmptyIsZero) {
+  EXPECT_EQ(mean({}), 0.0);
+}
+
+TEST(Stats, GeometricMeanBasic) {
+  std::vector<double> v{2.0, 8.0};
+  EXPECT_NEAR(geometric_mean(v), 4.0, 1e-12);
+}
+
+TEST(Stats, GeometricMeanZeroElementGivesZero) {
+  std::vector<double> v{0.0, 8.0};
+  EXPECT_EQ(geometric_mean(v), 0.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  std::vector<double> v{3, 1, 2, 4};  // sorted: 1 2 3 4
+  EXPECT_NEAR(quantile(v, 0.0), 1.0, 1e-12);
+  EXPECT_NEAR(quantile(v, 1.0), 4.0, 1e-12);
+  EXPECT_NEAR(quantile(v, 0.5), 2.5, 1e-12);
+}
+
+TEST(Stats, RmseBasic) {
+  std::vector<double> a{1, 2, 3};
+  std::vector<double> b{1, 2, 7};
+  EXPECT_NEAR(rmse(a, b), std::sqrt(16.0 / 3.0), 1e-12);
+}
+
+TEST(Error, CheckMacroThrowsInvalidArgument) {
+  EXPECT_THROW(SF_CHECK(false, "boom"), InvalidArgument);
+  EXPECT_NO_THROW(SF_CHECK(true, "fine"));
+}
+
+TEST(Error, HierarchyDerivesFromError) {
+  EXPECT_THROW(throw NotFound("x"), Error);
+  EXPECT_THROW(throw StateError("x"), Error);
+  EXPECT_THROW(throw InvalidArgument("x"), Error);
+}
+
+}  // namespace
+}  // namespace smartflux

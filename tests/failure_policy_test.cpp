@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "common/error.h"
+#include "wms/engine.h"
+
+namespace smartflux::wms {
+namespace {
+
+/// Workflow where "flaky" fails on configurable waves and "down" depends on
+/// it; "steady" is independent.
+struct FlakyFixture {
+  std::atomic<int> flaky_attempts{0};
+  std::atomic<int> down_runs{0};
+  std::function<bool(ds::Timestamp, int attempt)> should_fail;
+
+  WorkflowSpec make_spec() {
+    StepSpec steady;
+    steady.id = "steady";
+    steady.fn = [](StepContext& ctx) { ctx.client.put("t", "steady", "w", 1.0); };
+
+    StepSpec flaky;
+    flaky.id = "flaky";
+    flaky.fn = [this](StepContext& ctx) {
+      const int attempt = ++flaky_attempts;
+      if (should_fail(ctx.wave, attempt)) throw std::runtime_error("flaky step exploded");
+      ctx.client.put("t", "flaky", "w", static_cast<double>(ctx.wave));
+    };
+
+    StepSpec down;
+    down.id = "down";
+    down.predecessors = {"flaky"};
+    down.fn = [this](StepContext&) { ++down_runs; };
+
+    return WorkflowSpec("flaky", {steady, flaky, down});
+  }
+};
+
+TEST(FailurePolicy, PropagateRethrowsByDefault) {
+  FlakyFixture fx;
+  fx.should_fail = [](ds::Timestamp, int) { return true; };
+  ds::DataStore store;
+  WorkflowEngine engine(fx.make_spec(), store);
+  SyncController sync;
+  EXPECT_THROW(engine.run_wave(1, sync), std::runtime_error);
+}
+
+TEST(FailurePolicy, SkipStepContinuesTheWave) {
+  FlakyFixture fx;
+  fx.should_fail = [](ds::Timestamp wave, int) { return wave == 1; };
+  ds::DataStore store;
+  WorkflowEngine engine(fx.make_spec(), store,
+                        WorkflowEngine::Options{
+                            .failure_policy = WorkflowEngine::FailurePolicy::kSkipStep});
+  SyncController sync;
+
+  const auto r1 = engine.run_wave(1, sync);
+  EXPECT_TRUE(r1.executed[0]);   // steady ran
+  EXPECT_FALSE(r1.executed[1]);  // flaky failed and was skipped
+  EXPECT_FALSE(r1.executed[2]);  // down never became eligible
+  EXPECT_EQ(engine.failure_count(1), 1u);
+  EXPECT_EQ(engine.last_failure_message(), "flaky step exploded");
+  EXPECT_EQ(fx.down_runs.load(), 0);
+
+  // Next wave flaky recovers; down becomes eligible and runs.
+  const auto r2 = engine.run_wave(2, sync);
+  EXPECT_TRUE(r2.executed[1]);
+  EXPECT_TRUE(r2.executed[2]);
+  EXPECT_EQ(fx.down_runs.load(), 1);
+}
+
+TEST(FailurePolicy, FailedStepDoesNotCountAsExecution) {
+  FlakyFixture fx;
+  fx.should_fail = [](ds::Timestamp, int) { return true; };
+  ds::DataStore store;
+  WorkflowEngine engine(fx.make_spec(), store,
+                        WorkflowEngine::Options{
+                            .failure_policy = WorkflowEngine::FailurePolicy::kSkipStep});
+  SyncController sync;
+  engine.run_waves(1, 3, sync);
+  EXPECT_EQ(engine.execution_count(1), 0u);
+  EXPECT_EQ(engine.failure_count(1), 3u);
+  EXPECT_FALSE(engine.last_executed_wave(1).has_value());
+}
+
+TEST(FailurePolicy, RetryOnceRecoversTransientFailures) {
+  FlakyFixture fx;
+  // Fails on every odd attempt: the retry always succeeds.
+  fx.should_fail = [](ds::Timestamp, int attempt) { return attempt % 2 == 1; };
+  ds::DataStore store;
+  WorkflowEngine engine(fx.make_spec(), store,
+                        WorkflowEngine::Options{
+                            .failure_policy = WorkflowEngine::FailurePolicy::kRetryOnce});
+  SyncController sync;
+  const auto r = engine.run_wave(1, sync);
+  EXPECT_TRUE(r.executed[1]);
+  EXPECT_EQ(engine.failure_count(1), 0u);  // recovered, not counted as failure
+  EXPECT_EQ(fx.flaky_attempts.load(), 2);
+}
+
+TEST(FailurePolicy, RetryOnceGivesUpAfterSecondFailure) {
+  FlakyFixture fx;
+  fx.should_fail = [](ds::Timestamp, int) { return true; };
+  ds::DataStore store;
+  WorkflowEngine engine(fx.make_spec(), store,
+                        WorkflowEngine::Options{
+                            .failure_policy = WorkflowEngine::FailurePolicy::kRetryOnce});
+  SyncController sync;
+  const auto r = engine.run_wave(1, sync);
+  EXPECT_FALSE(r.executed[1]);
+  EXPECT_EQ(engine.failure_count(1), 1u);
+  EXPECT_EQ(fx.flaky_attempts.load(), 2);
+}
+
+TEST(FailurePolicy, SkipStepWorksUnderParallelExecution) {
+  FlakyFixture fx;
+  fx.should_fail = [](ds::Timestamp wave, int) { return wave <= 2; };
+  ds::DataStore store;
+  WorkflowEngine engine(fx.make_spec(), store,
+                        WorkflowEngine::Options{
+                            .worker_threads = 3,
+                            .failure_policy = WorkflowEngine::FailurePolicy::kSkipStep});
+  SyncController sync;
+  engine.run_waves(1, 4, sync);
+  EXPECT_EQ(engine.failure_count(1), 2u);
+  EXPECT_EQ(engine.execution_count(0), 4u);  // steady unaffected
+  EXPECT_EQ(engine.execution_count(1), 2u);  // waves 3 and 4
+  EXPECT_EQ(fx.down_runs.load(), 2);
+}
+
+TEST(FailurePolicy, ResetHistoryClearsFailures) {
+  FlakyFixture fx;
+  fx.should_fail = [](ds::Timestamp, int) { return true; };
+  ds::DataStore store;
+  WorkflowEngine engine(fx.make_spec(), store,
+                        WorkflowEngine::Options{
+                            .failure_policy = WorkflowEngine::FailurePolicy::kSkipStep});
+  SyncController sync;
+  engine.run_wave(1, sync);
+  engine.reset_history();
+  EXPECT_EQ(engine.failure_count(1), 0u);
+  EXPECT_TRUE(engine.last_failure_message().empty());
+}
+
+}  // namespace
+}  // namespace smartflux::wms

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "common/hashing.h"
+#include "core/incremental_monitor.h"
+
+namespace smartflux::core {
+namespace {
+
+std::unique_ptr<IncrementalTracker> make_tracker(ds::DataStore& store, ImpactKind kind,
+                                                 AccumulationMode mode) {
+  return std::make_unique<IncrementalTracker>(store, ds::ContainerRef::whole_table("t"),
+                                              make_impact_metric(kind), mode);
+}
+
+TEST(IncrementalTracker, MirrorsPutsSinceConstruction) {
+  ds::DataStore store;
+  auto tracker = make_tracker(store, ImpactKind::kMagnitudeCount, AccumulationMode::kCumulative);
+  store.put("t", "r", "c", 1, 10.0);
+  EXPECT_EQ(tracker->pending_changes(), 1u);
+  EXPECT_EQ(tracker->harvest(), 10.0);  // insert
+  EXPECT_EQ(tracker->pending_changes(), 0u);
+  store.put("t", "r", "c", 2, 12.0);
+  EXPECT_EQ(tracker->harvest(), 12.0);  // + |12-10|
+  EXPECT_EQ(tracker->last_delta(), 2.0);
+}
+
+TEST(IncrementalTracker, MultipleWritesWithinWaveCollapse) {
+  // Snapshot semantics: within one wave, only first-old vs last-new counts.
+  ds::DataStore store;
+  auto tracker = make_tracker(store, ImpactKind::kMagnitudeCount, AccumulationMode::kCumulative);
+  store.put("t", "r", "c", 1, 10.0);
+  tracker->harvest();
+  store.put("t", "r", "c", 2, 50.0);
+  store.put("t", "r", "c", 2, 11.0);
+  EXPECT_EQ(tracker->harvest() - 10.0, 1.0);  // |11 - 10|, not |50-10| + |11-50|
+}
+
+TEST(IncrementalTracker, WriteBackToOriginalValueIsNoChange) {
+  ds::DataStore store;
+  auto tracker = make_tracker(store, ImpactKind::kMagnitudeCount, AccumulationMode::kCumulative);
+  store.put("t", "r", "c", 1, 10.0);
+  tracker->harvest();
+  store.put("t", "r", "c", 2, 99.0);
+  store.put("t", "r", "c", 2, 10.0);  // back to the pre-wave value
+  const double before = tracker->accumulated();
+  EXPECT_EQ(tracker->harvest(), before);
+  EXPECT_EQ(tracker->last_delta(), 0.0);
+}
+
+TEST(IncrementalTracker, DeletesCountAsChangesToZero) {
+  ds::DataStore store;
+  store.put("t", "r", "c", 1, 7.0);
+  auto tracker = make_tracker(store, ImpactKind::kMagnitudeCount, AccumulationMode::kCumulative);
+  store.erase("t", "r", "c", 2);
+  EXPECT_EQ(tracker->harvest(), 7.0);  // |0 - 7| * 1
+}
+
+TEST(IncrementalTracker, IgnoresOtherContainers) {
+  ds::DataStore store;
+  IncrementalTracker tracker(store, ds::ContainerRef::column("t", "a"),
+                             make_impact_metric(ImpactKind::kMagnitudeCount),
+                             AccumulationMode::kCumulative);
+  store.put("t", "r", "b", 1, 100.0);
+  store.put("other", "r", "a", 1, 100.0);
+  store.put("t", "r", "a", 1, 5.0);
+  EXPECT_EQ(tracker.harvest(), 5.0);
+}
+
+TEST(IncrementalTracker, CancellingModeCancelsOut) {
+  ds::DataStore store;
+  store.put("t", "r", "c", 1, 10.0);
+  auto tracker = make_tracker(store, ImpactKind::kMagnitudeCount, AccumulationMode::kCancelling);
+  store.put("t", "r", "c", 2, 15.0);
+  EXPECT_EQ(tracker->harvest(), 5.0);
+  store.put("t", "r", "c", 3, 10.0);
+  EXPECT_EQ(tracker->harvest(), 0.0);  // back to the baseline
+}
+
+TEST(IncrementalTracker, ResetRebaselines) {
+  ds::DataStore store;
+  auto tracker = make_tracker(store, ImpactKind::kMagnitudeCount, AccumulationMode::kCumulative);
+  store.put("t", "r", "c", 1, 10.0);
+  tracker->harvest();
+  tracker->reset();
+  EXPECT_EQ(tracker->accumulated(), 0.0);
+  EXPECT_EQ(tracker->harvest(), 0.0);
+  store.put("t", "r", "c", 2, 13.0);
+  EXPECT_EQ(tracker->harvest(), 3.0);
+}
+
+TEST(IncrementalTracker, UnsubscribesOnDestruction) {
+  ds::DataStore store;
+  {
+    auto tracker =
+        make_tracker(store, ImpactKind::kMagnitudeCount, AccumulationMode::kCumulative);
+  }
+  // No crash / no dangling observer when the store keeps mutating.
+  store.put("t", "r", "c", 1, 1.0);
+  SUCCEED();
+}
+
+/// Equivalence property: the incremental tracker must produce the same
+/// accumulated series as the snapshot-based ContainerTracker for any metric,
+/// mode and mutation stream.
+class IncrementalEquivalence
+    : public ::testing::TestWithParam<std::tuple<int, AccumulationMode, std::uint64_t>> {};
+
+TEST_P(IncrementalEquivalence, MatchesSnapshotTracker) {
+  const auto [metric_kind, mode, seed] = GetParam();
+  auto make_metric = [&]() -> std::unique_ptr<ChangeMetric> {
+    switch (metric_kind) {
+      case 0: return make_impact_metric(ImpactKind::kMagnitudeCount);
+      case 1: return make_impact_metric(ImpactKind::kRelative);
+      case 2: return make_error_metric(ErrorKind::kRelative);
+      default: return make_error_metric(ErrorKind::kRmse, 10.0);
+    }
+  };
+
+  ds::DataStore store;
+  const auto ref = ds::ContainerRef::whole_table("t");
+  ContainerTracker snapshot_tracker(ref, make_metric(), mode);
+  IncrementalTracker incremental(store, ref, make_metric(), mode);
+  snapshot_tracker.reset(store);
+
+  ds::Timestamp ts = 0;
+  for (std::size_t wave = 1; wave <= 25; ++wave) {
+    // Random batch of puts/deletes per wave.
+    const std::size_t writes = 1 + hash64(seed, 10, wave) % 8;
+    for (std::size_t k = 0; k < writes; ++k) {
+      const auto row = "r" + std::to_string(hash64(seed, 11, wave, k) % 6);
+      ++ts;
+      if (hash_unit(seed, 12, wave, k) < 0.15) {
+        store.erase("t", row, "c", ts);
+      } else {
+        store.put("t", row, "c", ts, 1.0 + 20.0 * hash_unit(seed, 13, wave, k));
+      }
+    }
+    const double a = snapshot_tracker.observe(store);
+    const double b = incremental.harvest();
+    ASSERT_NEAR(a, b, 1e-9) << "wave " << wave;
+    ASSERT_NEAR(snapshot_tracker.last_delta(), incremental.last_delta(), 1e-9)
+        << "wave " << wave;
+
+    if (wave % 7 == 0) {  // periodic executions
+      snapshot_tracker.reset(store);
+      incremental.reset();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MetricsModesSeeds, IncrementalEquivalence,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(AccumulationMode::kCumulative,
+                                         AccumulationMode::kCancelling),
+                       ::testing::Values(1u, 2u, 3u)));
+
+}  // namespace
+}  // namespace smartflux::core

@@ -1,0 +1,191 @@
+// End-to-end tests running the full SmartFlux protocol (training → test →
+// adaptive application beside a synchronous shadow) on scaled-down versions
+// of the paper's workloads.
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "workloads/aqhi/aqhi.h"
+#include "workloads/firerisk/firerisk.h"
+#include "workloads/lrb/lrb.h"
+
+namespace smartflux::core {
+namespace {
+
+TEST(IntegrationAqhi, SavesExecutionsWithHighConfidence) {
+  workloads::AqhiParams params;
+  params.grid = 8;
+  params.zone = 2;
+  params.max_error = 0.10;
+  workloads::AqhiWorkload wl(params);
+
+  ExperimentOptions opts;
+  opts.training_waves = 120;
+  opts.eval_waves = 168;
+  Experiment ex(wl.make_workflow(), opts);
+  const auto res = ex.run_smartflux();
+
+  EXPECT_GT(res.savings_ratio(), 0.15);
+  for (const auto& step : res.tracked_steps) {
+    EXPECT_GE(res.confidence(step), 0.7) << step;
+  }
+  ASSERT_TRUE(res.test_report.has_value());
+  EXPECT_GT(res.test_report->mean_accuracy, 0.6);
+}
+
+TEST(IntegrationAqhi, TighterBoundMeansMoreExecutions) {
+  workloads::AqhiParams tight, loose;
+  tight.grid = loose.grid = 8;
+  tight.zone = loose.zone = 2;
+  tight.max_error = 0.05;
+  loose.max_error = 0.20;
+
+  ExperimentOptions opts;
+  opts.training_waves = 120;
+  opts.eval_waves = 120;
+  const auto tight_res =
+      Experiment(workloads::AqhiWorkload(tight).make_workflow(), opts).run_smartflux();
+  const auto loose_res =
+      Experiment(workloads::AqhiWorkload(loose).make_workflow(), opts).run_smartflux();
+  EXPECT_GT(tight_res.total_adaptive_executions, loose_res.total_adaptive_executions);
+}
+
+TEST(IntegrationLrb, SavesExecutionsWithHighConfidence) {
+  workloads::LrbParams params;
+  params.num_xways = 2;
+  params.segments = 20;
+  params.vehicles = 150;
+  params.total_waves = 400;
+  params.max_error = 0.10;
+  workloads::LrbWorkload wl(params);
+
+  ExperimentOptions opts;
+  opts.training_waves = 150;
+  opts.eval_waves = 200;
+  Experiment ex(wl.make_workflow(), opts);
+  const auto res = ex.run_smartflux();
+
+  EXPECT_GT(res.savings_ratio(), 0.2);
+  for (const auto& step : res.tracked_steps) {
+    EXPECT_GE(res.confidence(step), 0.8) << step;
+  }
+}
+
+TEST(IntegrationFireRisk, QuickstartScenarioWorks) {
+  workloads::FireRiskParams params;
+  params.grid = 8;
+  params.area = 4;
+  params.max_error = 0.10;
+  workloads::FireRiskWorkload wl(params);
+
+  ExperimentOptions opts;
+  opts.training_waves = 96;
+  opts.eval_waves = 144;
+  Experiment ex(wl.make_workflow(), opts);
+  const auto res = ex.run_smartflux();
+
+  EXPECT_GT(res.savings_ratio(), 0.1);
+  for (const auto& step : res.tracked_steps) {
+    EXPECT_GE(res.confidence(step), 0.75) << step;
+  }
+}
+
+TEST(IntegrationBaselines, SmartFluxBeatsRandomOnConfidence) {
+  workloads::AqhiParams params;
+  params.grid = 8;
+  params.zone = 2;
+  params.max_error = 0.05;
+  workloads::AqhiWorkload wl(params);
+
+  ExperimentOptions opts;
+  opts.training_waves = 120;
+  opts.eval_waves = 120;
+  Experiment ex(wl.make_workflow(), opts);
+  const auto sf = ex.run_smartflux();
+  RandomController random(0.5, 11);
+  const auto rnd = ex.run_controller("random", random);
+
+  double sf_min = 1.0, rnd_min = 1.0;
+  for (const auto& step : sf.tracked_steps) {
+    sf_min = std::min(sf_min, sf.confidence(step));
+    rnd_min = std::min(rnd_min, rnd.confidence(step));
+  }
+  EXPECT_GT(sf_min, rnd_min);
+}
+
+TEST(IntegrationOracle, OracleHeadStepStaysWithinBound) {
+  workloads::AqhiParams params;
+  params.grid = 8;
+  params.zone = 2;
+  params.max_error = 0.10;
+  workloads::AqhiWorkload wl(params);
+
+  ExperimentOptions opts;
+  opts.training_waves = 100;
+  opts.eval_waves = 120;
+  Experiment ex(wl.make_workflow(), opts);
+  const auto oracle = ex.run_oracle();
+  // For the head step there is no upstream staleness, so the oracle's
+  // own-delta rule directly bounds the measured deviation (the cumulative
+  // per-wave deltas upper-bound the direct difference).
+  EXPECT_GE(oracle.confidence("2_concentration"), 0.95);
+  EXPECT_LT(oracle.total_adaptive_executions, oracle.total_sync_executions);
+}
+
+TEST(IntegrationScopes, AllImpactsScopeAlsoRuns) {
+  workloads::AqhiParams params;
+  params.grid = 8;
+  params.zone = 2;
+  params.max_error = 0.10;
+  workloads::AqhiWorkload wl(params);
+
+  ExperimentOptions opts;
+  opts.training_waves = 100;
+  opts.eval_waves = 100;
+  opts.smartflux.predictor.scope = FeatureScope::kAllImpacts;
+  Experiment ex(wl.make_workflow(), opts);
+  const auto res = ex.run_smartflux();
+  EXPECT_GT(res.savings_ratio(), 0.0);
+}
+
+TEST(IntegrationMetrics, RelativeImpactMetricAlsoRuns) {
+  workloads::AqhiParams params;
+  params.grid = 8;
+  params.zone = 2;
+  params.max_error = 0.10;
+  workloads::AqhiWorkload wl(params);
+
+  ExperimentOptions opts;
+  opts.training_waves = 100;
+  opts.eval_waves = 100;
+  opts.smartflux.monitor.impact = ImpactKind::kRelative;  // Eq. 2 instead of Eq. 1
+  Experiment ex(wl.make_workflow(), opts);
+  const auto res = ex.run_smartflux();
+  EXPECT_GT(res.savings_ratio(), 0.0);
+  for (const auto& step : res.tracked_steps) {
+    EXPECT_GE(res.confidence(step), 0.6) << step;
+  }
+}
+
+TEST(IntegrationDeterminism, SameSeedSameResult) {
+  workloads::AqhiParams params;
+  params.grid = 8;
+  params.zone = 2;
+  params.max_error = 0.10;
+  workloads::AqhiWorkload wl(params);
+
+  ExperimentOptions opts;
+  opts.training_waves = 80;
+  opts.eval_waves = 80;
+  const auto a = Experiment(wl.make_workflow(), opts).run_smartflux();
+  const auto b = Experiment(wl.make_workflow(), opts).run_smartflux();
+  EXPECT_EQ(a.total_adaptive_executions, b.total_adaptive_executions);
+  ASSERT_EQ(a.waves.size(), b.waves.size());
+  for (std::size_t i = 0; i < a.waves.size(); ++i) {
+    EXPECT_EQ(a.waves[i].decision, b.waves[i].decision);
+    EXPECT_EQ(a.waves[i].measured_error, b.waves[i].measured_error);
+  }
+}
+
+}  // namespace
+}  // namespace smartflux::core

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.h"
+#include "core/knowledge_base.h"
+
+namespace smartflux::core {
+namespace {
+
+TrainingRow row(ds::Timestamp wave, std::vector<double> impacts, std::vector<int> exceeds,
+                std::vector<double> errors) {
+  TrainingRow r;
+  r.wave = wave;
+  r.impacts = std::move(impacts);
+  r.exceeds = std::move(exceeds);
+  r.errors = std::move(errors);
+  return r;
+}
+
+TEST(KnowledgeBase, AppendAndAccess) {
+  KnowledgeBase kb({"s1", "s2"});
+  kb.append(row(1, {0.5, 1.5}, {0, 1}, {0.01, 0.2}));
+  ASSERT_EQ(kb.size(), 1u);
+  EXPECT_EQ(kb.num_steps(), 2u);
+  EXPECT_EQ(kb.row(0).wave, 1u);
+  EXPECT_EQ(kb.row(0).exceeds[1], 1);
+}
+
+TEST(KnowledgeBase, RejectsWidthMismatch) {
+  KnowledgeBase kb({"s1", "s2"});
+  EXPECT_THROW(kb.append(row(1, {0.5}, {0, 1}, {0.0, 0.0})), smartflux::InvalidArgument);
+  EXPECT_THROW(kb.append(row(1, {0.5, 0.1}, {0}, {0.0, 0.0})), smartflux::InvalidArgument);
+  EXPECT_THROW(kb.append(row(1, {0.5, 0.1}, {0, 1}, {0.0})), smartflux::InvalidArgument);
+}
+
+TEST(KnowledgeBase, RejectsEmptyStepList) {
+  EXPECT_THROW(KnowledgeBase kb(std::vector<std::string>{}), smartflux::InvalidArgument);
+}
+
+TEST(KnowledgeBase, ToDatasetFullAndRange) {
+  KnowledgeBase kb({"s1", "s2"});
+  for (ds::Timestamp w = 1; w <= 5; ++w) {
+    kb.append(row(w, {double(w), double(2 * w)}, {int(w % 2), 0}, {0.0, 0.0}));
+  }
+  const auto full = kb.to_dataset();
+  EXPECT_EQ(full.size(), 5u);
+  EXPECT_EQ(full.num_features(), 2u);
+  EXPECT_EQ(full.num_labels(), 2u);
+  const auto part = kb.to_dataset(1, 3);
+  EXPECT_EQ(part.size(), 2u);
+  EXPECT_EQ(part.features(0)[0], 2.0);
+}
+
+TEST(KnowledgeBase, PositiveRate) {
+  KnowledgeBase kb({"s"});
+  kb.append(row(1, {1.0}, {1}, {0.5}));
+  kb.append(row(2, {1.0}, {0}, {0.0}));
+  kb.append(row(3, {1.0}, {1}, {0.5}));
+  EXPECT_NEAR(kb.positive_rate(0), 2.0 / 3.0, 1e-12);
+  EXPECT_THROW(kb.positive_rate(7), smartflux::InvalidArgument);
+}
+
+TEST(KnowledgeBase, CsvRoundTrip) {
+  KnowledgeBase kb({"alpha", "beta"});
+  kb.append(row(1, {0.125, 1e9}, {0, 1}, {0.0625, 0.5}));
+  kb.append(row(2, {3.5, 0.0}, {1, 0}, {0.25, 0.0}));
+
+  std::stringstream ss;
+  kb.save_csv(ss);
+  const KnowledgeBase loaded = KnowledgeBase::load_csv(ss);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded.step_ids(), kb.step_ids());
+  EXPECT_EQ(loaded.row(0).wave, 1u);
+  EXPECT_EQ(loaded.row(0).impacts[1], 1e9);
+  EXPECT_EQ(loaded.row(0).exceeds[1], 1);
+  EXPECT_EQ(loaded.row(1).errors[0], 0.25);
+}
+
+TEST(KnowledgeBase, LoadRejectsGarbage) {
+  std::stringstream empty;
+  EXPECT_THROW(KnowledgeBase::load_csv(empty), smartflux::InvalidArgument);
+  std::stringstream bad_header("foo,bar\n");
+  EXPECT_THROW(KnowledgeBase::load_csv(bad_header), smartflux::InvalidArgument);
+  std::stringstream truncated("wave,imp_a,err_a,lab_a\n5,1.0\n");
+  EXPECT_THROW(KnowledgeBase::load_csv(truncated), smartflux::InvalidArgument);
+}
+
+TEST(KnowledgeBase, ClearKeepsSchema) {
+  KnowledgeBase kb({"s"});
+  kb.append(row(1, {1.0}, {1}, {0.5}));
+  kb.clear();
+  EXPECT_TRUE(kb.empty());
+  EXPECT_EQ(kb.num_steps(), 1u);
+}
+
+}  // namespace
+}  // namespace smartflux::core

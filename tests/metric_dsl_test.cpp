@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/hashing.h"
+#include "core/metric_dsl.h"
+
+namespace smartflux::core {
+namespace {
+
+using Map = std::map<std::string, double>;
+
+double eval(const std::string& expression, const Map& current, const Map& previous) {
+  auto metric = make_dsl_metric(expression);
+  return compute_change(current, previous, *metric);
+}
+
+TEST(MetricDsl, LiteralArithmetic) {
+  EXPECT_EQ(eval("2 + 3 * 4", {}, {}), 14.0);
+  EXPECT_EQ(eval("(2 + 3) * 4", {}, {}), 20.0);
+  EXPECT_EQ(eval("10 - 4 - 3", {}, {}), 3.0);  // left associative
+  EXPECT_EQ(eval("12 / 4 / 3", {}, {}), 1.0);
+  EXPECT_EQ(eval("-5 + 8", {}, {}), 3.0);
+  EXPECT_EQ(eval("1.5e2", {}, {}), 150.0);
+}
+
+TEST(MetricDsl, DivisionByZeroIsZero) {
+  EXPECT_EQ(eval("1 / 0", {}, {}), 0.0);
+  EXPECT_EQ(eval("sum_abs_diff / m", {}, {}), 0.0);  // no modified elements
+}
+
+TEST(MetricDsl, Functions) {
+  EXPECT_EQ(eval("sqrt(16)", {}, {}), 4.0);
+  EXPECT_EQ(eval("sqrt(0 - 4)", {}, {}), 0.0);  // negative -> 0, stays finite
+  EXPECT_EQ(eval("abs(3 - 10)", {}, {}), 7.0);
+  EXPECT_EQ(eval("min(3, 8)", {}, {}), 3.0);
+  EXPECT_EQ(eval("max(3, 8)", {}, {}), 8.0);
+  EXPECT_EQ(eval("clamp01(7)", {}, {}), 1.0);
+  EXPECT_EQ(eval("clamp01(0 - 7)", {}, {}), 0.0);
+  EXPECT_EQ(eval("clamp01(0.25)", {}, {}), 0.25);
+}
+
+TEST(MetricDsl, VariablesReflectChanges) {
+  const Map prev{{"a", 4.0}, {"b", 1.0}, {"c", 5.0}};
+  const Map cur{{"a", 6.0}, {"b", 1.0}, {"c", 2.0}};
+  // Modified: a (|2|), c (|3|). n = 3, sum_prev = 10.
+  EXPECT_EQ(eval("m", cur, prev), 2.0);
+  EXPECT_EQ(eval("n", cur, prev), 3.0);
+  EXPECT_EQ(eval("sum_abs_diff", cur, prev), 5.0);
+  EXPECT_EQ(eval("sum_sq_diff", cur, prev), 13.0);
+  EXPECT_EQ(eval("sum_max", cur, prev), 11.0);  // max(6,4) + max(2,5)
+  EXPECT_EQ(eval("sum_cur", cur, prev), 8.0);
+  EXPECT_EQ(eval("sum_prev_mod", cur, prev), 9.0);
+  EXPECT_EQ(eval("max_abs_diff", cur, prev), 3.0);
+  EXPECT_EQ(eval("sum_prev", cur, prev), 10.0);
+}
+
+/// The DSL must reproduce the built-in Eq. 1-4 metrics exactly.
+class DslEquivalence : public ::testing::TestWithParam<std::uint64_t> {
+ public:
+  static Map random_map(std::uint64_t seed, std::uint64_t stream) {
+    Map out;
+    for (int i = 0; i < 25; ++i) {
+      if (hash_unit(seed, stream, static_cast<std::uint64_t>(i)) < 0.8) {
+        out["k" + std::to_string(i)] =
+            1.0 + 50.0 * hash_unit(seed, stream + 1, static_cast<std::uint64_t>(i));
+      }
+    }
+    return out;
+  }
+};
+
+TEST_P(DslEquivalence, ReproducesBuiltInEquations) {
+  const std::uint64_t seed = GetParam();
+  const Map prev = random_map(seed, 10);
+  const Map cur = random_map(seed, 20);
+
+  struct Case {
+    const char* expression;
+    std::unique_ptr<ChangeMetric> builtin;
+  };
+  Case cases[] = {
+      {"sum_abs_diff * m", make_impact_metric(ImpactKind::kMagnitudeCount)},
+      {"clamp01((sum_abs_diff * m) / (sum_max * n))", make_impact_metric(ImpactKind::kRelative)},
+      {"clamp01((sum_abs_diff * m) / (sum_prev * n))", make_error_metric(ErrorKind::kRelative)},
+      {"sqrt(sum_sq_diff / m)", make_error_metric(ErrorKind::kRmse)},
+  };
+  for (auto& [expression, builtin] : cases) {
+    const double dsl_value = eval(expression, cur, prev);
+    const double builtin_value = compute_change(cur, prev, *builtin);
+    EXPECT_NEAR(dsl_value, builtin_value, 1e-9) << expression;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DslEquivalence, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(MetricDsl, EdgeCaseEquivalenceWithEmptyDenominators) {
+  // Built-in Eq. 2/3 return 1 when the denominator vanishes but changes
+  // exist; the DSL's div-by-zero-is-zero rule differs there by design.
+  const Map cur{{"a", 5.0}};
+  auto builtin = make_error_metric(ErrorKind::kRelative);
+  EXPECT_EQ(compute_change(cur, {}, *builtin), 1.0);
+  EXPECT_EQ(eval("clamp01((sum_abs_diff * m) / (sum_prev * n))", cur, {}), 0.0);
+  // The explicit guard form recovers the built-in behaviour.
+  EXPECT_EQ(eval("clamp01(max((sum_abs_diff * m) / (sum_prev * n),"
+                 " min(sum_abs_diff, 1) - min(sum_prev, 1)))",
+                 cur, {}),
+            1.0);
+}
+
+TEST(MetricDsl, CloneIsIndependent) {
+  auto metric = make_dsl_metric("sum_abs_diff");
+  metric->update(5.0, 0.0);
+  auto clone = metric->clone();
+  EXPECT_EQ(clone->compute(1, 0.0), 0.0);
+  EXPECT_EQ(metric->compute(1, 0.0), 5.0);
+  EXPECT_EQ(clone->name(), "DslMetric(sum_abs_diff)");
+}
+
+TEST(MetricDsl, ResetClearsState) {
+  auto metric = make_dsl_metric("m");
+  metric->update(1.0, 0.0);
+  metric->reset();
+  EXPECT_EQ(metric->compute(1, 0.0), 0.0);
+}
+
+TEST(MetricDsl, FactoryProducesFreshInstances) {
+  auto factory = compile_metric("sum_abs_diff");
+  auto a = factory();
+  auto b = factory();
+  a->update(3.0, 0.0);
+  EXPECT_EQ(a->compute(1, 0.0), 3.0);
+  EXPECT_EQ(b->compute(1, 0.0), 0.0);
+}
+
+TEST(MetricDsl, SyntaxErrors) {
+  EXPECT_THROW(make_dsl_metric(""), smartflux::InvalidArgument);
+  EXPECT_THROW(make_dsl_metric("1 +"), smartflux::InvalidArgument);
+  EXPECT_THROW(make_dsl_metric("(1"), smartflux::InvalidArgument);
+  EXPECT_THROW(make_dsl_metric("1 2"), smartflux::InvalidArgument);
+  EXPECT_THROW(make_dsl_metric("bogus_var"), smartflux::InvalidArgument);
+  EXPECT_THROW(make_dsl_metric("bogus_fn(1)"), smartflux::InvalidArgument);
+  EXPECT_THROW(make_dsl_metric("sqrt(1, 2)"), smartflux::InvalidArgument);
+  EXPECT_THROW(make_dsl_metric("min(1)"), smartflux::InvalidArgument);
+  EXPECT_THROW(make_dsl_metric("1 $ 2"), smartflux::InvalidArgument);
+}
+
+TEST(MetricDsl, ErrorsNamePosition) {
+  try {
+    make_dsl_metric("1 + bogus");
+    FAIL() << "expected a parse error";
+  } catch (const smartflux::InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("bogus"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("position"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace smartflux::core

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "ml/dataset.h"
+
+namespace smartflux::ml {
+namespace {
+
+TEST(Dataset, AddAndAccess) {
+  Dataset d(2);
+  d.add(std::vector<double>{1.0, 2.0}, 0);
+  d.add(std::vector<double>{3.0, 4.0}, 1);
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.num_features(), 2u);
+  EXPECT_EQ(d.features(0)[0], 1.0);
+  EXPECT_EQ(d.features(1)[1], 4.0);
+  EXPECT_EQ(d.label(0), 0);
+  EXPECT_EQ(d.label(1), 1);
+}
+
+TEST(Dataset, RejectsWrongWidth) {
+  Dataset d(2);
+  EXPECT_THROW(d.add(std::vector<double>{1.0}, 0), smartflux::InvalidArgument);
+}
+
+TEST(Dataset, RejectsNegativeLabels) {
+  Dataset d(1);
+  EXPECT_THROW(d.add(std::vector<double>{1.0}, -1), smartflux::InvalidArgument);
+}
+
+TEST(Dataset, RejectsZeroFeatures) {
+  EXPECT_THROW(Dataset d(0), smartflux::InvalidArgument);
+}
+
+TEST(Dataset, DefaultConstructedRejectsAdd) {
+  Dataset d;
+  EXPECT_THROW(d.add(std::vector<double>{}, 0), smartflux::InvalidArgument);
+}
+
+TEST(Dataset, ClassesSortedUnique) {
+  Dataset d(1);
+  d.add(std::vector<double>{0.0}, 2);
+  d.add(std::vector<double>{0.0}, 0);
+  d.add(std::vector<double>{0.0}, 2);
+  const auto classes = d.classes();
+  ASSERT_EQ(classes.size(), 2u);
+  EXPECT_EQ(classes[0], 0);
+  EXPECT_EQ(classes[1], 2);
+}
+
+TEST(Dataset, CountLabel) {
+  Dataset d(1);
+  d.add(std::vector<double>{0.0}, 1);
+  d.add(std::vector<double>{0.0}, 1);
+  d.add(std::vector<double>{0.0}, 0);
+  EXPECT_EQ(d.count_label(1), 2u);
+  EXPECT_EQ(d.count_label(0), 1u);
+  EXPECT_EQ(d.count_label(9), 0u);
+}
+
+TEST(Dataset, SubsetWithDuplicates) {
+  Dataset d(1);
+  d.add(std::vector<double>{1.0}, 0);
+  d.add(std::vector<double>{2.0}, 1);
+  const std::vector<std::size_t> idx{1, 1, 0};
+  const Dataset sub = d.subset(idx);
+  ASSERT_EQ(sub.size(), 3u);
+  EXPECT_EQ(sub.features(0)[0], 2.0);
+  EXPECT_EQ(sub.features(1)[0], 2.0);
+  EXPECT_EQ(sub.features(2)[0], 1.0);
+}
+
+TEST(Dataset, FeatureRanges) {
+  Dataset d(2);
+  d.add(std::vector<double>{1.0, -5.0}, 0);
+  d.add(std::vector<double>{3.0, 7.0}, 1);
+  const auto ranges = d.feature_ranges();
+  ASSERT_EQ(ranges.size(), 2u);
+  EXPECT_EQ(ranges[0], (std::pair<double, double>{1.0, 3.0}));
+  EXPECT_EQ(ranges[1], (std::pair<double, double>{-5.0, 7.0}));
+}
+
+TEST(Dataset, FeatureRangesEmpty) {
+  Dataset d(2);
+  EXPECT_TRUE(d.feature_ranges().empty());
+}
+
+TEST(Dataset, ClearResets) {
+  Dataset d(1);
+  d.add(std::vector<double>{1.0}, 0);
+  d.clear();
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.num_features(), 1u);  // width survives clear
+}
+
+}  // namespace
+}  // namespace smartflux::ml

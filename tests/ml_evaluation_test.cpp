@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "ml/evaluation.h"
+#include "ml/random_forest.h"
+
+namespace smartflux::ml {
+namespace {
+
+TEST(Confusion, CountsAndMetrics) {
+  Confusion c;
+  c.add(1, 1);  // tp
+  c.add(1, 1);  // tp
+  c.add(1, 0);  // fn
+  c.add(0, 1);  // fp
+  c.add(0, 0);  // tn
+  EXPECT_EQ(c.tp, 2u);
+  EXPECT_EQ(c.fn, 1u);
+  EXPECT_EQ(c.fp, 1u);
+  EXPECT_EQ(c.tn, 1u);
+  EXPECT_NEAR(c.accuracy(), 3.0 / 5.0, 1e-12);
+  EXPECT_NEAR(c.precision(), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(c.recall(), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(c.f1(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Confusion, EdgeCasesAvoidDivisionByZero) {
+  Confusion c;
+  EXPECT_EQ(c.accuracy(), 0.0);
+  EXPECT_EQ(c.precision(), 1.0);  // no positive predictions
+  EXPECT_EQ(c.recall(), 1.0);     // no positives
+  c.add(0, 0);
+  EXPECT_EQ(c.accuracy(), 1.0);
+}
+
+TEST(RocAuc, PerfectRankingIsOne) {
+  std::vector<double> scores{0.1, 0.2, 0.8, 0.9};
+  std::vector<int> labels{0, 0, 1, 1};
+  EXPECT_NEAR(roc_auc(scores, labels), 1.0, 1e-12);
+}
+
+TEST(RocAuc, InvertedRankingIsZero) {
+  std::vector<double> scores{0.9, 0.8, 0.2, 0.1};
+  std::vector<int> labels{0, 0, 1, 1};
+  EXPECT_NEAR(roc_auc(scores, labels), 0.0, 1e-12);
+}
+
+TEST(RocAuc, AllTiedScoresIsHalf) {
+  std::vector<double> scores{0.5, 0.5, 0.5, 0.5};
+  std::vector<int> labels{0, 1, 0, 1};
+  EXPECT_NEAR(roc_auc(scores, labels), 0.5, 1e-12);
+}
+
+TEST(RocAuc, SingleClassIsHalf) {
+  std::vector<double> scores{0.1, 0.9};
+  std::vector<int> labels{1, 1};
+  EXPECT_EQ(roc_auc(scores, labels), 0.5);
+}
+
+TEST(RocAuc, HandComputedWithTie) {
+  // scores: pos {0.8, 0.5}, neg {0.5, 0.2}. Pairs: (0.8>0.5)=1, (0.8>0.2)=1,
+  // (0.5=0.5)=0.5, (0.5>0.2)=1 => 3.5/4.
+  std::vector<double> scores{0.8, 0.5, 0.5, 0.2};
+  std::vector<int> labels{1, 1, 0, 0};
+  EXPECT_NEAR(roc_auc(scores, labels), 3.5 / 4.0, 1e-12);
+}
+
+TEST(RocAuc, RandomScoresNearHalf) {
+  Rng rng(1);
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < 20000; ++i) {
+    scores.push_back(rng.uniform());
+    labels.push_back(rng.bernoulli(0.5) ? 1 : 0);
+  }
+  EXPECT_NEAR(roc_auc(scores, labels), 0.5, 0.02);
+}
+
+TEST(RocAuc, InvariantUnderMonotoneTransform) {
+  Rng rng(2);
+  std::vector<double> scores, transformed;
+  std::vector<int> labels;
+  for (int i = 0; i < 500; ++i) {
+    const double s = rng.uniform();
+    scores.push_back(s);
+    transformed.push_back(std::exp(3.0 * s));  // strictly increasing
+    labels.push_back(rng.bernoulli(s) ? 1 : 0);
+  }
+  EXPECT_NEAR(roc_auc(scores, labels), roc_auc(transformed, labels), 1e-12);
+}
+
+TEST(CrossValidate, RequiresSaneArguments) {
+  Dataset d(1);
+  for (int i = 0; i < 4; ++i) d.add(std::vector<double>{double(i)}, i % 2);
+  const auto factory = [] { return std::make_unique<RandomForest>(ForestOptions{.num_trees = 4}); };
+  EXPECT_THROW(cross_validate(factory, d, 1), smartflux::InvalidArgument);
+  EXPECT_THROW(cross_validate(factory, d, 10), smartflux::InvalidArgument);
+}
+
+TEST(CrossValidate, HighMetricsOnSeparableData) {
+  Rng rng(3);
+  Dataset d(1);
+  for (int i = 0; i < 100; ++i) {
+    d.add(std::vector<double>{rng.normal(0, 0.5)}, 0);
+    d.add(std::vector<double>{rng.normal(5, 0.5)}, 1);
+  }
+  const auto factory = [] {
+    return std::make_unique<RandomForest>(ForestOptions{.num_trees = 8});
+  };
+  const auto m = cross_validate(factory, d, 10, 7);
+  EXPECT_EQ(m.folds, 10u);
+  EXPECT_GE(m.accuracy, 0.98);
+  EXPECT_GE(m.roc_area, 0.98);
+  EXPECT_GE(m.precision, 0.95);
+  EXPECT_GE(m.recall, 0.95);
+}
+
+TEST(CrossValidate, DeterministicForSameSeed) {
+  Rng rng(4);
+  Dataset d(1);
+  for (int i = 0; i < 60; ++i) d.add(std::vector<double>{rng.normal(0, 2)}, rng.bernoulli(0.5));
+  const auto factory = [] {
+    return std::make_unique<RandomForest>(ForestOptions{.num_trees = 8}, 5);
+  };
+  const auto a = cross_validate(factory, d, 5, 11);
+  const auto b = cross_validate(factory, d, 5, 11);
+  EXPECT_EQ(a.accuracy, b.accuracy);
+  EXPECT_EQ(a.roc_area, b.roc_area);
+}
+
+TEST(TrainTestSplit, PreservesClassRatiosApproximately) {
+  Dataset d(1);
+  for (int i = 0; i < 80; ++i) d.add(std::vector<double>{double(i)}, 0);
+  for (int i = 0; i < 20; ++i) d.add(std::vector<double>{double(i)}, 1);
+  const auto [train, test] = train_test_split(d, 0.25, 9);
+  EXPECT_EQ(train.size() + test.size(), 100u);
+  EXPECT_NEAR(static_cast<double>(test.size()), 25.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(test.count_label(1)), 5.0, 1.0);
+}
+
+TEST(TrainTestSplit, RejectsDegenerateFractions) {
+  Dataset d(1);
+  d.add(std::vector<double>{0.0}, 0);
+  EXPECT_THROW(train_test_split(d, 0.0, 1), smartflux::InvalidArgument);
+  EXPECT_THROW(train_test_split(d, 1.0, 1), smartflux::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace smartflux::ml

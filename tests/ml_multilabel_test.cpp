@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "ml/multilabel.h"
+#include "ml/random_forest.h"
+
+namespace smartflux::ml {
+namespace {
+
+ClassifierFactory forest_factory(std::size_t trees = 16) {
+  return [trees] { return std::make_unique<RandomForest>(ForestOptions{.num_trees = trees}, 7); };
+}
+
+/// Label 0 fires when x0 > 0, label 1 when x1 > 0 — mirrors SmartFlux's
+/// per-step impact/label structure.
+MultiLabelDataset make_two_label(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  MultiLabelDataset d(2, 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x0 = rng.uniform(-1, 1);
+    const double x1 = rng.uniform(-1, 1);
+    const std::vector<double> x{x0, x1};
+    const std::vector<int> y{x0 > 0 ? 1 : 0, x1 > 0 ? 1 : 0};
+    d.add(x, y);
+  }
+  return d;
+}
+
+TEST(MultiLabelDataset, AddAndAccess) {
+  MultiLabelDataset d(2, 3);
+  d.add(std::vector<double>{1.0, 2.0}, std::vector<int>{1, 0, 1});
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d.num_features(), 2u);
+  EXPECT_EQ(d.num_labels(), 3u);
+  EXPECT_EQ(d.labels(0)[2], 1);
+}
+
+TEST(MultiLabelDataset, RejectsWidthMismatches) {
+  MultiLabelDataset d(2, 2);
+  EXPECT_THROW(d.add(std::vector<double>{1.0}, std::vector<int>{0, 1}),
+               smartflux::InvalidArgument);
+  EXPECT_THROW(d.add(std::vector<double>{1.0, 2.0}, std::vector<int>{0}),
+               smartflux::InvalidArgument);
+}
+
+TEST(MultiLabelDataset, ProjectSingleLabel) {
+  const auto d = make_two_label(50, 1);
+  const Dataset p0 = d.project(0);
+  ASSERT_EQ(p0.size(), 50u);
+  EXPECT_EQ(p0.num_features(), 2u);
+  for (std::size_t i = 0; i < p0.size(); ++i) {
+    EXPECT_EQ(p0.label(i), d.labels(i)[0]);
+  }
+}
+
+TEST(MultiLabelDataset, ProjectWithFeatureSubset) {
+  const auto d = make_two_label(50, 2);
+  const std::size_t subset[] = {1};
+  const Dataset p = d.project(0, subset);
+  EXPECT_EQ(p.num_features(), 1u);
+  EXPECT_EQ(p.features(0)[0], d.features(0)[1]);
+}
+
+TEST(MultiLabelDataset, ProjectOutOfRangeThrows) {
+  const auto d = make_two_label(10, 3);
+  EXPECT_THROW(d.project(5), smartflux::InvalidArgument);
+  const std::size_t bad[] = {9};
+  EXPECT_THROW(d.project(0, bad), smartflux::InvalidArgument);
+}
+
+TEST(MultiLabelDataset, Slice) {
+  const auto d = make_two_label(20, 4);
+  const auto s = d.slice(5, 15);
+  ASSERT_EQ(s.size(), 10u);
+  EXPECT_EQ(s.features(0)[0], d.features(5)[0]);
+  EXPECT_THROW(d.slice(10, 25), smartflux::InvalidArgument);
+}
+
+TEST(BinaryRelevance, LearnsIndependentLabels) {
+  const auto train = make_two_label(400, 5);
+  BinaryRelevance br(forest_factory());
+  br.fit(train);
+  EXPECT_TRUE(br.is_fitted());
+  EXPECT_EQ(br.num_labels(), 2u);
+
+  const auto p = br.predict(std::vector<double>{0.8, -0.8});
+  EXPECT_EQ(p[0], 1);
+  EXPECT_EQ(p[1], 0);
+}
+
+TEST(BinaryRelevance, PredictBeforeFitThrows) {
+  BinaryRelevance br(forest_factory());
+  EXPECT_THROW(br.predict(std::vector<double>{0.0, 0.0}), smartflux::StateError);
+}
+
+TEST(BinaryRelevance, ConstantLabelHandled) {
+  MultiLabelDataset d(1, 2);
+  Rng rng(6);
+  for (int i = 0; i < 40; ++i) {
+    const double x = rng.uniform(-1, 1);
+    d.add(std::vector<double>{x}, std::vector<int>{x > 0 ? 1 : 0, 1});  // label 1 constant
+  }
+  BinaryRelevance br(forest_factory());
+  br.fit(d);
+  const auto p = br.predict(std::vector<double>{-0.5});
+  EXPECT_EQ(p[0], 0);
+  EXPECT_EQ(p[1], 1);  // constant prediction
+  const auto s = br.predict_scores(std::vector<double>{-0.5});
+  EXPECT_EQ(s[1], 1.0);
+}
+
+TEST(BinaryRelevance, FeatureSubsetsRestrictEachLabel) {
+  const auto train = make_two_label(400, 7);
+  BinaryRelevance br(forest_factory());
+  br.set_feature_subsets({{0}, {1}});
+  br.fit(train);
+  // Label 0 must ignore feature 1 entirely.
+  const auto a = br.predict(std::vector<double>{0.9, 0.9});
+  const auto b = br.predict(std::vector<double>{0.9, -0.9});
+  EXPECT_EQ(a[0], b[0]);
+  EXPECT_EQ(a[0], 1);
+  EXPECT_NE(a[1], b[1]);
+}
+
+TEST(BinaryRelevance, FeatureSubsetsMustBeSetBeforeFit) {
+  const auto train = make_two_label(40, 8);
+  BinaryRelevance br(forest_factory(4));
+  br.fit(train);
+  EXPECT_THROW(br.set_feature_subsets({{0}, {1}}), smartflux::InvalidArgument);
+}
+
+TEST(BinaryRelevance, SubsetCountMustMatchLabels) {
+  const auto train = make_two_label(40, 9);
+  BinaryRelevance br(forest_factory(4));
+  br.set_feature_subsets({{0}});
+  EXPECT_THROW(br.fit(train), smartflux::InvalidArgument);
+}
+
+TEST(BinaryRelevance, EvaluateMetrics) {
+  const auto train = make_two_label(400, 10);
+  const auto test = make_two_label(200, 11);
+  BinaryRelevance br(forest_factory());
+  br.fit(train);
+  const auto m = br.evaluate(test);
+  EXPECT_GE(m.subset_accuracy, 0.85);
+  EXPECT_GE(m.hamming_accuracy, 0.9);
+  EXPECT_GE(m.mean_precision, 0.85);
+  EXPECT_GE(m.mean_recall, 0.85);
+  EXPECT_LE(m.subset_accuracy, m.hamming_accuracy + 1e-12);
+}
+
+TEST(BinaryRelevance, ScoresOnePerLabel) {
+  const auto train = make_two_label(100, 12);
+  BinaryRelevance br(forest_factory(8));
+  br.fit(train);
+  const auto s = br.predict_scores(std::vector<double>{0.9, 0.9});
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_GT(s[0], 0.5);
+  EXPECT_GT(s[1], 0.5);
+}
+
+}  // namespace
+}  // namespace smartflux::ml

@@ -1,0 +1,275 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "ml/decision_tree.h"
+#include "ml/evaluation.h"
+#include "ml/random_forest.h"
+
+namespace smartflux::ml {
+namespace {
+
+/// Two well-separated Gaussian blobs in 2-D.
+Dataset make_blobs(std::size_t n_per_class, double separation, std::uint64_t seed) {
+  Rng rng(seed);
+  Dataset d(2);
+  for (std::size_t i = 0; i < n_per_class; ++i) {
+    d.add(std::vector<double>{rng.normal(0.0, 1.0), rng.normal(0.0, 1.0)}, 0);
+    d.add(std::vector<double>{rng.normal(separation, 1.0), rng.normal(separation, 1.0)}, 1);
+  }
+  return d;
+}
+
+/// XOR-style checkerboard — not linearly separable.
+Dataset make_xor(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Dataset d(2);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = rng.uniform(-1, 1);
+    const double y = rng.uniform(-1, 1);
+    d.add(std::vector<double>{x, y}, (x > 0) != (y > 0) ? 1 : 0);
+  }
+  return d;
+}
+
+TEST(DecisionTree, PredictBeforeFitThrows) {
+  DecisionTree tree;
+  EXPECT_THROW(tree.predict(std::vector<double>{1.0, 2.0}), smartflux::StateError);
+}
+
+TEST(DecisionTree, FitEmptyThrows) {
+  DecisionTree tree;
+  Dataset d(1);
+  EXPECT_THROW(tree.fit(d), smartflux::InvalidArgument);
+}
+
+TEST(DecisionTree, PerfectOnSeparableTrainingData) {
+  const Dataset d = make_blobs(100, 6.0, 1);
+  DecisionTree tree;
+  tree.fit(d);
+  EXPECT_GE(evaluate(tree, d).accuracy(), 0.99);
+}
+
+TEST(DecisionTree, LearnsXor) {
+  const Dataset train = make_xor(400, 2);
+  const Dataset test = make_xor(200, 3);
+  DecisionTree tree;
+  tree.fit(train);
+  EXPECT_GE(evaluate(tree, test).accuracy(), 0.9);
+}
+
+TEST(DecisionTree, SingleClassAlwaysPredictsIt) {
+  Dataset d(1);
+  for (int i = 0; i < 10; ++i) d.add(std::vector<double>{static_cast<double>(i)}, 1);
+  DecisionTree tree;
+  tree.fit(d);
+  EXPECT_EQ(tree.predict(std::vector<double>{100.0}), 1);
+  EXPECT_EQ(tree.node_count(), 1u);
+}
+
+TEST(DecisionTree, MaxDepthLimitsTree) {
+  const Dataset d = make_xor(400, 4);
+  DecisionTree shallow(TreeOptions{.max_depth = 1});
+  DecisionTree deep(TreeOptions{.max_depth = 12});
+  shallow.fit(d);
+  deep.fit(d);
+  EXPECT_LE(shallow.depth(), 1u);
+  EXPECT_GT(deep.node_count(), shallow.node_count());
+}
+
+TEST(DecisionTree, MinSamplesLeafRespected) {
+  const Dataset d = make_blobs(50, 1.0, 5);
+  DecisionTree tree(TreeOptions{.max_depth = 32, .min_samples_leaf = 20});
+  tree.fit(d);
+  // With 100 samples and >= 20 per leaf, at most 5 leaves => few nodes.
+  EXPECT_LE(tree.node_count(), 11u);
+}
+
+TEST(DecisionTree, PositiveClassWeightShiftsDecisions) {
+  // Imbalanced overlapping data: weighting class 1 must not reduce the
+  // number of positive predictions.
+  Rng rng(6);
+  Dataset d(1);
+  for (int i = 0; i < 300; ++i) d.add(std::vector<double>{rng.normal(0, 1)}, 0);
+  for (int i = 0; i < 30; ++i) d.add(std::vector<double>{rng.normal(1.0, 1)}, 1);
+
+  DecisionTree plain(TreeOptions{.max_depth = 3});
+  DecisionTree biased(TreeOptions{.max_depth = 3, .positive_class_weight = 10.0});
+  plain.fit(d);
+  biased.fit(d);
+  std::size_t plain_pos = 0, biased_pos = 0;
+  for (double x = -3.0; x <= 4.0; x += 0.05) {
+    plain_pos += plain.predict(std::vector<double>{x}) == 1 ? 1 : 0;
+    biased_pos += biased.predict(std::vector<double>{x}) == 1 ? 1 : 0;
+  }
+  EXPECT_GE(biased_pos, plain_pos);
+  EXPECT_GT(biased_pos, 0u);
+}
+
+TEST(DecisionTree, ScoreIsLeafFractionOfPositives) {
+  const Dataset d = make_blobs(100, 6.0, 7);
+  DecisionTree tree;
+  tree.fit(d);
+  EXPECT_GT(tree.predict_score(std::vector<double>{6.0, 6.0}), 0.9);
+  EXPECT_LT(tree.predict_score(std::vector<double>{0.0, 0.0}), 0.1);
+}
+
+TEST(DecisionTree, LeafDistributionSumsToOne) {
+  const Dataset d = make_xor(200, 8);
+  DecisionTree tree;
+  tree.fit(d);
+  const auto dist = tree.leaf_distribution(std::vector<double>{0.5, 0.5});
+  double sum = 0.0;
+  for (double p : dist) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(DecisionTree, DeterministicForSameSeed) {
+  const Dataset d = make_xor(200, 9);
+  DecisionTree a(TreeOptions{.max_features = 1}, 42);
+  DecisionTree b(TreeOptions{.max_features = 1}, 42);
+  a.fit(d);
+  b.fit(d);
+  for (double x = -1.0; x <= 1.0; x += 0.1) {
+    for (double y = -1.0; y <= 1.0; y += 0.1) {
+      EXPECT_EQ(a.predict(std::vector<double>{x, y}), b.predict(std::vector<double>{x, y}));
+    }
+  }
+}
+
+TEST(DecisionTree, MulticlassSupported) {
+  Rng rng(10);
+  Dataset d(1);
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 50; ++i) {
+      d.add(std::vector<double>{rng.normal(c * 5.0, 0.5)}, c);
+    }
+  }
+  DecisionTree tree;
+  tree.fit(d);
+  EXPECT_EQ(tree.predict(std::vector<double>{0.0}), 0);
+  EXPECT_EQ(tree.predict(std::vector<double>{5.0}), 1);
+  EXPECT_EQ(tree.predict(std::vector<double>{10.0}), 2);
+}
+
+TEST(DecisionTree, WidthMismatchThrows) {
+  const Dataset d = make_blobs(20, 4.0, 11);
+  DecisionTree tree;
+  tree.fit(d);
+  EXPECT_THROW(tree.predict(std::vector<double>{1.0}), smartflux::InvalidArgument);
+}
+
+TEST(RandomForest, BeatsOrMatchesSingleTreeOnNoisyData) {
+  Rng rng(12);
+  // Noisy blobs with label flips.
+  Dataset train(2), test(2);
+  auto fill = [&rng](Dataset& d, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const int label = rng.bernoulli(0.5) ? 1 : 0;
+      const double cx = label == 1 ? 1.6 : 0.0;
+      const int noisy = rng.bernoulli(0.1) ? 1 - label : label;
+      d.add(std::vector<double>{rng.normal(cx, 1.0), rng.normal(cx, 1.0)}, noisy);
+    }
+  };
+  fill(train, 400);
+  fill(test, 400);
+
+  DecisionTree tree(TreeOptions{.max_depth = 32});
+  tree.fit(train);
+  RandomForest forest(ForestOptions{.num_trees = 50}, 1);
+  forest.fit(train);
+  EXPECT_GE(evaluate(forest, test).accuracy() + 0.02, evaluate(tree, test).accuracy());
+}
+
+TEST(RandomForest, PredictBeforeFitThrows) {
+  RandomForest forest;
+  EXPECT_THROW(forest.predict(std::vector<double>{0.0}), smartflux::StateError);
+}
+
+TEST(RandomForest, ScoreIsVoteFraction) {
+  const Dataset d = make_blobs(100, 6.0, 13);
+  RandomForest forest(ForestOptions{.num_trees = 32}, 2);
+  forest.fit(d);
+  EXPECT_GT(forest.predict_score(std::vector<double>{6.0, 6.0}), 0.9);
+  EXPECT_LT(forest.predict_score(std::vector<double>{0.0, 0.0}), 0.1);
+}
+
+TEST(RandomForest, DecisionThresholdShiftsOperatingPoint) {
+  Rng rng(14);
+  Dataset d(1);
+  for (int i = 0; i < 200; ++i) d.add(std::vector<double>{rng.normal(0, 1)}, 0);
+  for (int i = 0; i < 200; ++i) d.add(std::vector<double>{rng.normal(1.5, 1)}, 1);
+
+  RandomForest strict(ForestOptions{.num_trees = 32, .decision_threshold = 0.9}, 3);
+  RandomForest lax(ForestOptions{.num_trees = 32, .decision_threshold = 0.1}, 3);
+  strict.fit(d);
+  lax.fit(d);
+  std::size_t strict_pos = 0, lax_pos = 0;
+  for (double x = -3; x <= 4.5; x += 0.05) {
+    strict_pos += strict.predict(std::vector<double>{x});
+    lax_pos += lax.predict(std::vector<double>{x});
+  }
+  EXPECT_GT(lax_pos, strict_pos);
+}
+
+TEST(RandomForest, DeterministicForSameSeed) {
+  const Dataset d = make_xor(300, 15);
+  RandomForest a(ForestOptions{.num_trees = 16}, 99);
+  RandomForest b(ForestOptions{.num_trees = 16}, 99);
+  a.fit(d);
+  b.fit(d);
+  for (double x = -1.0; x < 1.0; x += 0.2) {
+    EXPECT_EQ(a.predict_score(std::vector<double>{x, 0.3}),
+              b.predict_score(std::vector<double>{x, 0.3}));
+  }
+}
+
+TEST(RandomForest, OobAccuracyReasonableOnSeparableData) {
+  const Dataset d = make_blobs(200, 6.0, 16);
+  RandomForest forest(ForestOptions{.num_trees = 32}, 4);
+  forest.fit(d);
+  EXPECT_GE(forest.oob_accuracy(), 0.95);
+  EXPECT_LE(forest.oob_accuracy(), 1.0);
+}
+
+TEST(RandomForest, MulticlassMajorityVote) {
+  Rng rng(17);
+  Dataset d(1);
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 60; ++i) d.add(std::vector<double>{rng.normal(c * 4.0, 0.5)}, c);
+  }
+  RandomForest forest(ForestOptions{.num_trees = 24}, 5);
+  forest.fit(d);
+  EXPECT_EQ(forest.predict(std::vector<double>{4.0}), 1);
+  EXPECT_EQ(forest.predict(std::vector<double>{8.0}), 2);
+}
+
+TEST(RandomForest, InvalidOptionsThrow) {
+  EXPECT_THROW(RandomForest(ForestOptions{.num_trees = 0}), smartflux::InvalidArgument);
+  EXPECT_THROW(RandomForest(ForestOptions{.decision_threshold = 0.0}),
+               smartflux::InvalidArgument);
+  EXPECT_THROW(RandomForest(ForestOptions{.bootstrap_fraction = 0.0}),
+               smartflux::InvalidArgument);
+}
+
+// Parameterized sweep: forest generalizes across seeds and sizes.
+class ForestGeneralization
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::size_t>> {};
+
+TEST_P(ForestGeneralization, HoldoutAccuracyOnBlobs) {
+  const auto [seed, trees] = GetParam();
+  const Dataset train = make_blobs(150, 4.0, seed);
+  const Dataset test = make_blobs(100, 4.0, seed + 1000);
+  RandomForest forest(ForestOptions{.num_trees = trees}, seed);
+  forest.fit(train);
+  EXPECT_GE(evaluate(forest, test).accuracy(), 0.95);
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedsAndSizes, ForestGeneralization,
+                         ::testing::Combine(::testing::Values(1u, 2u, 3u),
+                                            ::testing::Values(8u, 32u)));
+
+}  // namespace
+}  // namespace smartflux::ml

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/hashing.h"
+#include "core/predictor.h"
+
+namespace smartflux::core {
+namespace {
+
+/// KB with two steps: step 0 fires when its impact > 10, step 1 when > 100.
+KnowledgeBase threshold_kb(std::size_t rows, std::uint64_t seed) {
+  KnowledgeBase kb({"s0", "s1"});
+  for (std::size_t i = 0; i < rows; ++i) {
+    TrainingRow r;
+    r.wave = i + 1;
+    const double i0 = 20.0 * hash_unit(seed, 1, i);
+    const double i1 = 200.0 * hash_unit(seed, 2, i);
+    r.impacts = {i0, i1};
+    r.exceeds = {i0 > 10.0 ? 1 : 0, i1 > 100.0 ? 1 : 0};
+    r.errors = {0.0, 0.0};
+    kb.append(std::move(r));
+  }
+  return kb;
+}
+
+TEST(Predictor, UntrainedThrows) {
+  Predictor p;
+  EXPECT_FALSE(p.is_trained());
+  EXPECT_THROW(p.predict(std::vector<double>{1.0, 2.0}), smartflux::StateError);
+  EXPECT_THROW(p.num_labels(), smartflux::StateError);
+}
+
+TEST(Predictor, TrainOnEmptyKbThrows) {
+  Predictor p;
+  KnowledgeBase kb({"s"});
+  EXPECT_THROW(p.train(kb), smartflux::InvalidArgument);
+}
+
+TEST(Predictor, LearnsPerStepThresholds) {
+  Predictor p;
+  p.train(threshold_kb(300, 1));
+  EXPECT_TRUE(p.is_trained());
+  EXPECT_EQ(p.num_labels(), 2u);
+  const auto lo = p.predict(std::vector<double>{2.0, 20.0});
+  EXPECT_EQ(lo[0], 0);
+  EXPECT_EQ(lo[1], 0);
+  const auto hi = p.predict(std::vector<double>{18.0, 180.0});
+  EXPECT_EQ(hi[0], 1);
+  EXPECT_EQ(hi[1], 1);
+}
+
+TEST(Predictor, ClampsOutOfRangeQueries) {
+  Predictor p;
+  p.train(threshold_kb(300, 2));
+  // Far beyond any training impact: must predict like the extreme trained
+  // region (execute), not fall into an arbitrary extrapolated leaf.
+  const auto pred = p.predict(std::vector<double>{1e12, 1e12});
+  EXPECT_EQ(pred[0], 1);
+  EXPECT_EQ(pred[1], 1);
+}
+
+TEST(Predictor, OwnImpactScopeIgnoresOtherColumns) {
+  PredictorOptions opts;
+  opts.scope = FeatureScope::kOwnImpact;
+  Predictor p(opts);
+  p.train(threshold_kb(300, 3));
+  const auto a = p.predict(std::vector<double>{18.0, 20.0});
+  const auto b = p.predict(std::vector<double>{18.0, 180.0});
+  EXPECT_EQ(a[0], b[0]);  // label 0 only sees column 0
+}
+
+TEST(Predictor, AllImpactsScopeTrainsOnFullVector) {
+  PredictorOptions opts;
+  opts.scope = FeatureScope::kAllImpacts;
+  Predictor p(opts);
+  p.train(threshold_kb(300, 4));
+  const auto hi = p.predict(std::vector<double>{18.0, 180.0});
+  EXPECT_EQ(hi[0], 1);
+  EXPECT_EQ(hi[1], 1);
+}
+
+TEST(Predictor, ScoresInUnitInterval) {
+  Predictor p;
+  p.train(threshold_kb(200, 5));
+  for (double x = 0.0; x < 20.0; x += 1.0) {
+    const auto s = p.predict_scores(std::vector<double>{x, 10.0 * x});
+    EXPECT_GE(s[0], 0.0);
+    EXPECT_LE(s[0], 1.0);
+    EXPECT_GE(s[1], 0.0);
+    EXPECT_LE(s[1], 1.0);
+  }
+}
+
+TEST(Predictor, TestPhaseReportsPerLabelMetrics) {
+  Predictor p;
+  const auto kb = threshold_kb(200, 6);
+  const auto report = p.test(kb, 10);
+  EXPECT_EQ(report.evaluated_labels, 2u);
+  EXPECT_GE(report.mean_accuracy, 0.9);
+  EXPECT_GE(report.mean_recall, 0.9);
+  ASSERT_EQ(report.per_label.size(), 2u);
+  EXPECT_EQ(report.per_label[0].folds, 10u);
+}
+
+TEST(Predictor, TestSkipsConstantLabels) {
+  KnowledgeBase kb({"s0", "s1"});
+  for (std::size_t i = 0; i < 50; ++i) {
+    TrainingRow r;
+    r.wave = i + 1;
+    const double x = hash_unit(7, 1, i);
+    r.impacts = {x, x};
+    r.exceeds = {x > 0.5 ? 1 : 0, 1};  // second label constant
+    r.errors = {0.0, 0.0};
+    kb.append(std::move(r));
+  }
+  Predictor p;
+  const auto report = p.test(kb, 5);
+  EXPECT_EQ(report.evaluated_labels, 1u);
+}
+
+TEST(Predictor, TestRejectsTooFewRows) {
+  Predictor p;
+  EXPECT_THROW(p.test(threshold_kb(5, 8), 10), smartflux::InvalidArgument);
+}
+
+TEST(Predictor, RecallBiasIncreasesFiringOnOverlappingData) {
+  // Overlapping classes: the recall-biased predictor must fire at least as
+  // often as the unbiased one.
+  KnowledgeBase kb({"s"});
+  for (std::size_t i = 0; i < 400; ++i) {
+    TrainingRow r;
+    r.wave = i + 1;
+    const double x = 10.0 * hash_unit(9, 1, i);
+    const bool label = hash_unit(9, 2, i) < x / 10.0;  // noisy threshold
+    r.impacts = {x};
+    r.exceeds = {label ? 1 : 0};
+    r.errors = {0.0};
+    kb.append(std::move(r));
+  }
+  PredictorOptions plain;
+  plain.recall_bias = 1.0;
+  PredictorOptions biased;
+  biased.recall_bias = 6.0;
+  Predictor p1(plain), p2(biased);
+  p1.train(kb);
+  p2.train(kb);
+  int fires1 = 0, fires2 = 0;
+  for (double x = 0.0; x <= 10.0; x += 0.1) {
+    fires1 += p1.predict(std::vector<double>{x})[0];
+    fires2 += p2.predict(std::vector<double>{x})[0];
+  }
+  EXPECT_GE(fires2, fires1);
+}
+
+TEST(Predictor, EveryAlgorithmTrainsAndPredicts) {
+  for (auto algo : {Algorithm::kRandomForest, Algorithm::kDecisionTree, Algorithm::kNaiveBayes,
+                    Algorithm::kLogisticRegression, Algorithm::kLinearSvm,
+                    Algorithm::kKNearestNeighbors, Algorithm::kNeuralNetwork}) {
+    PredictorOptions opts;
+    opts.algorithm = algo;
+    Predictor p(opts);
+    p.train(threshold_kb(150, 10));
+    const auto hi = p.predict(std::vector<double>{19.0, 190.0});
+    EXPECT_EQ(hi[0], 1) << algorithm_name(algo);
+    const auto lo = p.predict(std::vector<double>{0.5, 5.0});
+    EXPECT_EQ(lo[0], 0) << algorithm_name(algo);
+  }
+}
+
+TEST(Predictor, AlgorithmNamesStable) {
+  EXPECT_STREQ(algorithm_name(Algorithm::kRandomForest), "RandomForest");
+  EXPECT_STREQ(algorithm_name(Algorithm::kLinearSvm), "LinearSVM");
+}
+
+}  // namespace
+}  // namespace smartflux::core

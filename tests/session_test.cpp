@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/session.h"
+
+namespace smartflux::core {
+namespace {
+
+/// Ramp workflow writing to a session-specific table prefix, so several
+/// sessions can share one data store.
+wms::WorkflowSpec ramp_spec(const std::string& prefix) {
+  wms::StepSpec src;
+  src.id = "src";
+  src.outputs = {ds::ContainerRef::whole_table(prefix + "_in")};
+  src.fn = [prefix](wms::StepContext& ctx) {
+    ctx.client.put(prefix + "_in", "r", "v", 100.0 + static_cast<double>(ctx.wave));
+  };
+  wms::StepSpec agg;
+  agg.id = "agg";
+  agg.predecessors = {"src"};
+  agg.inputs = {ds::ContainerRef::whole_table(prefix + "_in")};
+  agg.outputs = {ds::ContainerRef::whole_table(prefix + "_out")};
+  agg.max_error = 2.5;
+  agg.fn = [prefix](wms::StepContext& ctx) {
+    ctx.client.put(prefix + "_out", "r", "v",
+                   ctx.client.get(prefix + "_in", "r", "v").value_or(0.0));
+  };
+  return wms::WorkflowSpec(prefix, {src, agg});
+}
+
+SmartFluxOptions rmse_options() {
+  SmartFluxOptions opts;
+  opts.monitor.error = ErrorKind::kRmse;
+  return opts;
+}
+
+TEST(SessionManager, CreateAndLookup) {
+  ds::DataStore store;
+  SessionManager manager(store);
+  manager.create_session("alpha", ramp_spec("alpha"), rmse_options());
+  manager.create_session("beta", ramp_spec("beta"), rmse_options());
+
+  EXPECT_EQ(manager.size(), 2u);
+  EXPECT_TRUE(manager.contains("alpha"));
+  EXPECT_FALSE(manager.contains("gamma"));
+  EXPECT_EQ(manager.session("alpha").name(), "alpha");
+  EXPECT_EQ(manager.session_names(), (std::vector<std::string>{"alpha", "beta"}));
+  EXPECT_THROW(manager.session("gamma"), smartflux::NotFound);
+}
+
+TEST(SessionManager, RejectsDuplicateNames) {
+  ds::DataStore store;
+  SessionManager manager(store);
+  manager.create_session("alpha", ramp_spec("alpha"));
+  EXPECT_THROW(manager.create_session("alpha", ramp_spec("alpha2")),
+               smartflux::InvalidArgument);
+  EXPECT_THROW(manager.create_session("", ramp_spec("x")), smartflux::InvalidArgument);
+}
+
+TEST(SessionManager, RemoveSession) {
+  ds::DataStore store;
+  SessionManager manager(store);
+  manager.create_session("alpha", ramp_spec("alpha"));
+  manager.remove_session("alpha");
+  EXPECT_EQ(manager.size(), 0u);
+  EXPECT_THROW(manager.remove_session("alpha"), smartflux::NotFound);
+}
+
+TEST(SessionManager, SessionsHaveIndependentLifecycles) {
+  ds::DataStore store;
+  SessionManager manager(store);
+  Session& alpha = manager.create_session("alpha", ramp_spec("alpha"), rmse_options());
+  Session& beta = manager.create_session("beta", ramp_spec("beta"), rmse_options());
+
+  alpha.smartflux().train(1, 30);
+  alpha.smartflux().build_model();
+  alpha.smartflux().run(31, 10);
+  EXPECT_EQ(alpha.phase(), SmartFluxEngine::Phase::kApplication);
+  EXPECT_EQ(beta.phase(), SmartFluxEngine::Phase::kIdle);
+
+  beta.smartflux().train(1, 10);
+  EXPECT_EQ(beta.phase(), SmartFluxEngine::Phase::kTraining);
+  EXPECT_EQ(beta.smartflux().knowledge_base().size(), 10u);
+  EXPECT_EQ(alpha.smartflux().knowledge_base().size(), 30u);
+}
+
+TEST(SessionManager, SharedStoreKeepsSessionTablesApart) {
+  ds::DataStore store;
+  SessionManager manager(store);
+  Session& alpha = manager.create_session("alpha", ramp_spec("alpha"), rmse_options());
+  Session& beta = manager.create_session("beta", ramp_spec("beta"), rmse_options());
+
+  wms::SyncController sync;
+  alpha.engine().run_wave(1, sync);
+  beta.engine().run_wave(1, sync);
+  EXPECT_EQ(store.get("alpha_out", "r", "v"), 101.0);
+  EXPECT_EQ(store.get("beta_out", "r", "v"), 101.0);
+}
+
+TEST(SessionManager, TotalExecutionsAggregates) {
+  ds::DataStore store;
+  SessionManager manager(store);
+  Session& alpha = manager.create_session("alpha", ramp_spec("alpha"), rmse_options());
+  Session& beta = manager.create_session("beta", ramp_spec("beta"), rmse_options());
+
+  wms::SyncController sync;
+  alpha.engine().run_waves(1, 3, sync);  // 2 steps x 3 waves
+  beta.engine().run_waves(1, 2, sync);   // 2 steps x 2 waves
+  EXPECT_EQ(manager.total_executions(), 10u);
+}
+
+}  // namespace
+}  // namespace smartflux::core

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/smartflux.h"
+
+namespace smartflux::core {
+namespace {
+
+/// Same deterministic ramp workflow as in qod_engine_test.
+wms::WorkflowSpec ramp_spec(double bound = 2.5) {
+  wms::StepSpec src;
+  src.id = "src";
+  src.outputs = {ds::ContainerRef::whole_table("in")};
+  src.fn = [](wms::StepContext& ctx) {
+    ctx.client.put("in", "r", "v", 200.0 + static_cast<double>(ctx.wave));
+  };
+  wms::StepSpec agg;
+  agg.id = "agg";
+  agg.predecessors = {"src"};
+  agg.inputs = {ds::ContainerRef::whole_table("in")};
+  agg.outputs = {ds::ContainerRef::whole_table("out")};
+  agg.max_error = bound;
+  agg.fn = [](wms::StepContext& ctx) {
+    ctx.client.put("out", "r", "v", ctx.client.get("in", "r", "v").value_or(0.0));
+  };
+  return wms::WorkflowSpec("ramp", {src, agg});
+}
+
+SmartFluxOptions rmse_options() {
+  SmartFluxOptions opts;
+  opts.monitor.error = ErrorKind::kRmse;
+  opts.monitor.rmse_value_range = 1.0;
+  return opts;
+}
+
+TEST(SmartFluxEngine, PhaseTransitions) {
+  ds::DataStore store;
+  wms::WorkflowEngine engine(ramp_spec(), store);
+  SmartFluxEngine sf(engine, rmse_options());
+  EXPECT_EQ(sf.phase(), SmartFluxEngine::Phase::kIdle);
+  sf.train(1, 30);
+  EXPECT_EQ(sf.phase(), SmartFluxEngine::Phase::kTraining);
+  sf.build_model();
+  EXPECT_EQ(sf.phase(), SmartFluxEngine::Phase::kReady);
+  sf.run_wave(31);
+  EXPECT_EQ(sf.phase(), SmartFluxEngine::Phase::kApplication);
+}
+
+TEST(SmartFluxEngine, RunBeforeBuildThrows) {
+  ds::DataStore store;
+  wms::WorkflowEngine engine(ramp_spec(), store);
+  SmartFluxEngine sf(engine, rmse_options());
+  EXPECT_THROW(sf.run_wave(1), smartflux::StateError);
+  sf.train(1, 10);
+  EXPECT_THROW(sf.run_wave(11), smartflux::StateError);  // model not built yet
+}
+
+TEST(SmartFluxEngine, BuildWithoutTrainingThrows) {
+  ds::DataStore store;
+  wms::WorkflowEngine engine(ramp_spec(), store);
+  SmartFluxEngine sf(engine, rmse_options());
+  EXPECT_THROW(sf.build_model(), smartflux::StateError);
+  EXPECT_THROW(sf.test(), smartflux::StateError);
+  EXPECT_THROW(sf.knowledge_base(), smartflux::StateError);
+  EXPECT_THROW(sf.controller(), smartflux::StateError);
+}
+
+TEST(SmartFluxEngine, TrainingFillsKnowledgeBase) {
+  ds::DataStore store;
+  wms::WorkflowEngine engine(ramp_spec(), store);
+  SmartFluxEngine sf(engine, rmse_options());
+  sf.train(1, 25);
+  EXPECT_EQ(sf.knowledge_base().size(), 25u);
+}
+
+TEST(SmartFluxEngine, IncrementalTrainingAppends) {
+  ds::DataStore store;
+  wms::WorkflowEngine engine(ramp_spec(), store);
+  SmartFluxEngine sf(engine, rmse_options());
+  sf.train(1, 10);
+  sf.train(11, 10);  // online re-training: more waves appended
+  EXPECT_EQ(sf.knowledge_base().size(), 20u);
+  sf.build_model();
+  EXPECT_TRUE(sf.predictor().is_trained());
+}
+
+TEST(SmartFluxEngine, TestPhaseReportsMetrics) {
+  ds::DataStore store;
+  wms::WorkflowEngine engine(ramp_spec(), store);
+  SmartFluxEngine sf(engine, rmse_options());
+  sf.train(1, 40);
+  const auto report = sf.test();
+  EXPECT_EQ(report.evaluated_labels, 1u);
+  EXPECT_GT(report.mean_accuracy, 0.7);
+}
+
+TEST(SmartFluxEngine, GatesEvaluateThresholds) {
+  ds::DataStore store;
+  wms::WorkflowEngine engine(ramp_spec(), store);
+  SmartFluxOptions opts = rmse_options();
+  opts.min_accuracy = 0.5;
+  opts.min_recall = 0.5;
+  SmartFluxEngine sf(engine, opts);
+  sf.train(1, 40);
+  const auto report = sf.test();
+  EXPECT_TRUE(sf.passes_gates(report));
+
+  SmartFluxOptions strict = rmse_options();
+  strict.min_accuracy = 1.01;  // impossible
+  SmartFluxEngine sf2_engine_holder(engine, strict);
+  EXPECT_FALSE(sf2_engine_holder.passes_gates(report));
+}
+
+TEST(SmartFluxEngine, AdaptiveRunSkipsExecutions) {
+  ds::DataStore store;
+  wms::WorkflowEngine engine(ramp_spec(), store);
+  SmartFluxEngine sf(engine, rmse_options());
+  sf.train(1, 40);
+  sf.build_model();
+  const auto results = sf.run(41, 30);
+  std::size_t agg_runs = 0;
+  const std::size_t agg = engine.spec().index_of("agg");
+  for (const auto& r : results) agg_runs += r.executed[agg] ? 1 : 0;
+  EXPECT_LT(agg_runs, 30u);  // some skipping happened
+  EXPECT_GT(agg_runs, 5u);   // but the step did not starve
+  EXPECT_GT(sf.controller().skipped_count(), 0u);
+}
+
+TEST(SmartFluxEngine, RebuildModelAfterMoreTraining) {
+  ds::DataStore store;
+  wms::WorkflowEngine engine(ramp_spec(), store);
+  SmartFluxEngine sf(engine, rmse_options());
+  sf.train(1, 20);
+  sf.build_model();
+  sf.run(21, 5);
+  // Patterns drift: collect more synchronous waves and rebuild (§3.1
+  // "performed either regularly from time to time or on-demand").
+  sf.train(26, 20);
+  EXPECT_EQ(sf.knowledge_base().size(), 40u);
+  sf.build_model();
+  EXPECT_NO_THROW(sf.run(46, 5));
+}
+
+TEST(SmartFluxEngine, TrainRejectsZeroWaves) {
+  ds::DataStore store;
+  wms::WorkflowEngine engine(ramp_spec(), store);
+  SmartFluxEngine sf(engine, rmse_options());
+  EXPECT_THROW(sf.train(1, 0), smartflux::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace smartflux::core

@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "wms/engine.h"
+#include "wms/xml.h"
+#include "wms/xml_loader.h"
+
+namespace smartflux::wms {
+namespace {
+
+TEST(Xml, ParsesSimpleElement) {
+  const auto root = xml::parse("<a/>");
+  EXPECT_EQ(root->tag, "a");
+  EXPECT_TRUE(root->children.empty());
+  EXPECT_TRUE(root->text.empty());
+}
+
+TEST(Xml, ParsesAttributes) {
+  const auto root = xml::parse(R"(<a x="1" y='two'/>)");
+  EXPECT_EQ(root->attribute("x"), "1");
+  EXPECT_EQ(root->attribute("y"), "two");
+  EXPECT_EQ(root->attribute("missing", "dflt"), "dflt");
+  EXPECT_TRUE(root->has_attribute("x"));
+  EXPECT_FALSE(root->has_attribute("z"));
+}
+
+TEST(Xml, ParsesNestedChildren) {
+  const auto root = xml::parse("<a><b>hello</b><c/><b>again</b></a>");
+  ASSERT_EQ(root->children.size(), 3u);
+  EXPECT_EQ(root->child("b")->text, "hello");
+  EXPECT_EQ(root->children_named("b").size(), 2u);
+  EXPECT_EQ(root->child_text("b"), "hello");
+  EXPECT_EQ(root->child_text("missing", "dflt"), "dflt");
+}
+
+TEST(Xml, TrimsAndDecodesText) {
+  const auto root = xml::parse("<a>  1 &lt; 2 &amp;&amp; &quot;x&quot;  </a>");
+  EXPECT_EQ(root->text, "1 < 2 && \"x\"");
+}
+
+TEST(Xml, DecodesEntitiesInAttributes) {
+  const auto root = xml::parse(R"(<a v="&apos;&gt;&amp;"/>)");
+  EXPECT_EQ(root->attribute("v"), "'>&");
+}
+
+TEST(Xml, SkipsCommentsAndDeclaration) {
+  const auto root = xml::parse(
+      "<?xml version=\"1.0\"?>\n<!-- header -->\n<a><!-- inner --><b/></a>\n<!-- trailer -->");
+  EXPECT_EQ(root->tag, "a");
+  ASSERT_EQ(root->children.size(), 1u);
+}
+
+TEST(Xml, RejectsMalformedDocuments) {
+  EXPECT_THROW(xml::parse(""), smartflux::InvalidArgument);
+  EXPECT_THROW(xml::parse("<a>"), smartflux::InvalidArgument);
+  EXPECT_THROW(xml::parse("<a></b>"), smartflux::InvalidArgument);
+  EXPECT_THROW(xml::parse("<a x=1/>"), smartflux::InvalidArgument);
+  EXPECT_THROW(xml::parse("<a x=\"1\" x=\"2\"/>"), smartflux::InvalidArgument);
+  EXPECT_THROW(xml::parse("<a/><b/>"), smartflux::InvalidArgument);
+  EXPECT_THROW(xml::parse("<a>&bogus;</a>"), smartflux::InvalidArgument);
+  EXPECT_THROW(xml::parse("<a><!-- unterminated </a>"), smartflux::InvalidArgument);
+}
+
+TEST(Xml, ErrorsCarryLineNumbers) {
+  try {
+    xml::parse("<a>\n<b>\n</c>\n</a>");
+    FAIL() << "expected a parse error";
+  } catch (const smartflux::InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos) << e.what();
+  }
+}
+
+// --- StepRegistry -------------------------------------------------------
+
+TEST(StepRegistry, RegisterAndResolve) {
+  StepRegistry registry;
+  registry.register_step("noop", [](StepContext&) {});
+  EXPECT_TRUE(registry.contains("noop"));
+  EXPECT_FALSE(registry.contains("other"));
+  EXPECT_NO_THROW(registry.resolve("noop"));
+  EXPECT_THROW(registry.resolve("other"), smartflux::NotFound);
+}
+
+TEST(StepRegistry, RejectsDuplicatesAndEmpty) {
+  StepRegistry registry;
+  registry.register_step("a", [](StepContext&) {});
+  EXPECT_THROW(registry.register_step("a", [](StepContext&) {}), smartflux::InvalidArgument);
+  EXPECT_THROW(registry.register_step("", [](StepContext&) {}), smartflux::InvalidArgument);
+  EXPECT_THROW(registry.register_step("b", StepFn{}), smartflux::InvalidArgument);
+}
+
+// --- Workflow loading -----------------------------------------------------
+
+constexpr const char* kWorkflowXml = R"(<?xml version="1.0"?>
+<workflow-app name="pipeline">
+  <!-- the paper's extended Oozie schema: QoD containers + error bounds -->
+  <action name="feed">
+    <impl>feed</impl>
+    <qod>
+      <container role="output" table="in"/>
+    </qod>
+  </action>
+  <action name="agg">
+    <impl>aggregate</impl>
+    <predecessors>feed</predecessors>
+    <qod>
+      <container role="input" table="in" column="v"/>
+      <container role="output" table="out" row-prefix="x1_"/>
+      <max-error>0.25</max-error>
+    </qod>
+  </action>
+  <action name="serve">
+    <predecessors> feed , agg </predecessors>
+  </action>
+</workflow-app>)";
+
+StepRegistry full_registry() {
+  StepRegistry registry;
+  registry.register_step("feed", [](StepContext& ctx) { ctx.client.put("in", "r", "v", 1.0); });
+  registry.register_step("aggregate", [](StepContext&) {});
+  registry.register_step("serve", [](StepContext&) {});
+  return registry;
+}
+
+TEST(XmlLoader, LoadsFullWorkflow) {
+  const auto spec = load_workflow_xml(kWorkflowXml, full_registry());
+  EXPECT_EQ(spec.name(), "pipeline");
+  ASSERT_EQ(spec.size(), 3u);
+
+  const StepSpec& agg = spec.step("agg");
+  EXPECT_EQ(agg.predecessors, std::vector<StepId>{"feed"});
+  ASSERT_EQ(agg.inputs.size(), 1u);
+  EXPECT_EQ(agg.inputs[0].table(), "in");
+  EXPECT_EQ(agg.inputs[0].column_key(), "v");
+  ASSERT_EQ(agg.outputs.size(), 1u);
+  EXPECT_EQ(agg.outputs[0].row_prefix(), "x1_");
+  ASSERT_TRUE(agg.max_error.has_value());
+  EXPECT_EQ(*agg.max_error, 0.25);
+
+  // Steps without <max-error> are error-intolerant.
+  EXPECT_FALSE(spec.step("feed").tolerates_error());
+
+  // <impl> defaults to the action name; whitespace in predecessor lists is
+  // trimmed.
+  const StepSpec& serve = spec.step("serve");
+  EXPECT_EQ(serve.predecessors, (std::vector<StepId>{"feed", "agg"}));
+}
+
+TEST(XmlLoader, LoadedWorkflowRuns) {
+  ds::DataStore store;
+  WorkflowEngine engine(load_workflow_xml(kWorkflowXml, full_registry()), store);
+  SyncController sync;
+  const auto result = engine.run_wave(1, sync);
+  EXPECT_EQ(result.executed_count(), 3u);
+  EXPECT_EQ(store.get("in", "r", "v"), 1.0);
+}
+
+TEST(XmlLoader, RejectsUnknownImpl) {
+  StepRegistry registry;  // empty
+  EXPECT_THROW(load_workflow_xml(kWorkflowXml, registry), smartflux::NotFound);
+}
+
+TEST(XmlLoader, RejectsWrongRoot) {
+  EXPECT_THROW(load_workflow_xml("<nope/>", full_registry()), smartflux::InvalidArgument);
+}
+
+TEST(XmlLoader, RejectsMissingNames) {
+  EXPECT_THROW(load_workflow_xml("<workflow-app/>", full_registry()),
+               smartflux::InvalidArgument);
+  EXPECT_THROW(load_workflow_xml("<workflow-app name=\"w\"/>", full_registry()),
+               smartflux::InvalidArgument);
+  EXPECT_THROW(
+      load_workflow_xml("<workflow-app name=\"w\"><action><impl>feed</impl></action>"
+                        "</workflow-app>",
+                        full_registry()),
+      smartflux::InvalidArgument);
+}
+
+TEST(XmlLoader, RejectsBadQod) {
+  const char* bad_container = R"(<workflow-app name="w">
+    <action name="feed"><qod><container role="input"/></qod></action>
+  </workflow-app>)";
+  EXPECT_THROW(load_workflow_xml(bad_container, full_registry()), smartflux::InvalidArgument);
+
+  const char* bad_role = R"(<workflow-app name="w">
+    <action name="feed"><qod><container role="both" table="t"/></qod></action>
+  </workflow-app>)";
+  EXPECT_THROW(load_workflow_xml(bad_role, full_registry()), smartflux::InvalidArgument);
+
+  const char* bad_bound = R"(<workflow-app name="w">
+    <action name="feed"><qod><max-error>lots</max-error></qod></action>
+  </workflow-app>)";
+  EXPECT_THROW(load_workflow_xml(bad_bound, full_registry()), smartflux::InvalidArgument);
+}
+
+TEST(XmlLoader, DagValidationStillApplies) {
+  const char* cyclic = R"(<workflow-app name="w">
+    <action name="a"><impl>feed</impl><predecessors>b</predecessors></action>
+    <action name="b"><impl>feed</impl><predecessors>a</predecessors></action>
+  </workflow-app>)";
+  EXPECT_THROW(load_workflow_xml(cyclic, full_registry()), smartflux::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace smartflux::wms
