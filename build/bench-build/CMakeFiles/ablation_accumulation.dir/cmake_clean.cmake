@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_accumulation"
+  "../bench/ablation_accumulation.pdb"
+  "CMakeFiles/ablation_accumulation.dir/ablation_accumulation.cpp.o"
+  "CMakeFiles/ablation_accumulation.dir/ablation_accumulation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_accumulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_functions"
+  "../bench/ablation_functions.pdb"
+  "CMakeFiles/ablation_functions.dir/ablation_functions.cpp.o"
+  "CMakeFiles/ablation_functions.dir/ablation_functions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_functions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

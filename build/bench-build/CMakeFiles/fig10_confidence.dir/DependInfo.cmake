@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig10_confidence.cpp" "bench-build/CMakeFiles/fig10_confidence.dir/fig10_confidence.cpp.o" "gcc" "bench-build/CMakeFiles/fig10_confidence.dir/fig10_confidence.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/sf_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/sf_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/wms/CMakeFiles/sf_wms.dir/DependInfo.cmake"
+  "/root/repo/build/src/datastore/CMakeFiles/sf_datastore.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_confidence"
+  "../bench/fig10_confidence.pdb"
+  "CMakeFiles/fig10_confidence.dir/fig10_confidence.cpp.o"
+  "CMakeFiles/fig10_confidence.dir/fig10_confidence.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_confidence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_baselines"
+  "../bench/fig11_baselines.pdb"
+  "CMakeFiles/fig11_baselines.dir/fig11_baselines.cpp.o"
+  "CMakeFiles/fig11_baselines.dir/fig11_baselines.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_executions"
+  "../bench/fig12_executions.pdb"
+  "CMakeFiles/fig12_executions.dir/fig12_executions.cpp.o"
+  "CMakeFiles/fig12_executions.dir/fig12_executions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_executions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

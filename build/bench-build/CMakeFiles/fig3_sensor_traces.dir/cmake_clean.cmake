@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_sensor_traces"
+  "../bench/fig3_sensor_traces.pdb"
+  "CMakeFiles/fig3_sensor_traces.dir/fig3_sensor_traces.cpp.o"
+  "CMakeFiles/fig3_sensor_traces.dir/fig3_sensor_traces.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_sensor_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_learning_curves"
+  "../bench/fig8_learning_curves.pdb"
+  "CMakeFiles/fig8_learning_curves.dir/fig8_learning_curves.cpp.o"
+  "CMakeFiles/fig8_learning_curves.dir/fig8_learning_curves.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_learning_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

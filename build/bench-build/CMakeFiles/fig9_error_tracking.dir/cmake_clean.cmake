@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_error_tracking"
+  "../bench/fig9_error_tracking.pdb"
+  "CMakeFiles/fig9_error_tracking.dir/fig9_error_tracking.cpp.o"
+  "CMakeFiles/fig9_error_tracking.dir/fig9_error_tracking.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_error_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

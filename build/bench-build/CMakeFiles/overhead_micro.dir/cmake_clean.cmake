@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/overhead_micro"
+  "../bench/overhead_micro.pdb"
+  "CMakeFiles/overhead_micro.dir/overhead_micro.cpp.o"
+  "CMakeFiles/overhead_micro.dir/overhead_micro.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overhead_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab_classifier_selection"
+  "../bench/tab_classifier_selection.pdb"
+  "CMakeFiles/tab_classifier_selection.dir/tab_classifier_selection.cpp.o"
+  "CMakeFiles/tab_classifier_selection.dir/tab_classifier_selection.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_classifier_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqhi_monitor.dir/aqhi_monitor.cpp.o"
+  "CMakeFiles/aqhi_monitor.dir/aqhi_monitor.cpp.o.d"
+  "aqhi_monitor"
+  "aqhi_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqhi_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fire_stress.dir/fire_stress.cpp.o"
+  "CMakeFiles/fire_stress.dir/fire_stress.cpp.o.d"
+  "fire_stress"
+  "fire_stress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fire_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

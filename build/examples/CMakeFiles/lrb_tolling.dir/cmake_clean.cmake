@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lrb_tolling.dir/lrb_tolling.cpp.o"
+  "CMakeFiles/lrb_tolling.dir/lrb_tolling.cpp.o.d"
+  "lrb_tolling"
+  "lrb_tolling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lrb_tolling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

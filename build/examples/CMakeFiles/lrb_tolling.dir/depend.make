@@ -1,0 +1,2 @@
+# Empty dependencies file for lrb_tolling.
+# This may be replaced when dependencies are built.

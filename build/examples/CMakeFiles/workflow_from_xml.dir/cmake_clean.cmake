@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workflow_from_xml.dir/workflow_from_xml.cpp.o"
+  "CMakeFiles/workflow_from_xml.dir/workflow_from_xml.cpp.o.d"
+  "workflow_from_xml"
+  "workflow_from_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workflow_from_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baselines.cpp" "src/core/CMakeFiles/sf_core.dir/baselines.cpp.o" "gcc" "src/core/CMakeFiles/sf_core.dir/baselines.cpp.o.d"
+  "/root/repo/src/core/change_metric.cpp" "src/core/CMakeFiles/sf_core.dir/change_metric.cpp.o" "gcc" "src/core/CMakeFiles/sf_core.dir/change_metric.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/sf_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/sf_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/incremental_monitor.cpp" "src/core/CMakeFiles/sf_core.dir/incremental_monitor.cpp.o" "gcc" "src/core/CMakeFiles/sf_core.dir/incremental_monitor.cpp.o.d"
+  "/root/repo/src/core/knowledge_base.cpp" "src/core/CMakeFiles/sf_core.dir/knowledge_base.cpp.o" "gcc" "src/core/CMakeFiles/sf_core.dir/knowledge_base.cpp.o.d"
+  "/root/repo/src/core/metric_dsl.cpp" "src/core/CMakeFiles/sf_core.dir/metric_dsl.cpp.o" "gcc" "src/core/CMakeFiles/sf_core.dir/metric_dsl.cpp.o.d"
+  "/root/repo/src/core/monitoring.cpp" "src/core/CMakeFiles/sf_core.dir/monitoring.cpp.o" "gcc" "src/core/CMakeFiles/sf_core.dir/monitoring.cpp.o.d"
+  "/root/repo/src/core/predictor.cpp" "src/core/CMakeFiles/sf_core.dir/predictor.cpp.o" "gcc" "src/core/CMakeFiles/sf_core.dir/predictor.cpp.o.d"
+  "/root/repo/src/core/qod_engine.cpp" "src/core/CMakeFiles/sf_core.dir/qod_engine.cpp.o" "gcc" "src/core/CMakeFiles/sf_core.dir/qod_engine.cpp.o.d"
+  "/root/repo/src/core/session.cpp" "src/core/CMakeFiles/sf_core.dir/session.cpp.o" "gcc" "src/core/CMakeFiles/sf_core.dir/session.cpp.o.d"
+  "/root/repo/src/core/smartflux.cpp" "src/core/CMakeFiles/sf_core.dir/smartflux.cpp.o" "gcc" "src/core/CMakeFiles/sf_core.dir/smartflux.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/datastore/CMakeFiles/sf_datastore.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/sf_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/wms/CMakeFiles/sf_wms.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

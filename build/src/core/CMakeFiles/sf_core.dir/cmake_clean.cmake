@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_core.dir/baselines.cpp.o"
+  "CMakeFiles/sf_core.dir/baselines.cpp.o.d"
+  "CMakeFiles/sf_core.dir/change_metric.cpp.o"
+  "CMakeFiles/sf_core.dir/change_metric.cpp.o.d"
+  "CMakeFiles/sf_core.dir/experiment.cpp.o"
+  "CMakeFiles/sf_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/sf_core.dir/incremental_monitor.cpp.o"
+  "CMakeFiles/sf_core.dir/incremental_monitor.cpp.o.d"
+  "CMakeFiles/sf_core.dir/knowledge_base.cpp.o"
+  "CMakeFiles/sf_core.dir/knowledge_base.cpp.o.d"
+  "CMakeFiles/sf_core.dir/metric_dsl.cpp.o"
+  "CMakeFiles/sf_core.dir/metric_dsl.cpp.o.d"
+  "CMakeFiles/sf_core.dir/monitoring.cpp.o"
+  "CMakeFiles/sf_core.dir/monitoring.cpp.o.d"
+  "CMakeFiles/sf_core.dir/predictor.cpp.o"
+  "CMakeFiles/sf_core.dir/predictor.cpp.o.d"
+  "CMakeFiles/sf_core.dir/qod_engine.cpp.o"
+  "CMakeFiles/sf_core.dir/qod_engine.cpp.o.d"
+  "CMakeFiles/sf_core.dir/session.cpp.o"
+  "CMakeFiles/sf_core.dir/session.cpp.o.d"
+  "CMakeFiles/sf_core.dir/smartflux.cpp.o"
+  "CMakeFiles/sf_core.dir/smartflux.cpp.o.d"
+  "libsf_core.a"
+  "libsf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datastore/datastore.cpp" "src/datastore/CMakeFiles/sf_datastore.dir/datastore.cpp.o" "gcc" "src/datastore/CMakeFiles/sf_datastore.dir/datastore.cpp.o.d"
+  "/root/repo/src/datastore/table.cpp" "src/datastore/CMakeFiles/sf_datastore.dir/table.cpp.o" "gcc" "src/datastore/CMakeFiles/sf_datastore.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_datastore.dir/datastore.cpp.o"
+  "CMakeFiles/sf_datastore.dir/datastore.cpp.o.d"
+  "CMakeFiles/sf_datastore.dir/table.cpp.o"
+  "CMakeFiles/sf_datastore.dir/table.cpp.o.d"
+  "libsf_datastore.a"
+  "libsf_datastore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_datastore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

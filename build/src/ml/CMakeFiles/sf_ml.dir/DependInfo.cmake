@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/dataset.cpp" "src/ml/CMakeFiles/sf_ml.dir/dataset.cpp.o" "gcc" "src/ml/CMakeFiles/sf_ml.dir/dataset.cpp.o.d"
+  "/root/repo/src/ml/decision_tree.cpp" "src/ml/CMakeFiles/sf_ml.dir/decision_tree.cpp.o" "gcc" "src/ml/CMakeFiles/sf_ml.dir/decision_tree.cpp.o.d"
+  "/root/repo/src/ml/evaluation.cpp" "src/ml/CMakeFiles/sf_ml.dir/evaluation.cpp.o" "gcc" "src/ml/CMakeFiles/sf_ml.dir/evaluation.cpp.o.d"
+  "/root/repo/src/ml/linear.cpp" "src/ml/CMakeFiles/sf_ml.dir/linear.cpp.o" "gcc" "src/ml/CMakeFiles/sf_ml.dir/linear.cpp.o.d"
+  "/root/repo/src/ml/mlp.cpp" "src/ml/CMakeFiles/sf_ml.dir/mlp.cpp.o" "gcc" "src/ml/CMakeFiles/sf_ml.dir/mlp.cpp.o.d"
+  "/root/repo/src/ml/multilabel.cpp" "src/ml/CMakeFiles/sf_ml.dir/multilabel.cpp.o" "gcc" "src/ml/CMakeFiles/sf_ml.dir/multilabel.cpp.o.d"
+  "/root/repo/src/ml/naive_bayes.cpp" "src/ml/CMakeFiles/sf_ml.dir/naive_bayes.cpp.o" "gcc" "src/ml/CMakeFiles/sf_ml.dir/naive_bayes.cpp.o.d"
+  "/root/repo/src/ml/random_forest.cpp" "src/ml/CMakeFiles/sf_ml.dir/random_forest.cpp.o" "gcc" "src/ml/CMakeFiles/sf_ml.dir/random_forest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

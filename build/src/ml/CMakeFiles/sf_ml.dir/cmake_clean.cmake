@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_ml.dir/dataset.cpp.o"
+  "CMakeFiles/sf_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/sf_ml.dir/decision_tree.cpp.o"
+  "CMakeFiles/sf_ml.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/sf_ml.dir/evaluation.cpp.o"
+  "CMakeFiles/sf_ml.dir/evaluation.cpp.o.d"
+  "CMakeFiles/sf_ml.dir/linear.cpp.o"
+  "CMakeFiles/sf_ml.dir/linear.cpp.o.d"
+  "CMakeFiles/sf_ml.dir/mlp.cpp.o"
+  "CMakeFiles/sf_ml.dir/mlp.cpp.o.d"
+  "CMakeFiles/sf_ml.dir/multilabel.cpp.o"
+  "CMakeFiles/sf_ml.dir/multilabel.cpp.o.d"
+  "CMakeFiles/sf_ml.dir/naive_bayes.cpp.o"
+  "CMakeFiles/sf_ml.dir/naive_bayes.cpp.o.d"
+  "CMakeFiles/sf_ml.dir/random_forest.cpp.o"
+  "CMakeFiles/sf_ml.dir/random_forest.cpp.o.d"
+  "libsf_ml.a"
+  "libsf_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wms/engine.cpp" "src/wms/CMakeFiles/sf_wms.dir/engine.cpp.o" "gcc" "src/wms/CMakeFiles/sf_wms.dir/engine.cpp.o.d"
+  "/root/repo/src/wms/scheduler.cpp" "src/wms/CMakeFiles/sf_wms.dir/scheduler.cpp.o" "gcc" "src/wms/CMakeFiles/sf_wms.dir/scheduler.cpp.o.d"
+  "/root/repo/src/wms/workflow_spec.cpp" "src/wms/CMakeFiles/sf_wms.dir/workflow_spec.cpp.o" "gcc" "src/wms/CMakeFiles/sf_wms.dir/workflow_spec.cpp.o.d"
+  "/root/repo/src/wms/xml.cpp" "src/wms/CMakeFiles/sf_wms.dir/xml.cpp.o" "gcc" "src/wms/CMakeFiles/sf_wms.dir/xml.cpp.o.d"
+  "/root/repo/src/wms/xml_loader.cpp" "src/wms/CMakeFiles/sf_wms.dir/xml_loader.cpp.o" "gcc" "src/wms/CMakeFiles/sf_wms.dir/xml_loader.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/datastore/CMakeFiles/sf_datastore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

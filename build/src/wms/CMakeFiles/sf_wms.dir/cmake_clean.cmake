@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_wms.dir/engine.cpp.o"
+  "CMakeFiles/sf_wms.dir/engine.cpp.o.d"
+  "CMakeFiles/sf_wms.dir/scheduler.cpp.o"
+  "CMakeFiles/sf_wms.dir/scheduler.cpp.o.d"
+  "CMakeFiles/sf_wms.dir/workflow_spec.cpp.o"
+  "CMakeFiles/sf_wms.dir/workflow_spec.cpp.o.d"
+  "CMakeFiles/sf_wms.dir/xml.cpp.o"
+  "CMakeFiles/sf_wms.dir/xml.cpp.o.d"
+  "CMakeFiles/sf_wms.dir/xml_loader.cpp.o"
+  "CMakeFiles/sf_wms.dir/xml_loader.cpp.o.d"
+  "libsf_wms.a"
+  "libsf_wms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_wms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/aqhi/aqhi.cpp" "src/workloads/CMakeFiles/sf_workloads.dir/aqhi/aqhi.cpp.o" "gcc" "src/workloads/CMakeFiles/sf_workloads.dir/aqhi/aqhi.cpp.o.d"
+  "/root/repo/src/workloads/cybershake/cybershake.cpp" "src/workloads/CMakeFiles/sf_workloads.dir/cybershake/cybershake.cpp.o" "gcc" "src/workloads/CMakeFiles/sf_workloads.dir/cybershake/cybershake.cpp.o.d"
+  "/root/repo/src/workloads/firerisk/firerisk.cpp" "src/workloads/CMakeFiles/sf_workloads.dir/firerisk/firerisk.cpp.o" "gcc" "src/workloads/CMakeFiles/sf_workloads.dir/firerisk/firerisk.cpp.o.d"
+  "/root/repo/src/workloads/lrb/lrb.cpp" "src/workloads/CMakeFiles/sf_workloads.dir/lrb/lrb.cpp.o" "gcc" "src/workloads/CMakeFiles/sf_workloads.dir/lrb/lrb.cpp.o.d"
+  "/root/repo/src/workloads/pagerank/pagerank.cpp" "src/workloads/CMakeFiles/sf_workloads.dir/pagerank/pagerank.cpp.o" "gcc" "src/workloads/CMakeFiles/sf_workloads.dir/pagerank/pagerank.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/datastore/CMakeFiles/sf_datastore.dir/DependInfo.cmake"
+  "/root/repo/build/src/wms/CMakeFiles/sf_wms.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

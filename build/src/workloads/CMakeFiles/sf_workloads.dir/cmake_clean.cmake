@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_workloads.dir/aqhi/aqhi.cpp.o"
+  "CMakeFiles/sf_workloads.dir/aqhi/aqhi.cpp.o.d"
+  "CMakeFiles/sf_workloads.dir/cybershake/cybershake.cpp.o"
+  "CMakeFiles/sf_workloads.dir/cybershake/cybershake.cpp.o.d"
+  "CMakeFiles/sf_workloads.dir/firerisk/firerisk.cpp.o"
+  "CMakeFiles/sf_workloads.dir/firerisk/firerisk.cpp.o.d"
+  "CMakeFiles/sf_workloads.dir/lrb/lrb.cpp.o"
+  "CMakeFiles/sf_workloads.dir/lrb/lrb.cpp.o.d"
+  "CMakeFiles/sf_workloads.dir/pagerank/pagerank.cpp.o"
+  "CMakeFiles/sf_workloads.dir/pagerank/pagerank.cpp.o.d"
+  "libsf_workloads.a"
+  "libsf_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

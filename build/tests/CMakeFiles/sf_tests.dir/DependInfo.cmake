@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines_test.cpp" "tests/CMakeFiles/sf_tests.dir/baselines_test.cpp.o" "gcc" "tests/CMakeFiles/sf_tests.dir/baselines_test.cpp.o.d"
+  "/root/repo/tests/change_metric_test.cpp" "tests/CMakeFiles/sf_tests.dir/change_metric_test.cpp.o" "gcc" "tests/CMakeFiles/sf_tests.dir/change_metric_test.cpp.o.d"
+  "/root/repo/tests/common_test.cpp" "tests/CMakeFiles/sf_tests.dir/common_test.cpp.o" "gcc" "tests/CMakeFiles/sf_tests.dir/common_test.cpp.o.d"
+  "/root/repo/tests/datastore_test.cpp" "tests/CMakeFiles/sf_tests.dir/datastore_test.cpp.o" "gcc" "tests/CMakeFiles/sf_tests.dir/datastore_test.cpp.o.d"
+  "/root/repo/tests/experiment_test.cpp" "tests/CMakeFiles/sf_tests.dir/experiment_test.cpp.o" "gcc" "tests/CMakeFiles/sf_tests.dir/experiment_test.cpp.o.d"
+  "/root/repo/tests/failure_policy_test.cpp" "tests/CMakeFiles/sf_tests.dir/failure_policy_test.cpp.o" "gcc" "tests/CMakeFiles/sf_tests.dir/failure_policy_test.cpp.o.d"
+  "/root/repo/tests/generality_workloads_test.cpp" "tests/CMakeFiles/sf_tests.dir/generality_workloads_test.cpp.o" "gcc" "tests/CMakeFiles/sf_tests.dir/generality_workloads_test.cpp.o.d"
+  "/root/repo/tests/hashing_test.cpp" "tests/CMakeFiles/sf_tests.dir/hashing_test.cpp.o" "gcc" "tests/CMakeFiles/sf_tests.dir/hashing_test.cpp.o.d"
+  "/root/repo/tests/incremental_monitor_test.cpp" "tests/CMakeFiles/sf_tests.dir/incremental_monitor_test.cpp.o" "gcc" "tests/CMakeFiles/sf_tests.dir/incremental_monitor_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/sf_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/sf_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/knowledge_base_test.cpp" "tests/CMakeFiles/sf_tests.dir/knowledge_base_test.cpp.o" "gcc" "tests/CMakeFiles/sf_tests.dir/knowledge_base_test.cpp.o.d"
+  "/root/repo/tests/metric_dsl_test.cpp" "tests/CMakeFiles/sf_tests.dir/metric_dsl_test.cpp.o" "gcc" "tests/CMakeFiles/sf_tests.dir/metric_dsl_test.cpp.o.d"
+  "/root/repo/tests/ml_baselines_test.cpp" "tests/CMakeFiles/sf_tests.dir/ml_baselines_test.cpp.o" "gcc" "tests/CMakeFiles/sf_tests.dir/ml_baselines_test.cpp.o.d"
+  "/root/repo/tests/ml_dataset_test.cpp" "tests/CMakeFiles/sf_tests.dir/ml_dataset_test.cpp.o" "gcc" "tests/CMakeFiles/sf_tests.dir/ml_dataset_test.cpp.o.d"
+  "/root/repo/tests/ml_evaluation_test.cpp" "tests/CMakeFiles/sf_tests.dir/ml_evaluation_test.cpp.o" "gcc" "tests/CMakeFiles/sf_tests.dir/ml_evaluation_test.cpp.o.d"
+  "/root/repo/tests/ml_multilabel_test.cpp" "tests/CMakeFiles/sf_tests.dir/ml_multilabel_test.cpp.o" "gcc" "tests/CMakeFiles/sf_tests.dir/ml_multilabel_test.cpp.o.d"
+  "/root/repo/tests/ml_persistence_test.cpp" "tests/CMakeFiles/sf_tests.dir/ml_persistence_test.cpp.o" "gcc" "tests/CMakeFiles/sf_tests.dir/ml_persistence_test.cpp.o.d"
+  "/root/repo/tests/ml_tree_forest_test.cpp" "tests/CMakeFiles/sf_tests.dir/ml_tree_forest_test.cpp.o" "gcc" "tests/CMakeFiles/sf_tests.dir/ml_tree_forest_test.cpp.o.d"
+  "/root/repo/tests/monitoring_test.cpp" "tests/CMakeFiles/sf_tests.dir/monitoring_test.cpp.o" "gcc" "tests/CMakeFiles/sf_tests.dir/monitoring_test.cpp.o.d"
+  "/root/repo/tests/predictor_test.cpp" "tests/CMakeFiles/sf_tests.dir/predictor_test.cpp.o" "gcc" "tests/CMakeFiles/sf_tests.dir/predictor_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/sf_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/sf_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/qod_engine_test.cpp" "tests/CMakeFiles/sf_tests.dir/qod_engine_test.cpp.o" "gcc" "tests/CMakeFiles/sf_tests.dir/qod_engine_test.cpp.o.d"
+  "/root/repo/tests/scheduler_test.cpp" "tests/CMakeFiles/sf_tests.dir/scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/sf_tests.dir/scheduler_test.cpp.o.d"
+  "/root/repo/tests/session_test.cpp" "tests/CMakeFiles/sf_tests.dir/session_test.cpp.o" "gcc" "tests/CMakeFiles/sf_tests.dir/session_test.cpp.o.d"
+  "/root/repo/tests/smartflux_engine_test.cpp" "tests/CMakeFiles/sf_tests.dir/smartflux_engine_test.cpp.o" "gcc" "tests/CMakeFiles/sf_tests.dir/smartflux_engine_test.cpp.o.d"
+  "/root/repo/tests/thread_pool_test.cpp" "tests/CMakeFiles/sf_tests.dir/thread_pool_test.cpp.o" "gcc" "tests/CMakeFiles/sf_tests.dir/thread_pool_test.cpp.o.d"
+  "/root/repo/tests/wms_test.cpp" "tests/CMakeFiles/sf_tests.dir/wms_test.cpp.o" "gcc" "tests/CMakeFiles/sf_tests.dir/wms_test.cpp.o.d"
+  "/root/repo/tests/workloads_test.cpp" "tests/CMakeFiles/sf_tests.dir/workloads_test.cpp.o" "gcc" "tests/CMakeFiles/sf_tests.dir/workloads_test.cpp.o.d"
+  "/root/repo/tests/xml_test.cpp" "tests/CMakeFiles/sf_tests.dir/xml_test.cpp.o" "gcc" "tests/CMakeFiles/sf_tests.dir/xml_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/sf_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/sf_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/wms/CMakeFiles/sf_wms.dir/DependInfo.cmake"
+  "/root/repo/build/src/datastore/CMakeFiles/sf_datastore.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
