@@ -1,0 +1,146 @@
+// Forest scaling bench: Random Forest train throughput at 1/2/4/8 worker
+// threads (cross-checking that every thread count produces byte-identical
+// save() output, i.e. parallel training is deterministic), and flattened-tree
+// inference throughput per-row vs batched. Emits one JSON object on stdout so
+// runs can be appended to the bench trajectory:
+//
+//   ./bench/forest_scaling > docs/bench/forest_scaling.json
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/random_forest.h"
+
+namespace {
+
+using namespace smartflux;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kRows = 3000;
+constexpr std::size_t kFeatures = 16;
+constexpr std::size_t kTrees = 64;
+constexpr std::size_t kInferRows = 20000;
+constexpr int kTrainReps = 3;  // best-of to damp scheduler noise
+
+ml::Dataset make_data(std::size_t rows, std::uint64_t seed) {
+  Rng rng(seed);
+  ml::Dataset d(kFeatures);
+  std::vector<double> x(kFeatures);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const int label = rng.bernoulli(0.5) ? 1 : 0;
+    const double shift = label == 1 ? 0.8 : 0.0;
+    for (auto& v : x) v = rng.normal(shift, 1.0);
+    // 10% label noise so trees stay deep enough to be worth timing.
+    d.add(x, rng.bernoulli(0.1) ? 1 - label : label);
+  }
+  return d;
+}
+
+ml::ForestOptions forest_options(std::size_t train_threads) {
+  ml::ForestOptions f;
+  f.num_trees = kTrees;
+  f.tree.max_depth = 12;
+  f.tree.min_samples_leaf = 2;
+  f.train_threads = train_threads;
+  return f;
+}
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::string forest_bytes(const ml::RandomForest& forest) {
+  std::ostringstream os;
+  forest.save(os);
+  return os.str();
+}
+
+}  // namespace
+
+int main() {
+  const ml::Dataset train = make_data(kRows, 1);
+
+  // --- Training scaling -----------------------------------------------------
+  struct TrainResult {
+    std::size_t threads;
+    double seconds;
+    bool save_identical;
+  };
+  std::vector<TrainResult> train_results;
+  std::string serial_bytes;
+  double serial_seconds = 0.0;
+
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    double best = 1e300;
+    std::string bytes;
+    for (int rep = 0; rep < kTrainReps; ++rep) {
+      ml::RandomForest forest(forest_options(threads), 7);
+      const auto start = Clock::now();
+      forest.fit(train);
+      best = std::min(best, seconds_since(start));
+      bytes = forest_bytes(forest);
+    }
+    if (threads == 1) {
+      serial_bytes = bytes;
+      serial_seconds = best;
+    }
+    train_results.push_back({threads, best, bytes == serial_bytes});
+  }
+
+  // --- Inference: per-row node walk vs batched flattened pass ---------------
+  Rng rng(2);
+  std::vector<double> rows(kInferRows * kFeatures);
+  for (auto& v : rows) v = rng.normal(0.4, 1.2);
+
+  ml::RandomForest forest(forest_options(1), 7);
+  forest.fit(train);
+
+  std::vector<double> per_row_scores(kInferRows);
+  const auto t_per_row = Clock::now();
+  for (std::size_t i = 0; i < kInferRows; ++i) {
+    per_row_scores[i] =
+        forest.predict_score({rows.data() + i * kFeatures, kFeatures});
+  }
+  const double per_row_s = seconds_since(t_per_row);
+
+  std::vector<double> batched_scores(kInferRows);
+  const auto t_batched = Clock::now();
+  forest.predict_scores(rows, kInferRows, batched_scores);
+  const double batched_s = seconds_since(t_batched);
+
+  bool scores_identical = true;
+  for (std::size_t i = 0; i < kInferRows; ++i) {
+    scores_identical = scores_identical && per_row_scores[i] == batched_scores[i];
+  }
+
+  // --- JSON report ----------------------------------------------------------
+  std::printf("{\n");
+  std::printf("  \"bench\": \"forest_scaling\",\n");
+  std::printf("  \"hardware_threads\": %u,\n", std::thread::hardware_concurrency());
+  std::printf("  \"dataset\": {\"rows\": %zu, \"features\": %zu},\n", kRows, kFeatures);
+  std::printf("  \"forest\": {\"num_trees\": %zu, \"max_depth\": 12, \"min_samples_leaf\": 2},\n",
+              kTrees);
+  std::printf("  \"train\": [\n");
+  for (std::size_t k = 0; k < train_results.size(); ++k) {
+    const auto& r = train_results[k];
+    std::printf("    {\"train_threads\": %zu, \"seconds\": %.4f, \"speedup_vs_serial\": %.2f, "
+                "\"save_identical_to_serial\": %s}%s\n",
+                r.threads, r.seconds, serial_seconds / r.seconds,
+                r.save_identical ? "true" : "false",
+                k + 1 < train_results.size() ? "," : "");
+  }
+  std::printf("  ],\n");
+  std::printf("  \"inference\": {\"rows\": %zu, \"per_row_rows_per_sec\": %.0f, "
+              "\"batched_rows_per_sec\": %.0f, \"batched_speedup\": %.2f, "
+              "\"scores_identical\": %s}\n",
+              kInferRows, static_cast<double>(kInferRows) / per_row_s,
+              static_cast<double>(kInferRows) / batched_s, per_row_s / batched_s,
+              scores_identical ? "true" : "false");
+  std::printf("}\n");
+  return 0;
+}

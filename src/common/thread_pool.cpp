@@ -1,5 +1,8 @@
 #include "common/thread_pool.h"
 
+#include <algorithm>
+#include <atomic>
+
 #include "common/error.h"
 
 namespace smartflux {
@@ -49,6 +52,23 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   }
   wake_.notify_one();
   return future;
+}
+
+void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  SF_CHECK(static_cast<bool>(fn), "fn must be callable");
+  if (n == 0) return;
+  std::atomic<std::size_t> next{0};
+  const std::size_t workers = std::min(n, thread_count());
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    // run_all blocks until every task finished, so capturing locals by
+    // reference is safe.
+    tasks.push_back([&next, &fn, n] {
+      for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) fn(i);
+    });
+  }
+  run_all(std::move(tasks));
 }
 
 void ThreadPool::run_all(std::vector<std::function<void()>> tasks) {

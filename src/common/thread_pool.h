@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -26,6 +27,13 @@ class ThreadPool {
   /// Runs every task and blocks until all complete. The first exception (in
   /// task order) is rethrown after all tasks finished.
   void run_all(std::vector<std::function<void()>> tasks);
+
+  /// Calls fn(i) for every i in [0, n), dynamically scheduled: one task per
+  /// worker pulls indices from a shared counter, so uneven per-index cost
+  /// balances across the pool. Blocks until all indices ran; the first
+  /// exception is rethrown (the throwing worker's remaining indices are
+  /// skipped, other workers drain theirs).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
   std::size_t thread_count() const noexcept { return workers_.size(); }
 

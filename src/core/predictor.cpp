@@ -122,6 +122,40 @@ std::vector<double> Predictor::predict_scores(std::span<const double> impacts) c
   return model_->predict_scores(clamp_to_training_range(impacts));
 }
 
+std::vector<int> Predictor::predict_batch(std::span<const double> impact_rows,
+                                          std::size_t num_rows) const {
+  if (!is_trained()) throw StateError("Predictor::predict_batch called before train");
+  if (num_rows == 0) return {};
+  SF_CHECK(impact_rows.size() == num_rows * feature_ranges_.size(),
+           "impact matrix width mismatch");
+  std::vector<double> clamped(impact_rows.begin(), impact_rows.end());
+  const std::size_t width = feature_ranges_.size();
+  for (std::size_t i = 0; i < num_rows; ++i) {
+    for (std::size_t f = 0; f < width; ++f) {
+      double& v = clamped[i * width + f];
+      v = std::clamp(v, feature_ranges_[f].first, feature_ranges_[f].second);
+    }
+  }
+  return model_->predict_batch(clamped, num_rows);
+}
+
+std::vector<double> Predictor::predict_scores_batch(std::span<const double> impact_rows,
+                                                    std::size_t num_rows) const {
+  if (!is_trained()) throw StateError("Predictor::predict_scores_batch called before train");
+  if (num_rows == 0) return {};
+  SF_CHECK(impact_rows.size() == num_rows * feature_ranges_.size(),
+           "impact matrix width mismatch");
+  std::vector<double> clamped(impact_rows.begin(), impact_rows.end());
+  const std::size_t width = feature_ranges_.size();
+  for (std::size_t i = 0; i < num_rows; ++i) {
+    for (std::size_t f = 0; f < width; ++f) {
+      double& v = clamped[i * width + f];
+      v = std::clamp(v, feature_ranges_[f].first, feature_ranges_[f].second);
+    }
+  }
+  return model_->predict_scores_batch(clamped, num_rows);
+}
+
 Predictor::TestReport Predictor::test(const KnowledgeBase& kb, std::size_t folds) const {
   SF_CHECK(kb.size() >= folds, "knowledge base smaller than fold count");
   const ml::MultiLabelDataset data = kb.to_dataset();

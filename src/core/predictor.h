@@ -79,6 +79,15 @@ class Predictor {
   std::vector<int> predict(std::span<const double> impacts) const;
   std::vector<double> predict_scores(std::span<const double> impacts) const;
 
+  /// Batched variants over `num_rows` impact vectors stored contiguously
+  /// row-major. Each per-label forest traverses the whole batch in one pass
+  /// (instead of being re-entered per row), which is what evaluation sweeps
+  /// and replayed wave decisions should use. Returns a num_rows × num_labels
+  /// row-major matrix with entries identical to the per-row calls.
+  std::vector<int> predict_batch(std::span<const double> impact_rows, std::size_t num_rows) const;
+  std::vector<double> predict_scores_batch(std::span<const double> impact_rows,
+                                           std::size_t num_rows) const;
+
   /// The paper's test phase: stratified k-fold cross-validation per label on
   /// the training set (accuracy / precision / recall). Labels whose column is
   /// constant are skipped (their step either always or never re-executes).

@@ -5,6 +5,7 @@
 #include <span>
 #include <string>
 
+#include "common/error.h"
 #include "ml/dataset.h"
 
 namespace smartflux::ml {
@@ -25,6 +26,36 @@ class Classifier {
   virtual double predict_score(std::span<const double> x) const = 0;
   virtual bool is_fitted() const noexcept = 0;
   virtual std::string name() const = 0;
+
+  /// Batched scoring: `rows` holds `num_rows` feature vectors contiguously
+  /// row-major (rows.size() == num_rows * width) and one score per row is
+  /// written to `out`. The default loops predict_score; models with an
+  /// ensemble or flattened representation override it with a pass that
+  /// amortizes model traversal across the whole batch. Results are identical
+  /// to the per-row calls.
+  virtual void predict_scores(std::span<const double> rows, std::size_t num_rows,
+                              std::span<double> out) const {
+    if (num_rows == 0) return;
+    SF_CHECK(rows.size() % num_rows == 0, "row matrix width mismatch");
+    SF_CHECK(out.size() >= num_rows, "output span too small");
+    const std::size_t width = rows.size() / num_rows;
+    for (std::size_t i = 0; i < num_rows; ++i) {
+      out[i] = predict_score(rows.subspan(i * width, width));
+    }
+  }
+
+  /// Batched class decisions over the same row-major layout as
+  /// predict_scores. Default loops predict.
+  virtual void predict_batch(std::span<const double> rows, std::size_t num_rows,
+                             std::span<int> out) const {
+    if (num_rows == 0) return;
+    SF_CHECK(rows.size() % num_rows == 0, "row matrix width mismatch");
+    SF_CHECK(out.size() >= num_rows, "output span too small");
+    const std::size_t width = rows.size() / num_rows;
+    for (std::size_t i = 0; i < num_rows; ++i) {
+      out[i] = predict(rows.subspan(i * width, width));
+    }
+  }
 };
 
 /// Produces fresh untrained classifier instances; used by cross-validation

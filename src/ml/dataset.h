@@ -24,6 +24,9 @@ class Dataset {
   std::span<const double> features(std::size_t i) const noexcept {
     return {data_.data() + i * num_features_, num_features_};
   }
+  /// All rows as one contiguous row-major matrix (size() * num_features()
+  /// doubles) — the layout the batched Classifier APIs consume directly.
+  std::span<const double> feature_matrix() const noexcept { return data_; }
   int label(std::size_t i) const noexcept { return labels_[i]; }
   std::span<const int> labels() const noexcept { return labels_; }
 

@@ -31,7 +31,14 @@ void DecisionTree::fit(const Dataset& data) {
 
 void DecisionTree::fit_indices(const Dataset& data, std::span<const std::size_t> indices) {
   SF_CHECK(!indices.empty(), "cannot fit a tree without samples");
-  nodes_.clear();
+  feature_.clear();
+  threshold_.clear();
+  left_.clear();
+  right_.clear();
+  majority_.clear();
+  dist_offset_.clear();
+  dist_len_.clear();
+  dist_pool_.clear();
   depth_ = 0;
   num_features_ = data.num_features();
   num_classes_ = 0;
@@ -39,7 +46,24 @@ void DecisionTree::fit_indices(const Dataset& data, std::span<const std::size_t>
     num_classes_ = std::max(num_classes_, static_cast<std::size_t>(data.label(i)) + 1);
   }
   std::vector<std::size_t> work(indices.begin(), indices.end());
-  build(data, work, 0, work.size(), 0);
+  BuildScratch scratch;
+  scratch.feats.resize(num_features_);
+  scratch.sorted.reserve(work.size());
+  scratch.parent_counts.resize(num_classes_);
+  scratch.left_counts.resize(num_classes_);
+  scratch.leaf_counts.resize(num_classes_);
+  build(data, work, 0, work.size(), 0, scratch);
+}
+
+std::int32_t DecisionTree::push_node() {
+  feature_.push_back(-1);
+  threshold_.push_back(0.0);
+  left_.push_back(-1);
+  right_.push_back(-1);
+  majority_.push_back(0);
+  dist_offset_.push_back(0);
+  dist_len_.push_back(0);
+  return static_cast<std::int32_t>(feature_.size() - 1);
 }
 
 namespace {
@@ -52,30 +76,34 @@ double gini(std::span<const double> counts, double total) noexcept {
 }
 }  // namespace
 
-std::int32_t DecisionTree::make_leaf(const Dataset& data, std::span<const std::size_t> indices) {
-  Node leaf;
-  std::vector<double> counts(num_classes_, 0.0);
+std::int32_t DecisionTree::make_leaf(const Dataset& data, std::span<const std::size_t> indices,
+                                     BuildScratch& scratch) {
+  auto& counts = scratch.leaf_counts;
+  std::fill(counts.begin(), counts.end(), 0.0);
   for (std::size_t i : indices) counts[static_cast<std::size_t>(data.label(i))] += 1.0;
   double total = 0.0;
   for (double c : counts) total += c;
-  leaf.distribution.resize(num_classes_, 0.0);
+
+  const std::int32_t self = push_node();
+  dist_offset_[static_cast<std::size_t>(self)] = static_cast<std::uint32_t>(dist_pool_.size());
+  dist_len_[static_cast<std::size_t>(self)] = static_cast<std::uint32_t>(num_classes_);
   double best = -1.0;
   for (std::size_t c = 0; c < num_classes_; ++c) {
-    leaf.distribution[c] = counts[c] / total;
+    dist_pool_.push_back(counts[c] / total);
     // Majority vote is weight-adjusted so positive_class_weight also shifts
     // the decision boundary, not just split selection.
     const double weighted = counts[c] * class_weight(static_cast<int>(c));
     if (weighted > best) {
       best = weighted;
-      leaf.majority = static_cast<int>(c);
+      majority_[static_cast<std::size_t>(self)] = static_cast<int>(c);
     }
   }
-  nodes_.push_back(std::move(leaf));
-  return static_cast<std::int32_t>(nodes_.size() - 1);
+  return self;
 }
 
 std::int32_t DecisionTree::build(const Dataset& data, std::vector<std::size_t>& indices,
-                                 std::size_t begin, std::size_t end, std::size_t depth) {
+                                 std::size_t begin, std::size_t end, std::size_t depth,
+                                 BuildScratch& scratch) {
   depth_ = std::max(depth_, depth);
   const std::size_t n = end - begin;
   const std::span<const std::size_t> node_indices{indices.data() + begin, n};
@@ -90,11 +118,11 @@ std::int32_t DecisionTree::build(const Dataset& data, std::vector<std::size_t>& 
   }
   if (pure || depth >= options_.max_depth || n < options_.min_samples_split ||
       n < 2 * options_.min_samples_leaf) {
-    return make_leaf(data, node_indices);
+    return make_leaf(data, node_indices, scratch);
   }
 
   // Candidate features: all, or a random subset of size max_features.
-  std::vector<std::size_t> feats(num_features_);
+  auto& feats = scratch.feats;
   std::iota(feats.begin(), feats.end(), std::size_t{0});
   std::size_t n_feats = num_features_;
   if (options_.max_features != 0 && options_.max_features < num_features_) {
@@ -103,7 +131,8 @@ std::int32_t DecisionTree::build(const Dataset& data, std::vector<std::size_t>& 
   }
 
   // Parent weighted class counts.
-  std::vector<double> parent_counts(num_classes_, 0.0);
+  auto& parent_counts = scratch.parent_counts;
+  std::fill(parent_counts.begin(), parent_counts.end(), 0.0);
   for (std::size_t i : node_indices) {
     parent_counts[static_cast<std::size_t>(data.label(i))] += class_weight(data.label(i));
   }
@@ -115,9 +144,8 @@ std::int32_t DecisionTree::build(const Dataset& data, std::vector<std::size_t>& 
   double best_threshold = 0.0;
   double best_gain = 1e-12;
 
-  std::vector<std::pair<double, int>> sorted;  // (feature value, label)
-  sorted.reserve(n);
-  std::vector<double> left_counts(num_classes_);
+  auto& sorted = scratch.sorted;  // (feature value, label)
+  auto& left_counts = scratch.left_counts;
 
   for (std::size_t fi = 0; fi < n_feats; ++fi) {
     const std::size_t f = feats[fi];
@@ -158,7 +186,7 @@ std::int32_t DecisionTree::build(const Dataset& data, std::vector<std::size_t>& 
     }
   }
 
-  if (best_feature < 0) return make_leaf(data, node_indices);
+  if (best_feature < 0) return make_leaf(data, node_indices, scratch);
 
   // Partition indices in place around the threshold.
   const auto mid_it = std::partition(
@@ -167,52 +195,71 @@ std::int32_t DecisionTree::build(const Dataset& data, std::vector<std::size_t>& 
         return data.features(i)[static_cast<std::size_t>(best_feature)] <= best_threshold;
       });
   const auto mid = static_cast<std::size_t>(mid_it - indices.begin());
-  if (mid == begin || mid == end) return make_leaf(data, node_indices);
+  if (mid == begin || mid == end) return make_leaf(data, node_indices, scratch);
 
   // Reserve this node's slot before recursing so the root stays at index 0.
-  nodes_.emplace_back();
-  const auto self = static_cast<std::int32_t>(nodes_.size() - 1);
-  const std::int32_t left = build(data, indices, begin, mid, depth + 1);
-  const std::int32_t right = build(data, indices, mid, end, depth + 1);
-  Node& node = nodes_[static_cast<std::size_t>(self)];
-  node.feature = best_feature;
-  node.threshold = best_threshold;
-  node.left = left;
-  node.right = right;
+  const std::int32_t self = push_node();
+  const std::int32_t left = build(data, indices, begin, mid, depth + 1, scratch);
+  const std::int32_t right = build(data, indices, mid, end, depth + 1, scratch);
+  const auto s = static_cast<std::size_t>(self);
+  feature_[s] = best_feature;
+  threshold_[s] = best_threshold;
+  left_[s] = left;
+  right_[s] = right;
   return self;
 }
 
-const DecisionTree::Node& DecisionTree::descend(std::span<const double> x) const {
-  if (nodes_.empty()) throw StateError("DecisionTree::predict called before fit");
-  SF_CHECK(x.size() == num_features_, "feature vector width mismatch");
-  const Node* node = &nodes_[0];
-  while (node->left != -1) {
-    const bool go_left = x[static_cast<std::size_t>(node->feature)] <= node->threshold;
-    node = &nodes_[static_cast<std::size_t>(go_left ? node->left : node->right)];
+std::size_t DecisionTree::descend_from(const double* x) const noexcept {
+  std::size_t node = 0;
+  while (left_[node] != -1) {
+    const bool go_left = x[static_cast<std::size_t>(feature_[node])] <= threshold_[node];
+    node = static_cast<std::size_t>(go_left ? left_[node] : right_[node]);
   }
-  return *node;
+  return node;
 }
 
-int DecisionTree::predict(std::span<const double> x) const { return descend(x).majority; }
+std::size_t DecisionTree::descend(std::span<const double> x) const {
+  if (feature_.empty()) throw StateError("DecisionTree::predict called before fit");
+  SF_CHECK(x.size() == num_features_, "feature vector width mismatch");
+  return descend_from(x.data());
+}
+
+int DecisionTree::predict(std::span<const double> x) const { return majority_[descend(x)]; }
 
 double DecisionTree::predict_score(std::span<const double> x) const {
-  const Node& leaf = descend(x);
-  return leaf.distribution.size() > 1 ? leaf.distribution[1] : 0.0;
+  const std::size_t leaf = descend(x);
+  return dist_len_[leaf] > 1 ? dist_pool_[dist_offset_[leaf] + 1] : 0.0;
+}
+
+void DecisionTree::predict_scores(std::span<const double> rows, std::size_t num_rows,
+                                  std::span<double> out) const {
+  if (num_rows == 0) return;
+  if (feature_.empty()) throw StateError("DecisionTree::predict called before fit");
+  SF_CHECK(rows.size() == num_rows * num_features_, "row matrix width mismatch");
+  SF_CHECK(out.size() >= num_rows, "output span too small");
+  // Bounds were checked once for the whole batch; the inner loop is pure
+  // array walking.
+  for (std::size_t i = 0; i < num_rows; ++i) {
+    const std::size_t leaf = descend_from(rows.data() + i * num_features_);
+    out[i] = dist_len_[leaf] > 1 ? dist_pool_[dist_offset_[leaf] + 1] : 0.0;
+  }
 }
 
 std::vector<double> DecisionTree::leaf_distribution(std::span<const double> x) const {
-  return descend(x).distribution;
+  const std::size_t leaf = descend(x);
+  const auto first = dist_pool_.begin() + dist_offset_[leaf];
+  return {first, first + dist_len_[leaf]};
 }
 
 void DecisionTree::save(std::ostream& os) const {
-  if (nodes_.empty()) throw StateError("cannot save an unfitted DecisionTree");
+  if (feature_.empty()) throw StateError("cannot save an unfitted DecisionTree");
   os.precision(17);
   os << "tree " << num_features_ << ' ' << num_classes_ << ' ' << depth_ << ' '
-     << nodes_.size() << '\n';
-  for (const Node& node : nodes_) {
-    os << node.feature << ' ' << node.threshold << ' ' << node.left << ' ' << node.right << ' '
-       << node.majority << ' ' << node.distribution.size();
-    for (double p : node.distribution) os << ' ' << p;
+     << feature_.size() << '\n';
+  for (std::size_t i = 0; i < feature_.size(); ++i) {
+    os << feature_[i] << ' ' << threshold_[i] << ' ' << left_[i] << ' ' << right_[i] << ' '
+       << majority_[i] << ' ' << dist_len_[i];
+    for (std::uint32_t k = 0; k < dist_len_[i]; ++k) os << ' ' << dist_pool_[dist_offset_[i] + k];
     os << '\n';
   }
 }
@@ -225,23 +272,32 @@ DecisionTree DecisionTree::load(std::istream& is) {
       magic != "tree") {
     throw InvalidArgument("malformed DecisionTree stream (bad header)");
   }
-  tree.nodes_.resize(node_count);
-  for (Node& node : tree.nodes_) {
+  tree.feature_.resize(node_count);
+  tree.threshold_.resize(node_count);
+  tree.left_.resize(node_count);
+  tree.right_.resize(node_count);
+  tree.majority_.resize(node_count);
+  tree.dist_offset_.resize(node_count);
+  tree.dist_len_.resize(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) {
     std::size_t dist_size = 0;
-    if (!(is >> node.feature >> node.threshold >> node.left >> node.right >> node.majority >>
-          dist_size)) {
+    if (!(is >> tree.feature_[i] >> tree.threshold_[i] >> tree.left_[i] >> tree.right_[i] >>
+          tree.majority_[i] >> dist_size)) {
       throw InvalidArgument("malformed DecisionTree stream (truncated node)");
     }
-    node.distribution.resize(dist_size);
-    for (double& p : node.distribution) {
+    tree.dist_offset_[i] = static_cast<std::uint32_t>(tree.dist_pool_.size());
+    tree.dist_len_[i] = static_cast<std::uint32_t>(dist_size);
+    for (std::size_t k = 0; k < dist_size; ++k) {
+      double p = 0.0;
       if (!(is >> p)) throw InvalidArgument("malformed DecisionTree stream (truncated node)");
+      tree.dist_pool_.push_back(p);
     }
     const auto count = static_cast<std::int64_t>(node_count);
-    if (node.left >= count || node.right >= count) {
+    if (tree.left_[i] >= count || tree.right_[i] >= count) {
       throw InvalidArgument("malformed DecisionTree stream (child index out of range)");
     }
   }
-  if (tree.nodes_.empty()) throw InvalidArgument("DecisionTree stream contains no nodes");
+  if (tree.feature_.empty()) throw InvalidArgument("DecisionTree stream contains no nodes");
   return tree;
 }
 

@@ -25,6 +25,11 @@ struct TreeOptions {
 
 /// CART-style binary decision tree with Gini impurity on numeric features.
 /// Deterministic given the same data and Rng seed.
+///
+/// Nodes are stored flattened as a structure-of-arrays: one contiguous array
+/// per field plus a shared distribution pool indexed by leaf, so a descent
+/// touches a handful of dense arrays instead of pointer-chased node structs,
+/// and fitting performs no per-node heap allocation.
 class DecisionTree final : public Classifier {
  public:
   explicit DecisionTree(TreeOptions options = {}, std::uint64_t seed = 1);
@@ -35,10 +40,14 @@ class DecisionTree final : public Classifier {
 
   int predict(std::span<const double> x) const override;
   double predict_score(std::span<const double> x) const override;
-  bool is_fitted() const noexcept override { return !nodes_.empty(); }
+  /// Batched scoring over contiguous row-major rows; one descent per row
+  /// through the flattened arrays, keeping the tree hot in cache.
+  void predict_scores(std::span<const double> rows, std::size_t num_rows,
+                      std::span<double> out) const override;
+  bool is_fitted() const noexcept override { return !feature_.empty(); }
   std::string name() const override { return "DecisionTree"; }
 
-  std::size_t node_count() const noexcept { return nodes_.size(); }
+  std::size_t node_count() const noexcept { return feature_.size(); }
   std::size_t depth() const noexcept { return depth_; }
   const TreeOptions& options() const noexcept { return options_; }
 
@@ -52,26 +61,42 @@ class DecisionTree final : public Classifier {
   static DecisionTree load(std::istream& is);
 
  private:
-  struct Node {
-    // Internal node: feature/threshold valid, children set.
-    // Leaf: left == -1; `distribution` holds normalized class posteriors.
-    int feature = -1;
-    double threshold = 0.0;
-    std::int32_t left = -1;
-    std::int32_t right = -1;
-    int majority = 0;
-    std::vector<double> distribution;
+  /// Scratch buffers shared by the whole build recursion so that splitting a
+  /// node allocates nothing (the old Node-based builder paid a sort buffer,
+  /// a candidate-feature vector, and three histograms per node).
+  struct BuildScratch {
+    std::vector<std::size_t> feats;
+    std::vector<std::pair<double, int>> sorted;  // (feature value, label)
+    std::vector<double> parent_counts;
+    std::vector<double> left_counts;
+    std::vector<double> leaf_counts;
   };
 
   std::int32_t build(const Dataset& data, std::vector<std::size_t>& indices, std::size_t begin,
-                     std::size_t end, std::size_t depth);
-  std::int32_t make_leaf(const Dataset& data, std::span<const std::size_t> indices);
-  const Node& descend(std::span<const double> x) const;
+                     std::size_t end, std::size_t depth, BuildScratch& scratch);
+  std::int32_t make_leaf(const Dataset& data, std::span<const std::size_t> indices,
+                         BuildScratch& scratch);
+  /// Appends one default-initialized node across all arrays.
+  std::int32_t push_node();
+  std::size_t descend(std::span<const double> x) const;
+  /// Root-to-leaf walk with no validity/width checks (batch inner loop).
+  std::size_t descend_from(const double* x) const noexcept;
   double class_weight(int label) const noexcept;
 
   TreeOptions options_;
   Rng rng_;
-  std::vector<Node> nodes_;
+  // Flattened node storage. Internal node: feature_ >= 0, threshold_ and both
+  // children valid. Leaf: left_ == -1 and [dist_offset_, +dist_len_) slices
+  // dist_pool_ with its normalized class posteriors (dist_len_ == 0 for
+  // internal nodes). Root is node 0; children are filled in DFS order.
+  std::vector<std::int32_t> feature_;
+  std::vector<double> threshold_;
+  std::vector<std::int32_t> left_;
+  std::vector<std::int32_t> right_;
+  std::vector<std::int32_t> majority_;
+  std::vector<std::uint32_t> dist_offset_;
+  std::vector<std::uint32_t> dist_len_;
+  std::vector<double> dist_pool_;
   std::size_t depth_ = 0;
   std::size_t num_classes_ = 0;
   std::size_t num_features_ = 0;

@@ -69,8 +69,10 @@ double roc_auc(std::span<const double> scores, std::span<const int> labels) noex
 
 Confusion evaluate(const Classifier& clf, const Dataset& test) {
   Confusion c;
+  std::vector<int> predicted(test.size());
+  clf.predict_batch(test.feature_matrix(), test.size(), predicted);
   for (std::size_t i = 0; i < test.size(); ++i) {
-    c.add(test.label(i), clf.predict(test.features(i)));
+    c.add(test.label(i), predicted[i]);
   }
   return c;
 }
@@ -116,14 +118,13 @@ CvMetrics cross_validate(const ClassifierFactory& factory, const Dataset& data, 
     clf->fit(train);
 
     Confusion c;
-    std::vector<double> scores;
-    std::vector<int> labels;
-    scores.reserve(test.size());
-    labels.reserve(test.size());
+    std::vector<int> predicted(test.size());
+    std::vector<double> scores(test.size());
+    std::vector<int> labels(test.labels().begin(), test.labels().end());
+    clf->predict_batch(test.feature_matrix(), test.size(), predicted);
+    clf->predict_scores(test.feature_matrix(), test.size(), scores);
     for (std::size_t i = 0; i < test.size(); ++i) {
-      c.add(test.label(i), clf->predict(test.features(i)));
-      scores.push_back(clf->predict_score(test.features(i)));
-      labels.push_back(test.label(i));
+      c.add(test.label(i), predicted[i]);
     }
     out.accuracy += c.accuracy();
     out.precision += c.precision();

@@ -116,17 +116,81 @@ std::vector<double> BinaryRelevance::predict_scores(std::span<const double> x) c
   return out;
 }
 
+std::vector<int> BinaryRelevance::predict_batch(std::span<const double> rows,
+                                                std::size_t num_rows) const {
+  if (!fitted_) throw StateError("BinaryRelevance::predict_batch called before fit");
+  std::vector<int> out(num_rows * models_.size(), 0);
+  if (num_rows == 0) return out;
+  SF_CHECK(rows.size() % num_rows == 0, "row matrix width mismatch");
+  const std::size_t width = rows.size() / num_rows;
+  std::vector<double> projected;
+  std::vector<int> column(num_rows);
+  for (std::size_t l = 0; l < models_.size(); ++l) {
+    if (models_[l].is_constant) {
+      for (std::size_t i = 0; i < num_rows; ++i) {
+        out[i * models_.size() + l] = models_[l].constant_label;
+      }
+      continue;
+    }
+    const auto proj = project_rows(l, rows, num_rows, width, projected);
+    models_[l].model->predict_batch(proj, num_rows, column);
+    for (std::size_t i = 0; i < num_rows; ++i) out[i * models_.size() + l] = column[i];
+  }
+  return out;
+}
+
+std::vector<double> BinaryRelevance::predict_scores_batch(std::span<const double> rows,
+                                                          std::size_t num_rows) const {
+  if (!fitted_) throw StateError("BinaryRelevance::predict_scores_batch called before fit");
+  std::vector<double> out(num_rows * models_.size(), 0.0);
+  if (num_rows == 0) return out;
+  SF_CHECK(rows.size() % num_rows == 0, "row matrix width mismatch");
+  const std::size_t width = rows.size() / num_rows;
+  std::vector<double> projected;
+  std::vector<double> column(num_rows);
+  for (std::size_t l = 0; l < models_.size(); ++l) {
+    if (models_[l].is_constant) {
+      for (std::size_t i = 0; i < num_rows; ++i) {
+        out[i * models_.size() + l] = static_cast<double>(models_[l].constant_label);
+      }
+      continue;
+    }
+    const auto proj = project_rows(l, rows, num_rows, width, projected);
+    models_[l].model->predict_scores(proj, num_rows, column);
+    for (std::size_t i = 0; i < num_rows; ++i) out[i * models_.size() + l] = column[i];
+  }
+  return out;
+}
+
+std::span<const double> BinaryRelevance::project_rows(std::size_t label,
+                                                      std::span<const double> rows,
+                                                      std::size_t num_rows, std::size_t width,
+                                                      std::vector<double>& scratch) const {
+  if (label >= feature_subsets_.size() || feature_subsets_[label].empty()) return rows;
+  const auto& subset = feature_subsets_[label];
+  scratch.resize(num_rows * subset.size());
+  for (std::size_t i = 0; i < num_rows; ++i) {
+    const double* row = rows.data() + i * width;
+    for (std::size_t k = 0; k < subset.size(); ++k) {
+      SF_CHECK(subset[k] < width, "feature index out of range");
+      scratch[i * subset.size() + k] = row[subset[k]];
+    }
+  }
+  return scratch;
+}
+
 BinaryRelevance::MlMetrics BinaryRelevance::evaluate(const MultiLabelDataset& test) const {
   SF_CHECK(!test.empty(), "cannot evaluate on an empty dataset");
   std::size_t exact = 0;
   std::vector<Confusion> per_label(models_.size());
+  const auto predicted = predict_batch(test.feature_matrix(), test.size());
   for (std::size_t i = 0; i < test.size(); ++i) {
-    const auto predicted = predict(test.features(i));
     const auto truth = test.labels(i);
+    const int* row_pred = predicted.data() + i * models_.size();
     bool all = true;
     for (std::size_t l = 0; l < models_.size(); ++l) {
-      per_label[l].add(truth[l], predicted[l]);
-      all = all && predicted[l] == truth[l];
+      per_label[l].add(truth[l], row_pred[l]);
+      all = all && row_pred[l] == truth[l];
     }
     if (all) ++exact;
   }

@@ -29,6 +29,9 @@ class MultiLabelDataset {
   std::span<const int> labels(std::size_t i) const noexcept {
     return {labels_.data() + i * num_labels_, num_labels_};
   }
+  /// All rows as one contiguous row-major matrix (size() * num_features()
+  /// doubles) — feeds the batched prediction APIs without copying.
+  std::span<const double> feature_matrix() const noexcept { return features_; }
 
   /// Projects to the single-label dataset for one label index.
   Dataset project(std::size_t label_index) const;
@@ -61,6 +64,16 @@ class BinaryRelevance {
   void fit(const MultiLabelDataset& data);
   std::vector<int> predict(std::span<const double> x) const;
   std::vector<double> predict_scores(std::span<const double> x) const;
+
+  /// Batched variants: `rows` holds num_rows feature vectors contiguously
+  /// row-major; the result is a num_rows × num_labels row-major matrix. Each
+  /// label's model makes one pass over the whole batch (a forest walks each
+  /// tree once per batch instead of once per row), instead of being re-entered
+  /// per (row, label).
+  std::vector<int> predict_batch(std::span<const double> rows, std::size_t num_rows) const;
+  std::vector<double> predict_scores_batch(std::span<const double> rows,
+                                           std::size_t num_rows) const;
+
   bool is_fitted() const noexcept { return fitted_; }
   std::size_t num_labels() const noexcept { return models_.size(); }
 
@@ -82,6 +95,12 @@ class BinaryRelevance {
 
   /// Features of `x` used by label `l`'s model (identity when no subset set).
   std::vector<double> project_features(std::size_t label, std::span<const double> x) const;
+  /// Batch variant: returns `rows` untouched when label `l` uses all
+  /// features, otherwise gathers its subset columns into `scratch` and
+  /// returns a span over it.
+  std::span<const double> project_rows(std::size_t label, std::span<const double> rows,
+                                       std::size_t num_rows, std::size_t width,
+                                       std::vector<double>& scratch) const;
 
   ClassifierFactory factory_;
   std::vector<std::vector<std::size_t>> feature_subsets_;

@@ -6,6 +6,7 @@
 #include <ostream>
 
 #include "common/error.h"
+#include "common/thread_pool.h"
 
 namespace smartflux::ml {
 
@@ -20,7 +21,6 @@ RandomForest::RandomForest(ForestOptions options, std::uint64_t seed)
 void RandomForest::fit(const Dataset& data) {
   SF_CHECK(!data.empty(), "cannot fit a forest on an empty dataset");
   trees_.clear();
-  trees_.reserve(options_.num_trees);
   num_classes_ = 0;
   for (std::size_t i = 0; i < data.size(); ++i) {
     num_classes_ = std::max(num_classes_, static_cast<std::size_t>(data.label(i)) + 1);
@@ -39,28 +39,53 @@ void RandomForest::fit(const Dataset& data) {
   const auto sample_size = static_cast<std::size_t>(
       std::max(1.0, options_.bootstrap_fraction * static_cast<double>(data.size())));
 
-  // Out-of-bag vote accumulation: votes[i][c] over trees where i was not drawn.
-  std::vector<std::vector<double>> oob_votes(data.size(), std::vector<double>(num_classes_, 0.0));
-  std::vector<char> in_bag(data.size());
-  std::vector<std::size_t> bootstrap(sample_size);
+  // Draw every per-tree bootstrap sample and seed from the forest RNG up
+  // front, in the order the serial loop consumed it. Tree fitting then has no
+  // shared mutable state, so it can run on any number of threads and still
+  // produce a bit-identical forest.
+  const std::size_t num_trees = options_.num_trees;
+  std::vector<std::vector<std::size_t>> bootstraps(num_trees);
+  std::vector<std::uint64_t> seeds(num_trees);
+  for (std::size_t t = 0; t < num_trees; ++t) {
+    bootstraps[t].resize(sample_size);
+    for (auto& idx : bootstraps[t]) idx = rng_.uniform_index(data.size());
+    seeds[t] = rng_();
+  }
 
-  for (std::size_t t = 0; t < options_.num_trees; ++t) {
-    std::fill(in_bag.begin(), in_bag.end(), char{0});
-    for (std::size_t k = 0; k < sample_size; ++k) {
-      const std::size_t idx = rng_.uniform_index(data.size());
-      bootstrap[k] = idx;
-      in_bag[idx] = 1;
-    }
-    DecisionTree tree(tree_opts, rng_());
-    tree.fit_indices(data, bootstrap);
+  // Out-of-bag predictions per tree (-1 = in bag), merged after the barrier.
+  trees_.resize(num_trees);
+  std::vector<std::vector<std::int32_t>> oob_pred(num_trees);
+
+  auto fit_one = [&](std::size_t t) {
+    DecisionTree tree(tree_opts, seeds[t]);
+    tree.fit_indices(data, bootstraps[t]);
+    std::vector<char> in_bag(data.size(), 0);
+    for (std::size_t idx : bootstraps[t]) in_bag[idx] = 1;
+    auto& pred = oob_pred[t];
+    pred.assign(data.size(), -1);
     for (std::size_t i = 0; i < data.size(); ++i) {
-      if (in_bag[i]) continue;
-      const int c = tree.predict(data.features(i));
-      if (static_cast<std::size_t>(c) < num_classes_) {
+      if (!in_bag[i]) pred[i] = tree.predict(data.features(i));
+    }
+    trees_[t] = std::move(tree);
+  };
+
+  if (options_.train_threads > 1) {
+    ThreadPool pool(options_.train_threads);
+    pool.parallel_for(num_trees, fit_one);
+  } else {
+    for (std::size_t t = 0; t < num_trees; ++t) fit_one(t);
+  }
+
+  // Merge OOB votes in tree order — the same accumulation the serial
+  // tree-at-a-time loop performed.
+  std::vector<std::vector<double>> oob_votes(data.size(), std::vector<double>(num_classes_, 0.0));
+  for (std::size_t t = 0; t < num_trees; ++t) {
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      const std::int32_t c = oob_pred[t][i];
+      if (c >= 0 && static_cast<std::size_t>(c) < num_classes_) {
         oob_votes[i][static_cast<std::size_t>(c)] += 1.0;
       }
     }
-    trees_.push_back(std::move(tree));
   }
 
   std::size_t evaluated = 0, correct = 0;
@@ -86,11 +111,46 @@ double RandomForest::predict_score(std::span<const double> x) const {
   return sum / static_cast<double>(trees_.size());
 }
 
+void RandomForest::predict_scores(std::span<const double> rows, std::size_t num_rows,
+                                  std::span<double> out) const {
+  if (num_rows == 0) return;
+  if (trees_.empty()) throw StateError("RandomForest::predict called before fit");
+  SF_CHECK(rows.size() % num_rows == 0, "row matrix width mismatch");
+  SF_CHECK(out.size() >= num_rows, "output span too small");
+  std::fill(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(num_rows), 0.0);
+  std::vector<double> tree_scores(num_rows);
+  for (const auto& tree : trees_) {
+    // Accumulate in tree order so the sum is bitwise the same as the scalar
+    // predict_score loop over trees_.
+    tree.predict_scores(rows, num_rows, tree_scores);
+    for (std::size_t i = 0; i < num_rows; ++i) out[i] += tree_scores[i];
+  }
+  for (std::size_t i = 0; i < num_rows; ++i) out[i] /= static_cast<double>(trees_.size());
+}
+
+void RandomForest::predict_batch(std::span<const double> rows, std::size_t num_rows,
+                                 std::span<int> out) const {
+  if (num_rows == 0) return;
+  if (trees_.empty()) throw StateError("RandomForest::predict called before fit");
+  if (num_classes_ <= 2) {
+    std::vector<double> scores(num_rows);
+    predict_scores(rows, num_rows, scores);
+    for (std::size_t i = 0; i < num_rows; ++i) {
+      out[i] = scores[i] >= options_.decision_threshold ? 1 : 0;
+    }
+    return;
+  }
+  Classifier::predict_batch(rows, num_rows, out);  // multiclass: per-row vote
+}
+
 void RandomForest::save(std::ostream& os) const {
   if (trees_.empty()) throw StateError("cannot save an unfitted RandomForest");
   os.precision(17);
-  os << "forest " << trees_.size() << ' ' << num_classes_ << ' '
-     << options_.decision_threshold << ' ' << oob_accuracy_ << '\n';
+  os << "forest2 " << trees_.size() << ' ' << num_classes_ << ' '
+     << options_.decision_threshold << ' ' << oob_accuracy_ << ' '
+     << options_.bootstrap_fraction << ' ' << options_.tree.max_depth << ' '
+     << options_.tree.min_samples_leaf << ' ' << options_.tree.min_samples_split << ' '
+     << options_.tree.max_features << ' ' << options_.tree.positive_class_weight << '\n';
   for (const auto& tree : trees_) tree.save(os);
 }
 
@@ -98,15 +158,27 @@ RandomForest RandomForest::load(std::istream& is) {
   std::string magic;
   std::size_t num_trees = 0;
   std::size_t num_classes = 0;
-  double threshold = 0.5;
+  ForestOptions options;
+  if (!(is >> magic)) throw InvalidArgument("malformed RandomForest stream (bad header)");
   double oob = 0.0;
-  if (!(is >> magic >> num_trees >> num_classes >> threshold >> oob) || magic != "forest") {
+  if (magic == "forest2") {
+    if (!(is >> num_trees >> num_classes >> options.decision_threshold >> oob >>
+          options.bootstrap_fraction >> options.tree.max_depth >> options.tree.min_samples_leaf >>
+          options.tree.min_samples_split >> options.tree.max_features >>
+          options.tree.positive_class_weight)) {
+      throw InvalidArgument("malformed RandomForest stream (bad header)");
+    }
+  } else if (magic == "forest") {
+    // Legacy header: only num_trees and the threshold were stored; the other
+    // options keep their defaults (pre-PR-1 behaviour).
+    if (!(is >> num_trees >> num_classes >> options.decision_threshold >> oob)) {
+      throw InvalidArgument("malformed RandomForest stream (bad header)");
+    }
+  } else {
     throw InvalidArgument("malformed RandomForest stream (bad header)");
   }
   SF_CHECK(num_trees >= 1, "RandomForest stream declares no trees");
-  ForestOptions options;
   options.num_trees = num_trees;
-  options.decision_threshold = threshold;
   RandomForest forest(options);
   forest.num_classes_ = num_classes;
   forest.oob_accuracy_ = oob;

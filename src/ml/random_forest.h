@@ -18,6 +18,12 @@ struct ForestOptions {
   /// trades precision for recall (paper §3.2 / §5.2: the LRB classifier is
   /// optimized for recall).
   double decision_threshold = 0.5;
+  /// Worker threads fit() uses to train trees concurrently; 0 or 1 = serial.
+  /// Training is deterministic either way: every per-tree seed and bootstrap
+  /// sample is drawn from the forest RNG up front in serial order, so the
+  /// fitted forest — including its save() bytes — is identical at any thread
+  /// count. Execution policy only: not serialized by save()/load().
+  std::size_t train_threads = 0;
 };
 
 /// Random Forest (Breiman 2001): bagged CART trees with per-split feature
@@ -31,6 +37,14 @@ class RandomForest final : public Classifier {
   int predict(std::span<const double> x) const override;
   /// Fraction of trees voting for class 1 (binary); mean posterior otherwise.
   double predict_score(std::span<const double> x) const override;
+  /// Batched scoring, tree-major: each flattened tree makes one pass over the
+  /// whole batch while its arrays stay in cache. Bit-identical to per-row
+  /// predict_score (same tree summation order).
+  void predict_scores(std::span<const double> rows, std::size_t num_rows,
+                      std::span<double> out) const override;
+  /// Batched decisions; binary forests reuse the batched scoring pass.
+  void predict_batch(std::span<const double> rows, std::size_t num_rows,
+                     std::span<int> out) const override;
   bool is_fitted() const noexcept override { return !trees_.empty(); }
   std::string name() const override { return "RandomForest"; }
 
@@ -41,8 +55,12 @@ class RandomForest final : public Classifier {
   /// produced no OOB samples, e.g. bootstrap_fraction heavily > 1).
   double oob_accuracy() const noexcept { return oob_accuracy_; }
 
-  /// Persists the fitted forest (trees + decision threshold); load() restores
-  /// a forest making identical predictions.
+  /// Persists the fitted forest (trees + the full ForestOptions except
+  /// train_threads, which is an execution policy, not part of the model);
+  /// load() restores a forest making identical predictions and whose
+  /// options() — and therefore any re-fit — match the saved forest. Streams
+  /// written by the legacy format (num_trees + threshold only) still load,
+  /// with the unstored options at their defaults.
   void save(std::ostream& os) const;
   static RandomForest load(std::istream& is);
 
