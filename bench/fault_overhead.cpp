@@ -1,0 +1,129 @@
+// Fault-tolerance overhead bench: happy-path cost of the robustness layer.
+// Runs the same fan-out workflow (1 source -> 8 workers -> 1 sink) under
+// increasing fault-tolerance configuration — baseline Options, retry policy
+// armed (3 attempts + backoff + timeout, never triggered), quarantine
+// tracking, journal attached, and journal with a write-through file sink —
+// and reports ns/wave for each. No faults fire, so the numbers isolate the
+// bookkeeping tax every healthy wave pays. Emits one JSON object on stdout:
+//
+//   ./bench/fault_overhead > docs/bench/fault_overhead.json
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "wms/engine.h"
+#include "wms/journal.h"
+
+namespace {
+
+using namespace smartflux;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kWorkers = 8;
+constexpr std::size_t kWaves = 2000;
+constexpr int kReps = 3;  // best-of to damp scheduler noise
+
+wms::WorkflowSpec make_spec() {
+  std::vector<wms::StepSpec> steps;
+  wms::StepSpec src;
+  src.id = "src";
+  src.fn = [](wms::StepContext& ctx) {
+    ctx.client.put("in", "r", "v", static_cast<double>(ctx.wave));
+  };
+  steps.push_back(src);
+  for (std::size_t i = 0; i < kWorkers; ++i) {
+    wms::StepSpec w;
+    w.id = "w" + std::to_string(i);
+    w.predecessors = {"src"};
+    w.fn = [i](wms::StepContext& ctx) {
+      const double in = ctx.client.get("in", "r", "v").value_or(0.0);
+      ctx.client.put("mid", "r", "v" + std::to_string(i), in * 2.0);
+    };
+    steps.push_back(w);
+  }
+  wms::StepSpec sink;
+  sink.id = "sink";
+  for (std::size_t i = 0; i < kWorkers; ++i) sink.predecessors.push_back("w" + std::to_string(i));
+  sink.fn = [](wms::StepContext& ctx) { ctx.client.put("out", "r", "v", 1.0); };
+  steps.push_back(sink);
+  return wms::WorkflowSpec("fanout", steps);
+}
+
+wms::RetryPolicy armed_retry() {
+  wms::RetryPolicy p = wms::RetryPolicy::retries(3, std::chrono::milliseconds{10},
+                                                 /*jitter_fraction=*/0.2);
+  p.timeout = std::chrono::milliseconds{500};
+  return p;
+}
+
+/// Best-of-kReps ns/wave for kWaves waves under the given options.
+double ns_per_wave(const wms::WorkflowEngine::Options& options, wms::WaveJournal* journal,
+                   const char* sink_path) {
+  double best = 1e300;
+  for (int rep = 0; rep < kReps; ++rep) {
+    ds::DataStore store;
+    wms::WorkflowEngine engine(make_spec(), store, options);
+    wms::WaveJournal local;
+    if (journal != nullptr) {
+      engine.attach_journal(&local);
+      if (sink_path != nullptr) local.open_sink(sink_path);
+    }
+    wms::SyncController sync;
+    const auto start = Clock::now();
+    engine.run_waves(1, kWaves, sync);
+    const double ns =
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start).count()) /
+        static_cast<double>(kWaves);
+    best = std::min(best, ns);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  wms::WaveJournal journal_marker;  // non-null flag for ns_per_wave
+
+  const wms::WorkflowEngine::Options baseline{};
+  wms::WorkflowEngine::Options with_retry{};
+  with_retry.retry = armed_retry();
+  with_retry.retry_seed = 42;
+  wms::WorkflowEngine::Options with_quarantine = with_retry;
+  with_quarantine.quarantine =
+      wms::QuarantineOptions{.failure_threshold = 3, .cooldown_waves = 4};
+
+  struct Row {
+    const char* config;
+    double ns;
+  };
+  const std::string sink_path = "/tmp/sf_fault_overhead_journal.log";
+  std::vector<Row> rows;
+  rows.push_back({"baseline", ns_per_wave(baseline, nullptr, nullptr)});
+  rows.push_back({"retry_armed", ns_per_wave(with_retry, nullptr, nullptr)});
+  rows.push_back({"retry_quarantine", ns_per_wave(with_quarantine, nullptr, nullptr)});
+  rows.push_back({"retry_quarantine_journal",
+                  ns_per_wave(with_quarantine, &journal_marker, nullptr)});
+  rows.push_back({"retry_quarantine_journal_sink",
+                  ns_per_wave(with_quarantine, &journal_marker, sink_path.c_str())});
+  std::remove(sink_path.c_str());
+
+  const double base = rows.front().ns;
+  std::printf("{\n");
+  std::printf("  \"bench\": \"fault_overhead\",\n");
+  std::printf("  \"workflow\": {\"steps\": %zu, \"waves_per_rep\": %zu, \"reps\": %d},\n",
+              kWorkers + 2, kWaves, kReps);
+  std::printf("  \"note\": \"happy path: no fault fires; numbers are pure bookkeeping cost\",\n");
+  std::printf("  \"configs\": [\n");
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    std::printf("    {\"config\": \"%s\", \"ns_per_wave\": %.0f, \"overhead_vs_baseline\": %.3f}%s\n",
+                rows[k].config, rows[k].ns, rows[k].ns / base - 1.0,
+                k + 1 < rows.size() ? "," : "");
+  }
+  std::printf("  ]\n");
+  std::printf("}\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <optional>
+#include <thread>
+
+#include "common/error.h"
+
+namespace smartflux {
+
+/// Raised when a cooperative deadline expires (e.g. a step exceeding its
+/// RetryPolicy timeout).
+class Timeout : public Error {
+ public:
+  explicit Timeout(const std::string& what) : Error(what) {}
+};
+
+/// Raised by CancellationToken::throw_if_cancelled after an explicit cancel().
+class Cancelled : public Error {
+ public:
+  explicit Cancelled(const std::string& what) : Error(what) {}
+};
+
+/// Cooperative cancellation: the engine arms a token with a deadline (and may
+/// request cancellation explicitly); long-running work polls it and unwinds
+/// via throw_if_cancelled(). Purely cooperative — nothing is interrupted
+/// preemptively, so a step that never polls can still overrun its deadline
+/// (the engine detects the overrun when the step returns).
+class CancellationToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CancellationToken() = default;
+  explicit CancellationToken(Clock::time_point deadline) : deadline_(deadline) {}
+
+  void set_deadline(Clock::time_point deadline) noexcept { deadline_ = deadline; }
+  std::optional<Clock::time_point> deadline() const noexcept { return deadline_; }
+
+  /// Requests cancellation. Safe to call from any thread.
+  void cancel() noexcept { cancel_requested_.store(true, std::memory_order_relaxed); }
+
+  bool cancel_requested() const noexcept {
+    return cancel_requested_.load(std::memory_order_relaxed);
+  }
+  bool expired() const noexcept { return deadline_ && Clock::now() >= *deadline_; }
+  bool cancelled() const noexcept { return cancel_requested() || expired(); }
+
+  /// Throws Cancelled on an explicit cancel(), Timeout past the deadline.
+  void throw_if_cancelled() const {
+    if (cancel_requested()) throw Cancelled("operation cancelled");
+    if (expired()) throw Timeout("deadline exceeded");
+  }
+
+  /// Sleeps up to `duration` in small slices, polling for cancellation.
+  /// Returns false (early) as soon as the token is cancelled or expired.
+  bool sleep_for(std::chrono::nanoseconds duration) const {
+    constexpr auto kSlice = std::chrono::milliseconds(1);
+    const auto until = Clock::now() + duration;
+    while (Clock::now() < until) {
+      if (cancelled()) return false;
+      const auto left = until - Clock::now();
+      std::this_thread::sleep_for(left < kSlice ? left : std::chrono::nanoseconds(kSlice));
+    }
+    return !cancelled();
+  }
+
+ private:
+  std::atomic<bool> cancel_requested_{false};
+  std::optional<Clock::time_point> deadline_;
+};
+
+}  // namespace smartflux

@@ -1,0 +1,68 @@
+#include "common/fault_injection.h"
+
+#include <functional>
+
+#include "common/hashing.h"
+#include "common/logging.h"
+
+namespace smartflux {
+
+FaultInjector& FaultInjector::add_rule(FaultRule rule) {
+  SF_CHECK(rule.probability >= 0.0 && rule.probability <= 1.0,
+           "fault probability must be in [0, 1]");
+  SF_CHECK(rule.first_wave <= rule.last_wave, "fault rule wave range is inverted");
+  rules_.push_back(std::move(rule));
+  return *this;
+}
+
+bool FaultInjector::matches(const FaultRule& rule, std::size_t rule_index,
+                            const std::string& step_id, std::uint64_t wave,
+                            std::size_t attempt) const {
+  if (!rule.step_id.empty() && rule.step_id != step_id) return false;
+  if (wave < rule.first_wave || wave > rule.last_wave) return false;
+  if (rule.max_attempt != 0 && attempt > rule.max_attempt) return false;
+  if (rule.probability >= 1.0) return true;
+  // Stateless draw: independent of call order and thread interleaving.
+  const std::uint64_t step_hash = std::hash<std::string>{}(step_id);
+  return hash_unit(seed_ ^ (rule_index + 1), step_hash, wave, attempt) < rule.probability;
+}
+
+void FaultInjector::on_attempt(const std::string& step_id, std::uint64_t wave,
+                               std::size_t attempt, const CancellationToken* token) {
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const FaultRule& rule = rules_[i];
+    if (rule.kind == FaultKind::kFailPut) continue;  // handled via should_fail_put
+    if (!matches(rule, i, step_id, wave, attempt)) continue;
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    if (rule.kind == FaultKind::kThrow) {
+      SF_LOG_DEBUG("fault") << "injected throw: step '" << step_id << "' wave " << wave
+                            << " attempt " << attempt;
+      throw InjectedFault(rule.message + " (step '" + step_id + "', wave " +
+                          std::to_string(wave) + ", attempt " + std::to_string(attempt) + ")");
+    }
+    // kHang: cooperative stall. throw_if_cancelled raises Timeout the moment
+    // the attempt's deadline passes, which is exactly how a hung step dies.
+    SF_LOG_DEBUG("fault") << "injected hang: step '" << step_id << "' wave " << wave
+                          << " attempt " << attempt << " for " << rule.hang_for.count() << "ms";
+    const auto until = CancellationToken::Clock::now() + rule.hang_for;
+    while (CancellationToken::Clock::now() < until) {
+      if (token) token->throw_if_cancelled();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return;  // hang elapsed without a deadline: slow but alive
+  }
+}
+
+bool FaultInjector::should_fail_put(const std::string& step_id, std::uint64_t wave,
+                                    std::size_t attempt) const {
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const FaultRule& rule = rules_[i];
+    if (rule.kind != FaultKind::kFailPut) continue;
+    if (!matches(rule, i, step_id, wave, attempt)) continue;
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace smartflux

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/cancellation.h"
+#include "common/error.h"
+
+namespace smartflux {
+
+/// Raised by injected step and datastore faults (distinguishable from real
+/// workload exceptions in logs and tests).
+class InjectedFault : public Error {
+ public:
+  explicit InjectedFault(const std::string& what) : Error(what) {}
+};
+
+/// What an activated fault rule does to the matched step attempt.
+enum class FaultKind {
+  /// The attempt throws InjectedFault before the step function runs.
+  kThrow,
+  /// The attempt stalls cooperatively for `hang_for`. With a per-step timeout
+  /// armed this surfaces as Timeout through the CancellationToken — the
+  /// reproducible version of "step hung past its deadline".
+  kHang,
+  /// Every datastore write issued by the attempt throws InjectedFault.
+  kFailPut,
+};
+
+/// One chaos scenario: which step, which waves, which attempts, how often.
+/// All matching is deterministic: probabilistic rules draw from a stateless
+/// hash of (seed, rule, step, wave, attempt), so the same seed reproduces the
+/// exact same fault schedule on every run, at any thread count.
+struct FaultRule {
+  /// Exact step id to fault; empty matches every step.
+  std::string step_id;
+  FaultKind kind = FaultKind::kThrow;
+  /// Inclusive wave range the rule is active in.
+  std::uint64_t first_wave = 0;
+  std::uint64_t last_wave = ~std::uint64_t{0};
+  /// Fault only attempts 1..max_attempt of a wave (0 = every attempt). E.g.
+  /// max_attempt = 1 makes the first attempt fail and the retry succeed.
+  std::size_t max_attempt = 0;
+  /// Activation probability per (step, wave, attempt), deterministic per seed.
+  double probability = 1.0;
+  /// kHang: how long the attempt stalls before returning normally.
+  std::chrono::milliseconds hang_for{100};
+  std::string message = "injected fault";
+};
+
+/// Deterministic, seeded fault-injection layer. Hooked into the workflow
+/// engine (step attempts) and the per-attempt datastore client (writes);
+/// inert when no rule matches, so it can stay wired in production configs.
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed = 0) noexcept : seed_(seed) {}
+
+  FaultInjector& add_rule(FaultRule rule);
+  void clear_rules() { rules_.clear(); }
+  std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Engine hook, called at the start of every step attempt. Throws
+  /// InjectedFault (kThrow) or stalls cooperatively (kHang, unwinding with
+  /// Timeout when `token` has an armed deadline that expires mid-hang).
+  void on_attempt(const std::string& step_id, std::uint64_t wave, std::size_t attempt,
+                  const CancellationToken* token);
+
+  /// Datastore hook: should the writes of this attempt fail?
+  bool should_fail_put(const std::string& step_id, std::uint64_t wave,
+                       std::size_t attempt) const;
+
+  /// Total faults activated so far (throws, hangs, and failed-put attempts).
+  std::size_t injected_count() const noexcept {
+    return injected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  bool matches(const FaultRule& rule, std::size_t rule_index, const std::string& step_id,
+               std::uint64_t wave, std::size_t attempt) const;
+
+  std::uint64_t seed_;
+  std::vector<FaultRule> rules_;
+  mutable std::atomic<std::size_t> injected_{0};
+};
+
+}  // namespace smartflux

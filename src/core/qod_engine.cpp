@@ -52,6 +52,21 @@ TrainingController::TrainingController(const wms::WorkflowSpec& spec, const ds::
   SF_CHECK(index_.count() > 0, "workflow has no error-tolerant steps — nothing to learn");
 }
 
+TrainingController::TrainingController(const wms::WorkflowSpec& spec, const ds::DataStore& store,
+                                       StepMonitor::Options options, KnowledgeBase resume_kb)
+    : TrainingController(spec, store, std::move(options)) {
+  SF_CHECK(resume_kb.step_ids() == index_.step_ids(spec),
+           "resumed knowledge base step ids must match the workflow's tolerant steps");
+  kb_ = std::move(resume_kb);
+}
+
+void TrainingController::anchor(const ds::DataStore& store) {
+  for (auto& monitor : monitors_) {
+    monitor.reset_inputs(store);
+    monitor.reset_outputs(store);
+  }
+}
+
 void TrainingController::begin_wave(ds::Timestamp wave) {
   current_row_ = TrainingRow{};
   current_row_.wave = wave;
@@ -109,6 +124,11 @@ QodController::QodController(const wms::WorkflowSpec& spec, const ds::DataStore&
   if (!predictor.is_trained()) {
     throw StateError("QodController requires a trained Predictor (run the training phase first)");
   }
+}
+
+void QodController::anchor(const ds::DataStore& store) {
+  for (auto& monitor : monitors_) monitor.reset_inputs(store);
+  std::fill(features_.begin(), features_.end(), 0.0);
 }
 
 void QodController::begin_wave(ds::Timestamp) {

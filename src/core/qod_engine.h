@@ -37,6 +37,16 @@ class TrainingController final : public wms::TriggerController {
  public:
   TrainingController(const wms::WorkflowSpec& spec, const ds::DataStore& store,
                      StepMonitor::Options options);
+  /// Resumes knowledge capture into an existing knowledge base (online
+  /// re-training / degradation recovery): `resume_kb` must have been built
+  /// for the same tolerant-step layout.
+  TrainingController(const wms::WorkflowSpec& spec, const ds::DataStore& store,
+                     StepMonitor::Options options, KnowledgeBase resume_kb);
+
+  /// Re-anchors every monitor on the store's current state, so capture that
+  /// starts mid-stream (e.g. after adaptive waves) does not see the entire
+  /// accumulated history as one giant first-wave change.
+  void anchor(const ds::DataStore& store);
 
   void begin_wave(ds::Timestamp wave) override;
   bool should_execute(const wms::WorkflowSpec& spec, std::size_t step_index,
@@ -73,6 +83,11 @@ class QodController final : public wms::TriggerController {
                       ds::Timestamp wave) override;
   void on_step_executed(const wms::WorkflowSpec& spec, std::size_t step_index,
                         ds::Timestamp wave) override;
+
+  /// Re-anchors impact accumulation on the store's current state (used when
+  /// resuming from a wave journal after a crash: the store is the durable
+  /// layer, so impacts restart from its surviving state).
+  void anchor(const ds::DataStore& store);
 
   /// Decisions of the last completed/current wave, per tolerant ordinal
   /// (1 = execute). Steps not queried in a wave keep 0.

@@ -1,9 +1,46 @@
 #include "core/smartflux.h"
 
+#include <algorithm>
+
 #include "common/error.h"
 #include "common/logging.h"
 
 namespace smartflux::core {
+
+namespace {
+
+/// Audit-wave controller: records what the QoD classifier *would* decide for
+/// every queried tolerant step, then forces execution anyway. Forwarding the
+/// execution notifications keeps the QoD impact accumulators consistent with
+/// the fact that the steps really ran.
+class AuditController final : public wms::TriggerController {
+ public:
+  AuditController(QodController& qod, std::vector<int>& predicted)
+      : qod_(&qod), predicted_(&predicted) {}
+
+  void begin_wave(ds::Timestamp wave) override { qod_->begin_wave(wave); }
+
+  bool should_execute(const wms::WorkflowSpec& spec, std::size_t step_index,
+                      ds::Timestamp wave) override {
+    const bool execute = qod_->should_execute(spec, step_index, wave);
+    const std::size_t ord = qod_->index().ordinal_of(step_index);
+    (*predicted_)[ord] = execute ? 1 : 0;
+    return true;  // audit waves are synchronous: every queried step runs
+  }
+
+  void on_step_executed(const wms::WorkflowSpec& spec, std::size_t step_index,
+                        ds::Timestamp wave) override {
+    qod_->on_step_executed(spec, step_index, wave);
+  }
+
+  void end_wave(ds::Timestamp wave) override { qod_->end_wave(wave); }
+
+ private:
+  QodController* qod_;
+  std::vector<int>* predicted_;
+};
+
+}  // namespace
 
 SmartFluxEngine::SmartFluxEngine(wms::WorkflowEngine& engine, SmartFluxOptions options)
     : engine_(&engine), options_(options), predictor_(options.predictor) {}
@@ -31,6 +68,23 @@ void SmartFluxEngine::build_model() {
   // store state at the first application wave.
   qod_ = std::make_unique<QodController>(engine_->spec(), engine_->store(), predictor_,
                                          options_.monitor);
+  if (options_.audit.enabled()) {
+    const TolerantIndex& index = qod_->index();
+    audit_monitors_.clear();
+    audit_monitors_.reserve(index.count());
+    bounds_.clear();
+    bounds_.reserve(index.count());
+    for (std::size_t step_index : index.step_indices()) {
+      const wms::StepSpec& step = engine_->spec().step_at(step_index);
+      audit_monitors_.emplace_back(step, options_.monitor);
+      // Anchor on the current outputs: only changes the steps write from now
+      // on count as deferred error.
+      audit_monitors_.back().reset_outputs(engine_->store());
+      bounds_.push_back(*step.max_error);
+    }
+    audit_window_.clear();
+    waves_since_audit_ = 0;
+  }
   phase_ = Phase::kReady;
 }
 
@@ -55,8 +109,115 @@ std::vector<wms::WaveResult> SmartFluxEngine::run(ds::Timestamp first_wave, std:
 
 wms::WaveResult SmartFluxEngine::run_wave(ds::Timestamp wave) {
   if (!qod_) throw StateError("model not built — call build_model() after training");
+  if (phase_ == Phase::kDegraded) return run_degraded_wave(wave);
   phase_ = Phase::kApplication;
-  return engine_->run_wave(wave, *qod_);
+  if (options_.audit.enabled() && ++waves_since_audit_ >= options_.audit.audit_every) {
+    return run_audit_wave(wave);
+  }
+  wms::WaveResult result = engine_->run_wave(wave, *qod_);
+  if (options_.audit.enabled()) reset_executed_outputs(result);
+  return result;
+}
+
+wms::WaveResult SmartFluxEngine::run_audit_wave(ds::Timestamp wave) {
+  waves_since_audit_ = 0;
+  const TolerantIndex& index = qod_->index();
+  // Steps not queried this wave (ineligible) default to "execute" so they can
+  // never register as a false negative below.
+  std::vector<int> predicted(index.count(), 1);
+  AuditController audit(*qod_, predicted);
+  wms::WaveResult result = engine_->run_wave(wave, audit);
+  ++audit_stats_.audits_run;
+
+  bool violation = false;
+  for (std::size_t ord = 0; ord < index.count(); ++ord) {
+    const std::size_t step_index = index.step_indices()[ord];
+    // Quarantined/failed steps did not actually run: their deferred error is
+    // still pending and will be measured at the next successful audit.
+    if (result.status[step_index] != wms::StepStatus::kExecuted) continue;
+    const double eps = audit_monitors_[ord].observe_outputs(engine_->store());
+    audit_monitors_[ord].reset_outputs(engine_->store());
+    if (predicted[ord] == 0 && eps > bounds_[ord]) {
+      violation = true;
+      SF_LOG_INFO("smartflux") << "audit wave " << wave << ": step '"
+                               << engine_->spec().step_at(step_index).id
+                               << "' would have been skipped with true error " << eps
+                               << " > max_error " << bounds_[ord];
+    }
+  }
+  if (violation) ++audit_stats_.violations;
+  audit_window_.push_back(violation);
+  if (audit_window_.size() > options_.audit.window) audit_window_.erase(audit_window_.begin());
+
+  if (audit_window_.size() >= options_.audit.min_audits) {
+    const auto violations =
+        static_cast<double>(std::count(audit_window_.begin(), audit_window_.end(), true));
+    const double rate = violations / static_cast<double>(audit_window_.size());
+    if (rate > options_.audit.max_violation_rate) enter_degraded_mode(wave);
+  }
+  return result;
+}
+
+wms::WaveResult SmartFluxEngine::run_degraded_wave(ds::Timestamp wave) {
+  wms::WaveResult result = engine_->run_wave(wave, *trainer_);
+  // Synchronous execution clears each executed step's deferred error; keep
+  // the audit monitors anchored so post-recovery audits start clean.
+  reset_executed_outputs(result);
+  if (audit_stats_.retrain_waves_left > 0 && --audit_stats_.retrain_waves_left == 0) {
+    SF_LOG_INFO("smartflux") << "degraded capture complete at wave " << wave
+                             << ": rebuilding model from "
+                             << trainer_->knowledge_base().size() << " examples";
+    build_model();  // fresh predictor + QoD controller + audit anchors
+    phase_ = Phase::kApplication;
+  }
+  return result;
+}
+
+void SmartFluxEngine::enter_degraded_mode(ds::Timestamp wave) {
+  ++audit_stats_.degradations;
+  audit_stats_.retrain_waves_left = options_.audit.retrain_waves;
+  audit_window_.clear();
+  waves_since_audit_ = 0;
+  // Keep everything learned so far and append fresh tuples that reflect the
+  // drifted behaviour (§3.1 online re-training).
+  trainer_ = std::make_unique<TrainingController>(engine_->spec(), engine_->store(),
+                                                  options_.monitor,
+                                                  trainer_->take_knowledge_base());
+  trainer_->anchor(engine_->store());
+  phase_ = Phase::kDegraded;
+  SF_LOG_INFO("smartflux") << "QoD guard: violation rate exceeded bound at wave " << wave
+                           << " — degrading to synchronous capture for "
+                           << options_.audit.retrain_waves << " waves";
+}
+
+void SmartFluxEngine::reset_executed_outputs(const wms::WaveResult& result) {
+  if (!options_.audit.enabled()) return;
+  const TolerantIndex& index = qod_->index();
+  for (std::size_t ord = 0; ord < index.count(); ++ord) {
+    const std::size_t step_index = index.step_indices()[ord];
+    if (result.status[step_index] == wms::StepStatus::kExecuted) {
+      audit_monitors_[ord].reset_outputs(engine_->store());
+    }
+  }
+}
+
+void SmartFluxEngine::restore_knowledge_base(KnowledgeBase kb) {
+  trainer_ = std::make_unique<TrainingController>(engine_->spec(), engine_->store(),
+                                                  options_.monitor, std::move(kb));
+  trainer_->anchor(engine_->store());
+  if (phase_ == Phase::kIdle) phase_ = Phase::kTraining;
+}
+
+void SmartFluxEngine::resume_from_journal(const wms::WaveJournal& journal) {
+  if (!qod_) throw StateError("model not built — call build_model() before resuming");
+  engine_->restore_from_journal(journal);
+  // The datastore is the durable layer: every accumulation restarts from its
+  // surviving state, exactly as if the steps had just executed.
+  qod_->anchor(engine_->store());
+  for (auto& monitor : audit_monitors_) monitor.reset_outputs(engine_->store());
+  audit_window_.clear();
+  waves_since_audit_ = 0;
+  phase_ = Phase::kApplication;
 }
 
 const KnowledgeBase& SmartFluxEngine::knowledge_base() const {

@@ -16,11 +16,19 @@ namespace smartflux::ds {
 /// timestamps themselves.
 class Client {
  public:
+  /// Hook invoked before every write reaches the store; throwing from it
+  /// fails the write. The engine's fault-injection layer uses this to
+  /// simulate datastore outages without touching the store itself.
+  using WriteHook = std::function<void(const TableName&, const RowKey&, const ColumnKey&)>;
+
   Client(DataStore& store, Timestamp wave) noexcept : store_(&store), wave_(wave) {}
+  Client(DataStore& store, Timestamp wave, WriteHook on_write)
+      : store_(&store), wave_(wave), on_write_(std::move(on_write)) {}
 
   Timestamp wave() const noexcept { return wave_; }
 
   void put(const TableName& table, const RowKey& row, const ColumnKey& column, double value) {
+    if (on_write_) on_write_(table, row, column);
     store_->put(table, row, column, wave_, value);
   }
 
@@ -31,6 +39,7 @@ class Client {
   }
 
   void erase(const TableName& table, const RowKey& row, const ColumnKey& column) {
+    if (on_write_) on_write_(table, row, column);
     store_->erase(table, row, column, wave_);
   }
 
@@ -57,6 +66,7 @@ class Client {
  private:
   DataStore* store_;
   Timestamp wave_;
+  WriteHook on_write_;
 };
 
 }  // namespace smartflux::ds

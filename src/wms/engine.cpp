@@ -1,14 +1,53 @@
 #include "wms/engine.h"
 
+#include <thread>
+
 #include "common/error.h"
+#include "common/fault_injection.h"
+#include "common/hashing.h"
 #include "common/logging.h"
 #include "datastore/client.h"
+#include "wms/journal.h"
 
 namespace smartflux::wms {
+
+char step_status_char(StepStatus status) noexcept {
+  switch (status) {
+    case StepStatus::kNotEligible: return '-';
+    case StepStatus::kSkipped: return 's';
+    case StepStatus::kExecuted: return 'X';
+    case StepStatus::kFailed: return 'F';
+    case StepStatus::kQuarantined: return 'Q';
+  }
+  return '?';
+}
+
+std::optional<StepStatus> step_status_from_char(char c) noexcept {
+  switch (c) {
+    case '-': return StepStatus::kNotEligible;
+    case 's': return StepStatus::kSkipped;
+    case 'X': return StepStatus::kExecuted;
+    case 'F': return StepStatus::kFailed;
+    case 'Q': return StepStatus::kQuarantined;
+    default: return std::nullopt;
+  }
+}
 
 std::size_t WaveResult::executed_count() const noexcept {
   std::size_t n = 0;
   for (bool e : executed) n += e ? 1 : 0;
+  return n;
+}
+
+std::size_t WaveResult::failed_count() const noexcept {
+  std::size_t n = 0;
+  for (bool f : failed) n += f ? 1 : 0;
+  return n;
+}
+
+std::size_t WaveResult::quarantined_count() const noexcept {
+  std::size_t n = 0;
+  for (StepStatus s : status) n += s == StepStatus::kQuarantined ? 1 : 0;
   return n;
 }
 
@@ -18,12 +57,17 @@ WorkflowEngine::WorkflowEngine(WorkflowSpec spec, ds::DataStore& store)
 WorkflowEngine::WorkflowEngine(WorkflowSpec spec, ds::DataStore& store, Options options)
     : spec_(std::move(spec)),
       store_(&store),
-      options_(options),
+      options_(std::move(options)),
       exec_counts_(spec_.size(), 0),
       failure_counts_(spec_.size(), 0),
+      fault_states_(spec_.size()),
+      step_hashes_(spec_.size(), 0),
       last_exec_wave_(spec_.size()) {
   if (options_.worker_threads > 0) {
     pool_ = std::make_unique<ThreadPool>(options_.worker_threads);
+  }
+  for (std::size_t i = 0; i < spec_.size(); ++i) {
+    step_hashes_[i] = std::hash<std::string>{}(spec_.step_at(i).id);
   }
 }
 
@@ -36,6 +80,24 @@ bool WorkflowEngine::eligible(std::size_t index) const {
   return true;
 }
 
+const RetryPolicy& WorkflowEngine::policy_for(std::size_t index) const {
+  const StepSpec& step = spec_.step_at(index);
+  return step.retry ? *step.retry : options_.retry;
+}
+
+WaveResult WorkflowEngine::make_result(ds::Timestamp wave, std::size_t steps) {
+  WaveResult result;
+  result.wave = wave;
+  result.executed.assign(steps, false);
+  result.durations.assign(steps, std::chrono::nanoseconds{0});
+  result.status.assign(steps, StepStatus::kNotEligible);
+  result.failed.assign(steps, false);
+  result.stale.assign(steps, false);
+  result.errors.assign(steps, std::string{});
+  result.attempts.assign(steps, 0);
+  return result;
+}
+
 WaveResult WorkflowEngine::run_wave(ds::Timestamp wave, TriggerController& controller) {
   if (last_wave_ && wave <= *last_wave_) {
     throw InvalidArgument("waves must be strictly increasing (got " + std::to_string(wave) +
@@ -43,62 +105,96 @@ WaveResult WorkflowEngine::run_wave(ds::Timestamp wave, TriggerController& contr
   }
   last_wave_ = wave;
   ++waves_run_;
-  return pool_ ? run_wave_parallel(wave, controller) : run_wave_serial(wave, controller);
+  WaveResult result =
+      pool_ ? run_wave_parallel(wave, controller) : run_wave_serial(wave, controller);
+  mark_stale(result);
+  if (journal_ != nullptr) journal_->append(WaveRecord{result.wave, result.status});
+  return result;
 }
 
 WaveResult WorkflowEngine::run_wave_serial(ds::Timestamp wave, TriggerController& controller) {
-  WaveResult result;
-  result.wave = wave;
-  result.executed.assign(spec_.size(), false);
-  result.durations.assign(spec_.size(), std::chrono::nanoseconds{0});
-
+  WaveResult result = make_result(wave, spec_.size());
   controller.begin_wave(wave);
   for (std::size_t index : spec_.topological_order()) {
-    if (!eligible(index)) continue;
-    const StepSpec& step = spec_.step_at(index);
-    const bool run = !step.tolerates_error() || controller.should_execute(spec_, index, wave);
-    if (run) execute_step(index, wave, result, controller);
+    process_step(index, wave, result, controller);
   }
   controller.end_wave(wave);
   return result;
 }
 
+void WorkflowEngine::process_step(std::size_t index, ds::Timestamp wave, WaveResult& result,
+                                  TriggerController& controller) {
+  bool probe = false;
+  if (quarantine_gate(index, &probe)) {
+    result.status[index] = StepStatus::kQuarantined;
+    apply_status(index, StepStatus::kQuarantined, wave, false);
+    return;
+  }
+  if (!eligible(index)) return;  // status stays kNotEligible
+  const StepSpec& step = spec_.step_at(index);
+  const bool run = !step.tolerates_error() || controller.should_execute(spec_, index, wave);
+  if (!run) {
+    result.status[index] = StepStatus::kSkipped;
+    return;
+  }
+  const AttemptOutcome outcome = run_step_attempts(index, wave, probe ? 1 : 0);
+  if (outcome.success) {
+    record_execution(index, wave, result, outcome.elapsed, outcome.attempts, controller);
+  } else {
+    record_outcome(index, result, StepStatus::kFailed, outcome);
+    apply_status(index, StepStatus::kFailed, wave, false);
+  }
+}
+
 WaveResult WorkflowEngine::run_wave_parallel(ds::Timestamp wave, TriggerController& controller) {
-  WaveResult result;
-  result.wave = wave;
-  result.executed.assign(spec_.size(), false);
-  result.durations.assign(spec_.size(), std::chrono::nanoseconds{0});
+  WaveResult result = make_result(wave, spec_.size());
 
   controller.begin_wave(wave);
   for (const auto& level : spec_.levels()) {
-    // Phase 1 (serial, spec order): triggering decisions. Same-level steps
-    // cannot depend on one another, so their inputs are already final.
+    // Phase 1 (serial, spec order): quarantine gates and triggering
+    // decisions. Same-level steps cannot depend on one another, so their
+    // inputs are already final.
     std::vector<std::size_t> to_run;
+    std::vector<bool> probes;
     for (std::size_t index : level) {
+      bool probe = false;
+      if (quarantine_gate(index, &probe)) {
+        result.status[index] = StepStatus::kQuarantined;
+        apply_status(index, StepStatus::kQuarantined, wave, false);
+        continue;
+      }
       if (!eligible(index)) continue;
       const StepSpec& step = spec_.step_at(index);
       if (!step.tolerates_error() || controller.should_execute(spec_, index, wave)) {
         to_run.push_back(index);
+        probes.push_back(probe);
+      } else {
+        result.status[index] = StepStatus::kSkipped;
       }
     }
 
     // Phase 2 (parallel): execute the approved steps of this level. The
-    // failure policy runs inside each task; under kPropagate the first
-    // exception surfaces from run_all after the level completes.
-    std::vector<std::optional<std::chrono::nanoseconds>> durations(to_run.size());
+    // retry loop runs inside each task; under a propagating policy the first
+    // exhausted step's exception surfaces from run_all after the level
+    // completes (failure counters are already recorded by then).
+    std::vector<AttemptOutcome> outcomes(to_run.size());
     std::vector<std::function<void()>> tasks;
     tasks.reserve(to_run.size());
     for (std::size_t k = 0; k < to_run.size(); ++k) {
-      tasks.push_back([this, wave, index = to_run[k], &durations, k] {
-        durations[k] = run_step_fn(index, wave);
-      });
+      tasks.push_back([this, wave, index = to_run[k], cap = probes[k] ? std::size_t{1} : 0,
+                       &outcomes, k] { outcomes[k] = run_step_attempts(index, wave, cap); });
     }
     pool_->run_all(std::move(tasks));
 
     // Phase 3 (serial, spec order): bookkeeping and notifications.
     for (std::size_t k = 0; k < to_run.size(); ++k) {
-      if (durations[k]) {
-        record_execution(to_run[k], wave, result, *durations[k], controller);
+      const std::size_t index = to_run[k];
+      if (outcomes[k].success) {
+        record_execution(index, wave, result, outcomes[k].elapsed, outcomes[k].attempts,
+                         controller);
+      } else {
+        record_outcome(index, result, StepStatus::kFailed, outcomes[k]);
+        apply_status(index, StepStatus::kFailed, wave, false);
       }
     }
   }
@@ -106,62 +202,175 @@ WaveResult WorkflowEngine::run_wave_parallel(ds::Timestamp wave, TriggerControll
   return result;
 }
 
-std::optional<std::chrono::nanoseconds> WorkflowEngine::run_step_fn(std::size_t index,
-                                                                    ds::Timestamp wave) {
-  const StepSpec& step = spec_.step_at(index);
-  const std::size_t attempts =
-      options_.failure_policy == FailurePolicy::kRetryOnce ? 2 : 1;
-  for (std::size_t attempt = 1; attempt <= attempts; ++attempt) {
-    ds::Client client(*store_, wave);
-    StepContext ctx{client, wave, step.id};
-    const auto start = std::chrono::steady_clock::now();
-    try {
-      step.fn(ctx);
-      return std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now() - start);
-    } catch (const std::exception& e) {
-      if (options_.failure_policy == FailurePolicy::kPropagate) throw;
-      {
-        std::lock_guard lock(failure_mutex_);
-        last_failure_ = e.what();
-      }
-      SF_LOG_WARN("wms") << "step '" << step.id << "' failed at wave " << wave << " (attempt "
-                         << attempt << "/" << attempts << "): " << e.what();
-    } catch (...) {
-      if (options_.failure_policy == FailurePolicy::kPropagate) throw;
-      {
-        std::lock_guard lock(failure_mutex_);
-        last_failure_ = "unknown exception";
-      }
-      SF_LOG_WARN("wms") << "step '" << step.id << "' failed at wave " << wave
-                         << " with a non-std exception";
-    }
+bool WorkflowEngine::quarantine_gate(std::size_t index, bool* probe) const {
+  const StepFaultState& fs = fault_states_[index];
+  if (!fs.quarantined) return false;
+  if (fs.waves_in_quarantine >= options_.quarantine.cooldown_waves) {
+    *probe = true;  // half-open: one attempt this wave
+    return false;
   }
-  std::lock_guard lock(failure_mutex_);
-  ++failure_counts_[index];
-  return std::nullopt;
+  return true;
 }
 
-void WorkflowEngine::execute_step(std::size_t index, ds::Timestamp wave, WaveResult& result,
-                                  TriggerController& controller) {
-  if (const auto elapsed = run_step_fn(index, wave)) {
-    record_execution(index, wave, result, *elapsed, controller);
+WorkflowEngine::AttemptOutcome WorkflowEngine::run_step_attempts(std::size_t index,
+                                                                 ds::Timestamp wave,
+                                                                 std::size_t attempts_cap) {
+  const StepSpec& step = spec_.step_at(index);
+  const RetryPolicy& policy = policy_for(index);
+  std::size_t max_attempts = std::max<std::size_t>(1, policy.max_attempts);
+  if (attempts_cap > 0) max_attempts = std::min(max_attempts, attempts_cap);
+
+  AttemptOutcome out;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (attempt > 1) {
+      const auto pause =
+          policy.backoff_before(attempt, options_.retry_seed, step_hashes_[index], wave);
+      if (pause.count() > 0) std::this_thread::sleep_for(pause);
+    }
+    ++out.attempts;
+
+    CancellationToken token;
+    if (policy.timeout.count() > 0) {
+      token.set_deadline(CancellationToken::Clock::now() + policy.timeout);
+    }
+    FaultInjector* injector = options_.fault_injector;
+    ds::Client client =
+        injector != nullptr && injector->should_fail_put(step.id, wave, attempt)
+            ? ds::Client(*store_, wave,
+                         [id = step.id, wave, attempt](const ds::TableName& table,
+                                                       const ds::RowKey& row,
+                                                       const ds::ColumnKey& column) {
+                           throw InjectedFault("injected datastore failure: put " + table + "/" +
+                                               row + "/" + column + " (step '" + id + "', wave " +
+                                               std::to_string(wave) + ", attempt " +
+                                               std::to_string(attempt) + ")");
+                         })
+            : ds::Client(*store_, wave);
+    StepContext ctx{client, wave, step.id, &token};
+    try {
+      if (injector != nullptr) injector->on_attempt(step.id, wave, attempt, &token);
+      step.fn(ctx);
+      if (token.expired()) {
+        throw Timeout("step '" + step.id + "' exceeded its " +
+                      std::to_string(policy.timeout.count()) + "ms deadline at wave " +
+                      std::to_string(wave));
+      }
+      out.success = true;
+      out.elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start);
+      return out;
+    } catch (const std::exception& e) {
+      out.error = e.what();
+      SF_LOG_WARN("wms") << "step '" << step.id << "' failed at wave " << wave << " (attempt "
+                         << attempt << "/" << max_attempts << "): " << e.what();
+      if (attempt == max_attempts) {
+        out.elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start);
+        {
+          std::lock_guard lock(failure_mutex_);
+          ++failure_counts_[index];
+          last_failure_ = out.error;
+        }
+        if (policy.propagate) throw;
+        return out;
+      }
+    } catch (...) {
+      out.error = "unknown exception";
+      SF_LOG_WARN("wms") << "step '" << step.id << "' failed at wave " << wave
+                         << " with a non-std exception (attempt " << attempt << "/"
+                         << max_attempts << ")";
+      if (attempt == max_attempts) {
+        out.elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start);
+        {
+          std::lock_guard lock(failure_mutex_);
+          ++failure_counts_[index];
+          last_failure_ = out.error;
+        }
+        if (policy.propagate) throw;
+        return out;
+      }
+    }
   }
+  return out;  // unreachable; the loop always returns or throws
+}
+
+void WorkflowEngine::record_outcome(std::size_t index, WaveResult& result, StepStatus status,
+                                    const AttemptOutcome& outcome) {
+  result.status[index] = status;
+  result.failed[index] = status == StepStatus::kFailed;
+  result.durations[index] = outcome.elapsed;
+  result.attempts[index] = outcome.attempts;
+  result.errors[index] = outcome.error;
 }
 
 void WorkflowEngine::record_execution(std::size_t index, ds::Timestamp wave, WaveResult& result,
-                                      std::chrono::nanoseconds duration,
+                                      std::chrono::nanoseconds duration, std::uint32_t attempts,
                                       TriggerController& controller) {
   const StepSpec& step = spec_.step_at(index);
   result.executed[index] = true;
+  result.status[index] = StepStatus::kExecuted;
   result.durations[index] = duration;
-  ++exec_counts_[index];
-  ++total_executions_;
-  last_exec_wave_[index] = wave;
+  result.attempts[index] = attempts;
+  apply_status(index, StepStatus::kExecuted, wave, false);
 
   controller.on_step_executed(spec_, index, wave);
   for (const auto& listener : listeners_) listener(step.id, wave);
   SF_LOG_DEBUG("wms") << "wave " << wave << ": executed step '" << step.id << "'";
+}
+
+void WorkflowEngine::apply_status(std::size_t index, StepStatus status, ds::Timestamp wave,
+                                  bool count_failure) {
+  StepFaultState& fs = fault_states_[index];
+  switch (status) {
+    case StepStatus::kExecuted:
+      ++exec_counts_[index];
+      ++total_executions_;
+      last_exec_wave_[index] = wave;
+      fs.consecutive_failures = 0;
+      if (fs.quarantined) {
+        SF_LOG_INFO("wms") << "step '" << spec_.step_at(index).id
+                           << "' probe succeeded at wave " << wave << " — circuit closed";
+      }
+      fs.quarantined = false;
+      fs.waves_in_quarantine = 0;
+      break;
+    case StepStatus::kFailed:
+      if (count_failure) ++failure_counts_[index];  // live path counts in run_step_attempts
+      ++fs.consecutive_failures;
+      if (fs.quarantined) {
+        // Half-open probe failed: the circuit stays open, cool-down restarts.
+        fs.waves_in_quarantine = 0;
+      } else if (options_.quarantine.enabled() &&
+                 fs.consecutive_failures >= options_.quarantine.failure_threshold) {
+        fs.quarantined = true;
+        fs.waves_in_quarantine = 0;
+        ++fs.times_quarantined;
+        SF_LOG_WARN("wms") << "step '" << spec_.step_at(index).id << "' quarantined at wave "
+                           << wave << " after " << fs.consecutive_failures
+                           << " consecutive failed waves";
+      }
+      break;
+    case StepStatus::kQuarantined:
+      ++fs.waves_in_quarantine;
+      break;
+    case StepStatus::kNotEligible:
+    case StepStatus::kSkipped:
+      break;
+  }
+}
+
+void WorkflowEngine::mark_stale(WaveResult& result) const {
+  for (std::size_t index : spec_.topological_order()) {
+    for (std::size_t pred : spec_.predecessors(index)) {
+      const StepStatus ps = result.status[pred];
+      if (ps == StepStatus::kQuarantined || ps == StepStatus::kFailed || result.stale[pred]) {
+        result.stale[index] = true;
+        break;
+      }
+    }
+  }
 }
 
 std::vector<WaveResult> WorkflowEngine::run_waves(ds::Timestamp first, std::size_t count,
@@ -187,14 +396,62 @@ std::size_t WorkflowEngine::failure_count(std::size_t step_index) const {
   return failure_counts_[step_index];
 }
 
+bool WorkflowEngine::is_quarantined(std::size_t step_index) const {
+  SF_CHECK(step_index < spec_.size(), "step index out of range");
+  return fault_states_[step_index].quarantined;
+}
+
+std::size_t WorkflowEngine::quarantine_count(std::size_t step_index) const {
+  SF_CHECK(step_index < spec_.size(), "step index out of range");
+  return fault_states_[step_index].times_quarantined;
+}
+
 void WorkflowEngine::add_completion_listener(StepCompletionListener listener) {
   SF_CHECK(static_cast<bool>(listener), "listener must be callable");
   listeners_.push_back(std::move(listener));
 }
 
+void WorkflowEngine::attach_journal(WaveJournal* journal) {
+  if (journal != nullptr) {
+    std::vector<std::string> ids;
+    ids.reserve(spec_.size());
+    for (const auto& step : spec_.steps()) ids.push_back(step.id);
+    journal->bind(spec_.name(), std::move(ids));
+  }
+  journal_ = journal;
+}
+
+void WorkflowEngine::restore_from_journal(const WaveJournal& journal) {
+  if (waves_run_ != 0) {
+    throw StateError("restore_from_journal requires a freshly constructed engine");
+  }
+  if (journal.step_ids().size() != spec_.size()) {
+    throw InvalidArgument("journal step count does not match the workflow");
+  }
+  for (std::size_t i = 0; i < spec_.size(); ++i) {
+    if (journal.step_ids()[i] != spec_.step_at(i).id) {
+      throw InvalidArgument("journal step '" + journal.step_ids()[i] +
+                            "' does not match workflow step '" + spec_.step_at(i).id + "'");
+    }
+  }
+  for (const WaveRecord& record : journal.records()) {
+    if (last_wave_ && record.wave <= *last_wave_) {
+      throw InvalidArgument("journal waves are not strictly increasing");
+    }
+    last_wave_ = record.wave;
+    ++waves_run_;
+    for (std::size_t i = 0; i < record.status.size(); ++i) {
+      apply_status(i, record.status[i], record.wave, /*count_failure=*/true);
+    }
+  }
+  SF_LOG_INFO("wms") << "restored " << waves_run_ << " waves from journal; resuming after wave "
+                     << (last_wave_ ? std::to_string(*last_wave_) : std::string("none"));
+}
+
 void WorkflowEngine::reset_history() {
   std::fill(exec_counts_.begin(), exec_counts_.end(), std::size_t{0});
   std::fill(failure_counts_.begin(), failure_counts_.end(), std::size_t{0});
+  std::fill(fault_states_.begin(), fault_states_.end(), StepFaultState{});
   last_failure_.clear();
   std::fill(last_exec_wave_.begin(), last_exec_wave_.end(), std::optional<ds::Timestamp>{});
   total_executions_ = 0;

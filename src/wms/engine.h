@@ -1,16 +1,26 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "common/thread_pool.h"
 #include "datastore/datastore.h"
+#include "wms/retry_policy.h"
 #include "wms/workflow_spec.h"
 
+namespace smartflux {
+class FaultInjector;
+}
+
 namespace smartflux::wms {
+
+class WaveJournal;
 
 /// Decides, per wave, whether an eligible error-tolerant step runs. This is
 /// the integration point SmartFlux plugs into (the paper's "triggering
@@ -42,15 +52,62 @@ class SyncController final : public TriggerController {
   bool should_execute(const WorkflowSpec&, std::size_t, ds::Timestamp) override { return true; }
 };
 
+/// Terminal outcome of one step within one wave.
+enum class StepStatus : std::uint8_t {
+  kNotEligible = 0,  ///< a predecessor has never completed an execution
+  kSkipped,          ///< the trigger controller deferred the execution (QoD)
+  kExecuted,         ///< ran to completion
+  kFailed,           ///< exhausted its retry budget this wave
+  kQuarantined,      ///< circuit open: the engine did not attempt the step
+};
+
+/// One-character encoding used by the wave journal ('-', 's', 'X', 'F', 'Q').
+char step_status_char(StepStatus status) noexcept;
+std::optional<StepStatus> step_status_from_char(char c) noexcept;
+
 /// Outcome of one wave of execution.
 struct WaveResult {
   ds::Timestamp wave = 0;
   /// Per-step (spec order): did the step run this wave?
   std::vector<bool> executed;
-  /// Per-step wall-clock execution time (zero for skipped steps).
+  /// Per-step wall-clock time spent on the step this wave, including failed
+  /// attempts and backoff pauses (zero for steps never attempted). Failed
+  /// steps therefore report non-zero durations even though executed stays
+  /// false, so wave-latency stats account retry time.
   std::vector<std::chrono::nanoseconds> durations;
+  /// Per-step terminal status — distinguishes "skipped by controller" from
+  /// "failed after retries" from "quarantined".
+  std::vector<StepStatus> status;
+  /// Convenience flags: status == kFailed.
+  std::vector<bool> failed;
+  /// Set for every (transitive) successor of a step that failed or was
+  /// quarantined this wave: such steps saw no fresh input from that
+  /// predecessor. Controller-deferred skips do NOT mark successors stale —
+  /// deferral is the QoD trade, not a fault.
+  std::vector<bool> stale;
+  /// Last error message of each step this wave (empty if it did not fail).
+  std::vector<std::string> errors;
+  /// Attempts made per step this wave (0 = never attempted).
+  std::vector<std::uint32_t> attempts;
 
   std::size_t executed_count() const noexcept;
+  std::size_t failed_count() const noexcept;
+  std::size_t quarantined_count() const noexcept;
+};
+
+/// Circuit breaker: after `failure_threshold` consecutive failed waves a step
+/// is quarantined — skipped outright (downstream marked stale) for
+/// `cooldown_waves` waves, then probed half-open with a single attempt;
+/// success closes the circuit, failure restarts the cool-down. Requires a
+/// non-propagating retry policy (a propagating failure aborts the wave before
+/// the breaker can act).
+struct QuarantineOptions {
+  /// Consecutive exhausted waves before the circuit opens; 0 disables.
+  std::size_t failure_threshold = 0;
+  /// Waves the step sits out before a half-open probe.
+  std::size_t cooldown_waves = 3;
+
+  bool enabled() const noexcept { return failure_threshold > 0; }
 };
 
 /// Notified after a step finishes (the paper's Oozie notification scheme:
@@ -66,14 +123,6 @@ using StepCompletionListener = std::function<void(const StepId&, ds::Timestamp)>
 /// Error-intolerant steps run at every wave in which they are eligible.
 class WorkflowEngine {
  public:
-  /// What to do when a step's computation throws (real WMSs retry failed
-  /// actions; Oozie has per-action retry policies).
-  enum class FailurePolicy {
-    kPropagate,  ///< rethrow to the run_wave caller (default)
-    kRetryOnce,  ///< retry once, then record the failure and continue the wave
-    kSkipStep,   ///< record the failure and continue the wave
-  };
-
   struct Options {
     /// Number of worker threads for intra-wave parallelism. 0 = serial.
     /// With workers, steps of the same dependency level whose execution was
@@ -81,7 +130,15 @@ class WorkflowEngine {
     /// serialized in spec order, so TriggerController implementations need
     /// no internal locking.
     std::size_t worker_threads = 0;
-    FailurePolicy failure_policy = FailurePolicy::kPropagate;
+    /// Default retry/backoff/timeout policy; StepSpec::retry overrides it.
+    RetryPolicy retry{};
+    QuarantineOptions quarantine{};
+    /// Seeds the deterministic backoff jitter.
+    std::uint64_t retry_seed = 0;
+    /// Optional deterministic fault-injection layer (not owned). Faults are
+    /// injected at the start of every attempt and into the attempt's
+    /// datastore writes.
+    FaultInjector* fault_injector = nullptr;
   };
 
   WorkflowEngine(WorkflowSpec spec, ds::DataStore& store);
@@ -105,28 +162,86 @@ class WorkflowEngine {
   std::size_t waves_run() const noexcept { return waves_run_; }
   /// Wave of the most recent execution of a step; nullopt if never run.
   std::optional<ds::Timestamp> last_executed_wave(std::size_t step_index) const;
+  /// Most recent wave run (or restored from a journal); nullopt if none.
+  std::optional<ds::Timestamp> last_wave() const noexcept { return last_wave_; }
 
   void add_completion_listener(StepCompletionListener listener);
 
-  /// Failures swallowed by kRetryOnce/kSkipStep, per step.
+  /// Waves in which the step exhausted its retry budget, across all waves.
   std::size_t failure_count(std::size_t step_index) const;
-  /// what() of the most recent swallowed failure (empty if none).
+  /// what() of the most recent recorded failure (empty if none).
   const std::string& last_failure_message() const noexcept { return last_failure_; }
+
+  /// Circuit-breaker introspection.
+  bool is_quarantined(std::size_t step_index) const;
+  /// Times the step's circuit has opened so far.
+  std::size_t quarantine_count(std::size_t step_index) const;
+
+  /// Attaches an append-only journal: every completed wave's per-step
+  /// statuses are recorded (and written through to the journal's sink, if
+  /// one is open). The journal is bound to this workflow's step ids on
+  /// attach. Pass nullptr to detach.
+  void attach_journal(WaveJournal* journal);
+
+  /// Crash recovery: replays a journal into a freshly constructed engine,
+  /// restoring execution counts, failure counts, last-executed waves and
+  /// quarantine state, so the next run_wave resumes after the last completed
+  /// wave. Throws StateError if this engine already ran waves, and
+  /// InvalidArgument if the journal does not match the workflow.
+  void restore_from_journal(const WaveJournal& journal);
 
   /// Resets execution-history bookkeeping (not the data store).
   void reset_history();
 
  private:
-  void execute_step(std::size_t index, ds::Timestamp wave, WaveResult& result,
-                    TriggerController& controller);
+  /// Per-step circuit-breaker state.
+  struct StepFaultState {
+    std::size_t consecutive_failures = 0;
+    bool quarantined = false;
+    /// Waves sat out since the circuit (re-)opened.
+    std::size_t waves_in_quarantine = 0;
+    std::size_t times_quarantined = 0;
+  };
+
+  /// Result of the retry loop for one step in one wave.
+  struct AttemptOutcome {
+    bool success = false;
+    /// Wall clock across all attempts, including backoff pauses.
+    std::chrono::nanoseconds elapsed{0};
+    std::uint32_t attempts = 0;
+    std::string error;  ///< last failure message; empty on success
+  };
+
   WaveResult run_wave_serial(ds::Timestamp wave, TriggerController& controller);
   WaveResult run_wave_parallel(ds::Timestamp wave, TriggerController& controller);
+  void process_step(std::size_t index, ds::Timestamp wave, WaveResult& result,
+                    TriggerController& controller);
   bool eligible(std::size_t index) const;
-  /// Runs a step's computation under the failure policy. Returns the
-  /// duration on success; nullopt when the failure was swallowed.
-  std::optional<std::chrono::nanoseconds> run_step_fn(std::size_t index, ds::Timestamp wave);
+  const RetryPolicy& policy_for(std::size_t index) const;
+  /// Quarantine gate, evaluated before eligibility/triggering: returns true
+  /// when the step must sit this wave out; sets *probe when a half-open
+  /// probe is due instead.
+  bool quarantine_gate(std::size_t index, bool* probe) const;
+  /// Runs the retry loop. `attempts_cap` > 0 bounds the attempts (half-open
+  /// probes use 1). On exhaustion the failure is recorded (failure_count,
+  /// last_failure_message) and — under a propagating policy — the original
+  /// exception is rethrown.
+  AttemptOutcome run_step_attempts(std::size_t index, ds::Timestamp wave,
+                                   std::size_t attempts_cap);
+  /// Records a non-success terminal outcome into the result row.
+  void record_outcome(std::size_t index, WaveResult& result, StepStatus status,
+                      const AttemptOutcome& outcome);
   void record_execution(std::size_t index, ds::Timestamp wave, WaveResult& result,
-                        std::chrono::nanoseconds duration, TriggerController& controller);
+                        std::chrono::nanoseconds duration, std::uint32_t attempts,
+                        TriggerController& controller);
+  /// Folds one step's terminal status into execution/failure bookkeeping and
+  /// the circuit-breaker state machine. Shared verbatim by live execution
+  /// and journal replay, so a restored engine lands in the exact state the
+  /// crashed one was in.
+  void apply_status(std::size_t index, StepStatus status, ds::Timestamp wave,
+                    bool count_failure);
+  void mark_stale(WaveResult& result) const;
+  static WaveResult make_result(ds::Timestamp wave, std::size_t steps);
 
   WorkflowSpec spec_;
   ds::DataStore* store_;
@@ -134,10 +249,13 @@ class WorkflowEngine {
   std::unique_ptr<ThreadPool> pool_;
   std::vector<std::size_t> exec_counts_;
   std::vector<std::size_t> failure_counts_;
-  std::mutex failure_mutex_;  ///< guards the two fields below under parallel waves
+  std::vector<StepFaultState> fault_states_;
+  std::vector<std::uint64_t> step_hashes_;  ///< per-step hash for jitter draws
+  std::mutex failure_mutex_;  ///< guards failure counts/message under parallel waves
   std::string last_failure_;
   std::vector<std::optional<ds::Timestamp>> last_exec_wave_;
   std::vector<StepCompletionListener> listeners_;
+  WaveJournal* journal_ = nullptr;
   std::size_t total_executions_ = 0;
   std::size_t waves_run_ = 0;
   std::optional<ds::Timestamp> last_wave_;

@@ -1,0 +1,136 @@
+#include "wms/journal.h"
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace smartflux::wms {
+
+void WaveJournal::bind(std::string workflow_name, std::vector<std::string> step_ids) {
+  SF_CHECK(!step_ids.empty(), "a journal needs at least one step");
+  for (const auto& id : step_ids) {
+    SF_CHECK(id.find_first_of(" \t\n\r") == std::string::npos,
+             "journal step ids must not contain whitespace");
+  }
+  if (bound()) {
+    if (workflow_name_ != workflow_name || step_ids_ != step_ids) {
+      throw InvalidArgument("journal is already bound to workflow '" + workflow_name_ +
+                            "' with a different step layout");
+    }
+    return;
+  }
+  workflow_name_ = std::move(workflow_name);
+  step_ids_ = std::move(step_ids);
+}
+
+void WaveJournal::append(WaveRecord record) {
+  SF_CHECK(bound(), "bind the journal before appending");
+  SF_CHECK(record.status.size() == step_ids_.size(),
+           "wave record step count does not match the bound workflow");
+  if (!records_.empty() && record.wave <= records_.back().wave) {
+    throw InvalidArgument("journal waves must be strictly increasing (got " +
+                          std::to_string(record.wave) + " after " +
+                          std::to_string(records_.back().wave) + ")");
+  }
+  if (sink_) {
+    write_record(*sink_, record);
+    sink_->flush();
+    if (!*sink_) throw Error("journal sink write failed");
+  }
+  records_.push_back(std::move(record));
+}
+
+void WaveJournal::write_record(std::ostream& os, const WaveRecord& record) {
+  os << "w " << record.wave << ' ';
+  for (StepStatus s : record.status) os << step_status_char(s);
+  os << '\n';
+}
+
+void WaveJournal::save(std::ostream& os) const {
+  SF_CHECK(bound(), "cannot save an unbound journal");
+  os << "smartflux-journal v1\n";
+  os << "workflow " << workflow_name_ << '\n';
+  os << "steps";
+  for (const auto& id : step_ids_) os << ' ' << id;
+  os << '\n';
+  for (const auto& record : records_) write_record(os, record);
+}
+
+std::string WaveJournal::to_string() const {
+  std::ostringstream os;
+  save(os);
+  return os.str();
+}
+
+WaveJournal WaveJournal::load(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line != "smartflux-journal v1") {
+    throw Error("not a smartflux journal (bad magic line)");
+  }
+  WaveJournal journal;
+  std::string name;
+  std::vector<std::string> ids;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "workflow") {
+      std::getline(ls >> std::ws, name);
+    } else if (tag == "steps") {
+      std::string id;
+      while (ls >> id) ids.push_back(id);
+      journal.bind(name, ids);
+    } else if (tag == "w") {
+      SF_CHECK(journal.bound(), "journal record before the steps header");
+      WaveRecord record;
+      std::string chars;
+      if (!(ls >> record.wave >> chars)) throw Error("malformed journal record: " + line);
+      record.status.reserve(chars.size());
+      for (char c : chars) {
+        const auto s = step_status_from_char(c);
+        if (!s) throw Error(std::string("unknown step status '") + c + "' in journal");
+        record.status.push_back(*s);
+      }
+      journal.append(std::move(record));
+    } else {
+      throw Error("unknown journal line: " + line);
+    }
+  }
+  SF_CHECK(journal.bound(), "journal has no steps header");
+  return journal;
+}
+
+void WaveJournal::save_file(const std::string& path) const {
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) throw Error("cannot open journal file for writing: " + path);
+  save(os);
+  if (!os) throw Error("journal write failed: " + path);
+}
+
+WaveJournal WaveJournal::load_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw Error("cannot open journal file: " + path);
+  return load(is);
+}
+
+void WaveJournal::open_sink(const std::string& path) {
+  SF_CHECK(bound(), "bind the journal before opening a sink");
+  auto sink = std::make_unique<std::ofstream>(path, std::ios::trunc);
+  if (!*sink) throw Error("cannot open journal sink: " + path);
+  // Seed the sink with the full current content so the file alone suffices
+  // for recovery.
+  *sink << "smartflux-journal v1\n";
+  *sink << "workflow " << workflow_name_ << '\n';
+  *sink << "steps";
+  for (const auto& id : step_ids_) *sink << ' ' << id;
+  *sink << '\n';
+  for (const auto& record : records_) write_record(*sink, record);
+  sink->flush();
+  if (!*sink) throw Error("journal sink write failed: " + path);
+  sink_ = std::move(sink);
+}
+
+void WaveJournal::close_sink() { sink_.reset(); }
+
+}  // namespace smartflux::wms

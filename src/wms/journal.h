@@ -1,0 +1,90 @@
+#pragma once
+
+#include <fstream>
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "wms/engine.h"
+
+namespace smartflux::wms {
+
+/// One journaled wave: the terminal status of every step, in spec order.
+struct WaveRecord {
+  ds::Timestamp wave = 0;
+  std::vector<StepStatus> status;
+
+  friend bool operator==(const WaveRecord&, const WaveRecord&) = default;
+};
+
+/// Append-only journal of wave outcomes — the durable execution history of a
+/// continuous workflow. The engine appends one record per completed wave;
+/// a restarted engine replays the journal (restore_from_journal) to recover
+/// its execution counts, failure counts and quarantine state and resume from
+/// the last completed wave. Only completed waves are journaled: a wave
+/// aborted by a propagating failure leaves no record and is re-run on
+/// resume.
+///
+/// The serialized form is a line-oriented text format:
+///
+///   smartflux-journal v1
+///   workflow <name>
+///   steps <id...>
+///   w <wave> <status chars>     # one line per wave, e.g. "w 7 XsF-Q"
+///
+/// With an open sink, every append is serialized and flushed immediately so
+/// the journal survives a crash of the process.
+class WaveJournal {
+ public:
+  WaveJournal() = default;
+
+  WaveJournal(WaveJournal&&) = default;
+  WaveJournal& operator=(WaveJournal&&) = default;
+
+  /// Fixes the workflow identity (step order) the records refer to. Called
+  /// by WorkflowEngine::attach_journal; re-binding with the same ids is a
+  /// no-op, a different workflow throws InvalidArgument. Step ids must not
+  /// contain whitespace.
+  void bind(std::string workflow_name, std::vector<std::string> step_ids);
+  bool bound() const noexcept { return !step_ids_.empty(); }
+  const std::string& workflow_name() const noexcept { return workflow_name_; }
+  const std::vector<std::string>& step_ids() const noexcept { return step_ids_; }
+
+  /// Appends one completed wave. Waves must be strictly increasing and the
+  /// status vector must match the bound step count.
+  void append(WaveRecord record);
+
+  const std::vector<WaveRecord>& records() const noexcept { return records_; }
+  std::size_t size() const noexcept { return records_.size(); }
+  bool empty() const noexcept { return records_.empty(); }
+  std::optional<ds::Timestamp> last_wave() const noexcept {
+    return records_.empty() ? std::nullopt : std::optional(records_.back().wave);
+  }
+
+  /// Serialization. `to_string` is the canonical byte form — two runs with
+  /// the same fault seed produce identical strings.
+  void save(std::ostream& os) const;
+  std::string to_string() const;
+  static WaveJournal load(std::istream& is);
+  void save_file(const std::string& path) const;
+  static WaveJournal load_file(const std::string& path);
+
+  /// Opens a write-through sink: the current journal content is written to
+  /// `path` (truncating it) and every subsequent append is written and
+  /// flushed immediately.
+  void open_sink(const std::string& path);
+  void close_sink();
+  bool has_sink() const noexcept { return sink_ != nullptr; }
+
+ private:
+  static void write_record(std::ostream& os, const WaveRecord& record);
+
+  std::string workflow_name_;
+  std::vector<std::string> step_ids_;
+  std::vector<WaveRecord> records_;
+  std::unique_ptr<std::ofstream> sink_;
+};
+
+}  // namespace smartflux::wms

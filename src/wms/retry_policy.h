@@ -1,0 +1,77 @@
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+
+#include "common/hashing.h"
+
+namespace smartflux::wms {
+
+/// Per-step failure handling (replaces the old three-way FailurePolicy enum):
+/// a bounded retry budget with exponential backoff, deterministically-seeded
+/// jitter, and a cooperative per-attempt wall-clock timeout. The engine
+/// carries a default policy in its Options; StepSpec::retry overrides it per
+/// step (real WMSs configure retries per action — Oozie's retry-max /
+/// retry-interval).
+struct RetryPolicy {
+  /// Total attempts per wave (1 = no retries).
+  std::size_t max_attempts = 1;
+  /// Pause before the first retry; doubles (by `backoff_multiplier`) for each
+  /// further retry, capped at `max_backoff`. Zero disables backoff pauses.
+  std::chrono::milliseconds initial_backoff{0};
+  double backoff_multiplier = 2.0;
+  std::chrono::milliseconds max_backoff{10'000};
+  /// Jitter fraction in [0, 1): each backoff is scaled by a factor drawn
+  /// uniformly from [1-jitter, 1+jitter] using a stateless hash of
+  /// (seed, step, wave, attempt) — reproducible from the engine seed, and
+  /// independent of thread scheduling.
+  double jitter = 0.0;
+  /// Per-attempt wall-clock budget, enforced cooperatively through the
+  /// CancellationToken on StepContext; an attempt that returns after the
+  /// deadline is counted as failed. Zero = unlimited.
+  std::chrono::milliseconds timeout{0};
+  /// What exhausting the budget does: rethrow to the run_wave caller
+  /// (aborting the wave) or record the failure and continue the wave.
+  bool propagate = true;
+
+  /// The default: one attempt, failures abort the wave.
+  static RetryPolicy propagate_failures() noexcept { return {}; }
+  /// One attempt; failures are recorded and the wave continues.
+  static RetryPolicy skip_failures() noexcept {
+    RetryPolicy p;
+    p.propagate = false;
+    return p;
+  }
+  /// `attempts` attempts with backoff; exhaustion is recorded, not rethrown.
+  static RetryPolicy retries(std::size_t attempts,
+                             std::chrono::milliseconds backoff = std::chrono::milliseconds{0},
+                             double jitter_fraction = 0.0) noexcept {
+    RetryPolicy p;
+    p.max_attempts = attempts;
+    p.initial_backoff = backoff;
+    p.jitter = jitter_fraction;
+    p.propagate = false;
+    return p;
+  }
+
+  /// Backoff pause before attempt `attempt` (2-based: attempt 1 never waits).
+  std::chrono::nanoseconds backoff_before(std::size_t attempt, std::uint64_t seed,
+                                          std::uint64_t step_hash, std::uint64_t wave) const {
+    if (attempt <= 1 || initial_backoff.count() <= 0) return std::chrono::nanoseconds{0};
+    double ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(initial_backoff).count());
+    ns *= std::pow(backoff_multiplier, static_cast<double>(attempt - 2));
+    const double cap = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(max_backoff).count());
+    ns = std::min(ns, cap);
+    if (jitter > 0.0) {
+      const double u = hash_unit(seed, step_hash, wave, attempt);
+      ns *= 1.0 - jitter + 2.0 * jitter * u;
+    }
+    return std::chrono::nanoseconds{static_cast<std::int64_t>(ns)};
+  }
+};
+
+}  // namespace smartflux::wms

@@ -41,6 +41,11 @@ WaveDriver::WaveDriver(WorkflowEngine& engine, TriggerController& controller,
     : engine_(&engine), controller_(&controller), source_(std::move(source)),
       next_wave_(first_wave) {
   SF_CHECK(source_ != nullptr, "WaveDriver needs a wave source");
+  // Resume-awareness: an engine restored from a wave journal already has
+  // history — continue after it instead of re-issuing journaled wave numbers.
+  if (const auto last = engine.last_wave(); last && *last >= next_wave_) {
+    next_wave_ = *last + 1;
+  }
 }
 
 std::vector<WaveResult> WaveDriver::poll(const SimulatedClock& clock) {

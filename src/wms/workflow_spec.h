@@ -6,8 +6,10 @@
 #include <string>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "datastore/client.h"
 #include "datastore/container_ref.h"
+#include "wms/retry_policy.h"
 
 namespace smartflux::wms {
 
@@ -20,6 +22,15 @@ struct StepContext {
   ds::Client& client;
   ds::Timestamp wave;
   StepId step;
+  /// Cooperative cancellation: non-null when the engine enforces a per-step
+  /// timeout. Long-running steps should poll check_cancelled() so a hung or
+  /// overrunning attempt unwinds at its deadline instead of blocking the wave.
+  const CancellationToken* cancel = nullptr;
+
+  bool cancelled() const noexcept { return cancel != nullptr && cancel->cancelled(); }
+  void check_cancelled() const {
+    if (cancel != nullptr) cancel->throw_if_cancelled();
+  }
 };
 
 using StepFn = std::function<void(StepContext&)>;
@@ -39,6 +50,8 @@ struct StepSpec {
   /// error-intolerant and always executes synchronously (paper: steps that
   /// feed real-time queries or critical alerts).
   std::optional<double> max_error;
+  /// Per-step retry/timeout override; unset steps use the engine default.
+  std::optional<RetryPolicy> retry;
 
   bool tolerates_error() const noexcept { return max_error.has_value(); }
 };

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <sstream>
+
+#include "common/error.h"
+#include "core/smartflux.h"
+#include "wms/journal.h"
+
+namespace smartflux::core {
+namespace {
+
+/// Ramp workflow with a drift knob: "agg" copies the input scaled by *gain.
+/// With gain 1 the deferred output error grows by 1 per skipped wave (the
+/// regime the model trains in); raising the gain makes the true error grow
+/// faster than the classifier believes — the silent QoD violation the audit
+/// guard exists to catch.
+wms::WorkflowSpec gain_spec(std::shared_ptr<std::atomic<double>> gain, double bound = 2.5) {
+  wms::StepSpec src;
+  src.id = "src";
+  src.outputs = {ds::ContainerRef::whole_table("in")};
+  src.fn = [](wms::StepContext& ctx) {
+    ctx.client.put("in", "r", "v", 200.0 + static_cast<double>(ctx.wave));
+  };
+  wms::StepSpec agg;
+  agg.id = "agg";
+  agg.predecessors = {"src"};
+  agg.inputs = {ds::ContainerRef::whole_table("in")};
+  agg.outputs = {ds::ContainerRef::whole_table("out")};
+  agg.max_error = bound;
+  agg.fn = [gain](wms::StepContext& ctx) {
+    ctx.client.put("out", "r", "v",
+                   gain->load() * ctx.client.get("in", "r", "v").value_or(0.0));
+  };
+  return wms::WorkflowSpec("ramp", {src, agg});
+}
+
+SmartFluxOptions guard_options() {
+  SmartFluxOptions opts;
+  opts.monitor.error = ErrorKind::kRmse;
+  opts.monitor.rmse_value_range = 1.0;
+  opts.audit.audit_every = 4;
+  opts.audit.window = 4;
+  opts.audit.max_violation_rate = 0.3;
+  opts.audit.min_audits = 2;
+  opts.audit.retrain_waves = 20;
+  return opts;
+}
+
+TEST(DegradationGuard, HealthyRunPassesAudits) {
+  auto gain = std::make_shared<std::atomic<double>>(1.0);
+  ds::DataStore store;
+  wms::WorkflowEngine engine(gain_spec(gain), store);
+  SmartFluxEngine sf(engine, guard_options());
+  sf.train(1, 40);
+  sf.build_model();
+  sf.run(41, 24);
+  EXPECT_EQ(sf.audit_stats().audits_run, 6u);  // every 4th wave
+  EXPECT_EQ(sf.audit_stats().degradations, 0u);
+  EXPECT_FALSE(sf.degraded());
+  EXPECT_EQ(sf.phase(), SmartFluxEngine::Phase::kApplication);
+}
+
+TEST(DegradationGuard, AuditWavesForceExecution) {
+  auto gain = std::make_shared<std::atomic<double>>(1.0);
+  ds::DataStore store;
+  wms::WorkflowEngine engine(gain_spec(gain), store);
+  SmartFluxEngine sf(engine, guard_options());
+  sf.train(1, 40);
+  sf.build_model();
+  const std::size_t agg = engine.spec().index_of("agg");
+  const auto results = sf.run(41, 8);
+  // Waves 44 and 48 are audits: the step runs regardless of the classifier.
+  EXPECT_TRUE(results[3].executed[agg]);
+  EXPECT_TRUE(results[7].executed[agg]);
+}
+
+TEST(DegradationGuard, DriftDegradesToSyncAndRecovers) {
+  auto gain = std::make_shared<std::atomic<double>>(1.0);
+  ds::DataStore store;
+  wms::WorkflowEngine engine(gain_spec(gain), store);
+  SmartFluxEngine sf(engine, guard_options());
+  sf.train(1, 40);
+  sf.build_model();
+  const std::size_t kb_after_training = sf.knowledge_base().size();
+  const std::size_t agg = engine.spec().index_of("agg");
+
+  // Healthy adaptive stretch: audits pass, some skipping happens.
+  ds::Timestamp wave = 41;
+  for (; wave <= 48; ++wave) sf.run_wave(wave);
+  EXPECT_EQ(sf.audit_stats().degradations, 0u);
+
+  // Drift: the step's outputs now move 3x faster than anything the model saw.
+  // The classifier still paces itself by input impact, so it keeps skipping
+  // waves whose true deferred error already exceeds the bound.
+  gain->store(3.0);
+  const ds::Timestamp drift_start = wave;
+  while (!sf.degraded() && wave < drift_start + 40) sf.run_wave(wave++);
+  ASSERT_TRUE(sf.degraded()) << "audits never caught the drift";
+  EXPECT_EQ(sf.phase(), SmartFluxEngine::Phase::kDegraded);
+  EXPECT_EQ(sf.audit_stats().degradations, 1u);
+  EXPECT_GT(sf.audit_stats().violations, 0u);
+  EXPECT_EQ(sf.audit_stats().retrain_waves_left, guard_options().audit.retrain_waves);
+
+  // Degraded mode: synchronous capture — every wave executes the tolerant
+  // step and appends a knowledge-base tuple reflecting the new regime.
+  std::size_t degraded_waves = 0;
+  while (sf.degraded()) {
+    const auto r = sf.run_wave(wave++);
+    EXPECT_TRUE(r.executed[agg]);
+    ++degraded_waves;
+  }
+  EXPECT_EQ(degraded_waves, guard_options().audit.retrain_waves);
+  EXPECT_EQ(sf.knowledge_base().size(), kb_after_training + degraded_waves);
+  EXPECT_EQ(sf.phase(), SmartFluxEngine::Phase::kApplication);
+
+  // Recovered: in the drifted regime every wave exceeds the bound, so the
+  // rebuilt model triggers every wave and the audits stay clean.
+  const std::size_t violations_at_recovery = sf.audit_stats().violations;
+  for (ds::Timestamp end = wave + 12; wave < end; ++wave) {
+    const auto r = sf.run_wave(wave);
+    EXPECT_TRUE(r.executed[agg]) << "wave " << wave;
+  }
+  EXPECT_EQ(sf.audit_stats().violations, violations_at_recovery);
+  EXPECT_EQ(sf.audit_stats().degradations, 1u);
+  EXPECT_FALSE(sf.degraded());
+}
+
+TEST(DegradationGuard, ResumeFromJournalRestoresApplicationPhase) {
+  const std::string path = testing::TempDir() + "sf_smartflux_resume_test.log";
+  auto gain = std::make_shared<std::atomic<double>>(1.0);
+  ds::DataStore store;
+
+  std::string kb_csv;
+  std::size_t src_execs = 0;
+  std::size_t agg_execs = 0;
+  {
+    wms::WorkflowEngine engine(gain_spec(gain), store);
+    SmartFluxEngine sf(engine, guard_options());
+    wms::WaveJournal journal;
+    engine.attach_journal(&journal);
+    journal.open_sink(path);
+
+    sf.train(1, 30);
+    std::ostringstream os;
+    sf.knowledge_base().save_csv(os);  // persisted alongside the journal
+    kb_csv = os.str();
+    sf.build_model();
+    sf.run(31, 6);
+    src_execs = engine.execution_count(0);
+    agg_execs = engine.execution_count(1);
+    // Crash: the engine and all in-memory state die here; the datastore and
+    // the journal file survive.
+  }
+
+  const wms::WaveJournal recovered = wms::WaveJournal::load_file(path);
+  ASSERT_EQ(recovered.last_wave(), std::optional<ds::Timestamp>{36});
+
+  wms::WorkflowEngine engine(gain_spec(gain), store);
+  SmartFluxEngine sf(engine, guard_options());
+  // Resuming before a model exists is rejected.
+  EXPECT_THROW(sf.resume_from_journal(recovered), StateError);
+
+  std::istringstream is(kb_csv);
+  sf.restore_knowledge_base(KnowledgeBase::load_csv(is));
+  EXPECT_EQ(sf.knowledge_base().size(), 30u);
+  sf.build_model();
+  sf.resume_from_journal(recovered);
+
+  EXPECT_EQ(sf.phase(), SmartFluxEngine::Phase::kApplication);
+  EXPECT_EQ(engine.waves_run(), 36u);
+  EXPECT_EQ(engine.last_wave(), std::optional<ds::Timestamp>{36});
+  EXPECT_EQ(engine.execution_count(0), src_execs);
+  EXPECT_EQ(engine.execution_count(1), agg_execs);
+
+  // The resumed engine continues after the journal; journaled wave numbers
+  // are rejected.
+  EXPECT_THROW(sf.run_wave(36), InvalidArgument);
+  const auto r = sf.run_wave(37);
+  EXPECT_EQ(r.wave, 37u);
+  EXPECT_EQ(engine.last_wave(), std::optional<ds::Timestamp>{37});
+}
+
+}  // namespace
+}  // namespace smartflux::core

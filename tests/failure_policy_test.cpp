@@ -1,12 +1,16 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 
 #include "common/error.h"
 #include "wms/engine.h"
+#include "wms/retry_policy.h"
 
 namespace smartflux::wms {
 namespace {
+
+using std::chrono::milliseconds;
 
 /// Workflow where "flaky" fails on configurable waves and "down" depends on
 /// it; "steady" is independent.
@@ -15,13 +19,14 @@ struct FlakyFixture {
   std::atomic<int> down_runs{0};
   std::function<bool(ds::Timestamp, int attempt)> should_fail;
 
-  WorkflowSpec make_spec() {
+  WorkflowSpec make_spec(std::optional<RetryPolicy> flaky_retry = std::nullopt) {
     StepSpec steady;
     steady.id = "steady";
     steady.fn = [](StepContext& ctx) { ctx.client.put("t", "steady", "w", 1.0); };
 
     StepSpec flaky;
     flaky.id = "flaky";
+    flaky.retry = flaky_retry;
     flaky.fn = [this](StepContext& ctx) {
       const int attempt = ++flaky_attempts;
       if (should_fail(ctx.wave, attempt)) throw std::runtime_error("flaky step exploded");
@@ -37,46 +42,83 @@ struct FlakyFixture {
   }
 };
 
-TEST(FailurePolicy, PropagateRethrowsByDefault) {
+TEST(RetryPolicyTest, PropagateRethrowsByDefault) {
   FlakyFixture fx;
   fx.should_fail = [](ds::Timestamp, int) { return true; };
   ds::DataStore store;
   WorkflowEngine engine(fx.make_spec(), store);
   SyncController sync;
   EXPECT_THROW(engine.run_wave(1, sync), std::runtime_error);
+  // Even under propagate, the failure is recorded before the rethrow.
+  EXPECT_EQ(engine.failure_count(1), 1u);
+  EXPECT_EQ(engine.last_failure_message(), "flaky step exploded");
 }
 
-TEST(FailurePolicy, SkipStepContinuesTheWave) {
+// Satellite: kPropagate with worker threads surfaces the first exception from
+// run_wave without deadlocking, and failure bookkeeping is identical across
+// thread counts.
+TEST(RetryPolicyTest, PropagateIsConsistentAcrossThreadCounts) {
+  for (std::size_t workers : {0u, 1u, 3u}) {
+    FlakyFixture fx;
+    fx.should_fail = [](ds::Timestamp, int) { return true; };
+    ds::DataStore store;
+    WorkflowEngine engine(fx.make_spec(), store,
+                          WorkflowEngine::Options{.worker_threads = workers});
+    SyncController sync;
+    EXPECT_THROW(engine.run_wave(1, sync), std::runtime_error) << "workers=" << workers;
+    EXPECT_EQ(engine.failure_count(1), 1u) << "workers=" << workers;
+    EXPECT_EQ(engine.last_failure_message(), "flaky step exploded") << "workers=" << workers;
+    EXPECT_EQ(engine.execution_count(1), 0u) << "workers=" << workers;
+    // The engine stays usable: the next wave runs normally.
+    fx.should_fail = [](ds::Timestamp, int) { return false; };
+    const auto r = engine.run_wave(2, sync);
+    EXPECT_TRUE(r.executed[1]) << "workers=" << workers;
+  }
+}
+
+TEST(RetryPolicyTest, SkipFailuresContinuesTheWave) {
   FlakyFixture fx;
   fx.should_fail = [](ds::Timestamp wave, int) { return wave == 1; };
   ds::DataStore store;
   WorkflowEngine engine(fx.make_spec(), store,
-                        WorkflowEngine::Options{
-                            .failure_policy = WorkflowEngine::FailurePolicy::kSkipStep});
+                        WorkflowEngine::Options{.retry = RetryPolicy::skip_failures()});
   SyncController sync;
 
   const auto r1 = engine.run_wave(1, sync);
   EXPECT_TRUE(r1.executed[0]);   // steady ran
-  EXPECT_FALSE(r1.executed[1]);  // flaky failed and was skipped
+  EXPECT_FALSE(r1.executed[1]);  // flaky failed
   EXPECT_FALSE(r1.executed[2]);  // down never became eligible
   EXPECT_EQ(engine.failure_count(1), 1u);
   EXPECT_EQ(engine.last_failure_message(), "flaky step exploded");
   EXPECT_EQ(fx.down_runs.load(), 0);
+
+  // Satellite: the result row distinguishes "failed" from "skipped".
+  EXPECT_EQ(r1.status[1], StepStatus::kFailed);
+  EXPECT_TRUE(r1.failed[1]);
+  EXPECT_EQ(r1.errors[1], "flaky step exploded");
+  EXPECT_EQ(r1.status[2], StepStatus::kNotEligible);
+  EXPECT_FALSE(r1.failed[2]);
+  EXPECT_TRUE(r1.errors[2].empty());
+  EXPECT_EQ(r1.failed_count(), 1u);
+  // Downstream of a failure is stale; independent steps are not.
+  EXPECT_TRUE(r1.stale[2]);
+  EXPECT_FALSE(r1.stale[0]);
 
   // Next wave flaky recovers; down becomes eligible and runs.
   const auto r2 = engine.run_wave(2, sync);
   EXPECT_TRUE(r2.executed[1]);
   EXPECT_TRUE(r2.executed[2]);
   EXPECT_EQ(fx.down_runs.load(), 1);
+  EXPECT_EQ(r2.failed_count(), 0u);
+  EXPECT_FALSE(r2.stale[2]);
 }
 
-TEST(FailurePolicy, FailedStepDoesNotCountAsExecution) {
+TEST(RetryPolicyTest, FailedStepDoesNotCountAsExecution) {
   FlakyFixture fx;
   fx.should_fail = [](ds::Timestamp, int) { return true; };
   ds::DataStore store;
   WorkflowEngine engine(fx.make_spec(), store,
-                        WorkflowEngine::Options{
-                            .failure_policy = WorkflowEngine::FailurePolicy::kSkipStep});
+                        WorkflowEngine::Options{.retry = RetryPolicy::skip_failures()});
   SyncController sync;
   engine.run_waves(1, 3, sync);
   EXPECT_EQ(engine.execution_count(1), 0u);
@@ -84,43 +126,104 @@ TEST(FailurePolicy, FailedStepDoesNotCountAsExecution) {
   EXPECT_FALSE(engine.last_executed_wave(1).has_value());
 }
 
-TEST(FailurePolicy, RetryOnceRecoversTransientFailures) {
+TEST(RetryPolicyTest, RetriesRecoverTransientFailures) {
   FlakyFixture fx;
   // Fails on every odd attempt: the retry always succeeds.
   fx.should_fail = [](ds::Timestamp, int attempt) { return attempt % 2 == 1; };
   ds::DataStore store;
   WorkflowEngine engine(fx.make_spec(), store,
-                        WorkflowEngine::Options{
-                            .failure_policy = WorkflowEngine::FailurePolicy::kRetryOnce});
+                        WorkflowEngine::Options{.retry = RetryPolicy::retries(2)});
   SyncController sync;
   const auto r = engine.run_wave(1, sync);
   EXPECT_TRUE(r.executed[1]);
+  EXPECT_EQ(r.attempts[1], 2u);
   EXPECT_EQ(engine.failure_count(1), 0u);  // recovered, not counted as failure
   EXPECT_EQ(fx.flaky_attempts.load(), 2);
 }
 
-TEST(FailurePolicy, RetryOnceGivesUpAfterSecondFailure) {
+TEST(RetryPolicyTest, RetriesGiveUpWhenBudgetExhausted) {
   FlakyFixture fx;
   fx.should_fail = [](ds::Timestamp, int) { return true; };
   ds::DataStore store;
   WorkflowEngine engine(fx.make_spec(), store,
-                        WorkflowEngine::Options{
-                            .failure_policy = WorkflowEngine::FailurePolicy::kRetryOnce});
+                        WorkflowEngine::Options{.retry = RetryPolicy::retries(2)});
   SyncController sync;
   const auto r = engine.run_wave(1, sync);
   EXPECT_FALSE(r.executed[1]);
+  EXPECT_EQ(r.status[1], StepStatus::kFailed);
+  EXPECT_EQ(r.attempts[1], 2u);
   EXPECT_EQ(engine.failure_count(1), 1u);
   EXPECT_EQ(fx.flaky_attempts.load(), 2);
 }
 
-TEST(FailurePolicy, SkipStepWorksUnderParallelExecution) {
+TEST(RetryPolicyTest, PerStepPolicyOverridesEngineDefault) {
+  FlakyFixture fx;
+  fx.should_fail = [](ds::Timestamp, int attempt) { return attempt < 3; };
+  ds::DataStore store;
+  // Engine default would give up after 1 attempt; the step override allows 3.
+  WorkflowEngine engine(fx.make_spec(RetryPolicy::retries(3)), store,
+                        WorkflowEngine::Options{.retry = RetryPolicy::skip_failures()});
+  SyncController sync;
+  const auto r = engine.run_wave(1, sync);
+  EXPECT_TRUE(r.executed[1]);
+  EXPECT_EQ(r.attempts[1], 3u);
+  EXPECT_EQ(engine.failure_count(1), 0u);
+}
+
+// Satellite: durations account the wall-clock of failed attempts and backoff
+// pauses, so wave-latency statistics do not undercount retry storms.
+TEST(RetryPolicyTest, DurationsIncludeFailedAttemptsAndBackoff) {
+  FlakyFixture fx;
+  fx.should_fail = [](ds::Timestamp, int) { return true; };
+  ds::DataStore store;
+  // 3 attempts with 4ms initial backoff and x2 multiplier: pauses of 4ms and
+  // 8ms => at least 12ms of accounted wall clock even though every attempt
+  // fails "instantly".
+  WorkflowEngine engine(fx.make_spec(), store,
+                        WorkflowEngine::Options{.retry = RetryPolicy::retries(3, milliseconds{4})});
+  SyncController sync;
+  const auto r = engine.run_wave(1, sync);
+  EXPECT_FALSE(r.executed[1]);
+  EXPECT_EQ(r.attempts[1], 3u);
+  EXPECT_GE(r.durations[1], std::chrono::milliseconds{12});
+  // Steps that never ran report zero.
+  EXPECT_EQ(r.durations[2], std::chrono::nanoseconds{0});
+}
+
+TEST(RetryPolicyTest, BackoffScheduleIsExponentialCappedAndDeterministic) {
+  RetryPolicy p = RetryPolicy::retries(6, milliseconds{10});
+  p.max_backoff = milliseconds{35};
+  // attempt 1 never waits; then 10, 20, 40->35 (capped), 35...
+  EXPECT_EQ(p.backoff_before(1, 0, 0, 0), std::chrono::nanoseconds{0});
+  EXPECT_EQ(p.backoff_before(2, 0, 0, 0), std::chrono::nanoseconds{milliseconds{10}});
+  EXPECT_EQ(p.backoff_before(3, 0, 0, 0), std::chrono::nanoseconds{milliseconds{20}});
+  EXPECT_EQ(p.backoff_before(4, 0, 0, 0), std::chrono::nanoseconds{milliseconds{35}});
+  EXPECT_EQ(p.backoff_before(5, 0, 0, 0), std::chrono::nanoseconds{milliseconds{35}});
+
+  // Jitter stays within [1-j, 1+j] and is a pure function of the seed.
+  p.jitter = 0.5;
+  const auto lo = std::chrono::nanoseconds{milliseconds{5}};
+  const auto hi = std::chrono::nanoseconds{milliseconds{15}};
+  bool varied = false;
+  std::chrono::nanoseconds first{0};
+  for (std::uint64_t wave = 1; wave <= 16; ++wave) {
+    const auto d = p.backoff_before(2, /*seed=*/42, /*step_hash=*/7, wave);
+    EXPECT_GE(d, lo);
+    EXPECT_LE(d, hi);
+    EXPECT_EQ(d, p.backoff_before(2, 42, 7, wave));  // reproducible
+    if (wave == 1) first = d;
+    if (d != first) varied = true;
+  }
+  EXPECT_TRUE(varied);  // the draw actually depends on the wave
+}
+
+TEST(RetryPolicyTest, SkipFailuresWorksUnderParallelExecution) {
   FlakyFixture fx;
   fx.should_fail = [](ds::Timestamp wave, int) { return wave <= 2; };
   ds::DataStore store;
   WorkflowEngine engine(fx.make_spec(), store,
-                        WorkflowEngine::Options{
-                            .worker_threads = 3,
-                            .failure_policy = WorkflowEngine::FailurePolicy::kSkipStep});
+                        WorkflowEngine::Options{.worker_threads = 3,
+                                                .retry = RetryPolicy::skip_failures()});
   SyncController sync;
   engine.run_waves(1, 4, sync);
   EXPECT_EQ(engine.failure_count(1), 2u);
@@ -129,18 +232,18 @@ TEST(FailurePolicy, SkipStepWorksUnderParallelExecution) {
   EXPECT_EQ(fx.down_runs.load(), 2);
 }
 
-TEST(FailurePolicy, ResetHistoryClearsFailures) {
+TEST(RetryPolicyTest, ResetHistoryClearsFailures) {
   FlakyFixture fx;
   fx.should_fail = [](ds::Timestamp, int) { return true; };
   ds::DataStore store;
   WorkflowEngine engine(fx.make_spec(), store,
-                        WorkflowEngine::Options{
-                            .failure_policy = WorkflowEngine::FailurePolicy::kSkipStep});
+                        WorkflowEngine::Options{.retry = RetryPolicy::skip_failures()});
   SyncController sync;
   engine.run_wave(1, sync);
   engine.reset_history();
   EXPECT_EQ(engine.failure_count(1), 0u);
   EXPECT_TRUE(engine.last_failure_message().empty());
+  EXPECT_FALSE(engine.is_quarantined(1));
 }
 
 }  // namespace

@@ -1,0 +1,314 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/cancellation.h"
+#include "common/error.h"
+#include "common/fault_injection.h"
+#include "wms/engine.h"
+#include "wms/journal.h"
+
+namespace smartflux::wms {
+namespace {
+
+using smartflux::FaultInjector;
+using smartflux::FaultKind;
+using smartflux::FaultRule;
+using std::chrono::milliseconds;
+
+/// steady -> (independent), flaky -> down: the canonical fault-tolerance DAG.
+WorkflowSpec make_spec(std::atomic<int>* completions = nullptr) {
+  StepSpec steady;
+  steady.id = "steady";
+  steady.fn = [](StepContext& ctx) { ctx.client.put("t", "steady", "w", 1.0); };
+
+  StepSpec flaky;
+  flaky.id = "flaky";
+  flaky.fn = [completions](StepContext& ctx) {
+    ctx.client.put("t", "flaky", "w", static_cast<double>(ctx.wave));
+    if (completions != nullptr) ++*completions;
+  };
+
+  StepSpec down;
+  down.id = "down";
+  down.predecessors = {"flaky"};
+  down.fn = [](StepContext& ctx) { ctx.client.put("t", "down", "w", 2.0); };
+
+  return WorkflowSpec("ft", {steady, flaky, down});
+}
+
+/// Runs `waves` waves under skip_failures + the given injector/quarantine and
+/// returns the serialized journal.
+std::string run_scenario(FaultInjector& injector, std::size_t waves,
+                         QuarantineOptions quarantine = {}, std::size_t workers = 0,
+                         RetryPolicy retry = RetryPolicy::skip_failures()) {
+  ds::DataStore store;
+  WorkflowEngine engine(make_spec(), store,
+                        WorkflowEngine::Options{.worker_threads = workers,
+                                                .retry = retry,
+                                                .quarantine = quarantine,
+                                                .fault_injector = &injector});
+  WaveJournal journal;
+  engine.attach_journal(&journal);
+  SyncController sync;
+  engine.run_waves(1, waves, sync);
+  return journal.to_string();
+}
+
+TEST(FaultInjection, ProbabilisticScheduleIsDeterministicPerSeed) {
+  const auto run_with_seed = [](std::uint64_t seed) {
+    FaultInjector injector(seed);
+    injector.add_rule(FaultRule{.step_id = "flaky", .probability = 0.4});
+    return run_scenario(injector, 40);
+  };
+  const std::string a = run_with_seed(7);
+  const std::string b = run_with_seed(7);
+  const std::string c = run_with_seed(8);
+  EXPECT_EQ(a, b);  // byte-identical journals for the same seed
+  EXPECT_NE(a, c);  // a different seed reschedules the faults
+  // The schedule is genuinely probabilistic: some waves fail, some don't.
+  EXPECT_NE(a.find('F'), std::string::npos);
+  const std::size_t failures = static_cast<std::size_t>(std::count(a.begin(), a.end(), 'F'));
+  EXPECT_GT(failures, 0u);
+  EXPECT_LT(failures, 40u);
+}
+
+TEST(FaultInjection, ScheduleIsIndependentOfThreadCount) {
+  const auto run_with_workers = [](std::size_t workers) {
+    FaultInjector injector(21);
+    injector.add_rule(FaultRule{.step_id = "flaky", .probability = 0.5});
+    return run_scenario(injector, 30, QuarantineOptions{}, workers);
+  };
+  const std::string serial = run_with_workers(0);
+  EXPECT_EQ(serial, run_with_workers(1));
+  EXPECT_EQ(serial, run_with_workers(3));
+}
+
+TEST(FaultInjection, ThrowRuleTargetsWaveRangeAndAttempt) {
+  FaultInjector injector;
+  // Only the first attempt of waves 2 and 3 faults: the retry recovers.
+  injector.add_rule(FaultRule{
+      .step_id = "flaky", .first_wave = 2, .last_wave = 3, .max_attempt = 1});
+  std::atomic<int> completions{0};
+  ds::DataStore store;
+  WorkflowEngine engine(make_spec(&completions), store,
+                        WorkflowEngine::Options{.retry = RetryPolicy::retries(2),
+                                                .fault_injector = &injector});
+  SyncController sync;
+  const auto results = engine.run_waves(1, 4, sync);
+  EXPECT_EQ(results[0].attempts[1], 1u);
+  EXPECT_EQ(results[1].attempts[1], 2u);
+  EXPECT_EQ(results[2].attempts[1], 2u);
+  EXPECT_EQ(results[3].attempts[1], 1u);
+  EXPECT_EQ(engine.execution_count(1), 4u);  // every wave recovered
+  EXPECT_EQ(engine.failure_count(1), 0u);
+  EXPECT_EQ(completions.load(), 4);
+  EXPECT_EQ(injector.injected_count(), 2u);
+}
+
+TEST(FaultInjection, HangPastTimeoutFailsTheAttempt) {
+  FaultInjector injector;
+  injector.add_rule(FaultRule{.step_id = "flaky",
+                              .kind = FaultKind::kHang,
+                              .first_wave = 1,
+                              .last_wave = 1,
+                              .hang_for = milliseconds{500}});
+  RetryPolicy policy = RetryPolicy::skip_failures();
+  policy.timeout = milliseconds{20};
+  ds::DataStore store;
+  WorkflowEngine engine(make_spec(), store,
+                        WorkflowEngine::Options{.retry = policy, .fault_injector = &injector});
+  SyncController sync;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto r = engine.run_wave(1, sync);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+
+  EXPECT_EQ(r.status[1], StepStatus::kFailed);
+  EXPECT_NE(r.errors[1].find("deadline"), std::string::npos);
+  // The cooperative timeout unwound the hang at ~20ms, far before the 500ms
+  // stall would have completed.
+  EXPECT_GE(r.durations[1], milliseconds{20});
+  EXPECT_LT(elapsed, milliseconds{400});
+
+  // Wave 2: the rule has expired, the step runs normally again.
+  const auto r2 = engine.run_wave(2, sync);
+  EXPECT_TRUE(r2.executed[1]);
+}
+
+TEST(FaultInjection, LateReturnWithoutPollingIsCountedAsTimeout) {
+  // A step that never polls its token cannot be interrupted, but the engine
+  // detects the overrun when it returns.
+  StepSpec slow;
+  slow.id = "slow";
+  RetryPolicy policy = RetryPolicy::skip_failures();
+  policy.timeout = milliseconds{5};
+  slow.retry = policy;
+  slow.fn = [](StepContext&) { std::this_thread::sleep_for(milliseconds{30}); };
+  ds::DataStore store;
+  WorkflowEngine engine(WorkflowSpec("slow", {slow}), store);
+  SyncController sync;
+  const auto r = engine.run_wave(1, sync);
+  EXPECT_FALSE(r.executed[0]);
+  EXPECT_EQ(r.status[0], StepStatus::kFailed);
+  EXPECT_NE(r.errors[0].find("deadline"), std::string::npos);
+}
+
+TEST(FaultInjection, CooperativeStepObservesCancellation) {
+  StepSpec loop;
+  loop.id = "loop";
+  RetryPolicy policy = RetryPolicy::skip_failures();
+  policy.timeout = milliseconds{10};
+  loop.retry = policy;
+  loop.fn = [](StepContext& ctx) {
+    // A well-behaved long-running step: polls the token and unwinds early.
+    while (true) {
+      ctx.check_cancelled();
+      std::this_thread::sleep_for(std::chrono::milliseconds{1});
+    }
+  };
+  ds::DataStore store;
+  WorkflowEngine engine(WorkflowSpec("loop", {loop}), store);
+  SyncController sync;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto r = engine.run_wave(1, sync);
+  EXPECT_EQ(r.status[0], StepStatus::kFailed);
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, milliseconds{200});
+}
+
+TEST(FaultInjection, FailedPutsAreRetriedAndRecovered) {
+  FaultInjector injector;
+  injector.add_rule(FaultRule{
+      .step_id = "flaky", .kind = FaultKind::kFailPut, .first_wave = 1, .last_wave = 1,
+      .max_attempt = 1});
+  std::atomic<int> completions{0};
+  ds::DataStore store;
+  WorkflowEngine engine(make_spec(&completions), store,
+                        WorkflowEngine::Options{.retry = RetryPolicy::retries(2),
+                                                .fault_injector = &injector});
+  SyncController sync;
+  const auto r = engine.run_wave(1, sync);
+  EXPECT_TRUE(r.executed[1]);
+  EXPECT_EQ(r.attempts[1], 2u);
+  EXPECT_EQ(completions.load(), 1);  // the first attempt died inside put()
+  EXPECT_EQ(engine.failure_count(1), 0u);
+}
+
+TEST(FaultInjection, UnrecoveredPutFailureFailsTheStep) {
+  FaultInjector injector;
+  injector.add_rule(FaultRule{
+      .step_id = "flaky", .kind = FaultKind::kFailPut, .first_wave = 1, .last_wave = 1});
+  std::atomic<int> completions{0};
+  ds::DataStore store;
+  WorkflowEngine engine(make_spec(&completions), store,
+                        WorkflowEngine::Options{.retry = RetryPolicy::retries(2),
+                                                .fault_injector = &injector});
+  SyncController sync;
+  const auto r = engine.run_wave(1, sync);
+  EXPECT_EQ(r.status[1], StepStatus::kFailed);
+  EXPECT_NE(r.errors[1].find("injected datastore failure"), std::string::npos);
+  EXPECT_EQ(completions.load(), 0);
+}
+
+// The ISSUE's acceptance scenario: a step made to fail for 2 waves under a
+// retry policy gets quarantined, sits out the cool-down, is probed half-open
+// and unquarantined — and two runs with the same seed produce identical
+// journals.
+TEST(Quarantine, FullLifecycleIsDeterministic) {
+  const auto run_once = [](std::string* journal_out) {
+    FaultInjector injector(3);
+    injector.add_rule(FaultRule{.step_id = "flaky", .first_wave = 1, .last_wave = 2,
+                                .message = "service down"});
+    ds::DataStore store;
+    WorkflowEngine engine(
+        make_spec(), store,
+        WorkflowEngine::Options{
+            .retry = RetryPolicy::retries(2, milliseconds{1}, /*jitter_fraction=*/0.2),
+            .quarantine = QuarantineOptions{.failure_threshold = 2, .cooldown_waves = 2},
+            .retry_seed = 3,
+            .fault_injector = &injector});
+    WaveJournal journal;
+    engine.attach_journal(&journal);
+    SyncController sync;
+
+    // Waves 1-2: the injector makes both attempts of each wave fail.
+    auto r = engine.run_wave(1, sync);
+    EXPECT_EQ(r.status[1], StepStatus::kFailed);
+    EXPECT_EQ(r.attempts[1], 2u);
+    EXPECT_FALSE(engine.is_quarantined(1));
+    r = engine.run_wave(2, sync);
+    EXPECT_EQ(r.status[1], StepStatus::kFailed);
+    EXPECT_TRUE(engine.is_quarantined(1));  // threshold reached: circuit open
+    EXPECT_EQ(engine.quarantine_count(1), 1u);
+
+    // Waves 3-4: cool-down — the engine does not even attempt the step, and
+    // downstream is marked stale.
+    for (ds::Timestamp wave : {ds::Timestamp{3}, ds::Timestamp{4}}) {
+      r = engine.run_wave(wave, sync);
+      EXPECT_EQ(r.status[1], StepStatus::kQuarantined);
+      EXPECT_EQ(r.attempts[1], 0u);
+      EXPECT_TRUE(r.stale[2]);
+      EXPECT_FALSE(r.stale[0]);
+    }
+
+    // Wave 5: half-open probe (single attempt); the fault rule has expired,
+    // so the probe succeeds and the circuit closes. "down" becomes eligible
+    // within the same wave.
+    r = engine.run_wave(5, sync);
+    EXPECT_EQ(r.status[1], StepStatus::kExecuted);
+    EXPECT_EQ(r.attempts[1], 1u);
+    EXPECT_TRUE(r.executed[2]);
+    EXPECT_FALSE(engine.is_quarantined(1));
+
+    r = engine.run_wave(6, sync);
+    EXPECT_EQ(r.executed_count(), 3u);
+
+    EXPECT_EQ(engine.failure_count(1), 2u);
+    EXPECT_EQ(engine.quarantine_count(1), 1u);
+    *journal_out = journal.to_string();
+  };
+
+  std::string first;
+  std::string second;
+  run_once(&first);
+  run_once(&second);
+  EXPECT_EQ(first, second);
+  // The journal spells out the whole lifecycle for the flaky step.
+  EXPECT_NE(first.find("w 2 XF-"), std::string::npos);
+  EXPECT_NE(first.find("w 3 XQ-"), std::string::npos);
+  EXPECT_NE(first.find("w 5 XXX"), std::string::npos);
+}
+
+TEST(Quarantine, FailedProbeRestartsCooldown) {
+  FaultInjector injector;
+  // The fault persists through wave 5, so the first half-open probe fails.
+  injector.add_rule(FaultRule{.step_id = "flaky", .first_wave = 1, .last_wave = 5});
+  ds::DataStore store;
+  WorkflowEngine engine(
+      make_spec(), store,
+      WorkflowEngine::Options{
+          .retry = RetryPolicy::retries(2),
+          .quarantine = QuarantineOptions{.failure_threshold = 2, .cooldown_waves = 2},
+          .fault_injector = &injector});
+  SyncController sync;
+
+  engine.run_waves(1, 2, sync);  // F F -> quarantined
+  engine.run_waves(3, 2, sync);  // Q Q
+  auto r = engine.run_wave(5, sync);  // probe fails: one attempt, still open
+  EXPECT_EQ(r.status[1], StepStatus::kFailed);
+  EXPECT_EQ(r.attempts[1], 1u);
+  EXPECT_TRUE(engine.is_quarantined(1));
+  EXPECT_EQ(engine.quarantine_count(1), 1u);  // same incident, not a new one
+
+  engine.run_waves(6, 2, sync);  // cool-down restarted: Q Q
+  EXPECT_TRUE(engine.is_quarantined(1));
+  r = engine.run_wave(8, sync);  // second probe: fault expired, succeeds
+  EXPECT_EQ(r.status[1], StepStatus::kExecuted);
+  EXPECT_FALSE(engine.is_quarantined(1));
+  EXPECT_EQ(engine.failure_count(1), 3u);  // waves 1, 2 and the failed probe
+}
+
+}  // namespace
+}  // namespace smartflux::wms
