@@ -5,12 +5,22 @@
 // and the index trajectory — and then demonstrates on-demand re-training.
 
 #include <cstdio>
+#include <cstring>
 
 #include "core/experiment.h"
+#include "obs/export.h"
 #include "workloads/aqhi/aqhi.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace smartflux;
+
+  // --metrics <file> dumps a Prometheus exposition page of the run ("-" =
+  // stdout).
+  const char* metrics_path = nullptr;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics") == 0) metrics_path = argv[i + 1];
+  }
+  obs::MetricsRegistry registry;
 
   workloads::AqhiParams params;
   params.max_error = 0.05;  // the paper's strictest bound
@@ -19,6 +29,10 @@ int main() {
   core::ExperimentOptions options;
   options.training_waves = 168;  // one week of hourly waves
   options.eval_waves = 336;      // two adaptive weeks
+  if (metrics_path != nullptr) {
+    options.engine.metrics = &registry;
+    options.smartflux.metrics = &registry;
+  }
 
   core::Experiment experiment(workload.make_workflow(), options);
   const auto result = experiment.run_smartflux();
@@ -59,5 +73,8 @@ int main() {
   smartflux.build_model();   // rebuilt from the enlarged knowledge base
   std::printf("\nre-training: knowledge base grew to %zu examples; model rebuilt.\n",
               smartflux.knowledge_base().size());
+  if (metrics_path != nullptr) {
+    obs::write_text_file(metrics_path, obs::to_prometheus(registry.snapshot()));
+  }
   return 0;
 }

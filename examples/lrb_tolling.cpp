@@ -5,13 +5,24 @@
 // answers real-time requests.
 
 #include <cstdio>
+#include <cstring>
 #include <map>
 
 #include "core/smartflux.h"
+#include "obs/export.h"
 #include "workloads/lrb/lrb.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace smartflux;
+
+  // --metrics <file> dumps a Prometheus exposition page of the run ("-" =
+  // stdout). This example also instruments the datastore, so the page
+  // includes sf_ds_* op counts and sampled latencies.
+  const char* metrics_path = nullptr;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics") == 0) metrics_path = argv[i + 1];
+  }
+  obs::MetricsRegistry registry;
 
   workloads::LrbParams params;
   params.num_xways = 4;
@@ -23,8 +34,15 @@ int main() {
   const auto spec = workload.make_workflow();
 
   ds::DataStore store;
-  wms::WorkflowEngine engine(spec, store);
-  core::SmartFluxEngine smartflux(engine, {});
+  wms::WorkflowEngine::Options engine_options;
+  core::SmartFluxOptions smartflux_options;
+  if (metrics_path != nullptr) {
+    engine_options.metrics = &registry;
+    smartflux_options.metrics = &registry;
+    store.set_instrumentation(&registry);
+  }
+  wms::WorkflowEngine engine(spec, store, engine_options);
+  core::SmartFluxEngine smartflux(engine, smartflux_options);
 
   // Training mode: the paper runs the workflow synchronously while the
   // Monitoring component fills the Knowledge Base.
@@ -61,5 +79,8 @@ int main() {
 
   std::printf("\ntolerant-step executions skipped in application phase: %zu\n",
               smartflux.controller().skipped_count());
+  if (metrics_path != nullptr) {
+    obs::write_text_file(metrics_path, obs::to_prometheus(registry.snapshot()));
+  }
   return 0;
 }

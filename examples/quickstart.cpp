@@ -7,12 +7,22 @@
 // the configured Quality-of-Data bound.
 
 #include <cstdio>
+#include <cstring>
 
 #include "core/experiment.h"
+#include "obs/export.h"
 #include "workloads/firerisk/firerisk.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace smartflux;
+
+  // --metrics <file> dumps a Prometheus exposition page of the run ("-" =
+  // stdout): wave counts, per-step durations, skip/execute decisions.
+  const char* metrics_path = nullptr;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics") == 0) metrics_path = argv[i + 1];
+  }
+  obs::MetricsRegistry registry;
 
   // 1. Describe the workload. Every error-tolerant step gets a 10% bound.
   workloads::FireRiskParams params;
@@ -25,6 +35,10 @@ int main() {
   core::ExperimentOptions options;
   options.training_waves = 144;  // six simulated days of hourly waves
   options.eval_waves = 240;      // ten days of adaptive execution
+  if (metrics_path != nullptr) {
+    options.engine.metrics = &registry;     // waves, step statuses, durations
+    options.smartflux.metrics = &registry;  // skips, audits, phase
+  }
 
   // 3. Run the full protocol: synchronous training, model construction and
   //    cross-validation, then adaptive execution beside a synchronous shadow
@@ -47,6 +61,9 @@ int main() {
     std::printf("step %-15s confidence=%.1f%%  violations=%zu  max overshoot=%.3f\n",
                 step.c_str(), 100.0 * result.confidence(step), result.violation_count(step),
                 result.max_violation_magnitude(step));
+  }
+  if (metrics_path != nullptr) {
+    obs::write_text_file(metrics_path, obs::to_prometheus(registry.snapshot()));
   }
   return 0;
 }

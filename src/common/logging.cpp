@@ -33,17 +33,58 @@ std::mutex& Logger::mutex() {
   return m;
 }
 
+LogSink& Logger::sink() {
+  static LogSink s;
+  return s;
+}
+
+void Logger::set_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(mutex());
+  Logger::sink() = std::move(sink);
+}
+
 void Logger::write(LogLevel level, const std::string& component, const std::string& message) {
   if (Logger::level() > level) return;
+  std::lock_guard<std::mutex> lock(mutex());
+  if (const LogSink& custom = sink()) {
+    custom(level, component, message);
+    return;
+  }
   const auto now = std::chrono::system_clock::now();
   const std::time_t t = std::chrono::system_clock::to_time_t(now);
   std::tm tm{};
   localtime_r(&t, &tm);
   char ts[32];
   std::strftime(ts, sizeof ts, "%H:%M:%S", &tm);
-  std::lock_guard<std::mutex> lock(mutex());
   std::fprintf(stderr, "[%s] %-5s %s: %s\n", ts, level_name(level), component.c_str(),
                message.c_str());
+}
+
+LogCapture::LogCapture() {
+  Logger::set_sink([this](LogLevel level, std::string_view component, std::string_view message) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    records_.push_back({level, std::string(component), std::string(message)});
+  });
+}
+
+LogCapture::~LogCapture() { Logger::set_sink({}); }
+
+std::vector<LogCapture::Record> LogCapture::records() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_;
+}
+
+bool LogCapture::contains(std::string_view needle) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& r : records_) {
+    if (r.message.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+void LogCapture::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  records_.clear();
 }
 
 }  // namespace smartflux

@@ -1,23 +1,66 @@
 #pragma once
 
+#include <functional>
 #include <mutex>
 #include <sstream>
 #include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 namespace smartflux {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Minimal thread-safe leveled logger writing to stderr. Global level is
-/// process-wide; default kWarn so library users are not spammed.
+/// Receives every emitted log record (already level-filtered). Called under
+/// the logger mutex, so sinks need no synchronization of their own but must
+/// not log re-entrantly.
+using LogSink = std::function<void(LogLevel, std::string_view component, std::string_view message)>;
+
+/// Minimal thread-safe leveled logger. Global level is process-wide; default
+/// kWarn so library users are not spammed. By default records go to stderr;
+/// set_sink() redirects them (tests use this to assert on log output, embeds
+/// to route into their own logging stack).
 class Logger {
  public:
   static LogLevel level() noexcept;
   static void set_level(LogLevel level) noexcept;
   static void write(LogLevel level, const std::string& component, const std::string& message);
 
+  /// Replaces the output sink; an empty function restores the stderr default.
+  static void set_sink(LogSink sink);
+
  private:
   static std::mutex& mutex();
+  static LogSink& sink();  ///< guarded by mutex()
+};
+
+/// RAII capture sink: while alive, log records are appended to records()
+/// instead of reaching stderr; the previous default is restored on
+/// destruction. One capture at a time — nesting restores stderr, not the
+/// outer capture.
+class LogCapture {
+ public:
+  struct Record {
+    LogLevel level;
+    std::string component;
+    std::string message;
+  };
+
+  LogCapture();
+  ~LogCapture();
+  LogCapture(const LogCapture&) = delete;
+  LogCapture& operator=(const LogCapture&) = delete;
+
+  /// Snapshot of everything captured so far.
+  std::vector<Record> records() const;
+  /// True when any captured message contains `needle`.
+  bool contains(std::string_view needle) const;
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Record> records_;
 };
 
 namespace detail {

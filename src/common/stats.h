@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <limits>
 #include <span>
 #include <vector>
 
@@ -15,14 +16,21 @@ class RunningStats {
   void merge(const RunningStats& other) noexcept;
 
   std::size_t count() const noexcept { return n_; }
+  bool has_samples() const noexcept { return n_ > 0; }
   double mean() const noexcept { return n_ == 0 ? 0.0 : mean_; }
   /// Population variance; 0 when fewer than 2 samples.
   double variance() const noexcept;
   /// Sample (Bessel-corrected) variance; 0 when fewer than 2 samples.
   double sample_variance() const noexcept;
   double stddev() const noexcept;
-  double min() const noexcept { return min_; }
-  double max() const noexcept { return max_; }
+  /// NaN when no samples were added (an empty accumulator has no extremes;
+  /// 0.0 here would fabricate a bound). Gate on has_samples() to avoid NaN.
+  double min() const noexcept {
+    return n_ == 0 ? std::numeric_limits<double>::quiet_NaN() : min_;
+  }
+  double max() const noexcept {
+    return n_ == 0 ? std::numeric_limits<double>::quiet_NaN() : max_;
+  }
   double sum() const noexcept { return mean_ * static_cast<double>(n_); }
 
  private:

@@ -185,7 +185,7 @@ ExperimentResult Experiment::evaluate(
 
 ExperimentResult Experiment::run_smartflux() {
   ds::DataStore store;
-  wms::WorkflowEngine engine(spec_, store);
+  wms::WorkflowEngine engine(spec_, store, options_.engine);
   SmartFluxEngine sf(engine, options_.smartflux);
   sf.train(1, options_.training_waves);
   sf.build_model();
@@ -203,7 +203,7 @@ ExperimentResult Experiment::run_smartflux() {
 ExperimentResult Experiment::run_controller(const std::string& policy_name,
                                             wms::TriggerController& controller) {
   ds::DataStore store;
-  wms::WorkflowEngine engine(spec_, store);
+  wms::WorkflowEngine engine(spec_, store, options_.engine);
   wms::SyncController sync;
   engine.run_waves(1, options_.training_waves, sync);  // warm-up, matches shadow
   return evaluate(

@@ -18,6 +18,10 @@ struct ExperimentOptions {
   std::size_t training_waves = 100;
   std::size_t eval_waves = 400;
   SmartFluxOptions smartflux{};
+  /// Options for the primary (adaptive) WorkflowEngine — retry policies,
+  /// journal, observability sinks. The synchronous shadow engine always runs
+  /// with defaults so its waves never pollute the primary's metrics.
+  wms::WorkflowEngine::Options engine{};
   /// Steps whose output error is measured against the synchronous shadow;
   /// empty = every error-tolerant step.
   std::vector<wms::StepId> tracked_steps;

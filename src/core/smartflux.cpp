@@ -1,11 +1,65 @@
 #include "core/smartflux.h"
 
 #include <algorithm>
+#include <string>
 
 #include "common/error.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace smartflux::core {
+
+const char* phase_name(SmartFluxEngine::Phase phase) noexcept {
+  switch (phase) {
+    case SmartFluxEngine::Phase::kIdle: return "idle";
+    case SmartFluxEngine::Phase::kTraining: return "training";
+    case SmartFluxEngine::Phase::kReady: return "ready";
+    case SmartFluxEngine::Phase::kApplication: return "application";
+    case SmartFluxEngine::Phase::kDegraded: return "degraded";
+  }
+  return "unknown";
+}
+
+/// Handles resolved once at construction. Decision counters are fed by
+/// deltas of the QoD controller's cumulative counts (the controller is
+/// replaced on every model rebuild, so the engine tracks the last-seen
+/// values and resets them alongside it).
+struct SmartFluxEngine::SfObs {
+  obs::Counter* skipped = nullptr;
+  obs::Counter* executed = nullptr;
+  obs::Counter* audit_clean = nullptr;
+  obs::Counter* audit_violation = nullptr;
+  obs::Counter* degradations = nullptr;
+  obs::Gauge* false_negative_rate = nullptr;
+  obs::Gauge* phase_gauge = nullptr;
+  obs::Counter* transitions[5] = {};
+  std::size_t last_skipped = 0;
+  std::size_t last_triggered = 0;
+
+  explicit SfObs(obs::MetricsRegistry& reg) {
+    skipped = &reg.counter("sf_smartflux_steps_skipped_total", {},
+                           "Tolerant-step decisions where the classifier skipped execution");
+    executed = &reg.counter("sf_smartflux_steps_executed_total", {},
+                            "Tolerant-step decisions where the classifier triggered execution");
+    audit_clean = &reg.counter("sf_smartflux_audit_waves_total", {{"outcome", "clean"}},
+                               "Audit waves by outcome");
+    audit_violation = &reg.counter("sf_smartflux_audit_waves_total", {{"outcome", "violation"}},
+                                   "Audit waves by outcome");
+    degradations = &reg.counter("sf_smartflux_degradations_total", {},
+                                "Times the QoD guard degraded to synchronous capture");
+    false_negative_rate =
+        &reg.gauge("sf_smartflux_false_negative_rate", {},
+                   "Violation rate over the sliding audit window (the guard's trip signal)");
+    phase_gauge = &reg.gauge("sf_smartflux_phase", {},
+                             "Current phase: 0=idle 1=training 2=ready 3=application 4=degraded");
+    for (int p = 0; p < 5; ++p) {
+      transitions[p] = &reg.counter("sf_smartflux_phase_transitions_total",
+                                    {{"phase", phase_name(static_cast<Phase>(p))}},
+                                    "Phase entries by target phase");
+    }
+  }
+};
 
 namespace {
 
@@ -42,8 +96,48 @@ class AuditController final : public wms::TriggerController {
 
 }  // namespace
 
+namespace {
+
+/// Pushes the engine-level sinks down into the forest options so the
+/// per-label classifiers report to the same registry, unless the caller
+/// already pointed them elsewhere.
+SmartFluxOptions propagate_obs(SmartFluxOptions o) {
+  if (o.predictor.forest.metrics == nullptr) o.predictor.forest.metrics = o.metrics;
+  if (o.predictor.forest.tracer == nullptr) o.predictor.forest.tracer = o.tracer;
+  return o;
+}
+
+}  // namespace
+
 SmartFluxEngine::SmartFluxEngine(wms::WorkflowEngine& engine, SmartFluxOptions options)
-    : engine_(&engine), options_(options), predictor_(options.predictor) {}
+    : engine_(&engine),
+      options_(propagate_obs(std::move(options))),
+      predictor_(options_.predictor) {
+  if (options_.metrics != nullptr) {
+    obs_ = std::make_unique<SfObs>(*options_.metrics);
+    obs_->phase_gauge->set(static_cast<double>(phase_));
+  }
+}
+
+SmartFluxEngine::~SmartFluxEngine() = default;
+
+void SmartFluxEngine::set_phase(Phase next) {
+  if (obs_ && next != phase_) {
+    obs_->transitions[static_cast<int>(next)]->inc();
+    obs_->phase_gauge->set(static_cast<double>(next));
+  }
+  phase_ = next;
+}
+
+void SmartFluxEngine::record_decision_deltas() {
+  if (!obs_ || !qod_) return;
+  const std::size_t skipped = qod_->skipped_count();
+  const std::size_t triggered = qod_->triggered_count();
+  obs_->skipped->inc(skipped - obs_->last_skipped);
+  obs_->executed->inc(triggered - obs_->last_triggered);
+  obs_->last_skipped = skipped;
+  obs_->last_triggered = triggered;
+}
 
 std::vector<wms::WaveResult> SmartFluxEngine::train(ds::Timestamp first_wave,
                                                     std::size_t waves) {
@@ -52,7 +146,7 @@ std::vector<wms::WaveResult> SmartFluxEngine::train(ds::Timestamp first_wave,
     trainer_ = std::make_unique<TrainingController>(engine_->spec(), engine_->store(),
                                                     options_.monitor);
   }
-  phase_ = Phase::kTraining;
+  set_phase(Phase::kTraining);
   auto results = engine_->run_waves(first_wave, waves, *trainer_);
   SF_LOG_INFO("smartflux") << "training phase: knowledge base now has "
                            << trainer_->knowledge_base().size() << " examples";
@@ -63,11 +157,19 @@ void SmartFluxEngine::build_model() {
   if (!trainer_ || trainer_->knowledge_base().empty()) {
     throw StateError("no training data collected — run train() first");
   }
-  predictor_.train(trainer_->knowledge_base());
+  {
+    obs::Span span = obs::start_span(options_.tracer, "build_model", "smartflux");
+    predictor_.train(trainer_->knowledge_base());
+  }
   // A fresh QoD controller: its impact baselines re-anchor on the current
   // store state at the first application wave.
   qod_ = std::make_unique<QodController>(engine_->spec(), engine_->store(), predictor_,
                                          options_.monitor);
+  if (obs_) {
+    // The new controller counts decisions from zero.
+    obs_->last_skipped = 0;
+    obs_->last_triggered = 0;
+  }
   if (options_.audit.enabled()) {
     const TolerantIndex& index = qod_->index();
     audit_monitors_.clear();
@@ -85,7 +187,7 @@ void SmartFluxEngine::build_model() {
     audit_window_.clear();
     waves_since_audit_ = 0;
   }
-  phase_ = Phase::kReady;
+  set_phase(Phase::kReady);
 }
 
 Predictor::TestReport SmartFluxEngine::test() const {
@@ -110,11 +212,12 @@ std::vector<wms::WaveResult> SmartFluxEngine::run(ds::Timestamp first_wave, std:
 wms::WaveResult SmartFluxEngine::run_wave(ds::Timestamp wave) {
   if (!qod_) throw StateError("model not built — call build_model() after training");
   if (phase_ == Phase::kDegraded) return run_degraded_wave(wave);
-  phase_ = Phase::kApplication;
+  set_phase(Phase::kApplication);
   if (options_.audit.enabled() && ++waves_since_audit_ >= options_.audit.audit_every) {
     return run_audit_wave(wave);
   }
   wms::WaveResult result = engine_->run_wave(wave, *qod_);
+  record_decision_deltas();
   if (options_.audit.enabled()) reset_executed_outputs(result);
   return result;
 }
@@ -126,7 +229,11 @@ wms::WaveResult SmartFluxEngine::run_audit_wave(ds::Timestamp wave) {
   // never register as a false negative below.
   std::vector<int> predicted(index.count(), 1);
   AuditController audit(*qod_, predicted);
+  obs::Span audit_span =
+      obs::start_span(options_.tracer, "audit_wave:" + std::to_string(wave), "smartflux");
   wms::WaveResult result = engine_->run_wave(wave, audit);
+  audit_span.finish();
+  record_decision_deltas();
   ++audit_stats_.audits_run;
 
   bool violation = false;
@@ -148,12 +255,15 @@ wms::WaveResult SmartFluxEngine::run_audit_wave(ds::Timestamp wave) {
   if (violation) ++audit_stats_.violations;
   audit_window_.push_back(violation);
   if (audit_window_.size() > options_.audit.window) audit_window_.erase(audit_window_.begin());
+  if (obs_) (violation ? obs_->audit_violation : obs_->audit_clean)->inc();
 
-  if (audit_window_.size() >= options_.audit.min_audits) {
-    const auto violations =
-        static_cast<double>(std::count(audit_window_.begin(), audit_window_.end(), true));
-    const double rate = violations / static_cast<double>(audit_window_.size());
-    if (rate > options_.audit.max_violation_rate) enter_degraded_mode(wave);
+  const auto violations =
+      static_cast<double>(std::count(audit_window_.begin(), audit_window_.end(), true));
+  const double rate = violations / static_cast<double>(audit_window_.size());
+  if (obs_) obs_->false_negative_rate->set(rate);
+  if (audit_window_.size() >= options_.audit.min_audits &&
+      rate > options_.audit.max_violation_rate) {
+    enter_degraded_mode(wave);
   }
   return result;
 }
@@ -168,13 +278,14 @@ wms::WaveResult SmartFluxEngine::run_degraded_wave(ds::Timestamp wave) {
                              << ": rebuilding model from "
                              << trainer_->knowledge_base().size() << " examples";
     build_model();  // fresh predictor + QoD controller + audit anchors
-    phase_ = Phase::kApplication;
+    set_phase(Phase::kApplication);
   }
   return result;
 }
 
 void SmartFluxEngine::enter_degraded_mode(ds::Timestamp wave) {
   ++audit_stats_.degradations;
+  if (obs_) obs_->degradations->inc();
   audit_stats_.retrain_waves_left = options_.audit.retrain_waves;
   audit_window_.clear();
   waves_since_audit_ = 0;
@@ -184,7 +295,7 @@ void SmartFluxEngine::enter_degraded_mode(ds::Timestamp wave) {
                                                   options_.monitor,
                                                   trainer_->take_knowledge_base());
   trainer_->anchor(engine_->store());
-  phase_ = Phase::kDegraded;
+  set_phase(Phase::kDegraded);
   SF_LOG_INFO("smartflux") << "QoD guard: violation rate exceeded bound at wave " << wave
                            << " — degrading to synchronous capture for "
                            << options_.audit.retrain_waves << " waves";
@@ -205,7 +316,7 @@ void SmartFluxEngine::restore_knowledge_base(KnowledgeBase kb) {
   trainer_ = std::make_unique<TrainingController>(engine_->spec(), engine_->store(),
                                                   options_.monitor, std::move(kb));
   trainer_->anchor(engine_->store());
-  if (phase_ == Phase::kIdle) phase_ = Phase::kTraining;
+  if (phase_ == Phase::kIdle) set_phase(Phase::kTraining);
 }
 
 void SmartFluxEngine::resume_from_journal(const wms::WaveJournal& journal) {
@@ -217,7 +328,7 @@ void SmartFluxEngine::resume_from_journal(const wms::WaveJournal& journal) {
   for (auto& monitor : audit_monitors_) monitor.reset_outputs(engine_->store());
   audit_window_.clear();
   waves_since_audit_ = 0;
-  phase_ = Phase::kApplication;
+  set_phase(Phase::kApplication);
 }
 
 const KnowledgeBase& SmartFluxEngine::knowledge_base() const {

@@ -50,6 +50,13 @@ struct SmartFluxOptions {
   double min_accuracy = 0.0;
   double min_recall = 0.0;
   AuditOptions audit{};
+  /// Observability sinks (neither owned; null = disabled). Reports skip vs
+  /// execute decisions, audit outcomes, the windowed false-negative rate and
+  /// phase transitions under sf_smartflux_* metrics. Propagated into
+  /// predictor.forest at construction when those are unset, so the per-label
+  /// forests report train/predict metrics to the same registry.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
 };
 
 /// The SmartFlux middleware façade (§4): couples a WorkflowEngine (the WMS)
@@ -83,6 +90,7 @@ class SmartFluxEngine {
   };
 
   SmartFluxEngine(wms::WorkflowEngine& engine, SmartFluxOptions options = {});
+  ~SmartFluxEngine();
 
   /// Runs `waves` synchronous waves starting at `first_wave`, appending to
   /// the knowledge base.
@@ -127,15 +135,24 @@ class SmartFluxEngine {
   bool degraded() const noexcept { return audit_stats_.retrain_waves_left > 0; }
 
  private:
+  struct SfObs;  ///< pre-resolved metric handles (smartflux.cpp)
+
   wms::WaveResult run_audit_wave(ds::Timestamp wave);
   wms::WaveResult run_degraded_wave(ds::Timestamp wave);
   void enter_degraded_mode(ds::Timestamp wave);
+  /// Phase assignment funnel: counts the transition and updates the phase
+  /// gauge when instrumentation is attached.
+  void set_phase(Phase next);
+  /// Folds the QoD controller's cumulative skip/execute decision counts into
+  /// the registry counters (delta since the last call).
+  void record_decision_deltas();
   /// An actual execution clears a step's deferred error: re-anchor its audit
   /// output monitor so only genuinely missed updates count as ε.
   void reset_executed_outputs(const wms::WaveResult& result);
 
   wms::WorkflowEngine* engine_;
   SmartFluxOptions options_;
+  std::unique_ptr<SfObs> obs_;  ///< null unless options_.metrics is set
   Phase phase_ = Phase::kIdle;
   std::unique_ptr<TrainingController> trainer_;
   Predictor predictor_;
@@ -148,5 +165,9 @@ class SmartFluxEngine {
   std::size_t waves_since_audit_ = 0;
   AuditStats audit_stats_;
 };
+
+/// Lower-case phase name ("idle", "training", ...), also the `phase` metric
+/// label value.
+const char* phase_name(SmartFluxEngine::Phase phase) noexcept;
 
 }  // namespace smartflux::core

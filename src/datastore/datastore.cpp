@@ -1,11 +1,78 @@
 #include "datastore/datastore.h"
 
+#include <atomic>
+#include <chrono>
+
 #include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace smartflux::ds {
 
+/// Handles resolved at attach time. Point ops (get/put/erase) always bump a
+/// counter; latency observation is sampled 1-in-2^shift so the per-cell hot
+/// path stays two relaxed atomics in the common case. Scans are rare and
+/// heavy: always timed, and traced when a tracer is attached.
+struct DataStore::StoreObs {
+  obs::Counter* gets = nullptr;
+  obs::Counter* puts = nullptr;
+  obs::Counter* erases = nullptr;
+  obs::Counter* scans = nullptr;
+  obs::Histogram* get_latency = nullptr;
+  obs::Histogram* put_latency = nullptr;
+  obs::Histogram* scan_latency = nullptr;
+  obs::Tracer* tracer = nullptr;
+  std::uint64_t sample_mask = 63;
+
+  StoreObs(obs::MetricsRegistry& registry, obs::Tracer* tr, unsigned shift) : tracer(tr) {
+    sample_mask = (std::uint64_t{1} << shift) - 1;
+    auto op_counter = [&registry](const char* op) {
+      return &registry.counter("sf_ds_ops_total", {{"op", op}},
+                               "Datastore operations by kind");
+    };
+    auto op_latency = [&registry](const char* op) {
+      return &registry.histogram("sf_ds_op_duration_seconds", obs::duration_buckets(),
+                                 {{"op", op}},
+                                 "Datastore op latency (point ops sampled 1-in-2^shift)");
+    };
+    gets = op_counter("get");
+    puts = op_counter("put");
+    erases = op_counter("erase");
+    scans = op_counter("scan");
+    get_latency = op_latency("get");
+    put_latency = op_latency("put");
+    scan_latency = op_latency("scan");
+  }
+
+  /// Bumps the op counter and decides latency sampling off its pre-increment
+  /// value — one atomic per point op, and each op kind samples its own
+  /// stream (every 2^shift-th get, every 2^shift-th put, ...).
+  bool count_and_sample(obs::Counter& op) noexcept {
+    return (op.fetch_inc() & sample_mask) == 0;
+  }
+
+  static double seconds_since(std::chrono::steady_clock::time_point t0) noexcept {
+    return static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now() - t0)
+                                   .count()) *
+           1e-9;
+  }
+};
+
 DataStore::DataStore(std::size_t max_versions) : max_versions_(max_versions) {
   SF_CHECK(max_versions >= 1, "DataStore must retain at least one version");
+}
+
+DataStore::~DataStore() = default;
+
+void DataStore::set_instrumentation(obs::MetricsRegistry* registry, obs::Tracer* tracer,
+                                    unsigned latency_sample_shift) {
+  SF_CHECK(latency_sample_shift < 32, "latency_sample_shift out of range");
+  if (registry == nullptr) {
+    obs_.reset();
+    return;
+  }
+  obs_ = std::make_unique<StoreObs>(*registry, tracer, latency_sample_shift);
 }
 
 DataStore::TableEntry& DataStore::entry_for(const TableName& table) {
@@ -23,6 +90,12 @@ const DataStore::TableEntry* DataStore::find_entry(const TableName& table) const
 
 void DataStore::put(const TableName& table, const RowKey& row, const ColumnKey& column,
                     Timestamp ts, double value) {
+  std::chrono::steady_clock::time_point t0;
+  bool timed = false;
+  if (obs_) {
+    timed = obs_->count_and_sample(*obs_->puts);
+    if (timed) t0 = std::chrono::steady_clock::now();
+  }
   TableEntry& entry = entry_for(table);
   std::optional<double> previous;
   {
@@ -39,10 +112,12 @@ void DataStore::put(const TableName& table, const RowKey& row, const ColumnKey& 
   m.old_value = previous.value_or(0.0);
   m.had_old_value = previous.has_value();
   notify(m);
+  if (timed) obs_->put_latency->observe(StoreObs::seconds_since(t0));
 }
 
 void DataStore::erase(const TableName& table, const RowKey& row, const ColumnKey& column,
                       Timestamp ts) {
+  if (obs_) obs_->erases->inc();
   const TableEntry* entry = find_entry(table);
   if (entry == nullptr) return;
   std::optional<double> removed;
@@ -65,14 +140,26 @@ void DataStore::erase(const TableName& table, const RowKey& row, const ColumnKey
 
 std::optional<double> DataStore::get(const TableName& table, const RowKey& row,
                                      const ColumnKey& column) const {
+  std::chrono::steady_clock::time_point t0;
+  bool timed = false;
+  if (obs_) {
+    timed = obs_->count_and_sample(*obs_->gets);
+    if (timed) t0 = std::chrono::steady_clock::now();
+  }
   const TableEntry* entry = find_entry(table);
-  if (entry == nullptr) return std::nullopt;
-  std::lock_guard lock(entry->mutex);
-  return entry->table.get(row, column);
+  std::optional<double> out;
+  if (entry != nullptr) {
+    std::lock_guard lock(entry->mutex);
+    out = entry->table.get(row, column);
+  }
+  if (timed) obs_->get_latency->observe(StoreObs::seconds_since(t0));
+  return out;
 }
 
 std::optional<double> DataStore::get_previous(const TableName& table, const RowKey& row,
                                               const ColumnKey& column) const {
+  // Folded into the "get" op label: same access shape, older version.
+  if (obs_) obs_->gets->inc();
   const TableEntry* entry = find_entry(table);
   if (entry == nullptr) return std::nullopt;
   std::lock_guard lock(entry->mutex);
@@ -82,12 +169,25 @@ std::optional<double> DataStore::get_previous(const TableName& table, const RowK
 void DataStore::scan_container(
     const ContainerRef& container,
     const std::function<void(const RowKey&, const ColumnKey&, double)>& visit) const {
+  std::chrono::steady_clock::time_point t0;
+  if (obs_) {
+    obs_->scans->inc();
+    t0 = std::chrono::steady_clock::now();
+  }
   const TableEntry* entry = find_entry(container.table());
-  if (entry == nullptr) return;
-  std::lock_guard lock(entry->mutex);
-  entry->table.scan([&](const RowKey& row, const ColumnKey& column, double value) {
-    if (container.matches(container.table(), row, column)) visit(row, column, value);
-  });
+  if (entry != nullptr) {
+    std::lock_guard lock(entry->mutex);
+    entry->table.scan([&](const RowKey& row, const ColumnKey& column, double value) {
+      if (container.matches(container.table(), row, column)) visit(row, column, value);
+    });
+  }
+  if (obs_) {
+    obs_->scan_latency->observe(StoreObs::seconds_since(t0));
+    if (obs_->tracer != nullptr) {
+      obs_->tracer->record("ds_scan:" + container.table(), "ds", 0, t0,
+                           std::chrono::steady_clock::now() - t0);
+    }
+  }
 }
 
 std::map<std::string, double> DataStore::snapshot(const ContainerRef& container) const {

@@ -12,6 +12,11 @@
 #include "datastore/table.h"
 #include "datastore/types.h"
 
+namespace smartflux::obs {
+class MetricsRegistry;
+class Tracer;
+}  // namespace smartflux::obs
+
 namespace smartflux::ds {
 
 /// Observer callback invoked synchronously for every mutation, equivalent to
@@ -26,9 +31,19 @@ using MutationObserver = std::function<void(const Mutation&)>;
 class DataStore {
  public:
   explicit DataStore(std::size_t max_versions = 2);
+  ~DataStore();
 
   DataStore(const DataStore&) = delete;
   DataStore& operator=(const DataStore&) = delete;
+
+  /// Attaches observability sinks (neither owned; pass nullptr to detach).
+  /// Counts every get/put/erase/scan under sf_ds_ops_total{op=...}; latencies
+  /// go to sf_ds_op_duration_seconds{op=...}, sampled 1-in-2^sample_shift for
+  /// point ops (scans, being rare and heavy, are always timed and — when a
+  /// tracer is attached — also recorded as "ds_scan:<table>" spans). Not
+  /// thread-safe against in-flight operations: attach before use.
+  void set_instrumentation(obs::MetricsRegistry* registry, obs::Tracer* tracer = nullptr,
+                           unsigned latency_sample_shift = 6);
 
   /// Writes a cell, notifying observers. Creates the table if needed.
   void put(const TableName& table, const RowKey& row, const ColumnKey& column, Timestamp ts,
@@ -70,12 +85,14 @@ class DataStore {
     Table table;
     explicit TableEntry(std::size_t max_versions) : table(max_versions) {}
   };
+  struct StoreObs;  ///< pre-resolved metric handles (datastore.cpp)
 
   TableEntry& entry_for(const TableName& table);
   const TableEntry* find_entry(const TableName& table) const;
   void notify(const Mutation& m) const;
 
   std::size_t max_versions_;
+  std::unique_ptr<StoreObs> obs_;  ///< null unless set_instrumentation attached one
   mutable std::mutex tables_mutex_;
   std::map<TableName, std::unique_ptr<TableEntry>> tables_;
 

@@ -1,12 +1,15 @@
 #include "ml/random_forest.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <istream>
 #include <ostream>
 
 #include "common/error.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace smartflux::ml {
 
@@ -16,10 +19,21 @@ RandomForest::RandomForest(ForestOptions options, std::uint64_t seed)
   SF_CHECK(options_.bootstrap_fraction > 0.0, "bootstrap_fraction must be positive");
   SF_CHECK(options_.decision_threshold > 0.0 && options_.decision_threshold < 1.0,
            "decision_threshold must be in (0, 1)");
+  if (options_.metrics != nullptr) {
+    auto& reg = *options_.metrics;
+    const obs::Labels labels{{"model", "random_forest"}};
+    train_duration_ = &reg.histogram("sf_ml_train_duration_seconds", obs::duration_buckets(),
+                                     labels, "Classifier fit duration");
+    predict_duration_ = &reg.histogram("sf_ml_predict_duration_seconds", obs::duration_buckets(),
+                                       labels, "Batched scoring pass duration");
+    trees_gauge_ = &reg.gauge("sf_ml_forest_trees", labels, "Trees in the last fitted forest");
+  }
 }
 
 void RandomForest::fit(const Dataset& data) {
   SF_CHECK(!data.empty(), "cannot fit a forest on an empty dataset");
+  obs::Span fit_span = obs::start_span(options_.tracer, "forest_fit", "ml");
+  const auto fit_start = std::chrono::steady_clock::now();
   trees_.clear();
   num_classes_ = 0;
   for (std::size_t i = 0; i < data.size(); ++i) {
@@ -102,6 +116,15 @@ void RandomForest::fit(const Dataset& data) {
   oob_accuracy_ = evaluated == 0
                       ? std::nan("")
                       : static_cast<double>(correct) / static_cast<double>(evaluated);
+
+  if (train_duration_ != nullptr) {
+    const auto elapsed = std::chrono::steady_clock::now() - fit_start;
+    train_duration_->observe(
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()) *
+        1e-9);
+    trees_gauge_->set(static_cast<double>(trees_.size()));
+  }
 }
 
 double RandomForest::predict_score(std::span<const double> x) const {
@@ -115,6 +138,8 @@ void RandomForest::predict_scores(std::span<const double> rows, std::size_t num_
                                   std::span<double> out) const {
   if (num_rows == 0) return;
   if (trees_.empty()) throw StateError("RandomForest::predict called before fit");
+  std::chrono::steady_clock::time_point t0;
+  if (predict_duration_ != nullptr) t0 = std::chrono::steady_clock::now();
   SF_CHECK(rows.size() % num_rows == 0, "row matrix width mismatch");
   SF_CHECK(out.size() >= num_rows, "output span too small");
   std::fill(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(num_rows), 0.0);
@@ -126,6 +151,13 @@ void RandomForest::predict_scores(std::span<const double> rows, std::size_t num_
     for (std::size_t i = 0; i < num_rows; ++i) out[i] += tree_scores[i];
   }
   for (std::size_t i = 0; i < num_rows; ++i) out[i] /= static_cast<double>(trees_.size());
+  if (predict_duration_ != nullptr) {
+    const auto elapsed = std::chrono::steady_clock::now() - t0;
+    predict_duration_->observe(
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()) *
+        1e-9);
+  }
 }
 
 void RandomForest::predict_batch(std::span<const double> rows, std::size_t num_rows,

@@ -7,6 +7,13 @@
 
 #include "ml/decision_tree.h"
 
+namespace smartflux::obs {
+class MetricsRegistry;
+class Tracer;
+class Gauge;
+class Histogram;
+}  // namespace smartflux::obs
+
 namespace smartflux::ml {
 
 struct ForestOptions {
@@ -24,6 +31,12 @@ struct ForestOptions {
   /// fitted forest — including its save() bytes — is identical at any thread
   /// count. Execution policy only: not serialized by save()/load().
   std::size_t train_threads = 0;
+  /// Observability sinks (neither owned; null = no instrumentation). Fit and
+  /// batched scoring report durations and tree counts under sf_ml_* metrics;
+  /// fits also record "forest_fit" spans. Like train_threads, execution
+  /// policy only: not serialized by save()/load().
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
 };
 
 /// Random Forest (Breiman 2001): bagged CART trees with per-split feature
@@ -70,6 +83,10 @@ class RandomForest final : public Classifier {
   std::vector<DecisionTree> trees_;
   std::size_t num_classes_ = 0;
   double oob_accuracy_ = 0.0;
+  // Metric handles resolved once at construction when options_.metrics is set.
+  obs::Histogram* train_duration_ = nullptr;
+  obs::Histogram* predict_duration_ = nullptr;
+  obs::Gauge* trees_gauge_ = nullptr;
 };
 
 }  // namespace smartflux::ml

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace smartflux::obs {
+
+/// Escapes a Prometheus label value: backslash, double quote, and newline.
+std::string prometheus_escape(std::string_view value);
+/// Escapes a string for embedding in a JSON string literal (quotes,
+/// backslashes, control characters).
+std::string json_escape(std::string_view value);
+
+/// Prometheus text exposition format (version 0.0.4): # HELP / # TYPE
+/// comments, one line per series, histograms expanded to cumulative
+/// <name>_bucket{le=...} plus <name>_sum / <name>_count.
+std::string to_prometheus(const MetricsSnapshot& snapshot);
+
+/// JSON snapshot: {"metrics": [{name, kind, labels, ...}, ...]}. Histogram
+/// buckets are non-cumulative with their upper bound ("le"; the overflow
+/// bucket's bound is the string "+Inf").
+std::string to_json(const MetricsSnapshot& snapshot);
+
+/// Chrome trace_event JSON ({"traceEvents": [...]}) of complete ("ph":"X")
+/// events, loadable in chrome://tracing and Perfetto. Timestamps and
+/// durations are microseconds from the tracer's epoch; span ids and parent
+/// links are carried in "args".
+std::string to_chrome_trace(const std::vector<SpanRecord>& spans);
+
+/// Writes `content` to `path` ("-" = stdout). Throws Error on failure.
+void write_text_file(const std::string& path, std::string_view content);
+
+}  // namespace smartflux::obs

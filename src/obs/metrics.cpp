@@ -1,0 +1,256 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace smartflux::obs {
+
+namespace {
+
+bool valid_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':';
+  };
+  if (!head(name[0])) return false;
+  for (char c : name) {
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+bool valid_label_name(const std::string& name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+  };
+  if (!head(name[0])) return false;
+  for (char c : name) {
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+/// Sorts labels by key and validates names; duplicate keys are an error.
+Labels normalize_labels(Labels labels, const std::string& metric) {
+  std::sort(labels.begin(), labels.end());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (!valid_label_name(labels[i].first)) {
+      throw InvalidArgument("invalid label name '" + labels[i].first + "' on metric '" + metric +
+                            "'");
+    }
+    if (i > 0 && labels[i].first == labels[i - 1].first) {
+      throw InvalidArgument("duplicate label '" + labels[i].first + "' on metric '" + metric +
+                            "'");
+    }
+  }
+  return labels;
+}
+
+}  // namespace
+
+const char* metric_kind_name(MetricKind kind) noexcept {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  SF_CHECK(!bounds_.empty(), "histogram needs at least one bucket bound");
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    SF_CHECK(bounds_[i] > bounds_[i - 1], "histogram bounds must be strictly increasing");
+  }
+  counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0);
+}
+
+std::size_t Histogram::bucket_for(double x) const noexcept {
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    if (x <= bounds_[i]) return i;
+  }
+  return bounds_.size();  // +Inf overflow
+}
+
+std::uint64_t Histogram::to_nano(double x) noexcept {
+  // Signed nano-units wrap correctly through the unsigned accumulator for
+  // negative observations too (two's complement), as long as the running sum
+  // stays within the int64 range.
+  return static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(x * 1e9 + (x < 0.0 ? -0.5 : 0.5)));
+}
+
+void Histogram::observe(double x) noexcept {
+  counts_[bucket_for(x)].fetch_add(1, std::memory_order_relaxed);
+  sum_nano_.fetch_add(to_nano(x), std::memory_order_relaxed);
+}
+
+void Histogram::observe_single_writer(double x) noexcept {
+  std::atomic<std::uint64_t>& slot = counts_[bucket_for(x)];
+  slot.store(slot.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+  sum_nano_.store(sum_nano_.load(std::memory_order_relaxed) + to_nano(x),
+                  std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::count() const noexcept {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    total += counts_[i].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    out[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::vector<double> linear_buckets(double start, double width, std::size_t count) {
+  SF_CHECK(count > 0 && width > 0.0, "linear_buckets needs count > 0 and width > 0");
+  std::vector<double> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(start + width * static_cast<double>(i));
+  return out;
+}
+
+std::vector<double> exponential_buckets(double start, double factor, std::size_t count) {
+  SF_CHECK(count > 0 && start > 0.0 && factor > 1.0,
+           "exponential_buckets needs count > 0, start > 0, factor > 1");
+  std::vector<double> out;
+  out.reserve(count);
+  double bound = start;
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(bound);
+    bound *= factor;
+  }
+  return out;
+}
+
+std::vector<double> duration_buckets() { return exponential_buckets(1e-6, 4.0, 12); }
+
+double HistogramSnapshot::quantile(double q) const noexcept {
+  if (count == 0 || bounds.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const std::uint64_t next = cumulative + counts[i];
+    if (static_cast<double>(next) >= target) {
+      if (i >= bounds.size()) return bounds.back();  // +Inf bucket: clamp
+      const double lower = i == 0 ? 0.0 : bounds[i - 1];
+      const double upper = bounds[i];
+      if (counts[i] == 0) return upper;
+      const double frac =
+          (target - static_cast<double>(cumulative)) / static_cast<double>(counts[i]);
+      return lower + (upper - lower) * std::clamp(frac, 0.0, 1.0);
+    }
+    cumulative = next;
+  }
+  return bounds.back();
+}
+
+MetricsRegistry::Family& MetricsRegistry::family_for(const std::string& name, MetricKind kind,
+                                                     const std::string& help) {
+  if (!valid_metric_name(name)) throw InvalidArgument("invalid metric name '" + name + "'");
+  auto [it, inserted] = families_.try_emplace(name);
+  Family& family = it->second;
+  if (inserted) {
+    family.kind = kind;
+    family.help = help;
+  } else if (family.kind != kind) {
+    throw InvalidArgument("metric '" + name + "' already registered as " +
+                          metric_kind_name(family.kind));
+  } else if (family.help.empty() && !help.empty()) {
+    family.help = help;
+  }
+  return family;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, Labels labels,
+                                  const std::string& help) {
+  Labels key = normalize_labels(std::move(labels), name);
+  std::lock_guard lock(mutex_);
+  Family& family = family_for(name, MetricKind::kCounter, help);
+  auto& slot = family.counters[std::move(key)];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, Labels labels, const std::string& help) {
+  Labels key = normalize_labels(std::move(labels), name);
+  std::lock_guard lock(mutex_);
+  Family& family = family_for(name, MetricKind::kGauge, help);
+  auto& slot = family.gauges[std::move(key)];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, std::vector<double> bounds,
+                                      Labels labels, const std::string& help) {
+  Labels key = normalize_labels(std::move(labels), name);
+  std::lock_guard lock(mutex_);
+  Family& family = family_for(name, MetricKind::kHistogram, help);
+  if (family.histograms.empty()) {
+    family.bounds = bounds;
+  } else if (family.bounds != bounds) {
+    throw InvalidArgument("histogram '" + name + "' re-registered with different bounds");
+  }
+  auto& slot = family.histograms[std::move(key)];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot out;
+  std::lock_guard lock(mutex_);
+  for (const auto& [name, family] : families_) {
+    if (!family.help.empty()) out.help[name] = family.help;
+    for (const auto& [labels, counter] : family.counters) {
+      MetricSnapshot m;
+      m.name = name;
+      m.labels = labels;
+      m.kind = MetricKind::kCounter;
+      m.counter_value = counter->value();
+      out.metrics.push_back(std::move(m));
+    }
+    for (const auto& [labels, gauge] : family.gauges) {
+      MetricSnapshot m;
+      m.name = name;
+      m.labels = labels;
+      m.kind = MetricKind::kGauge;
+      m.gauge_value = gauge->value();
+      out.metrics.push_back(std::move(m));
+    }
+    for (const auto& [labels, histogram] : family.histograms) {
+      MetricSnapshot m;
+      m.name = name;
+      m.labels = labels;
+      m.kind = MetricKind::kHistogram;
+      m.histogram.bounds = histogram->bounds();
+      m.histogram.counts = histogram->bucket_counts();
+      m.histogram.sum = histogram->sum();
+      m.histogram.count = 0;
+      for (std::uint64_t c : m.histogram.counts) m.histogram.count += c;
+      out.metrics.push_back(std::move(m));
+    }
+  }
+  return out;
+}
+
+std::size_t MetricsRegistry::series_count() const {
+  std::lock_guard lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& [_, family] : families_) {
+    n += family.counters.size() + family.gauges.size() + family.histograms.size();
+  }
+  return n;
+}
+
+}  // namespace smartflux::obs

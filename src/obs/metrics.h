@@ -1,0 +1,183 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace smartflux::obs {
+
+/// Key=value pairs identifying one time series within a metric family
+/// (e.g. {{"step", "3_hotspots"}}). Sorted by key at registration, so the
+/// same set in any order names the same series.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+const char* metric_kind_name(MetricKind kind) noexcept;
+
+/// Monotonic event counter. inc() is a single relaxed atomic add — safe to
+/// call concurrently from worker threads on the hot path.
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  /// inc() that also returns the pre-increment value, so callers can derive
+  /// 1-in-2^k sampling decisions from a counter they bump anyway instead of
+  /// paying a second atomic for a dedicated sequence.
+  std::uint64_t fetch_inc() noexcept { return value_.fetch_add(1, std::memory_order_relaxed); }
+  /// Increment as a plain load + store instead of a locked RMW — several
+  /// times cheaper, but increments are lost if two threads write the same
+  /// series concurrently. Only for series with one writer thread (or
+  /// externally serialized writers), e.g. the engine's per-wave rollup;
+  /// concurrent readers are always safe.
+  void inc_single_writer(std::uint64_t delta = 1) noexcept {
+    value_.store(value_.load(std::memory_order_relaxed) + delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-value instrument (rates, sizes, phase numbers). set()/add() are
+/// lock-free (add is a CAS loop).
+class Gauge {
+ public:
+  void set(double x) noexcept { value_.store(x, std::memory_order_relaxed); }
+  void add(double delta) noexcept {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta, std::memory_order_relaxed)) {
+    }
+  }
+  double value() const noexcept { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. Bucket upper bounds are set at registration and
+/// shared by every series of the family; an implicit +Inf overflow bucket is
+/// always appended. observe() is two relaxed atomic adds (matching bucket +
+/// running sum) — no locks and no CAS loops on the hot path. A sample x
+/// lands in the first bucket with x <= upper_bound (Prometheus `le`
+/// semantics).
+///
+/// The sum is accumulated in signed fixed-point nano-units (1e-9) so it can
+/// be a plain integer fetch_add: observations are rounded to 1e-9 resolution
+/// and the running sum must stay within ±9.2e9 units. Both limits are far
+/// beyond what duration-in-seconds series — the intended use — ever reach.
+class Histogram {
+ public:
+  /// `bounds` must be non-empty and strictly increasing.
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double x) noexcept;
+  /// observe() with plain load + store updates instead of locked RMWs; same
+  /// single-writer-per-series contract as Counter::inc_single_writer().
+  void observe_single_writer(double x) noexcept;
+  const std::vector<double>& bounds() const noexcept { return bounds_; }
+  /// Samples recorded so far (sum over all buckets).
+  std::uint64_t count() const noexcept;
+  double sum() const noexcept {
+    return static_cast<double>(
+               static_cast<std::int64_t>(sum_nano_.load(std::memory_order_relaxed))) /
+           1e9;
+  }
+  /// Per-bucket (non-cumulative) counts; the last entry is the +Inf bucket.
+  std::vector<std::uint64_t> bucket_counts() const;
+
+ private:
+  std::size_t bucket_for(double x) const noexcept;
+  static std::uint64_t to_nano(double x) noexcept;
+
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> sum_nano_{0};  ///< two's-complement nano-units
+};
+
+/// `count` buckets starting at `start`, each `width` wide.
+std::vector<double> linear_buckets(double start, double width, std::size_t count);
+/// `count` buckets starting at `start`, each `factor` times the previous.
+std::vector<double> exponential_buckets(double start, double factor, std::size_t count);
+/// Default buckets for wave/step/op durations in seconds: 1us .. ~4.2s,
+/// geometric factor 4 (12 buckets + the implicit +Inf).
+std::vector<double> duration_buckets();
+
+/// Point-in-time copy of one histogram series, decoupled from the live
+/// atomics (snapshot isolation: exporters never observe torn families).
+struct HistogramSnapshot {
+  std::vector<double> bounds;          ///< finite upper bounds
+  std::vector<std::uint64_t> counts;   ///< per bucket, non-cumulative; last = +Inf
+  double sum = 0.0;
+  std::uint64_t count = 0;
+
+  /// Quantile estimate (q in [0,1]) by linear interpolation inside the
+  /// bucket holding the target rank. Samples in the +Inf bucket are
+  /// attributed to the largest finite bound. Returns 0 when empty.
+  double quantile(double q) const noexcept;
+};
+
+struct MetricSnapshot {
+  std::string name;
+  Labels labels;
+  MetricKind kind = MetricKind::kCounter;
+  std::uint64_t counter_value = 0;  ///< kCounter
+  double gauge_value = 0.0;         ///< kGauge
+  HistogramSnapshot histogram;      ///< kHistogram
+};
+
+struct MetricsSnapshot {
+  /// Sorted by (name, labels) — exposition output is deterministic.
+  std::vector<MetricSnapshot> metrics;
+  /// Family name -> help text (families registered with empty help omitted).
+  std::map<std::string, std::string> help;
+};
+
+/// Registry of labeled metric families. Registration (counter()/gauge()/
+/// histogram()) takes a mutex and returns a reference that stays valid for
+/// the registry's lifetime — components resolve their handles once at
+/// construction and touch only lock-free atomics afterwards. Re-registering
+/// the same (name, labels) returns the existing instrument; registering a
+/// name under a different kind (or a histogram with different bounds) throws
+/// InvalidArgument.
+///
+/// Naming scheme (see DESIGN.md §9): sf_<layer>_<noun>[_total|_seconds],
+/// layers wms | smartflux | ml | ds. Labels are reserved for small, closed
+/// sets (step ids, statuses, op names) — never per-wave or per-row values.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(const std::string& name, Labels labels = {}, const std::string& help = "");
+  Gauge& gauge(const std::string& name, Labels labels = {}, const std::string& help = "");
+  Histogram& histogram(const std::string& name, std::vector<double> bounds, Labels labels = {},
+                       const std::string& help = "");
+
+  /// Consistent point-in-time copy of every registered series.
+  MetricsSnapshot snapshot() const;
+  std::size_t series_count() const;
+
+ private:
+  struct Family {
+    MetricKind kind = MetricKind::kCounter;
+    std::string help;
+    std::vector<double> bounds;  ///< histogram families only
+    std::map<Labels, std::unique_ptr<Counter>> counters;
+    std::map<Labels, std::unique_ptr<Gauge>> gauges;
+    std::map<Labels, std::unique_ptr<Histogram>> histograms;
+  };
+
+  Family& family_for(const std::string& name, MetricKind kind, const std::string& help);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Family> families_;
+};
+
+}  // namespace smartflux::obs

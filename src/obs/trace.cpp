@@ -1,0 +1,132 @@
+#include "obs/trace.h"
+
+#include <utility>
+
+namespace smartflux::obs {
+
+Span::Span(Span&& other) noexcept
+    : tracer_(std::exchange(other.tracer_, nullptr)),
+      id_(other.id_),
+      parent_(other.parent_),
+      name_(std::move(other.name_)),
+      category_(std::move(other.category_)),
+      start_(other.start_) {}
+
+Span& Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    finish();
+    tracer_ = std::exchange(other.tracer_, nullptr);
+    id_ = other.id_;
+    parent_ = other.parent_;
+    name_ = std::move(other.name_);
+    category_ = std::move(other.category_);
+    start_ = other.start_;
+  }
+  return *this;
+}
+
+void Span::finish() noexcept {
+  if (tracer_ == nullptr) return;
+  Tracer* tracer = std::exchange(tracer_, nullptr);
+  const auto end = std::chrono::steady_clock::now();
+  SpanRecord record;
+  record.id = id_;
+  record.parent = parent_;
+  record.name = std::move(name_);
+  record.category = std::move(category_);
+  record.start = std::chrono::duration_cast<std::chrono::nanoseconds>(start_ - tracer->epoch());
+  record.duration = std::chrono::duration_cast<std::chrono::nanoseconds>(end - start_);
+  tracer->store(std::move(record));
+}
+
+Tracer::Tracer(std::size_t max_spans)
+    : max_spans_(max_spans), epoch_(std::chrono::steady_clock::now()) {
+  // Preallocate and pre-fault the whole bounded buffer (resize touches every
+  // page; clear keeps the capacity). Recording then never reallocates or
+  // takes a first-touch page fault mid-run — that cost lands here, at setup.
+  spans_.resize(max_spans_);
+  spans_.clear();
+}
+
+Span Tracer::span(std::string name, std::string category, std::uint64_t parent) {
+  const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  return Span(this, id, parent, std::move(name), std::move(category),
+              std::chrono::steady_clock::now());
+}
+
+std::uint64_t Tracer::record(std::string name, std::string category, std::uint64_t parent,
+                             std::chrono::steady_clock::time_point start,
+                             std::chrono::nanoseconds duration) {
+  const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  SpanRecord r;
+  r.id = id;
+  r.parent = parent;
+  r.name = std::move(name);
+  r.category = std::move(category);
+  r.start = std::chrono::duration_cast<std::chrono::nanoseconds>(start - epoch_);
+  r.duration = duration;
+  store(std::move(r));
+  return id;
+}
+
+std::uint64_t Tracer::allocate_ids(std::size_t n) noexcept {
+  if (n == 0) return 0;
+  return next_id_.fetch_add(n, std::memory_order_relaxed);
+}
+
+void Tracer::record_all(std::vector<SpanRecord>& records) {
+  if (records.empty()) return;
+  {
+    std::lock_guard lock(mutex_);
+    const std::uint32_t ordinal = thread_ordinal_locked();
+    for (SpanRecord& record : records) {
+      if (spans_.size() >= max_spans_) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      if (record.thread == 0) record.thread = ordinal;
+      spans_.push_back(std::move(record));
+    }
+  }
+  records.clear();
+}
+
+void Tracer::store(SpanRecord record) {
+  std::lock_guard lock(mutex_);
+  if (spans_.size() >= max_spans_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  record.thread = thread_ordinal_locked();
+  spans_.push_back(std::move(record));
+}
+
+std::uint32_t Tracer::thread_ordinal_locked() {
+  const auto id = std::this_thread::get_id();
+  auto [it, inserted] =
+      thread_ordinals_.emplace(id, static_cast<std::uint32_t>(thread_ordinals_.size() + 1));
+  return it->second;
+}
+
+std::vector<SpanRecord> Tracer::snapshot() const {
+  std::lock_guard lock(mutex_);
+  return spans_;
+}
+
+std::size_t Tracer::size() const {
+  std::lock_guard lock(mutex_);
+  return spans_.size();
+}
+
+void Tracer::clear() {
+  std::lock_guard lock(mutex_);
+  spans_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+Span start_span(Tracer* tracer, std::string name, std::string category, std::uint64_t parent) {
+  if (tracer == nullptr) return Span{};
+  return tracer->span(std::move(name), std::move(category), parent);
+}
+
+}  // namespace smartflux::obs

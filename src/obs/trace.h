@@ -1,0 +1,132 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace smartflux::obs {
+
+/// One completed span. Timestamps are steady-clock offsets from the tracer's
+/// construction (its epoch), so records are self-contained for export and
+/// never depend on wall-clock time.
+struct SpanRecord {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;  ///< 0 = root span
+  std::string name;          ///< e.g. "wave:42", "step:3_hotspots", "forest_fit"
+  std::string category;      ///< layer: "wms", "smartflux", "ml", "ds"
+  std::chrono::nanoseconds start{0};
+  std::chrono::nanoseconds duration{0};
+  std::uint32_t thread = 0;  ///< dense per-tracer thread ordinal (1-based)
+};
+
+class Tracer;
+
+/// RAII span handle: records its duration into the tracer on destruction (or
+/// an explicit finish()). A default-constructed Span — or one obtained from
+/// start_span(nullptr, ...) — is inert and free to destroy, which is how
+/// instrumented code stays zero-cost when tracing is disabled.
+class Span {
+ public:
+  Span() = default;
+  Span(Span&& other) noexcept;
+  Span& operator=(Span&& other) noexcept;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { finish(); }
+
+  /// Records the span now; further calls are no-ops.
+  void finish() noexcept;
+  /// Span id for parenting child spans (0 when inert).
+  std::uint64_t id() const noexcept { return id_; }
+  bool active() const noexcept { return tracer_ != nullptr; }
+
+ private:
+  friend class Tracer;
+  Span(Tracer* tracer, std::uint64_t id, std::uint64_t parent, std::string name,
+       std::string category, std::chrono::steady_clock::time_point start)
+      : tracer_(tracer),
+        id_(id),
+        parent_(parent),
+        name_(std::move(name)),
+        category_(std::move(category)),
+        start_(start) {}
+
+  Tracer* tracer_ = nullptr;
+  std::uint64_t id_ = 0;
+  std::uint64_t parent_ = 0;
+  std::string name_;
+  std::string category_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+/// Collects wave/step/train/predict/datastore spans into a bounded in-memory
+/// buffer. Span creation stamps a steady-clock timestamp and draws an id from
+/// an atomic; completion appends one record under a mutex (spans complete at
+/// wave/step granularity, so the lock is far off any per-cell path). When the
+/// buffer is full new records are counted as dropped rather than evicting
+/// older ones — the head of a run is usually the interesting part.
+///
+/// The buffer is fully preallocated at construction, so memory use is
+/// max_spans * sizeof(SpanRecord) (~6 MB at the default cap) up front and
+/// recording never allocates. Size the cap to the run you intend to trace.
+class Tracer {
+ public:
+  explicit Tracer(std::size_t max_spans = 65536);
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Starts a live span; finish (or destroy) it to record.
+  Span span(std::string name, std::string category, std::uint64_t parent = 0);
+
+  /// Records an already-measured interval (used where the caller timed the
+  /// work anyway, e.g. step durations). Returns the span id.
+  std::uint64_t record(std::string name, std::string category, std::uint64_t parent,
+                       std::chrono::steady_clock::time_point start,
+                       std::chrono::nanoseconds duration);
+
+  /// Reserves `n` consecutive span ids and returns the first (0 when n == 0).
+  /// Callers assembling a batch draw all their ids in one atomic add.
+  std::uint64_t allocate_ids(std::size_t n) noexcept;
+
+  /// Appends a batch of completed records under a single lock — the
+  /// per-wave fast path (one lock and one thread-ordinal lookup instead of
+  /// one per span). Records must carry ids from allocate_ids() and start
+  /// offsets relative to epoch(); a zero `thread` field is filled with the
+  /// calling thread's ordinal. Tail records beyond capacity are dropped and
+  /// counted, like record(). The batch is consumed and cleared but keeps its
+  /// capacity, so callers can reuse one scratch vector across waves without
+  /// reallocating.
+  void record_all(std::vector<SpanRecord>& records);
+
+  std::vector<SpanRecord> snapshot() const;
+  std::size_t size() const;
+  std::size_t dropped() const noexcept { return dropped_.load(std::memory_order_relaxed); }
+  void clear();
+
+  std::chrono::steady_clock::time_point epoch() const noexcept { return epoch_; }
+
+ private:
+  friend class Span;
+  void store(SpanRecord record);
+  std::uint32_t thread_ordinal_locked();
+
+  const std::size_t max_spans_;
+  const std::chrono::steady_clock::time_point epoch_;
+  std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<std::size_t> dropped_{0};
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> spans_;
+  std::map<std::thread::id, std::uint32_t> thread_ordinals_;
+};
+
+/// Null-safe helper: an inert Span when `tracer` is null, a live one
+/// otherwise. Instrumented code uses this so the disabled path is one branch.
+Span start_span(Tracer* tracer, std::string name, std::string category,
+                std::uint64_t parent = 0);
+
+}  // namespace smartflux::obs

@@ -18,6 +18,12 @@ namespace smartflux {
 class FaultInjector;
 }
 
+namespace smartflux::obs {
+class MetricsRegistry;
+class Tracer;
+struct SpanRecord;
+}  // namespace smartflux::obs
+
 namespace smartflux::wms {
 
 class WaveJournal;
@@ -139,10 +145,19 @@ class WorkflowEngine {
     /// injected at the start of every attempt and into the attempt's
     /// datastore writes.
     FaultInjector* fault_injector = nullptr;
+    /// Optional metrics registry (not owned; see src/obs). When set, the
+    /// engine records waves, per-step status counts, retry/quarantine
+    /// counters, and wave/step duration histograms under sf_wms_*. When
+    /// null (the default) the only cost is one pointer test per wave.
+    obs::MetricsRegistry* metrics = nullptr;
+    /// Optional tracer (not owned): one span per wave plus one per attempted
+    /// step, parented to the wave span.
+    obs::Tracer* tracer = nullptr;
   };
 
   WorkflowEngine(WorkflowSpec spec, ds::DataStore& store);
   WorkflowEngine(WorkflowSpec spec, ds::DataStore& store, Options options);
+  ~WorkflowEngine();
 
   /// Runs one wave. Steps execute in topological order; each step receives a
   /// Client stamped with the wave timestamp. Waves must be strictly
@@ -208,9 +223,15 @@ class WorkflowEngine {
     bool success = false;
     /// Wall clock across all attempts, including backoff pauses.
     std::chrono::nanoseconds elapsed{0};
+    /// When the first attempt started (feeds step spans when tracing).
+    std::chrono::steady_clock::time_point start{};
     std::uint32_t attempts = 0;
     std::string error;  ///< last failure message; empty on success
   };
+
+  /// Pre-resolved metric handles (built once at construction when
+  /// Options::metrics is set, so waves touch only lock-free atomics).
+  struct EngineObs;
 
   WaveResult run_wave_serial(ds::Timestamp wave, TriggerController& controller);
   WaveResult run_wave_parallel(ds::Timestamp wave, TriggerController& controller);
@@ -232,8 +253,11 @@ class WorkflowEngine {
   void record_outcome(std::size_t index, WaveResult& result, StepStatus status,
                       const AttemptOutcome& outcome);
   void record_execution(std::size_t index, ds::Timestamp wave, WaveResult& result,
-                        std::chrono::nanoseconds duration, std::uint32_t attempts,
-                        TriggerController& controller);
+                        const AttemptOutcome& outcome, TriggerController& controller);
+  /// Folds one completed wave into the metric families and trace buffer.
+  /// Runs serially after the wave (outside any worker), so no locking.
+  void record_wave_observability(const WaveResult& result,
+                                 std::chrono::steady_clock::time_point wave_start);
   /// Folds one step's terminal status into execution/failure bookkeeping and
   /// the circuit-breaker state machine. Shared verbatim by live execution
   /// and journal replay, so a restored engine lands in the exact state the
@@ -254,6 +278,15 @@ class WorkflowEngine {
   std::mutex failure_mutex_;  ///< guards failure counts/message under parallel waves
   std::string last_failure_;
   std::vector<std::optional<ds::Timestamp>> last_exec_wave_;
+  std::unique_ptr<EngineObs> obs_;  ///< null when Options::metrics is null
+  /// Per-step attempt start times of the current wave (span starts).
+  std::vector<std::chrono::steady_clock::time_point> step_starts_;
+  /// Pre-built "step:<id>" span names (built only when a tracer is attached,
+  /// so the per-wave trace batch never concatenates strings).
+  std::vector<std::string> step_span_names_;
+  /// Scratch batch reused across waves; record_all() consumes the records
+  /// but leaves the capacity in place.
+  std::vector<obs::SpanRecord> trace_batch_;
   std::vector<StepCompletionListener> listeners_;
   WaveJournal* journal_ = nullptr;
   std::size_t total_executions_ = 0;

@@ -127,8 +127,22 @@ TEST(Rng, ForkProducesIndependentStream) {
 TEST(RunningStats, EmptyDefaults) {
   RunningStats s;
   EXPECT_EQ(s.count(), 0u);
+  EXPECT_FALSE(s.has_samples());
   EXPECT_EQ(s.mean(), 0.0);
   EXPECT_EQ(s.variance(), 0.0);
+  // An empty accumulator has no extremes: NaN, not a fabricated 0.0.
+  EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_TRUE(std::isnan(s.max()));
+}
+
+TEST(RunningStats, MinMaxTrackNegativeSamples) {
+  // All-negative samples used to be shadowed by the 0.0-initialized extremes.
+  RunningStats s;
+  s.add(-3.0);
+  s.add(-1.0);
+  EXPECT_TRUE(s.has_samples());
+  EXPECT_DOUBLE_EQ(s.min(), -3.0);
+  EXPECT_DOUBLE_EQ(s.max(), -1.0);
 }
 
 TEST(RunningStats, MatchesNaiveComputation) {
