@@ -112,6 +112,56 @@ std::unique_ptr<ChangeMetric> make_error_metric(ErrorKind kind, double value_ran
   throw InvalidArgument("unknown ErrorKind");
 }
 
+namespace {
+
+/// Three-way order of two flat entries by (row, column) string order, with
+/// the same-keyspace fast path: equal ids from the same table are the same
+/// element, no string touch needed.
+int compare_entries(const ds::FlatEntry& a, const ds::FlatEntry& b,
+                    bool same_keyspace) noexcept {
+  if (same_keyspace && a.id == b.id) return 0;
+  if (const int r = a.row->compare(*b.row); r != 0) return r;
+  return a.col->compare(*b.col);
+}
+
+}  // namespace
+
+double compute_change(const ds::FlatSnapshot& current, const ds::FlatSnapshot& previous,
+                      ChangeMetric& metric) {
+  metric.reset();
+  double previous_total = 0.0;
+  for (const ds::FlatEntry& e : previous.entries()) previous_total += e.value;
+
+  const bool same_keyspace =
+      current.keyspace() != nullptr && current.keyspace() == previous.keyspace();
+  auto cur = current.begin();
+  auto prev = previous.begin();
+  while (cur != current.end() || prev != previous.end()) {
+    if (prev == previous.end()) {
+      metric.update(cur->value, 0.0);  // insert
+      ++cur;
+    } else if (cur == current.end()) {
+      metric.update(0.0, prev->value);  // delete
+      ++prev;
+    } else {
+      const int cmp = compare_entries(*cur, *prev, same_keyspace);
+      if (cmp < 0) {
+        metric.update(cur->value, 0.0);  // insert
+        ++cur;
+      } else if (cmp > 0) {
+        metric.update(0.0, prev->value);  // delete
+        ++prev;
+      } else {
+        if (cur->value != prev->value) metric.update(cur->value, prev->value);
+        ++cur;
+        ++prev;
+      }
+    }
+  }
+  const std::size_t n = current.empty() ? previous.size() : current.size();
+  return metric.compute(n, previous_total);
+}
+
 double compute_change(const std::map<std::string, double>& current,
                       const std::map<std::string, double>& previous, ChangeMetric& metric) {
   metric.reset();

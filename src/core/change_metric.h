@@ -5,6 +5,8 @@
 #include <memory>
 #include <string>
 
+#include "datastore/flat_snapshot.h"
+
 namespace smartflux::core {
 
 /// User-extensible metric over a set of element changes in a data container
@@ -109,5 +111,14 @@ std::unique_ptr<ChangeMetric> make_error_metric(ErrorKind kind, double value_ran
 /// n = size of `current` (falling back to `previous` when current is empty).
 double compute_change(const std::map<std::string, double>& current,
                       const std::map<std::string, double>& previous, ChangeMetric& metric);
+
+/// Same diff over two flat snapshots (merge-join of the sorted entry
+/// vectors): no per-element allocation, and when both snapshots come from
+/// the same table (`keyspace()` equal) element identity is decided by one
+/// integer compare instead of string comparisons. Produces the same values
+/// as the map-based overload — classification and visit order match —
+/// proven by the flat-vs-map equivalence tests.
+double compute_change(const ds::FlatSnapshot& current, const ds::FlatSnapshot& previous,
+                      ChangeMetric& metric);
 
 }  // namespace smartflux::core

@@ -166,8 +166,10 @@ ExperimentResult Experiment::evaluate(
       // Measured error: adaptive (possibly stale) output vs shadow output.
       double measured = 0.0;
       for (const auto& container : step.outputs) {
-        const auto fresh = shadow_store.snapshot(container);
-        const auto stale = adaptive_store.snapshot(container);
+        // Different stores, so the merge-join falls back to string compares
+        // (no shared keyspace) — still allocation-free per element.
+        const auto fresh = shadow_store.snapshot_flat(container);
+        const auto stale = adaptive_store.snapshot_flat(container);
         auto metric = make_error_metric(options_.smartflux.monitor.error,
                                         options_.smartflux.monitor.rmse_value_range);
         measured = std::max(measured, compute_change(fresh, stale, *metric));

@@ -1,8 +1,43 @@
 #include "core/incremental_monitor.h"
 
 #include "common/error.h"
+#include "datastore/flat_snapshot.h"
 
 namespace smartflux::core {
+
+namespace {
+
+/// Merge-walk of two sorted element maps, mirroring compute_change exactly
+/// (same classification and visit order, so metric values stay identical).
+/// Template so it can deduce the tracker's private map type.
+template <typename Map>
+double change_between(const Map& current, const Map& previous, ChangeMetric& metric) {
+  metric.reset();
+  double previous_total = 0.0;
+  for (const auto& [_, v] : previous) previous_total += v;
+
+  const auto less = current.key_comp();
+  auto cur = current.begin();
+  auto prev = previous.begin();
+  while (cur != current.end() || prev != previous.end()) {
+    if (prev == previous.end() ||
+        (cur != current.end() && less(cur->first, prev->first))) {
+      metric.update(cur->second, 0.0);  // insert
+      ++cur;
+    } else if (cur == current.end() || less(prev->first, cur->first)) {
+      metric.update(0.0, prev->second);  // delete
+      ++prev;
+    } else {
+      if (cur->second != prev->second) metric.update(cur->second, prev->second);
+      ++cur;
+      ++prev;
+    }
+  }
+  const std::size_t n = current.empty() ? previous.size() : current.size();
+  return metric.compute(n, previous_total);
+}
+
+}  // namespace
 
 IncrementalTracker::IncrementalTracker(ds::DataStore& store, ds::ContainerRef container,
                                        std::unique_ptr<ChangeMetric> metric,
@@ -10,8 +45,11 @@ IncrementalTracker::IncrementalTracker(ds::DataStore& store, ds::ContainerRef co
     : store_(&store), container_(std::move(container)), metric_(std::move(metric)), mode_(mode) {
   SF_CHECK(metric_ != nullptr, "IncrementalTracker needs a metric");
   // Anchor the mirror and baseline on the container's current state, then
-  // start listening.
-  current_ = store.snapshot(container_);
+  // start listening. The flat snapshot is already in (row, column) order, so
+  // every insert lands at the end.
+  for (const ds::FlatEntry& e : store.snapshot_flat(container_)) {
+    current_.emplace_hint(current_.end(), std::make_pair(*e.row, *e.col), e.value);
+  }
   baseline_ = current_;
   token_ = store.subscribe([this](const ds::Mutation& m) { on_mutation(m); });
 }
@@ -20,17 +58,25 @@ IncrementalTracker::~IncrementalTracker() { store_->unsubscribe(token_); }
 
 void IncrementalTracker::on_mutation(const ds::Mutation& m) {
   if (!container_.matches(m.table, m.row, m.column)) return;
-  const std::string key = m.row + '\x1f' + m.column;
+  // Transparent lookups: no key is materialized unless the element is new.
+  const std::pair<std::string_view, std::string_view> key(m.row, m.column);
   std::lock_guard lock(mutex_);
   // Record the element's value as of the previous harvest exactly once.
-  if (!pending_prev_.contains(key)) {
+  if (pending_prev_.find(key) == pending_prev_.end()) {
     auto it = current_.find(key);
-    pending_prev_.emplace(key, it == current_.end() ? 0.0 : it->second);
+    pending_prev_.emplace(std::make_pair(m.row, m.column),
+                          it == current_.end() ? 0.0 : it->second);
   }
   if (m.kind == ds::MutationKind::kPut) {
-    current_[key] = m.new_value;
+    auto it = current_.find(key);
+    if (it != current_.end()) {
+      it->second = m.new_value;
+    } else {
+      current_.emplace(std::make_pair(m.row, m.column), m.new_value);
+    }
   } else {
-    current_.erase(key);
+    auto it = current_.find(key);
+    if (it != current_.end()) current_.erase(it);
   }
 }
 
@@ -46,7 +92,7 @@ double IncrementalTracker::harvest() {
     prev_total += it == pending_prev_.end() ? value : it->second;
   }
   for (const auto& [key, prev] : pending_prev_) {
-    if (!current_.contains(key)) prev_total += prev;  // deleted element
+    if (current_.find(key) == current_.end()) prev_total += prev;  // deleted element
   }
   for (const auto& [key, prev] : pending_prev_) {
     auto it = current_.find(key);
@@ -61,7 +107,7 @@ double IncrementalTracker::harvest() {
       accumulated_ += last_delta_;
       break;
     case AccumulationMode::kCancelling:
-      accumulated_ = compute_change(current_, baseline_, *metric_);
+      accumulated_ = change_between(current_, baseline_, *metric_);
       break;
   }
   pending_prev_.clear();

@@ -2,7 +2,10 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <string_view>
+#include <utility>
 
 #include "core/change_metric.h"
 #include "core/monitoring.h"
@@ -51,6 +54,21 @@ class IncrementalTracker {
   std::size_t pending_changes() const;
 
  private:
+  /// (row, column) element keys in container scan order. The transparent
+  /// comparator lets the mutation hot path probe with string_views straight
+  /// off the Mutation — no key concatenation or copy unless the element is
+  /// genuinely new to the map.
+  struct ElementKeyLess {
+    using is_transparent = void;
+    template <typename A, typename B>
+    bool operator()(const A& a, const B& b) const noexcept {
+      const int r = std::string_view(a.first).compare(std::string_view(b.first));
+      if (r != 0) return r < 0;
+      return std::string_view(a.second) < std::string_view(b.second);
+    }
+  };
+  using ElementMap = std::map<std::pair<std::string, std::string>, double, ElementKeyLess>;
+
   void on_mutation(const ds::Mutation& m);
 
   ds::DataStore* store_;
@@ -61,11 +79,11 @@ class IncrementalTracker {
 
   mutable std::mutex mutex_;
   /// Live mirror of the container (maintained from mutations).
-  std::map<std::string, double> current_;
+  ElementMap current_;
   /// Element value at the previous harvest, recorded on first mutation since.
-  std::map<std::string, double> pending_prev_;
+  ElementMap pending_prev_;
   /// Baseline state at the last reset (cancelling mode).
-  std::map<std::string, double> baseline_;
+  ElementMap baseline_;
   double accumulated_ = 0.0;
   double last_delta_ = 0.0;
 };

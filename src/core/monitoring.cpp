@@ -40,7 +40,7 @@ ContainerTracker::ContainerTracker(ds::ContainerRef container,
 }
 
 double ContainerTracker::observe(const ds::DataStore& store) {
-  auto current = store.snapshot(container_);
+  auto current = store.snapshot_flat(container_);
   switch (mode_) {
     case AccumulationMode::kCumulative: {
       last_delta_ = compute_change(current, last_seen_, *metric_);
@@ -60,7 +60,7 @@ double ContainerTracker::observe(const ds::DataStore& store) {
 }
 
 void ContainerTracker::reset(const ds::DataStore& store) {
-  baseline_ = store.snapshot(container_);
+  baseline_ = store.snapshot_flat(container_);
   last_seen_ = baseline_;
   accumulated_ = 0.0;
   last_delta_ = 0.0;

@@ -1,6 +1,5 @@
 #pragma once
 
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -58,8 +57,10 @@ class ContainerTracker {
   ds::ContainerRef container_;
   std::unique_ptr<ChangeMetric> metric_;
   AccumulationMode mode_;
-  std::map<std::string, double> last_seen_;  ///< state at previous observe (cumulative mode)
-  std::map<std::string, double> baseline_;   ///< state at last reset (cancelling mode)
+  // Reference states as flat snapshots (DataStore::snapshot_flat): one
+  // contiguous vector each instead of a rebuilt string-keyed tree per wave.
+  ds::FlatSnapshot last_seen_;  ///< state at previous observe (cumulative mode)
+  ds::FlatSnapshot baseline_;   ///< state at last reset (cancelling mode)
   double accumulated_ = 0.0;
   double last_delta_ = 0.0;
 };

@@ -3,6 +3,7 @@
 #include <span>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "datastore/datastore.h"
 
@@ -32,10 +33,32 @@ class Client {
     store_->put(table, row, column, wave_, value);
   }
 
-  /// Bulk put of (row, value) pairs into one column.
+  /// Batched put: all cells land under one table-lock acquisition with a
+  /// single observer-list snapshot (DataStore::put_batch). The write hook
+  /// runs per cell *before* anything is applied, in op order; if it throws
+  /// at cell k, the preceding k cells are still applied (matching what a
+  /// put() loop would have done) and the exception propagates.
+  void put_batch(const TableName& table, std::span<const PutOp> ops) {
+    if (on_write_) {
+      for (std::size_t i = 0; i < ops.size(); ++i) {
+        try {
+          on_write_(table, RowKey(ops[i].row), ColumnKey(ops[i].column));
+        } catch (...) {
+          store_->put_batch(table, wave_, ops.first(i));
+          throw;
+        }
+      }
+    }
+    store_->put_batch(table, wave_, ops);
+  }
+
+  /// Bulk put of (row, value) pairs into one column, as a single batch.
   void put_column(const TableName& table, const ColumnKey& column,
                   std::span<const std::pair<RowKey, double>> cells) {
-    for (const auto& [row, value] : cells) put(table, row, column, value);
+    std::vector<PutOp> ops;
+    ops.reserve(cells.size());
+    for (const auto& [row, value] : cells) ops.push_back(PutOp{row, column, value});
+    put_batch(table, ops);
   }
 
   void erase(const TableName& table, const RowKey& row, const ColumnKey& column) {

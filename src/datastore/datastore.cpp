@@ -1,6 +1,5 @@
 #include "datastore/datastore.h"
 
-#include <atomic>
 #include <chrono>
 
 #include "common/error.h"
@@ -11,15 +10,17 @@ namespace smartflux::ds {
 
 /// Handles resolved at attach time. Point ops (get/put/erase) always bump a
 /// counter; latency observation is sampled 1-in-2^shift so the per-cell hot
-/// path stays two relaxed atomics in the common case. Scans are rare and
-/// heavy: always timed, and traced when a tracer is attached.
+/// path stays two relaxed atomics in the common case. Scans and batches are
+/// rare and heavy: always timed, and scans traced when a tracer is attached.
 struct DataStore::StoreObs {
   obs::Counter* gets = nullptr;
   obs::Counter* puts = nullptr;
+  obs::Counter* batches = nullptr;
   obs::Counter* erases = nullptr;
   obs::Counter* scans = nullptr;
   obs::Histogram* get_latency = nullptr;
   obs::Histogram* put_latency = nullptr;
+  obs::Histogram* batch_latency = nullptr;
   obs::Histogram* scan_latency = nullptr;
   obs::Tracer* tracer = nullptr;
   std::uint64_t sample_mask = 63;
@@ -37,10 +38,12 @@ struct DataStore::StoreObs {
     };
     gets = op_counter("get");
     puts = op_counter("put");
+    batches = op_counter("put_batch");
     erases = op_counter("erase");
     scans = op_counter("scan");
     get_latency = op_latency("get");
     put_latency = op_latency("put");
+    batch_latency = op_latency("put_batch");
     scan_latency = op_latency("scan");
   }
 
@@ -59,8 +62,21 @@ struct DataStore::StoreObs {
   }
 };
 
+namespace {
+/// Registry-generation stamps are unique across all DataStore instances and
+/// never repeat, so a per-thread cache entry can never validate against a
+/// different store that happens to reuse the same address.
+std::uint64_t next_registry_gen() noexcept {
+  static std::atomic<std::uint64_t> gen{1};
+  return gen.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace
+
 DataStore::DataStore(std::size_t max_versions) : max_versions_(max_versions) {
   SF_CHECK(max_versions >= 1, "DataStore must retain at least one version");
+  tables_.store(std::make_shared<const TableMap>(), std::memory_order_release);
+  registry_gen_.store(next_registry_gen(), std::memory_order_release);
+  observers_.store(std::make_shared<const ObserverList>(), std::memory_order_release);
 }
 
 DataStore::~DataStore() = default;
@@ -75,17 +91,44 @@ void DataStore::set_instrumentation(obs::MetricsRegistry* registry, obs::Tracer*
   obs_ = std::make_unique<StoreObs>(*registry, tracer, latency_sample_shift);
 }
 
-DataStore::TableEntry& DataStore::entry_for(const TableName& table) {
-  std::lock_guard lock(tables_mutex_);
-  auto& slot = tables_[table];
-  if (!slot) slot = std::make_unique<TableEntry>(max_versions_);
-  return *slot;
+std::shared_ptr<DataStore::TableEntry> DataStore::find_entry(const TableName& table) const {
+  // Per-thread registry cache: while the registry is unchanged (by far the
+  // common case — tables are created once and live forever), a point op pays
+  // one lock-free uint64 load instead of the refcounted atomic-shared_ptr
+  // load. The gen is read *before* the map, so a cached map can never be
+  // older than the gen it is stamped with; a concurrent registry change just
+  // invalidates the entry on the next op. The cached shared_ptr keeps the map
+  // snapshot alive until this thread touches another store or generation,
+  // which is safe (snapshots are immutable) and bounded (one map per thread).
+  struct Cache {
+    const DataStore* store = nullptr;
+    std::uint64_t gen = 0;
+    std::shared_ptr<const TableMap> map;
+  };
+  static thread_local Cache cache;
+  const auto gen = registry_gen_.load(std::memory_order_acquire);
+  if (cache.store != this || cache.gen != gen) {
+    cache.map = tables_.load(std::memory_order_acquire);
+    cache.store = this;
+    cache.gen = gen;
+  }
+  const auto it = cache.map->find(table);
+  return it == cache.map->end() ? nullptr : it->second;
 }
 
-const DataStore::TableEntry* DataStore::find_entry(const TableName& table) const {
-  std::lock_guard lock(tables_mutex_);
-  auto it = tables_.find(table);
-  return it == tables_.end() ? nullptr : it->second.get();
+std::shared_ptr<DataStore::TableEntry> DataStore::entry_for(const TableName& table) {
+  if (auto entry = find_entry(table)) return entry;
+  std::lock_guard lock(registry_mutex_);
+  // Re-check under the writer lock: another thread may have created it
+  // between our lock-free lookup and here.
+  auto snap = tables_.load(std::memory_order_acquire);
+  if (const auto it = snap->find(table); it != snap->end()) return it->second;
+  auto next = std::make_shared<TableMap>(*snap);
+  auto entry = std::make_shared<TableEntry>(max_versions_);
+  next->emplace(table, entry);
+  tables_.store(std::shared_ptr<const TableMap>(std::move(next)), std::memory_order_release);
+  registry_gen_.store(next_registry_gen(), std::memory_order_release);
+  return entry;
 }
 
 void DataStore::put(const TableName& table, const RowKey& row, const ColumnKey& column,
@@ -96,37 +139,80 @@ void DataStore::put(const TableName& table, const RowKey& row, const ColumnKey& 
     timed = obs_->count_and_sample(*obs_->puts);
     if (timed) t0 = std::chrono::steady_clock::now();
   }
-  TableEntry& entry = entry_for(table);
+  const auto entry = entry_for(table);
   std::optional<double> previous;
   {
-    std::lock_guard lock(entry.mutex);
-    previous = entry.table.put(row, column, ts, value);
+    std::unique_lock lock(entry->mutex);
+    previous = entry->table.put(row, column, ts, value);
   }
-  Mutation m;
-  m.kind = MutationKind::kPut;
-  m.table = table;
-  m.row = row;
-  m.column = column;
-  m.timestamp = ts;
-  m.new_value = value;
-  m.old_value = previous.value_or(0.0);
-  m.had_old_value = previous.has_value();
-  notify(m);
+  if (observer_count_.load(std::memory_order_acquire) != 0) {
+    const auto observers = observer_snapshot();
+    Mutation m;
+    m.kind = MutationKind::kPut;
+    m.table = table;
+    m.row = row;
+    m.column = column;
+    m.timestamp = ts;
+    m.new_value = value;
+    m.old_value = previous.value_or(0.0);
+    m.had_old_value = previous.has_value();
+    for (const auto& [_, observe] : *observers) observe(m);
+  }
   if (timed) obs_->put_latency->observe(StoreObs::seconds_since(t0));
+}
+
+void DataStore::put_batch(const TableName& table, Timestamp ts, std::span<const PutOp> ops) {
+  if (ops.empty()) return;
+  std::chrono::steady_clock::time_point t0;
+  if (obs_) {
+    obs_->puts->inc(ops.size());
+    obs_->batches->inc();
+    t0 = std::chrono::steady_clock::now();
+  }
+  const auto entry = entry_for(table);
+  std::shared_ptr<const ObserverList> observers;
+  if (observer_count_.load(std::memory_order_acquire) != 0) observers = observer_snapshot();
+  const bool want_mutations = observers != nullptr && !observers->empty();
+  std::vector<std::pair<double, bool>> previous;  // (old value, had old) per op
+  if (want_mutations) previous.reserve(ops.size());
+  {
+    std::unique_lock lock(entry->mutex);
+    for (const PutOp& op : ops) {
+      const auto prev = entry->table.put(op.row, op.column, ts, op.value);
+      if (want_mutations) previous.emplace_back(prev.value_or(0.0), prev.has_value());
+    }
+  }
+  if (want_mutations) {
+    Mutation m;
+    m.kind = MutationKind::kPut;
+    m.table = table;
+    m.timestamp = ts;
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      m.row.assign(ops[i].row);
+      m.column.assign(ops[i].column);
+      m.new_value = ops[i].value;
+      m.old_value = previous[i].first;
+      m.had_old_value = previous[i].second;
+      for (const auto& [_, observe] : *observers) observe(m);
+    }
+  }
+  if (obs_) obs_->batch_latency->observe(StoreObs::seconds_since(t0));
 }
 
 void DataStore::erase(const TableName& table, const RowKey& row, const ColumnKey& column,
                       Timestamp ts) {
   if (obs_) obs_->erases->inc();
-  const TableEntry* entry = find_entry(table);
+  const auto entry = find_entry(table);
   if (entry == nullptr) return;
   std::optional<double> removed;
   {
-    auto& mutable_entry = const_cast<TableEntry&>(*entry);
-    std::lock_guard lock(mutable_entry.mutex);
-    removed = mutable_entry.table.erase(row, column);
+    std::unique_lock lock(entry->mutex);
+    removed = entry->table.erase(row, column);
   }
   if (!removed) return;
+  if (observer_count_.load(std::memory_order_acquire) == 0) return;
+  const auto observers = observer_snapshot();
+  if (observers->empty()) return;
   Mutation m;
   m.kind = MutationKind::kDelete;
   m.table = table;
@@ -135,7 +221,7 @@ void DataStore::erase(const TableName& table, const RowKey& row, const ColumnKey
   m.timestamp = ts;
   m.old_value = *removed;
   m.had_old_value = true;
-  notify(m);
+  for (const auto& [_, observe] : *observers) observe(m);
 }
 
 std::optional<double> DataStore::get(const TableName& table, const RowKey& row,
@@ -146,10 +232,10 @@ std::optional<double> DataStore::get(const TableName& table, const RowKey& row,
     timed = obs_->count_and_sample(*obs_->gets);
     if (timed) t0 = std::chrono::steady_clock::now();
   }
-  const TableEntry* entry = find_entry(table);
+  const auto entry = find_entry(table);
   std::optional<double> out;
   if (entry != nullptr) {
-    std::lock_guard lock(entry->mutex);
+    std::shared_lock lock(entry->mutex);
     out = entry->table.get(row, column);
   }
   if (timed) obs_->get_latency->observe(StoreObs::seconds_since(t0));
@@ -160,9 +246,9 @@ std::optional<double> DataStore::get_previous(const TableName& table, const RowK
                                               const ColumnKey& column) const {
   // Folded into the "get" op label: same access shape, older version.
   if (obs_) obs_->gets->inc();
-  const TableEntry* entry = find_entry(table);
+  const auto entry = find_entry(table);
   if (entry == nullptr) return std::nullopt;
-  std::lock_guard lock(entry->mutex);
+  std::shared_lock lock(entry->mutex);
   return entry->table.get_previous(row, column);
 }
 
@@ -174,11 +260,14 @@ void DataStore::scan_container(
     obs_->scans->inc();
     t0 = std::chrono::steady_clock::now();
   }
-  const TableEntry* entry = find_entry(container.table());
+  const auto entry = find_entry(container.table());
   if (entry != nullptr) {
-    std::lock_guard lock(entry->mutex);
-    entry->table.scan([&](const RowKey& row, const ColumnKey& column, double value) {
-      if (container.matches(container.table(), row, column)) visit(row, column, value);
+    const bool unfiltered = !container.has_column() && !container.has_row_prefix();
+    std::shared_lock lock(entry->mutex);
+    entry->table.scan_cells([&](const Table::CellView& cv) {
+      if (unfiltered || container.matches_cell(*cv.row, *cv.col)) {
+        visit(*cv.row, *cv.col, cv.value);
+      }
     });
   }
   if (obs_) {
@@ -190,18 +279,56 @@ void DataStore::scan_container(
   }
 }
 
+FlatSnapshot DataStore::snapshot_flat(const ContainerRef& container) const {
+  std::chrono::steady_clock::time_point t0;
+  if (obs_) {
+    obs_->scans->inc();
+    t0 = std::chrono::steady_clock::now();
+  }
+  const auto entry = find_entry(container.table());
+  FlatSnapshot out;
+  if (entry != nullptr) {
+    const bool unfiltered = !container.has_column() && !container.has_row_prefix();
+    std::vector<FlatEntry> entries;
+    {
+      std::shared_lock lock(entry->mutex);
+      entries.reserve(entry->table.cell_count());
+      entry->table.scan_cells([&](const Table::CellView& cv) {
+        if (unfiltered || container.matches_cell(*cv.row, *cv.col)) {
+          entries.push_back(FlatEntry{cv.id, cv.row, cv.col, cv.value});
+        }
+      });
+    }
+    out = FlatSnapshot(entry, &entry->table, std::move(entries));
+  }
+  if (obs_) {
+    obs_->scan_latency->observe(StoreObs::seconds_since(t0));
+    if (obs_->tracer != nullptr) {
+      obs_->tracer->record("ds_scan:" + container.table(), "ds", 0, t0,
+                           std::chrono::steady_clock::now() - t0);
+    }
+  }
+  return out;
+}
+
 std::map<std::string, double> DataStore::snapshot(const ContainerRef& container) const {
   std::map<std::string, double> out;
   scan_container(container, [&out](const RowKey& row, const ColumnKey& column, double value) {
-    out.emplace(row + '\x1f' + column, value);
+    std::string key;
+    key.reserve(row.size() + 1 + column.size());
+    key.append(row).push_back('\x1f');
+    key.append(column);
+    // Scan order is (row, column) order, which matches the concatenated-key
+    // order for ordinary keys, so the end hint is almost always right.
+    out.emplace_hint(out.end(), std::move(key), value);
   });
   return out;
 }
 
 std::size_t DataStore::cell_count(const TableName& table) const {
-  const TableEntry* entry = find_entry(table);
+  const auto entry = find_entry(table);
   if (entry == nullptr) return 0;
-  std::lock_guard lock(entry->mutex);
+  std::shared_lock lock(entry->mutex);
   return entry->table.cell_count();
 }
 
@@ -214,45 +341,50 @@ std::size_t DataStore::container_cell_count(const ContainerRef& container) const
 bool DataStore::has_table(const TableName& table) const { return find_entry(table) != nullptr; }
 
 std::vector<TableName> DataStore::table_names() const {
-  std::lock_guard lock(tables_mutex_);
+  const auto snap = tables_.load(std::memory_order_acquire);
   std::vector<TableName> out;
-  out.reserve(tables_.size());
-  for (const auto& [name, _] : tables_) out.push_back(name);
+  out.reserve(snap->size());
+  for (const auto& [name, _] : *snap) out.push_back(name);
   return out;
 }
 
 void DataStore::drop_table(const TableName& table) {
-  std::lock_guard lock(tables_mutex_);
-  tables_.erase(table);
+  std::lock_guard lock(registry_mutex_);
+  const auto snap = tables_.load(std::memory_order_acquire);
+  if (!snap->contains(table)) return;
+  auto next = std::make_shared<TableMap>(*snap);
+  next->erase(table);
+  tables_.store(std::shared_ptr<const TableMap>(std::move(next)), std::memory_order_release);
+  registry_gen_.store(next_registry_gen(), std::memory_order_release);
 }
 
 void DataStore::clear() {
-  std::lock_guard lock(tables_mutex_);
-  tables_.clear();
+  std::lock_guard lock(registry_mutex_);
+  tables_.store(std::make_shared<const TableMap>(), std::memory_order_release);
+  registry_gen_.store(next_registry_gen(), std::memory_order_release);
 }
 
 std::size_t DataStore::subscribe(MutationObserver observer) {
   SF_CHECK(static_cast<bool>(observer), "observer must be callable");
   std::lock_guard lock(observers_mutex_);
   const std::size_t token = next_token_++;
-  observers_.emplace_back(token, std::move(observer));
+  auto next = std::make_shared<ObserverList>(*observers_.load(std::memory_order_acquire));
+  next->emplace_back(token, std::move(observer));
+  const std::size_t count = next->size();
+  observers_.store(std::shared_ptr<const ObserverList>(std::move(next)),
+                   std::memory_order_release);
+  observer_count_.store(count, std::memory_order_release);
   return token;
 }
 
 void DataStore::unsubscribe(std::size_t token) {
   std::lock_guard lock(observers_mutex_);
-  std::erase_if(observers_, [token](const auto& p) { return p.first == token; });
-}
-
-void DataStore::notify(const Mutation& m) const {
-  // Copy the observer list so observers may unsubscribe others concurrently.
-  std::vector<MutationObserver> copy;
-  {
-    std::lock_guard lock(observers_mutex_);
-    copy.reserve(observers_.size());
-    for (const auto& [_, obs] : observers_) copy.push_back(obs);
-  }
-  for (const auto& obs : copy) obs(m);
+  auto next = std::make_shared<ObserverList>(*observers_.load(std::memory_order_acquire));
+  std::erase_if(*next, [token](const auto& p) { return p.first == token; });
+  const std::size_t count = next->size();
+  observers_.store(std::shared_ptr<const ObserverList>(std::move(next)),
+                   std::memory_order_release);
+  observer_count_.store(count, std::memory_order_release);
 }
 
 }  // namespace smartflux::ds

@@ -1,14 +1,19 @@
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "datastore/container_ref.h"
+#include "datastore/flat_snapshot.h"
 #include "datastore/table.h"
 #include "datastore/types.h"
 
@@ -21,13 +26,28 @@ namespace smartflux::ds {
 
 /// Observer callback invoked synchronously for every mutation, equivalent to
 /// the paper's data-store-level Observer / adapted client-library options for
-/// making SmartFlux aware of all updates (§4). Observers must not call back
-/// into the store.
+/// making SmartFlux aware of all updates (§4).
+///
+/// Reentrancy rule: observers run *outside* every store lock (the mutation is
+/// already applied and the table lock released), so an observer may read from
+/// the store — including the table that just changed. Observers must not
+/// *write* to the store: a write would re-enter notification and can recurse
+/// without bound. A slow observer delays only its own writer thread, never
+/// concurrent readers or writers to other tables.
 using MutationObserver = std::function<void(const Mutation&)>;
 
 /// In-process, versioned, column-oriented key-value store standing in for
-/// HBase. Tables are created lazily on first write. All public operations are
-/// thread-safe (per-table locking; table map under its own mutex).
+/// HBase. Tables are created lazily on first write. All public operations
+/// are thread-safe. Concurrency model:
+///
+///  - Each table has a reader/writer lock: `get`/`get_previous`/`scan_*`/
+///    `snapshot*`/`cell_count` run concurrently with each other; only
+///    `put`/`put_batch`/`erase` take the table exclusively.
+///  - The table registry is RCU-style (an atomically swapped immutable map
+///    snapshot), so point ops never touch a registry mutex; only table
+///    creation/drop serializes on one.
+///  - The observer list is copy-on-write: writers grab an immutable
+///    snapshot of it per op (or once per batch) with a single atomic load.
 class DataStore {
  public:
   explicit DataStore(std::size_t max_versions = 2);
@@ -40,14 +60,24 @@ class DataStore {
   /// Counts every get/put/erase/scan under sf_ds_ops_total{op=...}; latencies
   /// go to sf_ds_op_duration_seconds{op=...}, sampled 1-in-2^sample_shift for
   /// point ops (scans, being rare and heavy, are always timed and — when a
-  /// tracer is attached — also recorded as "ds_scan:<table>" spans). Not
-  /// thread-safe against in-flight operations: attach before use.
+  /// tracer is attached — also recorded as "ds_scan:<table>" spans; batches
+  /// are always timed whole under op="put_batch"). Not thread-safe against
+  /// in-flight operations: attach before use.
   void set_instrumentation(obs::MetricsRegistry* registry, obs::Tracer* tracer = nullptr,
                            unsigned latency_sample_shift = 6);
 
   /// Writes a cell, notifying observers. Creates the table if needed.
   void put(const TableName& table, const RowKey& row, const ColumnKey& column, Timestamp ts,
            double value);
+
+  /// Writes a batch of cells into one table under a single exclusive lock
+  /// acquisition, with the observer list snapshotted once for the whole
+  /// batch. Equivalent to a put() loop cell for cell (same versioning, same
+  /// per-mutation observer callbacks in batch order), but writers pay the
+  /// lock, registry lookup and observer-list load once instead of per cell.
+  /// Observers fire after the whole batch has been applied, so an observer
+  /// reading the store may already see later cells of the same batch.
+  void put_batch(const TableName& table, Timestamp ts, std::span<const PutOp> ops);
 
   /// Deletes a cell (all versions), notifying observers if it existed.
   void erase(const TableName& table, const RowKey& row, const ColumnKey& column, Timestamp ts);
@@ -58,14 +88,31 @@ class DataStore {
                                      const ColumnKey& column) const;
 
   /// Visits the latest value of every cell inside `container`, in
-  /// (row, column) order. The visitor runs under the table lock and must
-  /// not call back into the store for the same table (self-deadlock);
-  /// collect into a local structure instead.
+  /// (row, column) order.
+  ///
+  /// Deadlock contract: the visitor runs under the table's *shared* lock.
+  /// It therefore must not write to the store for the same table (the
+  /// exclusive lock would wait on the scan) and must not re-enter any
+  /// locking read of the same table either (recursively taking a shared
+  /// lock is undefined behavior and can deadlock once a writer queues in
+  /// between). Reads of *other* tables are safe. When the visitor needs to
+  /// touch the store — or just run for a while without blocking writers —
+  /// take a `snapshot_flat()` and iterate that instead: it copies the
+  /// container out under the lock and releases it before you look at the
+  /// data.
   void scan_container(const ContainerRef& container,
                       const std::function<void(const RowKey&, const ColumnKey&, double)>& visit)
       const;
 
-  /// Dense snapshot of a container keyed by "row\x1f column".
+  /// Flat snapshot of a container: contiguous entries in (row, column)
+  /// order with interner-backed zero-copy key views — the cheap path
+  /// monitoring harvests through. The snapshot stays valid after
+  /// `drop_table`/`clear` (it keeps the source table alive).
+  FlatSnapshot snapshot_flat(const ContainerRef& container) const;
+
+  /// Dense snapshot of a container keyed by "row\x1f column". Kept for
+  /// compatibility; new code should prefer `snapshot_flat` (no per-cell
+  /// string concatenation or tree insertion).
   std::map<std::string, double> snapshot(const ContainerRef& container) const;
 
   std::size_t cell_count(const TableName& table) const;
@@ -76,29 +123,45 @@ class DataStore {
   void clear();
 
   /// Registers a mutation observer; returns a token for unsubscribe.
+  /// See MutationObserver for the reentrancy rule.
   std::size_t subscribe(MutationObserver observer);
   void unsubscribe(std::size_t token);
 
  private:
   struct TableEntry {
-    mutable std::mutex mutex;
+    mutable std::shared_mutex mutex;
     Table table;
     explicit TableEntry(std::size_t max_versions) : table(max_versions) {}
   };
+  using TableMap = std::map<TableName, std::shared_ptr<TableEntry>>;
+  using ObserverList = std::vector<std::pair<std::size_t, MutationObserver>>;
   struct StoreObs;  ///< pre-resolved metric handles (datastore.cpp)
 
-  TableEntry& entry_for(const TableName& table);
-  const TableEntry* find_entry(const TableName& table) const;
-  void notify(const Mutation& m) const;
+  /// Existing entry or nullptr, via one atomic registry-snapshot load.
+  std::shared_ptr<TableEntry> find_entry(const TableName& table) const;
+  /// Existing entry, or creates one (copy-on-write registry swap).
+  std::shared_ptr<TableEntry> entry_for(const TableName& table);
+  std::shared_ptr<const ObserverList> observer_snapshot() const {
+    return observers_.load(std::memory_order_acquire);
+  }
 
   std::size_t max_versions_;
   std::unique_ptr<StoreObs> obs_;  ///< null unless set_instrumentation attached one
-  mutable std::mutex tables_mutex_;
-  std::map<TableName, std::unique_ptr<TableEntry>> tables_;
 
-  mutable std::mutex observers_mutex_;
-  std::vector<std::pair<std::size_t, MutationObserver>> observers_;
-  std::size_t next_token_ = 1;
+  mutable std::mutex registry_mutex_;  ///< serializes table create/drop/clear only
+  std::atomic<std::shared_ptr<const TableMap>> tables_;
+  /// Globally unique stamp of the current `tables_` snapshot (bumped on every
+  /// create/drop/clear). Point ops validate a per-thread registry cache
+  /// against it with one lock-free load, skipping the refcounted
+  /// atomic-shared_ptr load while the registry is unchanged (find_entry).
+  std::atomic<std::uint64_t> registry_gen_;
+
+  std::mutex observers_mutex_;  ///< serializes subscribe/unsubscribe only
+  std::atomic<std::shared_ptr<const ObserverList>> observers_;
+  /// Mirror of observers_->size(): lets writers skip the observer-list
+  /// snapshot load entirely on the (common) unobserved store.
+  std::atomic<std::size_t> observer_count_{0};
+  std::size_t next_token_ = 1;  ///< guarded by observers_mutex_
 };
 
 }  // namespace smartflux::ds

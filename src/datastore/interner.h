@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/hashing.h"
+
+namespace smartflux::ds {
+
+/// Per-table string-key interner: maps every distinct key to a dense
+/// `std::uint32_t` id (assigned in first-seen order, never reused or
+/// recycled) and owns the canonical string. Keys live in a deque, so the
+/// `const std::string*` views handed out stay valid for the interner's
+/// lifetime even while new keys are interned — FlatSnapshot relies on this
+/// to carry zero-copy key views out of the table lock.
+///
+/// Thread-compatible: the owning Table/DataStore must serialize `intern`
+/// (writer) against `find`/`key` (readers). Dereferencing a previously
+/// obtained `key_ptr` needs no lock at all: strings are never moved or
+/// destroyed before the interner itself.
+class KeyInterner {
+ public:
+  static constexpr std::uint32_t kNoId = 0xFFFFFFFFu;
+
+  KeyInterner() : slots_(kInitialSlots, kNoId) {}
+
+  /// Id of `key`, interning it on first sight.
+  std::uint32_t intern(std::string_view key) {
+    const std::uint64_t h = hash(key);
+    std::size_t i = h & (slots_.size() - 1);
+    while (slots_[i] != kNoId) {
+      if (keys_[slots_[i]] == key) return slots_[i];
+      i = (i + 1) & (slots_.size() - 1);
+    }
+    const auto id = static_cast<std::uint32_t>(keys_.size());
+    keys_.emplace_back(key);
+    slots_[i] = id;
+    // Grow at ~70% load so linear probing stays short.
+    if ((keys_.size() + 1) * 10 > slots_.size() * 7) grow();
+    return id;
+  }
+
+  /// Id of `key` if already interned, kNoId otherwise.
+  std::uint32_t find(std::string_view key) const noexcept {
+    const std::uint64_t h = hash(key);
+    std::size_t i = h & (slots_.size() - 1);
+    while (slots_[i] != kNoId) {
+      if (keys_[slots_[i]] == key) return slots_[i];
+      i = (i + 1) & (slots_.size() - 1);
+    }
+    return kNoId;
+  }
+
+  const std::string& key(std::uint32_t id) const noexcept { return keys_[id]; }
+  const std::string* key_ptr(std::uint32_t id) const noexcept { return &keys_[id]; }
+  std::size_t size() const noexcept { return keys_.size(); }
+
+ private:
+  static constexpr std::size_t kInitialSlots = 64;  // power of two
+
+  static std::uint64_t hash(std::string_view s) noexcept {
+    std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a, finished with mix64
+    for (const char c : s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 0x100000001b3ULL;
+    }
+    return mix64(h);
+  }
+
+  void grow() {
+    std::vector<std::uint32_t> next(slots_.size() * 2, kNoId);
+    for (std::uint32_t id = 0; id < keys_.size(); ++id) {
+      std::size_t i = hash(keys_[id]) & (next.size() - 1);
+      while (next[i] != kNoId) i = (i + 1) & (next.size() - 1);
+      next[i] = id;
+    }
+    slots_ = std::move(next);
+  }
+
+  std::deque<std::string> keys_;        ///< id -> canonical string (pointer-stable)
+  std::vector<std::uint32_t> slots_;    ///< open-addressing index, kNoId = empty
+};
+
+}  // namespace smartflux::ds

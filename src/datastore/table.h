@@ -1,67 +1,147 @@
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
-#include <map>
+#include <mutex>
 #include <optional>
 #include <string_view>
 #include <vector>
 
+#include "datastore/interner.h"
 #include "datastore/types.h"
 
 namespace smartflux::ds {
 
-/// A sparse, sorted, multi-versioned column-oriented table: a map indexed by
+/// A sparse, multi-versioned column-oriented table: cells indexed by
 /// (row, column, timestamp), modeled after BigTable/HBase. Cells keep up to
 /// `max_versions` timestamped versions, newest first.
 ///
-/// Thread-compatible: the owning DataStore serializes access per table.
+/// Representation (the hot-path layout): row and column keys are interned
+/// into dense `uint32_t` ids per table; cells live in structure-of-arrays
+/// storage addressed by an open-addressing hash index over the packed
+/// (row_id, col_id) key, with the `max_versions` version slots of each cell
+/// kept inline (no per-cell heap vector). Point ops are O(1) hash probes;
+/// scans walk a lazily rebuilt flat array of live cells sorted by
+/// (row, column) string order — the order the old tree-map scan produced.
+///
+/// Thread-compatible: the owning DataStore serializes writers exclusively
+/// and allows concurrent readers (scan's lazy order-index rebuild is
+/// internally synchronized so it is safe under concurrent readers).
 class Table {
  public:
   explicit Table(std::size_t max_versions = 2);
 
+  /// Zero-copy view of one live cell, as visited by `scan_cells`: `id`
+  /// packs the interner ids ((row_id << 32) | col_id); `row`/`col` point
+  /// into the interner storage (valid for the table's lifetime).
+  struct CellView {
+    std::uint64_t id = 0;
+    const std::string* row = nullptr;
+    const std::string* col = nullptr;
+    double value = 0.0;
+  };
+
   /// Writes a cell version. Timestamps must be non-decreasing per cell; an
   /// equal timestamp overwrites the newest version in place.
   /// Returns the previous latest value, if the cell existed.
-  std::optional<double> put(const RowKey& row, const ColumnKey& column, Timestamp ts,
+  std::optional<double> put(std::string_view row, std::string_view column, Timestamp ts,
                             double value);
 
   /// Removes a cell entirely (all versions). Returns the removed latest value.
-  std::optional<double> erase(const RowKey& row, const ColumnKey& column);
+  std::optional<double> erase(std::string_view row, std::string_view column);
 
   /// Latest version of a cell, if present.
-  std::optional<double> get(const RowKey& row, const ColumnKey& column) const;
+  std::optional<double> get(std::string_view row, std::string_view column) const;
 
   /// Version immediately preceding the latest, if retained.
-  std::optional<double> get_previous(const RowKey& row, const ColumnKey& column) const;
+  std::optional<double> get_previous(std::string_view row, std::string_view column) const;
 
   /// Full retained history, newest first.
-  std::vector<CellVersion> versions(const RowKey& row, const ColumnKey& column) const;
+  std::vector<CellVersion> versions(std::string_view row, std::string_view column) const;
+
+  /// Visits every live cell in (row, column) string order with zero-copy
+  /// key views — the primitive scans and snapshots are built from.
+  /// Templated so the per-cell call inlines into the caller's loop.
+  template <typename Visitor>
+  void scan_cells(Visitor&& visit) const {
+    ensure_sorted();
+    for (const std::uint32_t cell : sorted_) {
+      CellView view;
+      view.id = pack(cell_row_[cell], cell_col_[cell]);
+      view.row = rows_.key_ptr(cell_row_[cell]);
+      view.col = cols_.key_ptr(cell_col_[cell]);
+      view.value = version_slots_[static_cast<std::size_t>(cell) * max_versions_].value;
+      visit(view);
+    }
+  }
 
   /// Visits every latest cell of the given column in row order.
-  void scan_column(const ColumnKey& column,
+  void scan_column(std::string_view column,
                    const std::function<void(const RowKey&, double)>& visit) const;
 
   /// Visits every latest cell in the table in (row, column) order.
   void scan(const std::function<void(const RowKey&, const ColumnKey&, double)>& visit) const;
 
   /// Latest values of a column, in row order (dense snapshot).
-  std::vector<double> column_values(const ColumnKey& column) const;
+  std::vector<double> column_values(std::string_view column) const;
 
-  std::size_t row_count() const noexcept { return rows_.size(); }
-  std::size_t cell_count() const noexcept { return cell_count_; }
+  std::size_t row_count() const noexcept { return live_rows_; }
+  std::size_t cell_count() const noexcept { return live_cells_; }
   std::size_t max_versions() const noexcept { return max_versions_; }
-  bool empty() const noexcept { return rows_.empty(); }
+  bool empty() const noexcept { return live_cells_ == 0; }
+
+  /// Removes every cell. Interned keys (and their ids) survive, so key
+  /// views held by outstanding FlatSnapshots stay valid.
   void clear() noexcept;
 
  private:
-  // Newest-first bounded version list.
-  using Cell = std::vector<CellVersion>;
-  using Columns = std::map<ColumnKey, Cell>;
+  static constexpr std::uint32_t kNoCell = 0xFFFFFFFFu;    ///< empty index slot
+  static constexpr std::uint32_t kTombstone = 0xFFFFFFFEu; ///< erased index slot
+
+  static constexpr std::uint64_t pack(std::uint32_t row, std::uint32_t col) noexcept {
+    return (static_cast<std::uint64_t>(row) << 32) | col;
+  }
+
+  /// Cell index for (row_id, col_id), or kNoCell.
+  std::uint32_t find_cell(std::uint32_t row_id, std::uint32_t col_id) const noexcept;
+  std::uint32_t find_cell(std::string_view row, std::string_view column) const noexcept;
+  void index_insert(std::uint64_t key, std::uint32_t cell);
+  void grow_index();
+  /// (Re)builds `sorted_` if a structural change invalidated it. Safe under
+  /// concurrent readers; see the .cpp for the synchronization argument.
+  void ensure_sorted() const;
 
   std::size_t max_versions_;
-  std::map<RowKey, Columns> rows_;
-  std::size_t cell_count_ = 0;
+
+  KeyInterner rows_;
+  KeyInterner cols_;
+
+  // SoA cell storage: cell i's versions occupy
+  // version_slots_[i * max_versions_ .. (i + 1) * max_versions_), newest
+  // first, with cell_nver_[i] of them valid (0 = erased cell, reusable).
+  std::vector<std::uint32_t> cell_row_;
+  std::vector<std::uint32_t> cell_col_;
+  std::vector<std::uint32_t> cell_nver_;
+  std::vector<CellVersion> version_slots_;
+  std::vector<std::uint32_t> free_cells_;
+
+  // Open-addressing index: packed (row, col) key -> cell.
+  std::vector<std::uint64_t> idx_key_;
+  std::vector<std::uint32_t> idx_cell_;
+  std::size_t idx_used_ = 0;  ///< occupied slots including tombstones
+
+  std::vector<std::uint32_t> row_live_;  ///< live cells per row id
+  std::size_t live_rows_ = 0;
+  std::size_t live_cells_ = 0;
+
+  // Live cells in (row, column) string order, rebuilt lazily on first scan
+  // after a structural change (new/erased cell). Value updates do not
+  // invalidate it.
+  mutable std::vector<std::uint32_t> sorted_;
+  mutable std::atomic<bool> sorted_valid_{false};
+  mutable std::mutex sorted_mutex_;
 };
 
 }  // namespace smartflux::ds

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 namespace smartflux::ds {
 
@@ -22,6 +23,15 @@ struct CellVersion {
   double value = 0.0;
 
   friend bool operator==(const CellVersion&, const CellVersion&) = default;
+};
+
+/// One cell write inside a DataStore::put_batch. The key views are not
+/// owned: they only need to stay valid for the duration of the
+/// (synchronous) call, so callers can batch without copying keys.
+struct PutOp {
+  std::string_view row;
+  std::string_view column;
+  double value = 0.0;
 };
 
 /// Kind of mutation applied to a cell, reported to write observers.

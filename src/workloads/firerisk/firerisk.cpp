@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <utility>
+#include <vector>
 #include <string>
 
 #include "common/error.h"
@@ -124,14 +126,25 @@ wms::WorkflowSpec FireRiskWorkload::make_workflow() const {
     s.outputs = {ds::ContainerRef::whole_table("sensors")};
     s.fn = [p](wms::StepContext& ctx) {
       FireRiskWorkload gen{*p};
+      // Whole-grid ingest as one batch (one lock acquisition, one observer
+      // snapshot). Rows are materialized before the non-owning PutOps.
+      std::vector<std::string> rows;
+      rows.reserve(p->grid * p->grid);
+      for (std::size_t x = 0; x < p->grid; ++x) {
+        for (std::size_t y = 0; y < p->grid; ++y) rows.push_back(sensor_row(x, y));
+      }
+      std::vector<ds::PutOp> ops;
+      ops.reserve(rows.size() * 3);
+      std::size_t i = 0;
       for (std::size_t x = 0; x < p->grid; ++x) {
         for (std::size_t y = 0; y < p->grid; ++y) {
-          const auto row = sensor_row(x, y);
-          ctx.client.put("sensors", row, "temp", gen.temperature(x, y, ctx.wave));
-          ctx.client.put("sensors", row, "precip", gen.precipitation(x, y, ctx.wave));
-          ctx.client.put("sensors", row, "wind", gen.wind(x, y, ctx.wave));
+          const std::string& row = rows[i++];
+          ops.push_back({row, "temp", gen.temperature(x, y, ctx.wave)});
+          ops.push_back({row, "precip", gen.precipitation(x, y, ctx.wave)});
+          ops.push_back({row, "wind", gen.wind(x, y, ctx.wave)});
         }
       }
+      ctx.client.put_batch("sensors", ops);
     };
     steps.push_back(std::move(s));
   }

@@ -5,6 +5,7 @@
 #include "common/error.h"
 #include "common/hashing.h"
 #include "core/change_metric.h"
+#include "datastore/datastore.h"
 
 namespace smartflux::core {
 namespace {
@@ -197,6 +198,91 @@ TEST_P(MetricProperty, Eq1ScalesWithMagnitude) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MetricProperty, ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// --- Flat-snapshot equivalence -------------------------------------------
+// The FlatSnapshot overload of compute_change must produce bit-identical
+// values to the map overload: same element classification, same visit order
+// (so even floating-point summation order matches).
+
+class FlatEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FlatEquivalence, SameStoreMatchesMapPath) {
+  const std::uint64_t seed = GetParam();
+  ds::DataStore store;
+  const auto container = ds::ContainerRef::whole_table("t");
+  for (int i = 0; i < 40; ++i) {
+    store.put("t", "r" + std::to_string(i % 13), "c" + std::to_string(i % 5), 1,
+              100.0 * hash_unit(seed, 1, static_cast<std::uint64_t>(i)));
+  }
+  const auto prev_map = store.snapshot(container);
+  const auto prev_flat = store.snapshot_flat(container);
+  // Second wave: modify some cells, insert new ones, delete a few.
+  for (int i = 0; i < 25; ++i) {
+    store.put("t", "r" + std::to_string(i % 17), "c" + std::to_string(i % 7), 2,
+              100.0 * hash_unit(seed, 2, static_cast<std::uint64_t>(i)));
+  }
+  store.erase("t", "r1", "c1", 2);
+  store.erase("t", "r2", "c2", 2);
+  const auto cur_map = store.snapshot(container);
+  const auto cur_flat = store.snapshot_flat(container);
+  ASSERT_EQ(cur_map.size(), cur_flat.size());
+
+  for (auto kind : {ImpactKind::kMagnitudeCount, ImpactKind::kRelative}) {
+    auto m = make_impact_metric(kind);
+    EXPECT_EQ(compute_change(cur_flat, prev_flat, *m), compute_change(cur_map, prev_map, *m));
+  }
+  for (auto kind : {ErrorKind::kRelative, ErrorKind::kRmse}) {
+    auto m = make_error_metric(kind, 100.0);
+    EXPECT_EQ(compute_change(cur_flat, prev_flat, *m), compute_change(cur_map, prev_map, *m));
+  }
+}
+
+TEST_P(FlatEquivalence, CrossStoreMatchesMapPath) {
+  // Snapshots from two different stores (the experiment's shadow-vs-adaptive
+  // comparison): no shared keyspace, so the merge-join uses string compares.
+  const std::uint64_t seed = GetParam();
+  ds::DataStore fresh_store, stale_store;
+  const auto container = ds::ContainerRef::whole_table("t");
+  for (int i = 0; i < 30; ++i) {
+    const auto row = "r" + std::to_string(i);
+    fresh_store.put("t", row, "c", 1, 10.0 * hash_unit(seed, 3, static_cast<std::uint64_t>(i)));
+    if (i % 4 != 0) {
+      stale_store.put("t", row, "c", 1,
+                      10.0 * hash_unit(seed, 4, static_cast<std::uint64_t>(i)));
+    }
+  }
+  stale_store.put("t", "z_extra", "c", 1, 5.0);  // only in stale (a delete)
+
+  const auto fresh_flat = fresh_store.snapshot_flat(container);
+  const auto stale_flat = stale_store.snapshot_flat(container);
+  EXPECT_NE(fresh_flat.keyspace(), stale_flat.keyspace());
+  const auto fresh_map = fresh_store.snapshot(container);
+  const auto stale_map = stale_store.snapshot(container);
+
+  for (auto kind : {ErrorKind::kRelative, ErrorKind::kRmse}) {
+    auto m = make_error_metric(kind, 10.0);
+    EXPECT_EQ(compute_change(fresh_flat, stale_flat, *m),
+              compute_change(fresh_map, stale_map, *m));
+  }
+}
+
+TEST(FlatEquivalence, HandComputedInsertModifyDelete) {
+  ds::DataStore store;
+  const auto container = ds::ContainerRef::whole_table("t");
+  store.put("t", "a", "c", 1, 3.0);  // will be modified to 5.0 (diff 2)
+  store.put("t", "b", "c", 1, 4.0);  // will be deleted (diff 4)
+  const auto prev = store.snapshot_flat(container);
+  store.put("t", "a", "c", 2, 5.0);
+  store.erase("t", "b", "c", 2);
+  store.put("t", "d", "c", 2, 7.0);  // inserted (diff 7)
+  const auto cur = store.snapshot_flat(container);
+
+  // Eq. 1: (2 + 4 + 7) * 3 modified = 39.
+  MagnitudeCountImpact m;
+  EXPECT_EQ(compute_change(cur, prev, m), 39.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlatEquivalence, ::testing::Values(1, 2, 3, 7));
 
 }  // namespace
 }  // namespace smartflux::core

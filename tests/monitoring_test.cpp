@@ -109,6 +109,42 @@ TEST(ContainerTracker, ScopedToColumn) {
   EXPECT_EQ(tracker.observe(store), 5.0);
 }
 
+TEST(ContainerTracker, FlatSeriesMatchesMapBasedSeries) {
+  // The tracker (flat-snapshot path) must produce the exact per-wave series a
+  // manual map-snapshot accumulation does, in both modes — byte-identical
+  // doubles, not just near.
+  for (auto mode : {AccumulationMode::kCumulative, AccumulationMode::kCancelling}) {
+    ds::DataStore store;
+    const auto container = ds::ContainerRef::whole_table("t");
+    ContainerTracker tracker(container, make_impact_metric(ImpactKind::kRelative), mode);
+    tracker.reset(store);
+
+    auto metric = make_impact_metric(ImpactKind::kRelative);
+    std::map<std::string, double> last_seen, baseline;
+    double accumulated = 0.0;
+
+    for (ds::Timestamp wave = 1; wave <= 8; ++wave) {
+      for (int i = 0; i < 12; ++i) {
+        if ((static_cast<int>(wave) + i) % 3 == 0) continue;  // some cells idle
+        store.put("t", "r" + std::to_string(i), "c", wave,
+                  static_cast<double>(wave * 7 + i) * 0.25);
+      }
+      if (wave == 4) store.erase("t", "r5", "c", wave);
+
+      const auto current = store.snapshot(container);
+      double expected;
+      if (mode == AccumulationMode::kCumulative) {
+        accumulated += compute_change(current, last_seen, *metric);
+        expected = accumulated;
+      } else {
+        expected = compute_change(current, baseline, *metric);
+      }
+      last_seen = current;
+      EXPECT_EQ(tracker.observe(store), expected) << "wave " << wave;
+    }
+  }
+}
+
 TEST(StepMonitor, CombinesMultipleInputsGeometrically) {
   ds::DataStore store;
   StepMonitor::Options opts;
