@@ -53,6 +53,73 @@ void FaultInjector::on_attempt(const std::string& step_id, std::uint64_t wave,
   }
 }
 
+FaultInjector& FaultInjector::add_disk_rule(DiskFaultRule rule) {
+  SF_CHECK(rule.probability >= 0.0 && rule.probability <= 1.0,
+           "disk fault probability must be in [0, 1]");
+  SF_CHECK(rule.first_record <= rule.last_record, "disk fault rule record range is inverted");
+  disk_rules_.push_back(std::move(rule));
+  return *this;
+}
+
+namespace {
+/// Domain-separates disk-fault draws from step-fault draws sharing a seed.
+constexpr std::uint64_t kDiskSalt = 0x6469736b66617ULL;
+
+std::uint64_t tag_hash(std::string_view tag) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : tag) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+}  // namespace
+
+bool FaultInjector::disk_matches(const DiskFaultRule& rule, std::size_t rule_index,
+                                 std::string_view file_tag, std::uint64_t seq) const {
+  if (!rule.file_tag.empty() && rule.file_tag != file_tag) return false;
+  if (seq < rule.first_record || seq > rule.last_record) return false;
+  if (rule.probability >= 1.0) return true;
+  // Stateless draw: independent of call order and thread interleaving.
+  return hash_unit(seed_ ^ kDiskSalt ^ (rule_index + 1), tag_hash(file_tag), seq) <
+         rule.probability;
+}
+
+DiskWriteFault FaultInjector::disk_write_fault(std::string_view file_tag,
+                                               std::uint64_t record_seq) const {
+  for (std::size_t i = 0; i < disk_rules_.size(); ++i) {
+    const DiskFaultRule& rule = disk_rules_[i];
+    if (rule.kind == DiskFaultKind::kFsyncFail) continue;  // handled via disk_fsync_fault
+    if (!disk_matches(rule, i, file_tag, record_seq)) continue;
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    switch (rule.kind) {
+      case DiskFaultKind::kTornWrite: return DiskWriteFault::kTornWrite;
+      case DiskFaultKind::kShortWrite: return DiskWriteFault::kShortWrite;
+      default: return DiskWriteFault::kCrash;
+    }
+  }
+  return DiskWriteFault::kNone;
+}
+
+bool FaultInjector::disk_fsync_fault(std::string_view file_tag, std::uint64_t sync_seq) const {
+  for (std::size_t i = 0; i < disk_rules_.size(); ++i) {
+    const DiskFaultRule& rule = disk_rules_[i];
+    if (rule.kind != DiskFaultKind::kFsyncFail) continue;
+    if (!disk_matches(rule, i, file_tag, sync_seq)) continue;
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+std::size_t FaultInjector::torn_write_bytes(std::string_view file_tag, std::uint64_t record_seq,
+                                            std::size_t total_bytes) const noexcept {
+  if (total_bytes < 2) return total_bytes;
+  return 1 + static_cast<std::size_t>(hash64(seed_ ^ kDiskSalt, tag_hash(file_tag),
+                                             record_seq) %
+                                      (total_bytes - 1));
+}
+
 bool FaultInjector::should_fail_put(const std::string& step_id, std::uint64_t wave,
                                     std::size_t attempt) const {
   for (std::size_t i = 0; i < rules_.size(); ++i) {

@@ -2,8 +2,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstddef>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/cancellation.h"
@@ -51,15 +53,58 @@ struct FaultRule {
   std::string message = "injected fault";
 };
 
+/// What an activated disk-fault rule does to the matched record append or
+/// fsync of a durable sink (the datastore WAL, the journal sink).
+enum class DiskFaultKind {
+  /// The append writes only a deterministic prefix of the record's bytes and
+  /// then dies (throws InjectedFault) — a power cut mid-write. Recovery must
+  /// tolerate the partial trailing record.
+  kTornWrite,
+  /// The append writes everything but the final byte and dies — the
+  /// boundary case of a torn write (checksum present but wrong length).
+  kShortWrite,
+  /// The matched fsync call throws InjectedFault. Sinks must treat this as
+  /// fatal for the file (fsyncgate: retrying is not safe).
+  kFsyncFail,
+  /// The append dies *before* writing any byte of the matched record — the
+  /// crash-at-record-N primitive the crash-matrix harness sweeps.
+  kCrash,
+};
+
+/// One disk chaos scenario, matched against (file_tag, record_seq) — the
+/// sink's tag ("wal", "journal") and its zero-based append/sync sequence
+/// number. Same determinism guarantee as FaultRule: probabilistic draws come
+/// from a stateless hash of (seed, rule, tag, seq), so the schedule is
+/// byte-identical at any thread count and call order.
+struct DiskFaultRule {
+  DiskFaultKind kind = DiskFaultKind::kCrash;
+  /// Exact sink tag to fault; empty matches every sink.
+  std::string file_tag;
+  /// Inclusive record/sync sequence range the rule is active in.
+  std::uint64_t first_record = 0;
+  std::uint64_t last_record = ~std::uint64_t{0};
+  /// Activation probability per (tag, seq), deterministic per seed.
+  double probability = 1.0;
+  std::string message = "injected disk fault";
+};
+
+/// Outcome of querying the disk-fault schedule for one record append.
+enum class DiskWriteFault : std::uint8_t { kNone, kTornWrite, kShortWrite, kCrash };
+
 /// Deterministic, seeded fault-injection layer. Hooked into the workflow
-/// engine (step attempts) and the per-attempt datastore client (writes);
-/// inert when no rule matches, so it can stay wired in production configs.
+/// engine (step attempts), the per-attempt datastore client (writes), and
+/// the durable sinks (WAL/journal record appends and fsyncs); inert when no
+/// rule matches, so it can stay wired in production configs.
 class FaultInjector {
  public:
   explicit FaultInjector(std::uint64_t seed = 0) noexcept : seed_(seed) {}
 
   FaultInjector& add_rule(FaultRule rule);
-  void clear_rules() { rules_.clear(); }
+  FaultInjector& add_disk_rule(DiskFaultRule rule);
+  void clear_rules() {
+    rules_.clear();
+    disk_rules_.clear();
+  }
   std::uint64_t seed() const noexcept { return seed_; }
 
   /// Engine hook, called at the start of every step attempt. Throws
@@ -72,7 +117,24 @@ class FaultInjector {
   bool should_fail_put(const std::string& step_id, std::uint64_t wave,
                        std::size_t attempt) const;
 
-  /// Total faults activated so far (throws, hangs, and failed-put attempts).
+  /// Durable-sink hook, queried once per record append (`record_seq` is the
+  /// sink's zero-based append counter). Returns the first matching write
+  /// fault, kNone otherwise. Counting a hit is the only side effect; acting
+  /// on it (partial write + throw) is the sink's job.
+  DiskWriteFault disk_write_fault(std::string_view file_tag, std::uint64_t record_seq) const;
+
+  /// Durable-sink hook, queried once per fsync (`sync_seq` is the sink's
+  /// zero-based sync counter). True = the sink must fail this fsync.
+  bool disk_fsync_fault(std::string_view file_tag, std::uint64_t sync_seq) const;
+
+  /// For a torn write of `total_bytes`: how many bytes actually reach the
+  /// file. Deterministic in (seed, tag, seq); always in [1, total_bytes - 1]
+  /// (for total_bytes >= 2), so the record is genuinely partial.
+  std::size_t torn_write_bytes(std::string_view file_tag, std::uint64_t record_seq,
+                               std::size_t total_bytes) const noexcept;
+
+  /// Total faults activated so far (throws, hangs, failed-put attempts, and
+  /// disk faults).
   std::size_t injected_count() const noexcept {
     return injected_.load(std::memory_order_relaxed);
   }
@@ -80,9 +142,12 @@ class FaultInjector {
  private:
   bool matches(const FaultRule& rule, std::size_t rule_index, const std::string& step_id,
                std::uint64_t wave, std::size_t attempt) const;
+  bool disk_matches(const DiskFaultRule& rule, std::size_t rule_index,
+                    std::string_view file_tag, std::uint64_t seq) const;
 
   std::uint64_t seed_;
   std::vector<FaultRule> rules_;
+  std::vector<DiskFaultRule> disk_rules_;
   mutable std::atomic<std::size_t> injected_{0};
 };
 

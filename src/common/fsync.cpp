@@ -1,0 +1,90 @@
+#include "common/fsync.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/error.h"
+
+namespace smartflux {
+
+namespace {
+std::string errno_suffix() { return std::string(": ") + std::strerror(errno); }
+}  // namespace
+
+void fsync_path(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) throw Error("fsync_path: cannot open '" + path + "'" + errno_suffix());
+  const int rc = ::fsync(fd);
+  const int saved = errno;
+  ::close(fd);
+  if (rc != 0) {
+    errno = saved;
+    throw Error("fsync failed for '" + path + "'" + errno_suffix());
+  }
+}
+
+void fsync_dir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) throw Error("fsync_dir: cannot open '" + dir + "'" + errno_suffix());
+  const int rc = ::fsync(fd);
+  const int saved = errno;
+  ::close(fd);
+  if (rc != 0) {
+    errno = saved;
+    throw Error("fsync failed for directory '" + dir + "'" + errno_suffix());
+  }
+}
+
+SyncFile::~SyncFile() { close(); }
+
+SyncFile::SyncFile(SyncFile&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), path_(std::move(other.path_)) {}
+
+SyncFile& SyncFile::operator=(SyncFile&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    path_ = std::move(other.path_);
+  }
+  return *this;
+}
+
+SyncFile SyncFile::open_append(const std::string& path) {
+  SyncFile f;
+  f.fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (f.fd_ < 0) {
+    throw Error("SyncFile: cannot open '" + path + "' for append" + errno_suffix());
+  }
+  f.path_ = path;
+  return f;
+}
+
+void SyncFile::write_all(const void* data, std::size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    const ssize_t written = ::write(fd_, p, n);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      throw Error("write failed for '" + path_ + "'" + errno_suffix());
+    }
+    p += written;
+    n -= static_cast<std::size_t>(written);
+  }
+}
+
+void SyncFile::sync() {
+  if (::fsync(fd_) != 0) throw Error("fsync failed for '" + path_ + "'" + errno_suffix());
+}
+
+void SyncFile::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace smartflux

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace smartflux {
+
+/// Durable-write primitives shared by every on-disk sink (the datastore WAL,
+/// checkpoint files, the wave journal). All failures throw smartflux::Error
+/// with the path in the message — an fsync error is never swallowed, because
+/// a failed fsync leaves the page cache state undefined ("fsyncgate"): the
+/// only safe reaction is to stop trusting the file.
+
+/// fsync the file at `path` (opens a transient descriptor). The data must
+/// already be in the page cache (e.g. via std::ofstream::flush) — this pushes
+/// it to stable storage.
+void fsync_path(const std::string& path);
+
+/// fsync the directory itself, making previously created/renamed/unlinked
+/// entries durable. Required after the create-temp + rename checkpoint dance.
+void fsync_dir(const std::string& dir);
+
+/// Thin RAII append-only file handle over a POSIX descriptor: the WAL's
+/// backing file. write_all loops over partial writes; sync() is fsync.
+/// Move-only; the destructor closes without syncing (matching what a crash
+/// would leave behind — durability points are always explicit).
+class SyncFile {
+ public:
+  SyncFile() = default;
+  ~SyncFile();
+
+  SyncFile(SyncFile&& other) noexcept;
+  SyncFile& operator=(SyncFile&& other) noexcept;
+  SyncFile(const SyncFile&) = delete;
+  SyncFile& operator=(const SyncFile&) = delete;
+
+  /// Opens (creating if needed) for appending.
+  static SyncFile open_append(const std::string& path);
+
+  bool is_open() const noexcept { return fd_ >= 0; }
+  const std::string& path() const noexcept { return path_; }
+
+  /// Appends exactly `n` bytes (looping over short writes). Throws Error on
+  /// any write failure.
+  void write_all(const void* data, std::size_t n);
+
+  /// fsync. Throws Error on failure.
+  void sync();
+
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+}  // namespace smartflux

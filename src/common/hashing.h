@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 namespace smartflux {
@@ -30,6 +31,40 @@ constexpr std::uint64_t hash64(std::uint64_t seed, std::uint64_t a, std::uint64_
 constexpr double hash_unit(std::uint64_t seed, std::uint64_t a, std::uint64_t b = 0,
                            std::uint64_t c = 0, std::uint64_t d = 0) noexcept {
   return static_cast<double>(hash64(seed, a, b, c, d) >> 11) * 0x1.0p-53;
+}
+
+namespace detail {
+/// Slice-by-1 CRC32C (Castagnoli) lookup table, built at compile time.
+struct Crc32cTable {
+  std::uint32_t entry[256] = {};
+  constexpr Crc32cTable() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? (0x82f63b78u ^ (c >> 1)) : (c >> 1);
+      }
+      entry[i] = c;
+    }
+  }
+};
+inline constexpr Crc32cTable kCrc32cTable{};
+}  // namespace detail
+
+/// CRC32C (Castagnoli polynomial, the checksum HBase/LevelDB/etc. frame WAL
+/// records with). Software table-driven implementation — portable, no SSE4.2
+/// requirement. Chainable: pass a previous result as `seed` to checksum data
+/// split across buffers.
+constexpr std::uint32_t crc32c(const char* data, std::size_t n,
+                               std::uint32_t seed = 0) noexcept {
+  std::uint32_t c = seed ^ 0xffffffffu;
+  for (std::size_t i = 0; i < n; ++i) {
+    c = detail::kCrc32cTable.entry[(c ^ static_cast<unsigned char>(data[i])) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+inline std::uint32_t crc32c(const void* data, std::size_t n, std::uint32_t seed = 0) noexcept {
+  return crc32c(static_cast<const char*>(data), n, seed);
 }
 
 /// Piecewise-linear "smooth noise" in [-1, 1]: interpolates hash values at

@@ -331,6 +331,11 @@ void SmartFluxEngine::resume_from_journal(const wms::WaveJournal& journal) {
   set_phase(Phase::kApplication);
 }
 
+void SmartFluxEngine::resume_from_journal(const wms::WaveJournal& journal,
+                                          ds::Timestamp data_durable_through) {
+  resume_from_journal(journal.truncated_to(data_durable_through));
+}
+
 const KnowledgeBase& SmartFluxEngine::knowledge_base() const {
   if (!trainer_) throw StateError("no training phase has run yet");
   return trainer_->knowledge_base();

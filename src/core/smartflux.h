@@ -123,6 +123,17 @@ class SmartFluxEngine {
   /// the journal's last completed wave. Requires build_model() first.
   void resume_from_journal(const wms::WaveJournal& journal);
 
+  /// Crash-consistent resume alongside a durable datastore: restores the
+  /// engine only through `data_durable_through` — pass the recovered store's
+  /// last durable wave (RecoveryInfo::last_durable_wave, or 0 when none) —
+  /// discarding journal records whose data did not survive the crash. This
+  /// is the wave-boundary rule: a wave counts as recovered iff its data
+  /// commit AND its journal record are both on disk, so both layers resume
+  /// at the min of the two. Callers that keep appending to the same journal
+  /// should truncate their copy too (WaveJournal::truncated_to) before
+  /// re-attaching it.
+  void resume_from_journal(const wms::WaveJournal& journal, ds::Timestamp data_durable_through);
+
   Phase phase() const noexcept { return phase_; }
   const KnowledgeBase& knowledge_base() const;
   const Predictor& predictor() const noexcept { return predictor_; }

@@ -1,0 +1,193 @@
+#include "datastore/checkpoint.h"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.h"
+#include "common/fsync.h"
+#include "common/hashing.h"
+
+namespace smartflux::ds {
+
+namespace {
+
+constexpr char kMagic[8] = {'s', 'f', 'c', 'k', 'p', 't', 'v', '1'};
+
+void put_u32(std::string& out, std::uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out.append(buf, 4);
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out.append(buf, 8);
+}
+
+void put_f64(std::string& out, double v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out.append(buf, 8);
+}
+
+void put_str(std::string& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s);
+}
+
+class Decoder {
+ public:
+  Decoder(const char* data, std::size_t n) : p_(data), end_(data + n) {}
+
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v;
+    std::memcpy(&v, p_, 4);
+    p_ += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v;
+    std::memcpy(&v, p_, 8);
+    p_ += 8;
+    return v;
+  }
+  double f64() {
+    need(8);
+    double v;
+    std::memcpy(&v, p_, 8);
+    p_ += 8;
+    return v;
+  }
+  std::string str() {
+    const std::uint32_t n = u32();
+    need(n);
+    std::string s(p_, n);
+    p_ += n;
+    return s;
+  }
+  bool exhausted() const noexcept { return p_ == end_; }
+  bool ok() const noexcept { return ok_; }
+
+ private:
+  void need(std::size_t n) {
+    if (static_cast<std::size_t>(end_ - p_) < n) {
+      ok_ = false;
+      throw Error("checkpoint body underrun");
+    }
+  }
+
+  const char* p_;
+  const char* end_;
+  bool ok_ = true;
+};
+
+std::string encode(const CheckpointImage& image) {
+  std::string body;
+  put_u64(body, image.max_versions);
+  put_u64(body, image.wal_cut_segment);
+  put_u64(body, image.last_committed_wave);
+  put_u32(body, image.has_committed_wave ? 1 : 0);
+  put_u32(body, static_cast<std::uint32_t>(image.tables.size()));
+  for (const CheckpointTable& table : image.tables) {
+    put_str(body, table.name);
+    put_u64(body, table.cells.size());
+    for (const CheckpointTable::Cell& cell : table.cells) {
+      put_str(body, cell.row);
+      put_str(body, cell.column);
+      put_u32(body, static_cast<std::uint32_t>(cell.versions.size()));
+      for (const CellVersion& v : cell.versions) {
+        put_u64(body, v.timestamp);
+        put_f64(body, v.value);
+      }
+    }
+  }
+  return body;
+}
+
+CheckpointImage decode(const std::string& body) {
+  Decoder dec(body.data(), body.size());
+  CheckpointImage image;
+  image.max_versions = dec.u64();
+  image.wal_cut_segment = dec.u64();
+  image.last_committed_wave = dec.u64();
+  image.has_committed_wave = dec.u32() != 0;
+  const std::uint32_t table_count = dec.u32();
+  image.tables.reserve(table_count);
+  for (std::uint32_t t = 0; t < table_count; ++t) {
+    CheckpointTable table;
+    table.name = dec.str();
+    const std::uint64_t cell_count = dec.u64();
+    table.cells.reserve(cell_count);
+    for (std::uint64_t c = 0; c < cell_count; ++c) {
+      CheckpointTable::Cell cell;
+      cell.row = dec.str();
+      cell.column = dec.str();
+      const std::uint32_t nver = dec.u32();
+      cell.versions.reserve(nver);
+      for (std::uint32_t v = 0; v < nver; ++v) {
+        CellVersion ver;
+        ver.timestamp = dec.u64();
+        ver.value = dec.f64();
+        cell.versions.push_back(ver);
+      }
+      table.cells.push_back(std::move(cell));
+    }
+    image.tables.push_back(std::move(table));
+  }
+  if (!dec.exhausted()) throw Error("checkpoint body has trailing bytes");
+  return image;
+}
+
+}  // namespace
+
+void write_checkpoint_file(const std::string& path, const CheckpointImage& image) {
+  const std::string body = encode(image);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) throw Error("cannot open checkpoint temp file '" + tmp + "'");
+    os.write(kMagic, sizeof kMagic);
+    std::string header;
+    put_u64(header, body.size());
+    put_u32(header, crc32c(body.data(), body.size()));
+    os.write(header.data(), static_cast<std::streamsize>(header.size()));
+    os.write(body.data(), static_cast<std::streamsize>(body.size()));
+    os.flush();
+    if (!os) throw Error("checkpoint write failed for '" + tmp + "'");
+  }
+  fsync_path(tmp);
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    throw Error("checkpoint rename '" + tmp + "' -> '" + path + "' failed: " + ec.message());
+  }
+  fsync_dir(std::filesystem::path(path).parent_path().string());
+}
+
+std::optional<CheckpointImage> load_checkpoint_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return std::nullopt;
+  std::string data((std::istreambuf_iterator<char>(is)), std::istreambuf_iterator<char>());
+  if (is.bad()) return std::nullopt;
+  if (data.size() < sizeof kMagic + 12) return std::nullopt;
+  if (std::memcmp(data.data(), kMagic, sizeof kMagic) != 0) return std::nullopt;
+  std::uint64_t body_len = 0;
+  std::uint32_t crc = 0;
+  std::memcpy(&body_len, data.data() + sizeof kMagic, 8);
+  std::memcpy(&crc, data.data() + sizeof kMagic + 8, 4);
+  if (data.size() != sizeof kMagic + 12 + body_len) return std::nullopt;
+  const std::string body = data.substr(sizeof kMagic + 12);
+  if (crc32c(body.data(), body.size()) != crc) return std::nullopt;
+  try {
+    return decode(body);
+  } catch (const Error&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace smartflux::ds

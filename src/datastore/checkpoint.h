@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "datastore/types.h"
+
+namespace smartflux::ds {
+
+/// In-memory image of one checkpointed table: every live cell with its full
+/// retained version history (newest first, as Table::versions returns), in
+/// scan (row, column) order.
+struct CheckpointTable {
+  struct Cell {
+    std::string row;
+    std::string column;
+    std::vector<CellVersion> versions;  ///< newest first
+  };
+  std::string name;
+  std::vector<Cell> cells;
+};
+
+/// A complete store snapshot plus the WAL position it cuts at: recovery =
+/// load image + replay segments > wal_cut_segment.
+struct CheckpointImage {
+  std::uint64_t max_versions = 2;
+  /// Highest WAL segment whose effects are contained in the image.
+  std::uint64_t wal_cut_segment = 0;
+  /// Newest committed wave at the cut (0 = none committed yet).
+  std::uint64_t last_committed_wave = 0;
+  bool has_committed_wave = false;
+  std::vector<CheckpointTable> tables;
+};
+
+/// Writes the image durably: serialize (CRC32C-trailed binary) to
+/// `<path>.tmp`, fsync, rename over `path`, fsync the directory. A crash at
+/// any point leaves either the old checkpoint or the complete new one.
+void write_checkpoint_file(const std::string& path, const CheckpointImage& image);
+
+/// Loads and validates a checkpoint. Returns nullopt only for files that are
+/// structurally not a checkpoint or fail their checksum — the caller decides
+/// whether that is fatal (it is, for the newest checkpoint: older segments
+/// have already been deleted).
+std::optional<CheckpointImage> load_checkpoint_file(const std::string& path);
+
+}  // namespace smartflux::ds

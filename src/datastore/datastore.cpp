@@ -1,12 +1,80 @@
 #include "datastore/datastore.h"
 
+#include <algorithm>
 #include <chrono>
+#include <filesystem>
+#include <shared_mutex>
 
 #include "common/error.h"
+#include "common/logging.h"
+#include "datastore/checkpoint.h"
+#include "datastore/wal.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace smartflux::ds {
+
+const char* wal_flush_policy_name(WalFlushPolicy policy) noexcept {
+  switch (policy) {
+    case WalFlushPolicy::kEveryOp: return "every_op";
+    case WalFlushPolicy::kEveryBatch: return "every_batch";
+    case WalFlushPolicy::kEveryWave: return "every_wave";
+  }
+  return "?";
+}
+
+/// WAL writer + checkpoint bookkeeping. `wal_mutex` serializes appends and
+/// is a leaf lock: always acquired after the mutating thread's table lock
+/// (or the registry mutex for structural records), so WAL order equals apply
+/// order per table; across tables any serialization is a valid linearization.
+struct DataStore::Durability {
+  std::string dir;
+  DurabilityOptions options;
+  std::mutex wal_mutex;
+  std::unique_ptr<WalWriter> writer;           ///< guarded by wal_mutex
+  std::uint64_t segment_seq = 1;               ///< guarded by wal_mutex
+  std::optional<Timestamp> committed_wave;     ///< guarded by wal_mutex
+  std::size_t waves_since_checkpoint = 0;      ///< guarded by wal_mutex
+
+  // Metric handles (null = no registry attached). Wired from
+  // set_instrumentation's registry, falling back to options.metrics.
+  WalObs wal_obs;
+  obs::Counter* wave_commits = nullptr;
+  obs::Counter* checkpoints = nullptr;
+  obs::Histogram* checkpoint_duration = nullptr;
+
+  std::string segment_path(std::uint64_t seq) const {
+    return (std::filesystem::path(dir) / wal_segment_name(seq)).string();
+  }
+  std::string checkpoint_path(std::uint64_t cut) const {
+    return (std::filesystem::path(dir) / checkpoint_file_name(cut)).string();
+  }
+
+  void wire_metrics(obs::MetricsRegistry& reg) {
+    wal_obs.records = &reg.counter("sf_ds_wal_records_total", {}, "WAL records appended");
+    wal_obs.bytes =
+        &reg.counter("sf_ds_wal_bytes_total", {}, "WAL bytes appended (incl. framing)");
+    wal_obs.syncs = &reg.counter("sf_ds_wal_syncs_total", {}, "WAL fsync calls");
+    wal_obs.fsync_duration =
+        &reg.histogram("sf_ds_wal_fsync_duration_seconds", obs::duration_buckets(), {},
+                       "WAL fsync latency");
+    wave_commits =
+        &reg.counter("sf_ds_wave_commits_total", {}, "Wave-commit records stamped");
+    checkpoints = &reg.counter("sf_ds_checkpoints_total", {}, "Checkpoints written");
+    checkpoint_duration =
+        &reg.histogram("sf_ds_checkpoint_duration_seconds", obs::duration_buckets(), {},
+                       "Checkpoint capture + write duration");
+    if (writer) writer->set_obs(&wal_obs);
+  }
+
+  void unwire_metrics() {
+    wal_obs = WalObs{};
+    wave_commits = nullptr;
+    checkpoints = nullptr;
+    checkpoint_duration = nullptr;
+    if (writer) writer->set_obs(nullptr);
+  }
+};
 
 /// Handles resolved at attach time. Point ops (get/put/erase) always bump a
 /// counter; latency observation is sampled 1-in-2^shift so the per-cell hot
@@ -23,9 +91,11 @@ struct DataStore::StoreObs {
   obs::Histogram* batch_latency = nullptr;
   obs::Histogram* scan_latency = nullptr;
   obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* registry = nullptr;  ///< for late durability wiring
   std::uint64_t sample_mask = 63;
 
-  StoreObs(obs::MetricsRegistry& registry, obs::Tracer* tr, unsigned shift) : tracer(tr) {
+  StoreObs(obs::MetricsRegistry& registry, obs::Tracer* tr, unsigned shift)
+      : tracer(tr), registry(&registry) {
     sample_mask = (std::uint64_t{1} << shift) - 1;
     auto op_counter = [&registry](const char* op) {
       return &registry.counter("sf_ds_ops_total", {{"op", op}},
@@ -86,9 +156,17 @@ void DataStore::set_instrumentation(obs::MetricsRegistry* registry, obs::Tracer*
   SF_CHECK(latency_sample_shift < 32, "latency_sample_shift out of range");
   if (registry == nullptr) {
     obs_.reset();
+    if (durability_) {
+      std::lock_guard lock(durability_->wal_mutex);
+      durability_->unwire_metrics();
+    }
     return;
   }
   obs_ = std::make_unique<StoreObs>(*registry, tracer, latency_sample_shift);
+  if (durability_) {
+    std::lock_guard lock(durability_->wal_mutex);
+    durability_->wire_metrics(*registry);
+  }
 }
 
 std::shared_ptr<DataStore::TableEntry> DataStore::find_entry(const TableName& table) const {
@@ -126,6 +204,13 @@ std::shared_ptr<DataStore::TableEntry> DataStore::entry_for(const TableName& tab
   auto next = std::make_shared<TableMap>(*snap);
   auto entry = std::make_shared<TableEntry>(max_versions_);
   next->emplace(table, entry);
+  if (durability_) {
+    // Logged before the new registry snapshot is published, so the create
+    // record precedes every put record for this table in the log. If the
+    // append throws, the table was never created.
+    std::lock_guard wal_lock(durability_->wal_mutex);
+    durability_->writer->append_create_table(table);
+  }
   tables_.store(std::shared_ptr<const TableMap>(std::move(next)), std::memory_order_release);
   registry_gen_.store(next_registry_gen(), std::memory_order_release);
   return entry;
@@ -144,6 +229,12 @@ void DataStore::put(const TableName& table, const RowKey& row, const ColumnKey& 
   {
     std::unique_lock lock(entry->mutex);
     previous = entry->table.put(row, column, ts, value);
+    if (durability_) {
+      // Log under the table lock so WAL order matches apply order for this
+      // table; the WAL mutex is a leaf lock (see Durability).
+      std::lock_guard wal_lock(durability_->wal_mutex);
+      durability_->writer->append_put(table, row, column, ts, value);
+    }
   }
   if (observer_count_.load(std::memory_order_acquire) != 0) {
     const auto observers = observer_snapshot();
@@ -177,9 +268,25 @@ void DataStore::put_batch(const TableName& table, Timestamp ts, std::span<const 
   if (want_mutations) previous.reserve(ops.size());
   {
     std::unique_lock lock(entry->mutex);
-    for (const PutOp& op : ops) {
-      const auto prev = entry->table.put(op.row, op.column, ts, op.value);
-      if (want_mutations) previous.emplace_back(prev.value_or(0.0), prev.has_value());
+    std::size_t applied = 0;
+    try {
+      for (const PutOp& op : ops) {
+        const auto prev = entry->table.put(op.row, op.column, ts, op.value);
+        ++applied;
+        if (want_mutations) previous.emplace_back(prev.value_or(0.0), prev.has_value());
+      }
+    } catch (...) {
+      // A mid-batch failure (timestamp regression) leaves a prefix applied;
+      // log exactly that prefix so replay reproduces the in-memory state.
+      if (durability_ && applied > 0) {
+        std::lock_guard wal_lock(durability_->wal_mutex);
+        durability_->writer->append_batch(table, ts, ops.first(applied));
+      }
+      throw;
+    }
+    if (durability_) {
+      std::lock_guard wal_lock(durability_->wal_mutex);
+      durability_->writer->append_batch(table, ts, ops);
     }
   }
   if (want_mutations) {
@@ -208,6 +315,11 @@ void DataStore::erase(const TableName& table, const RowKey& row, const ColumnKey
   {
     std::unique_lock lock(entry->mutex);
     removed = entry->table.erase(row, column);
+    if (removed && durability_) {
+      // Erasing an absent cell is not a mutation, so it is not logged.
+      std::lock_guard wal_lock(durability_->wal_mutex);
+      durability_->writer->append_erase(table, row, column, ts);
+    }
   }
   if (!removed) return;
   if (observer_count_.load(std::memory_order_acquire) == 0) return;
@@ -354,15 +466,330 @@ void DataStore::drop_table(const TableName& table) {
   if (!snap->contains(table)) return;
   auto next = std::make_shared<TableMap>(*snap);
   next->erase(table);
+  if (durability_) {
+    std::lock_guard wal_lock(durability_->wal_mutex);
+    durability_->writer->append_drop_table(table);
+  }
   tables_.store(std::shared_ptr<const TableMap>(std::move(next)), std::memory_order_release);
   registry_gen_.store(next_registry_gen(), std::memory_order_release);
 }
 
 void DataStore::clear() {
   std::lock_guard lock(registry_mutex_);
+  if (durability_) {
+    std::lock_guard wal_lock(durability_->wal_mutex);
+    durability_->writer->append_clear();
+  }
   tables_.store(std::make_shared<const TableMap>(), std::memory_order_release);
   registry_gen_.store(next_registry_gen(), std::memory_order_release);
 }
+
+std::vector<CellVersion> DataStore::cell_versions(const TableName& table, const RowKey& row,
+                                                  const ColumnKey& column) const {
+  const auto entry = find_entry(table);
+  if (entry == nullptr) return {};
+  std::shared_lock lock(entry->mutex);
+  return entry->table.versions(row, column);
+}
+
+namespace {
+
+/// WAL segments and checkpoint cuts found in a data dir, each ascending.
+struct DirScan {
+  std::vector<std::uint64_t> segments;
+  std::vector<std::uint64_t> checkpoints;
+};
+
+DirScan scan_data_dir(const std::string& dir, bool remove_tmp) {
+  DirScan out;
+  std::error_code ec;
+  for (const auto& dirent : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = dirent.path().filename().string();
+    if (const auto seq = parse_wal_segment_name(name)) {
+      out.segments.push_back(*seq);
+    } else if (const auto cut = parse_checkpoint_file_name(name)) {
+      out.checkpoints.push_back(*cut);
+    } else if (remove_tmp && name.ends_with(".tmp")) {
+      // Leftover from a crash mid-checkpoint-write: never valid, never
+      // referenced.
+      std::error_code rm_ec;
+      std::filesystem::remove(dirent.path(), rm_ec);
+    }
+  }
+  if (ec) throw Error("cannot scan data dir '" + dir + "': " + ec.message());
+  std::sort(out.segments.begin(), out.segments.end());
+  std::sort(out.checkpoints.begin(), out.checkpoints.end());
+  return out;
+}
+
+/// Best-effort deletion of everything a durable checkpoint at `cut`
+/// supersedes: WAL segments <= cut and older checkpoints.
+void remove_superseded(const std::string& dir, std::uint64_t cut) {
+  std::error_code ec;
+  for (const auto& dirent : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = dirent.path().filename().string();
+    bool superseded = false;
+    if (const auto seq = parse_wal_segment_name(name)) superseded = *seq <= cut;
+    if (const auto ck = parse_checkpoint_file_name(name)) superseded = *ck < cut;
+    if (superseded) {
+      std::error_code rm_ec;
+      std::filesystem::remove(dirent.path(), rm_ec);
+    }
+  }
+}
+
+}  // namespace
+
+void DataStore::enable_durability(const std::string& dir, DurabilityOptions options) {
+  SF_CHECK(durability_ == nullptr, "durability is already enabled on this store");
+  SF_CHECK(tables_.load(std::memory_order_acquire)->empty(),
+           "enable_durability requires an empty store; attach to an existing data dir "
+           "with DataStore::recover");
+  std::filesystem::create_directories(dir);
+  const DirScan found = scan_data_dir(dir, /*remove_tmp=*/false);
+  if (!found.segments.empty() || !found.checkpoints.empty()) {
+    throw InvalidArgument("data dir '" + dir +
+                          "' already holds WAL/checkpoint files; use DataStore::recover");
+  }
+  auto durability = std::make_unique<Durability>();
+  durability->dir = dir;
+  durability->options = options;
+  durability->segment_seq = 1;
+  durability->writer = std::make_unique<WalWriter>(durability->segment_path(1), options.flush,
+                                                   options.fault_injector);
+  attach_durability(std::move(durability));
+}
+
+void DataStore::attach_durability(std::unique_ptr<Durability> durability) {
+  durability_ = std::move(durability);
+  obs::MetricsRegistry* registry =
+      obs_ != nullptr ? obs_->registry : durability_->options.metrics;
+  if (registry != nullptr) durability_->wire_metrics(*registry);
+}
+
+void DataStore::replay_record(const WalRecord& record) {
+  switch (record.kind) {
+    case WalRecordKind::kPut:
+      put(record.table, record.row, record.column, record.ts, record.value);
+      break;
+    case WalRecordKind::kPutBatch: {
+      std::vector<PutOp> ops;
+      ops.reserve(record.batch.size());
+      for (const WalRecord::BatchOp& op : record.batch) {
+        ops.push_back(PutOp{op.row, op.column, op.value});
+      }
+      put_batch(record.table, record.ts, ops);
+      break;
+    }
+    case WalRecordKind::kErase:
+      erase(record.table, record.row, record.column, record.ts);
+      break;
+    case WalRecordKind::kCreateTable:
+      entry_for(record.table);
+      break;
+    case WalRecordKind::kDropTable:
+      drop_table(record.table);
+      break;
+    case WalRecordKind::kClear:
+      clear();
+      break;
+    case WalRecordKind::kWaveCommit:
+      break;  // tracked by recover() itself
+  }
+}
+
+std::unique_ptr<DataStore> DataStore::recover(const std::string& dir, DurabilityOptions options,
+                                              std::size_t max_versions, RecoveryInfo* info) {
+  const auto t0 = std::chrono::steady_clock::now();
+  RecoveryInfo local;
+  std::filesystem::create_directories(dir);
+  const DirScan found = scan_data_dir(dir, /*remove_tmp=*/true);
+
+  auto store = std::make_unique<DataStore>(max_versions);
+  std::uint64_t cut = 0;
+  std::optional<Timestamp> last_wave;
+
+  if (!found.checkpoints.empty()) {
+    cut = found.checkpoints.back();
+    const std::string path = (std::filesystem::path(dir) / checkpoint_file_name(cut)).string();
+    const auto image = load_checkpoint_file(path);
+    if (!image) {
+      // Hard error by design: the segments this checkpoint replaced were
+      // deleted when it became durable, so there is nothing to fall back to.
+      throw Error("checkpoint '" + path + "' is corrupt; recovery cannot proceed");
+    }
+    SF_CHECK(image->max_versions >= 1, "checkpoint max_versions invalid");
+    store->max_versions_ = image->max_versions;
+    for (const CheckpointTable& table : image->tables) {
+      const auto entry = store->entry_for(table.name);
+      std::unique_lock lock(entry->mutex);
+      for (const CheckpointTable::Cell& cell : table.cells) {
+        // Versions are stored newest first; re-put oldest first.
+        for (auto it = cell.versions.rbegin(); it != cell.versions.rend(); ++it) {
+          entry->table.put(cell.row, cell.column, it->timestamp, it->value);
+        }
+      }
+    }
+    if (image->has_committed_wave) last_wave = image->last_committed_wave;
+    local.checkpoint_loaded = true;
+  }
+
+  std::vector<std::uint64_t> replay;
+  for (const std::uint64_t seq : found.segments) {
+    if (seq > cut) replay.push_back(seq);
+  }
+  for (std::size_t i = 0; i < replay.size(); ++i) {
+    if (replay[i] != cut + 1 + i) {
+      throw Error("WAL segment " + std::to_string(cut + 1 + i) + " is missing from '" + dir +
+                  "'; recovery cannot proceed");
+    }
+  }
+  for (std::size_t i = 0; i < replay.size(); ++i) {
+    const std::string path =
+        (std::filesystem::path(dir) / wal_segment_name(replay[i])).string();
+    WalReader reader(path);
+    WalRecord record;
+    for (;;) {
+      const WalReader::Next next = reader.next(record);
+      if (next == WalReader::Next::kEnd) break;
+      if (next == WalReader::Next::kTornTail) {
+        if (i + 1 != replay.size()) {
+          // Only a crash mid-append can tear a record, and appends only ever
+          // go to the newest segment.
+          throw Error("WAL segment '" + path +
+                      "' has a torn record but is not the final segment: corruption");
+        }
+        std::filesystem::resize_file(path, reader.clean_bytes());
+        local.truncated_torn_tail = true;
+        break;
+      }
+      if (record.kind == WalRecordKind::kWaveCommit) {
+        last_wave = record.wave;
+      } else {
+        store->replay_record(record);
+      }
+      ++local.records_replayed;
+    }
+    ++local.segments_replayed;
+  }
+
+  // A crash between "checkpoint durable" and "old artifacts deleted" leaves
+  // superseded files behind; finish the job now that replay is done.
+  if (local.checkpoint_loaded) remove_superseded(dir, cut);
+
+  const std::uint64_t next_seq = (replay.empty() ? cut : replay.back()) + 1;
+  auto durability = std::make_unique<Durability>();
+  durability->dir = dir;
+  durability->options = options;
+  durability->segment_seq = next_seq;
+  durability->committed_wave = last_wave;
+  durability->writer =
+      std::make_unique<WalWriter>(durability->segment_path(next_seq), options.flush,
+                                  options.fault_injector, local.records_replayed);
+  store->attach_durability(std::move(durability));
+
+  local.last_durable_wave = last_wave;
+  local.duration_seconds = StoreObs::seconds_since(t0);
+  if (options.metrics != nullptr) {
+    options.metrics->counter("sf_ds_recoveries_total", {}, "Crash recoveries performed").inc();
+    options.metrics
+        ->histogram("sf_ds_recovery_duration_seconds", obs::duration_buckets(), {},
+                    "Recovery wall-clock duration")
+        .observe(local.duration_seconds);
+  }
+  if (info != nullptr) *info = local;
+  return store;
+}
+
+void DataStore::commit_wave(Timestamp wave) {
+  if (!durability_) return;
+  bool checkpoint_due = false;
+  {
+    std::lock_guard lock(durability_->wal_mutex);
+    durability_->writer->append_wave_commit(wave);
+    durability_->committed_wave = wave;
+    if (durability_->wave_commits != nullptr) durability_->wave_commits->inc();
+    if (durability_->options.checkpoint_every_waves > 0 &&
+        ++durability_->waves_since_checkpoint >= durability_->options.checkpoint_every_waves) {
+      checkpoint_due = true;
+    }
+  }
+  if (checkpoint_due) checkpoint();
+}
+
+void DataStore::checkpoint() {
+  if (durability_ == nullptr) {
+    throw StateError("DataStore::checkpoint requires durability (enable_durability/recover)");
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  CheckpointImage image;
+  image.max_versions = max_versions_;
+  std::uint64_t cut = 0;
+  {
+    // Lock order registry -> every table (shared) -> WAL, the same global
+    // order writers use (one table, then WAL), so this cannot deadlock. With
+    // all writers blocked, no record can land between the cut and the
+    // capture: the image contains exactly the effects of segments <= cut.
+    std::lock_guard registry_lock(registry_mutex_);
+    const auto snap = tables_.load(std::memory_order_acquire);
+    std::vector<std::shared_lock<std::shared_mutex>> table_locks;
+    table_locks.reserve(snap->size());
+    for (const auto& [name, entry] : *snap) table_locks.emplace_back(entry->mutex);
+    std::lock_guard wal_lock(durability_->wal_mutex);
+
+    cut = durability_->segment_seq;
+    const std::uint64_t next_record_seq = durability_->writer->record_seq();
+    durability_->writer.reset();  // flushes; closing the segment at the cut
+    durability_->segment_seq = cut + 1;
+    durability_->writer = std::make_unique<WalWriter>(
+        durability_->segment_path(cut + 1), durability_->options.flush,
+        durability_->options.fault_injector, next_record_seq);
+    if (durability_->wal_obs.records != nullptr) {
+      durability_->writer->set_obs(&durability_->wal_obs);
+    }
+    image.wal_cut_segment = cut;
+    image.has_committed_wave = durability_->committed_wave.has_value();
+    image.last_committed_wave = durability_->committed_wave.value_or(0);
+    durability_->waves_since_checkpoint = 0;
+
+    image.tables.reserve(snap->size());
+    for (const auto& [name, entry] : *snap) {
+      CheckpointTable table;
+      table.name = name;
+      table.cells.reserve(entry->table.cell_count());
+      entry->table.scan_cells([&](const Table::CellView& cv) {
+        CheckpointTable::Cell cell;
+        cell.row = *cv.row;
+        cell.column = *cv.col;
+        cell.versions = entry->table.versions(*cv.row, *cv.col);
+        table.cells.push_back(std::move(cell));
+      });
+      image.tables.push_back(std::move(table));
+    }
+  }
+  // The file write happens outside every lock; a crash before the rename
+  // leaves the old checkpoint + all segments, which recovery handles.
+  write_checkpoint_file(durability_->checkpoint_path(cut), image);
+  remove_superseded(durability_->dir, cut);
+  if (durability_->checkpoints != nullptr) {
+    durability_->checkpoints->inc();
+    durability_->checkpoint_duration->observe(StoreObs::seconds_since(t0));
+  }
+}
+
+void DataStore::sync_wal() {
+  if (!durability_) return;
+  std::lock_guard lock(durability_->wal_mutex);
+  durability_->writer->sync();
+}
+
+std::optional<Timestamp> DataStore::last_committed_wave() const {
+  if (!durability_) return std::nullopt;
+  std::lock_guard lock(durability_->wal_mutex);
+  return durability_->committed_wave;
+}
+
+std::string DataStore::data_dir() const { return durability_ ? durability_->dir : std::string(); }
 
 std::size_t DataStore::subscribe(MutationObserver observer) {
   SF_CHECK(static_cast<bool>(observer), "observer must be callable");

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "datastore/container_ref.h"
+#include "datastore/durability.h"
 #include "datastore/flat_snapshot.h"
 #include "datastore/table.h"
 #include "datastore/types.h"
@@ -115,12 +116,64 @@ class DataStore {
   /// string concatenation or tree insertion).
   std::map<std::string, double> snapshot(const ContainerRef& container) const;
 
+  /// Full retained version history of one cell, newest first (empty if the
+  /// cell does not exist). The exact-state primitive the crash-matrix tests
+  /// and checkpoints compare/serialize with.
+  std::vector<CellVersion> cell_versions(const TableName& table, const RowKey& row,
+                                         const ColumnKey& column) const;
+
   std::size_t cell_count(const TableName& table) const;
   std::size_t container_cell_count(const ContainerRef& container) const;
   bool has_table(const TableName& table) const;
   std::vector<TableName> table_names() const;
   void drop_table(const TableName& table);
   void clear();
+
+  // --- Durability (WAL + checkpoints + crash-consistent recovery) ----------
+
+  /// Turns on write-ahead logging into `dir` (created if missing). Every
+  /// mutation from here on is appended as a checksummed record; the
+  /// DurabilityOptions flush policy decides the fsync cadence. The store
+  /// must still be empty and `dir` must not already hold WAL/checkpoint
+  /// files — attach to an existing data dir with recover() instead.
+  void enable_durability(const std::string& dir, DurabilityOptions options = {});
+
+  /// Crash-consistent recovery: loads the newest checkpoint in `dir` (if
+  /// any), replays the WAL suffix — truncating a torn trailing record, a
+  /// mid-log checksum error is a hard Error — and returns a store that
+  /// continues durable logging into the same dir (a fresh segment). An
+  /// empty/missing dir yields a fresh durable store. `info`, when non-null,
+  /// receives what was found (incl. the last durable wave for the
+  /// wave-boundary consistency rule).
+  static std::unique_ptr<DataStore> recover(const std::string& dir,
+                                            DurabilityOptions options = {},
+                                            std::size_t max_versions = 2,
+                                            RecoveryInfo* info = nullptr);
+
+  /// Stamps the wave boundary: appends a wave-commit record and fsyncs (the
+  /// durability point of the kEveryWave policy, and the data half of the
+  /// "wave recovered iff data + journal record on disk" rule). Triggers an
+  /// automatic checkpoint every checkpoint_every_waves commits. No-op when
+  /// durability is disabled. The workflow engine calls this after each
+  /// completed wave, before appending the wave's journal record.
+  void commit_wave(Timestamp wave);
+
+  /// On-demand checkpoint: serializes every table (full version history) to
+  /// a new checkpoint file, rotates the WAL to a fresh segment, and deletes
+  /// the segments + older checkpoints the new one replaces, bounding
+  /// recovery cost. Writers are blocked for the in-memory capture only (the
+  /// file write happens outside all locks). Throws StateError when
+  /// durability is disabled.
+  void checkpoint();
+
+  /// Flushes and fsyncs the WAL regardless of policy. No-op when disabled.
+  void sync_wal();
+
+  bool durable() const noexcept { return durability_ != nullptr; }
+  /// Newest wave stamped via commit_wave (or found durable by recover()).
+  std::optional<Timestamp> last_committed_wave() const;
+  /// Data directory, empty when durability is disabled.
+  std::string data_dir() const;
 
   /// Registers a mutation observer; returns a token for unsubscribe.
   /// See MutationObserver for the reentrancy rule.
@@ -135,18 +188,29 @@ class DataStore {
   };
   using TableMap = std::map<TableName, std::shared_ptr<TableEntry>>;
   using ObserverList = std::vector<std::pair<std::size_t, MutationObserver>>;
-  struct StoreObs;  ///< pre-resolved metric handles (datastore.cpp)
+  struct StoreObs;     ///< pre-resolved metric handles (datastore.cpp)
+  struct Durability;   ///< WAL writer + checkpoint bookkeeping (datastore.cpp)
 
   /// Existing entry or nullptr, via one atomic registry-snapshot load.
   std::shared_ptr<TableEntry> find_entry(const TableName& table) const;
-  /// Existing entry, or creates one (copy-on-write registry swap).
+  /// Existing entry, or creates one (copy-on-write registry swap), logging a
+  /// create-table record when durable.
   std::shared_ptr<TableEntry> entry_for(const TableName& table);
+  /// Installs an open WAL + bookkeeping (shared by enable_durability and
+  /// recover). Wires the WAL metric handles when instrumentation is on.
+  void attach_durability(std::unique_ptr<Durability> durability);
+  /// Replays one WAL record into this (not-yet-durable) store.
+  void replay_record(const struct WalRecord& record);
   std::shared_ptr<const ObserverList> observer_snapshot() const {
     return observers_.load(std::memory_order_acquire);
   }
 
   std::size_t max_versions_;
   std::unique_ptr<StoreObs> obs_;  ///< null unless set_instrumentation attached one
+  /// Null unless durability is enabled. The WAL mutex inside serializes
+  /// appends; it is always taken *after* a table/registry lock (leaf order),
+  /// so log order matches apply order per table.
+  std::unique_ptr<Durability> durability_;
 
   mutable std::mutex registry_mutex_;  ///< serializes table create/drop/clear only
   std::atomic<std::shared_ptr<const TableMap>> tables_;

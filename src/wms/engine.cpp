@@ -190,6 +190,11 @@ WaveResult WorkflowEngine::run_wave(ds::Timestamp wave, TriggerController& contr
   WaveResult result =
       pool_ ? run_wave_parallel(wave, controller) : run_wave_serial(wave, controller);
   mark_stale(result);
+  // Wave-boundary consistency: stamp the datastore's wave commit (fsyncing
+  // the WAL) *before* the journal record, so every journaled wave also has
+  // durable data. Resume takes min(journal wave, WAL durable wave); a crash
+  // between the two stamps just re-runs one wave.
+  store_->commit_wave(result.wave);
   if (journal_ != nullptr) journal_->append(WaveRecord{result.wave, result.status});
   if (observed) record_wave_observability(result, wave_start);
   return result;

@@ -1,8 +1,12 @@
 #include "wms/journal.h"
 
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
 #include <sstream>
 
 #include "common/error.h"
+#include "common/fsync.h"
 
 namespace smartflux::wms {
 
@@ -35,7 +39,8 @@ void WaveJournal::append(WaveRecord record) {
   if (sink_) {
     write_record(*sink_, record);
     sink_->flush();
-    if (!*sink_) throw Error("journal sink write failed");
+    if (!*sink_) throw Error("journal sink write failed: " + sink_path_);
+    if (sync_on_append_) fsync_path(sink_path_);
   }
   records_.push_back(std::move(record));
 }
@@ -109,12 +114,37 @@ void WaveJournal::save_file(const std::string& path) const {
 }
 
 WaveJournal WaveJournal::load_file(const std::string& path) {
+  // ifstream happily "opens" a directory on POSIX and only fails on the
+  // first read, which would surface as a misleading bad-magic error below —
+  // reject it up front with a message that names the real problem.
+  std::error_code ec;
+  if (std::filesystem::is_directory(path, ec)) {
+    throw Error("cannot open journal file '" + path + "': is a directory");
+  }
+  errno = 0;
   std::ifstream is(path);
-  if (!is) throw Error("cannot open journal file: " + path);
-  return load(is);
+  if (!is) {
+    std::string detail = errno != 0 ? std::strerror(errno) : "open failed";
+    throw Error("cannot open journal file '" + path + "': " + detail);
+  }
+  WaveJournal journal = load(is);
+  if (is.bad()) throw Error("I/O error while reading journal file '" + path + "'");
+  return journal;
 }
 
-void WaveJournal::open_sink(const std::string& path) {
+WaveJournal WaveJournal::truncated_to(ds::Timestamp wave) const {
+  SF_CHECK(bound(), "cannot truncate an unbound journal");
+  WaveJournal out;
+  out.workflow_name_ = workflow_name_;
+  out.step_ids_ = step_ids_;
+  for (const WaveRecord& record : records_) {
+    if (record.wave > wave) break;  // records are strictly increasing
+    out.records_.push_back(record);
+  }
+  return out;
+}
+
+void WaveJournal::open_sink(const std::string& path, bool sync_on_append) {
   SF_CHECK(bound(), "bind the journal before opening a sink");
   auto sink = std::make_unique<std::ofstream>(path, std::ios::trunc);
   if (!*sink) throw Error("cannot open journal sink: " + path);
@@ -128,9 +158,16 @@ void WaveJournal::open_sink(const std::string& path) {
   for (const auto& record : records_) write_record(*sink, record);
   sink->flush();
   if (!*sink) throw Error("journal sink write failed: " + path);
+  if (sync_on_append) fsync_path(path);
   sink_ = std::move(sink);
+  sink_path_ = path;
+  sync_on_append_ = sync_on_append;
 }
 
-void WaveJournal::close_sink() { sink_.reset(); }
+void WaveJournal::close_sink() {
+  sink_.reset();
+  sink_path_.clear();
+  sync_on_append_ = false;
+}
 
 }  // namespace smartflux::wms

@@ -71,12 +71,27 @@ class WaveJournal {
   void save_file(const std::string& path) const;
   static WaveJournal load_file(const std::string& path);
 
+  /// Copy of this journal keeping only the records with wave <= `wave` (no
+  /// sink). This is the consistency cut for resuming alongside a durable
+  /// datastore: truncate at the store's last durable wave (the min() of the
+  /// wave-boundary rule), then re-open the sink — which rewrites the file —
+  /// so journal and data agree before new waves append.
+  WaveJournal truncated_to(ds::Timestamp wave) const;
+
   /// Opens a write-through sink: the current journal content is written to
   /// `path` (truncating it) and every subsequent append is written and
   /// flushed immediately.
-  void open_sink(const std::string& path);
+  ///
+  /// `sync_on_append` chooses the durability level of each append. The
+  /// default (false) flushes to the OS only: the record survives a crash of
+  /// the *process* but can be lost to a kernel/power crash. Pass true to
+  /// also fsync the file per append — the wave-boundary recovery rule
+  /// (resume at min(journal wave, datastore durable wave)) is correct either
+  /// way, a lost journal tail just re-runs the affected waves.
+  void open_sink(const std::string& path, bool sync_on_append = false);
   void close_sink();
   bool has_sink() const noexcept { return sink_ != nullptr; }
+  bool sync_on_append() const noexcept { return sync_on_append_; }
 
  private:
   static void write_record(std::ostream& os, const WaveRecord& record);
@@ -85,6 +100,8 @@ class WaveJournal {
   std::vector<std::string> step_ids_;
   std::vector<WaveRecord> records_;
   std::unique_ptr<std::ofstream> sink_;
+  std::string sink_path_;
+  bool sync_on_append_ = false;
 };
 
 }  // namespace smartflux::wms

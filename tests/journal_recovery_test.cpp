@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <sstream>
 
 #include "common/error.h"
@@ -87,6 +88,67 @@ TEST(WaveJournal, SinkWritesEveryAppendThrough) {
   const WaveJournal recovered = WaveJournal::load_file(path);
   ASSERT_EQ(recovered.size(), 2u);
   EXPECT_EQ(recovered.records()[1].status[0], StepStatus::kFailed);
+}
+
+TEST(WaveJournal, LoadFileReportsWhyAFileCannotBeOpened) {
+  const std::string missing = testing::TempDir() + "sf_journal_nonexistent.log";
+  std::filesystem::remove(missing);
+  try {
+    WaveJournal::load_file(missing);
+    FAIL() << "expected Error for a missing journal file";
+  } catch (const Error& e) {
+    // The message must name the path and carry the OS-level reason.
+    EXPECT_NE(std::string(e.what()).find(missing), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("cannot open journal file"), std::string::npos)
+        << e.what();
+  }
+
+  const std::string dir = testing::TempDir() + "sf_journal_is_a_dir";
+  std::filesystem::create_directories(dir);
+  try {
+    WaveJournal::load_file(dir);
+    FAIL() << "expected Error for a directory path";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("is a directory"), std::string::npos) << e.what();
+  }
+}
+
+TEST(WaveJournal, SyncOnAppendIsOffByDefaultAndSticky) {
+  const std::string path = testing::TempDir() + "sf_journal_sync_test.log";
+  WaveJournal journal;
+  journal.bind("w", {"a"});
+  EXPECT_FALSE(journal.sync_on_append());
+  journal.open_sink(path, /*sync_on_append=*/true);
+  EXPECT_TRUE(journal.sync_on_append());
+  // Every append is durable the moment it returns: the file alone recovers
+  // the record even though the sink is never closed.
+  journal.append(WaveRecord{1, {StepStatus::kExecuted}});
+  const WaveJournal recovered = WaveJournal::load_file(path);
+  ASSERT_EQ(recovered.size(), 1u);
+  EXPECT_EQ(recovered.last_wave(), std::optional<ds::Timestamp>{1});
+  journal.close_sink();
+  EXPECT_FALSE(journal.sync_on_append());
+}
+
+TEST(WaveJournal, TruncatedToDropsRecordsPastTheDataBoundary) {
+  WaveJournal journal;
+  journal.bind("w", {"a"});
+  journal.append(WaveRecord{1, {StepStatus::kExecuted}});
+  journal.append(WaveRecord{3, {StepStatus::kSkipped}});
+  journal.append(WaveRecord{5, {StepStatus::kExecuted}});
+
+  // The wave-boundary rule cut: keep only waves whose data survived.
+  const WaveJournal cut = journal.truncated_to(3);
+  EXPECT_EQ(cut.workflow_name(), "w");
+  EXPECT_EQ(cut.step_ids(), journal.step_ids());
+  ASSERT_EQ(cut.size(), 2u);
+  EXPECT_EQ(cut.last_wave(), std::optional<ds::Timestamp>{3});
+
+  // Boundaries between / past / before the journal's waves.
+  EXPECT_EQ(journal.truncated_to(4).size(), 2u);
+  EXPECT_EQ(journal.truncated_to(99).size(), 3u);
+  EXPECT_EQ(journal.truncated_to(0).size(), 0u);
+  EXPECT_TRUE(journal.truncated_to(0).bound());  // still usable for restore
 }
 
 /// Runs the canonical faulty scenario (flaky fails waves 2-3, quarantines,
