@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string_view>
 
 namespace smartflux {
 
@@ -31,6 +32,20 @@ constexpr std::uint64_t hash64(std::uint64_t seed, std::uint64_t a, std::uint64_
 constexpr double hash_unit(std::uint64_t seed, std::uint64_t a, std::uint64_t b = 0,
                            std::uint64_t c = 0, std::uint64_t d = 0) noexcept {
   return static_cast<double>(hash64(seed, a, b, c, d) >> 11) * 0x1.0p-53;
+}
+
+/// Stateless byte-string hash (FNV-1a accumulation, splitmix64 finalizer):
+/// the row-key hash the datastore's consistent-hashing shard ring is built
+/// on. Seedable so distinct rings draw independent placements; the same
+/// (seed, key) always lands on the same point, which is what makes shard
+/// routing stable across processes and restarts.
+constexpr std::uint64_t hash64_bytes(std::string_view s, std::uint64_t seed = 0) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL ^ mix64(seed);
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return mix64(h);
 }
 
 namespace detail {

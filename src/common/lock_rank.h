@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cassert>
+
+namespace smartflux {
+
+/// Global lock-acquisition order of the datastore (see DESIGN.md §12):
+///
+///   registry (1)  →  table shard slot (2)  →  WAL shard family (3)  →
+///   durability meta (4)
+///
+/// A thread may only acquire locks of non-decreasing rank; multiple locks of
+/// the same rank (all slot locks, all WAL family mutexes) must be taken in
+/// shard-index order. Checkpoints hold every rank at once, which is exactly
+/// why the order has to be a total one: any writer path that inverted it
+/// against the checkpoint sweep would deadlock.
+inline constexpr int kLockRankRegistry = 1;
+inline constexpr int kLockRankTable = 2;
+inline constexpr int kLockRankWal = 3;
+inline constexpr int kLockRankDurabilityMeta = 4;
+
+#ifndef NDEBUG
+
+namespace detail {
+inline int& lock_rank_top() noexcept {
+  static thread_local int top = 0;
+  return top;
+}
+}  // namespace detail
+
+/// Debug-only lock-order assertion: construct one right before acquiring a
+/// lock of the given rank and keep it alive for the critical section. Ranks
+/// must be non-decreasing down the stack; equal ranks are allowed (same-rank
+/// locks are taken in shard-index order, which cannot deadlock against the
+/// identical order used everywhere else). Compiled out entirely in NDEBUG
+/// builds — the release hot path pays nothing.
+class LockRankScope {
+ public:
+  explicit LockRankScope(int rank) noexcept : prev_(detail::lock_rank_top()) {
+    assert(rank >= prev_ && "lock-order violation: acquiring a lower-ranked lock "
+                            "(registry -> table -> WAL -> meta)");
+    detail::lock_rank_top() = rank;
+  }
+  ~LockRankScope() { detail::lock_rank_top() = prev_; }
+
+  LockRankScope(const LockRankScope&) = delete;
+  LockRankScope& operator=(const LockRankScope&) = delete;
+
+ private:
+  int prev_;
+};
+
+#else
+
+class LockRankScope {
+ public:
+  explicit LockRankScope(int) noexcept {}
+};
+
+#endif
+
+}  // namespace smartflux

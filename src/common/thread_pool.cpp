@@ -72,19 +72,61 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
 }
 
 void ThreadPool::run_all(std::vector<std::function<void()>> tasks) {
-  std::vector<std::future<void>> futures;
-  futures.reserve(tasks.size());
-  for (auto& task : tasks) futures.push_back(submit(std::move(task)));
+  if (tasks.empty()) return;
+  // Shared batch state: the caller and the pool helpers all pull indices
+  // from `next` until the batch is dry. The caller participating is what
+  // makes nested run_all (called from inside a pool task) deadlock-free —
+  // even if every worker is busy running the outer tasks, the caller drains
+  // its own inner batch to completion.
+  struct Batch {
+    std::vector<std::function<void()>> tasks;
+    std::vector<std::exception_ptr> errors;  ///< per task, for in-order rethrow
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex mutex;
+    std::condition_variable all_done;
+  };
+  auto batch = std::make_shared<Batch>();
+  batch->tasks = std::move(tasks);
+  const std::size_t n = batch->tasks.size();
+  batch->errors.resize(n);
 
-  std::exception_ptr first_error;
-  for (auto& future : futures) {
+  const auto run_one = [](Batch& b) -> bool {
+    const std::size_t i = b.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= b.tasks.size()) return false;
     try {
-      future.get();
+      b.tasks[i]();
     } catch (...) {
-      if (!first_error) first_error = std::current_exception();
+      b.errors[i] = std::current_exception();
     }
+    if (b.done.fetch_add(1, std::memory_order_acq_rel) + 1 == b.tasks.size()) {
+      std::lock_guard lock(b.mutex);
+      b.all_done.notify_all();
+    }
+    return true;
+  };
+
+  // Helpers never outnumber the remaining tasks (the caller takes one), and
+  // they hold the batch alive via the shared_ptr — a helper scheduled after
+  // the batch drained just exits.
+  const std::size_t helpers = std::min(n - 1, thread_count());
+  for (std::size_t h = 0; h < helpers; ++h) {
+    submit([batch, run_one] {
+      while (run_one(*batch)) {
+      }
+    });
   }
-  if (first_error) std::rethrow_exception(first_error);
+  while (run_one(*batch)) {
+  }
+  {
+    std::unique_lock lock(batch->mutex);
+    batch->all_done.wait(lock, [&] {
+      return batch->done.load(std::memory_order_acquire) == n;
+    });
+  }
+  for (const std::exception_ptr& error : batch->errors) {
+    if (error) std::rethrow_exception(error);
+  }
 }
 
 }  // namespace smartflux

@@ -26,6 +26,12 @@ class ThreadPool {
 
   /// Runs every task and blocks until all complete. The first exception (in
   /// task order) is rethrown after all tasks finished.
+  ///
+  /// Caller-participating: the calling thread drains the batch alongside up
+  /// to thread_count() pool helpers, so run_all is safe to call from INSIDE
+  /// a pool task (nested use — e.g. a workflow step issuing a sharded
+  /// put_batch on the same pool). Even with every worker busy, the caller
+  /// finishes its own batch and cannot deadlock waiting for itself.
   void run_all(std::vector<std::function<void()>> tasks);
 
   /// Calls fn(i) for every i in [0, n), dynamically scheduled: one task per

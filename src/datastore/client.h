@@ -66,21 +66,27 @@ class Client {
     store_->erase(table, row, column, wave_);
   }
 
+  /// Reads are as-of the client's wave: with pipelined wave execution, wave
+  /// w+1's feed may already be ingesting while wave w's steps still compute,
+  /// and a step bound to wave w must never observe it. For serial execution
+  /// nothing newer than the bound wave exists, so this is exactly the plain
+  /// latest-version read.
   std::optional<double> get(const TableName& table, const RowKey& row,
                             const ColumnKey& column) const {
-    return store_->get(table, row, column);
+    return store_->get_at(table, row, column, wave_);
   }
 
-  /// Previous retained version — the store piggybacks it on the same read
-  /// (the paper's zero-overhead previous-state retrieval).
+  /// Previous retained version (as of the bound wave) — the store piggybacks
+  /// it on the same read (the paper's zero-overhead previous-state
+  /// retrieval).
   std::optional<double> get_previous(const TableName& table, const RowKey& row,
                                      const ColumnKey& column) const {
-    return store_->get_previous(table, row, column);
+    return store_->get_previous_at(table, row, column, wave_);
   }
 
   void scan(const ContainerRef& container,
             const std::function<void(const RowKey&, const ColumnKey&, double)>& visit) const {
-    store_->scan_container(container, visit);
+    store_->scan_container_at(container, wave_, visit);
   }
 
   DataStore& store() noexcept { return *store_; }

@@ -6,7 +6,9 @@
 #include <shared_mutex>
 
 #include "common/error.h"
+#include "common/lock_rank.h"
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "datastore/checkpoint.h"
 #include "datastore/wal.h"
 #include "obs/metrics.h"
@@ -23,56 +25,132 @@ const char* wal_flush_policy_name(WalFlushPolicy policy) noexcept {
   return "?";
 }
 
-/// WAL writer + checkpoint bookkeeping. `wal_mutex` serializes appends and
-/// is a leaf lock: always acquired after the mutating thread's table lock
-/// (or the registry mutex for structural records), so WAL order equals apply
-/// order per table; across tables any serialization is a valid linearization.
+/// WAL families + checkpoint bookkeeping. One Family per shard: its mutex
+/// serializes appends to that shard's segment and is always acquired after
+/// the mutating thread's slot lock (lock rank kLockRankWal), so WAL order
+/// equals apply order per shard; across shards the store-global lsn in every
+/// record reconstructs a valid linearization at recovery. `meta_mutex`
+/// (rank kLockRankDurabilityMeta) guards the rotation/commit bookkeeping and
+/// is the innermost lock of all.
 struct DataStore::Durability {
+  struct Family {
+    std::mutex mutex;                   ///< rank kLockRankWal
+    std::unique_ptr<WalWriter> writer;  ///< guarded by mutex
+    WalObs obs;  ///< records/bytes/syncs shared store-wide; shard_bytes own
+  };
+
   std::string dir;
   DurabilityOptions options;
-  std::mutex wal_mutex;
-  std::unique_ptr<WalWriter> writer;           ///< guarded by wal_mutex
-  std::uint64_t segment_seq = 1;               ///< guarded by wal_mutex
-  std::optional<Timestamp> committed_wave;     ///< guarded by wal_mutex
-  std::size_t waves_since_checkpoint = 0;      ///< guarded by wal_mutex
+  std::size_t shards = 1;
+  std::vector<std::unique_ptr<Family>> families;  ///< size == shards
+  /// Store-global lsn counter shared by every family (shards > 1 only; the
+  /// unsharded store keeps the writer's internal record count as its lsn so
+  /// the legacy fault-injection seq space is unchanged).
+  std::atomic<std::uint64_t> next_lsn{0};
+
+  std::mutex meta_mutex;                    ///< rank kLockRankDurabilityMeta
+  std::uint64_t segment_seq = 1;            ///< guarded by meta_mutex
+  std::optional<Timestamp> committed_wave;  ///< guarded by meta_mutex
+  std::size_t waves_since_checkpoint = 0;   ///< guarded by meta_mutex
 
   // Metric handles (null = no registry attached). Wired from
   // set_instrumentation's registry, falling back to options.metrics.
-  WalObs wal_obs;
   obs::Counter* wave_commits = nullptr;
   obs::Counter* checkpoints = nullptr;
   obs::Histogram* checkpoint_duration = nullptr;
+  bool metrics_wired = false;
 
-  std::string segment_path(std::uint64_t seq) const {
-    return (std::filesystem::path(dir) / wal_segment_name(seq)).string();
+  std::atomic<std::uint64_t>* lsn_source() noexcept {
+    return shards == 1 ? nullptr : &next_lsn;
+  }
+  /// Disk-fault schedule tag of one family: the legacy "wal" for the
+  /// unsharded store, "wal-s<k>" per shard otherwise.
+  std::string fault_tag(std::size_t shard) const {
+    return shards == 1 ? std::string("wal") : "wal-s" + std::to_string(shard);
+  }
+  std::string segment_path(std::size_t shard, std::uint64_t seq) const {
+    const std::string name =
+        shards == 1 ? wal_segment_name(seq) : sharded_wal_segment_name(shard, seq);
+    return (std::filesystem::path(dir) / name).string();
   }
   std::string checkpoint_path(std::uint64_t cut) const {
     return (std::filesystem::path(dir) / checkpoint_file_name(cut)).string();
   }
 
+  /// Opens one writer per shard at segment `seq`. `first_record_seq` only
+  /// matters for the unsharded store (lsn continuity across recovery).
+  void open_writers(std::uint64_t seq, std::uint64_t first_record_seq) {
+    families.clear();
+    families.reserve(shards);
+    for (std::size_t shard = 0; shard < shards; ++shard) {
+      auto family = std::make_unique<Family>();
+      family->writer = std::make_unique<WalWriter>(segment_path(shard, seq), options.flush,
+                                                   options.fault_injector, first_record_seq,
+                                                   lsn_source(), fault_tag(shard));
+      families.push_back(std::move(family));
+    }
+  }
+
+  /// Appends one structural record (create/drop/clear) to EVERY family under
+  /// all family mutexes (index order), with one shared lsn, so replay can
+  /// dedupe the copies. `append_one(writer, lsn)` runs per family; a throw
+  /// mid-broadcast leaves a partial set of same-lsn copies, which recovery
+  /// applies exactly once (structural replay is idempotent).
+  template <typename AppendOne>
+  void broadcast(AppendOne&& append_one) {
+    LockRankScope rank(kLockRankWal);
+    std::vector<std::unique_lock<std::mutex>> locks;
+    locks.reserve(families.size());
+    for (auto& family : families) locks.emplace_back(family->mutex);
+    const std::optional<std::uint64_t> lsn =
+        shards == 1 ? std::nullopt
+                    : std::optional<std::uint64_t>(
+                          next_lsn.fetch_add(1, std::memory_order_relaxed));
+    for (auto& family : families) append_one(*family->writer, lsn);
+  }
+
   void wire_metrics(obs::MetricsRegistry& reg) {
-    wal_obs.records = &reg.counter("sf_ds_wal_records_total", {}, "WAL records appended");
-    wal_obs.bytes =
+    auto* records = &reg.counter("sf_ds_wal_records_total", {}, "WAL records appended");
+    auto* bytes =
         &reg.counter("sf_ds_wal_bytes_total", {}, "WAL bytes appended (incl. framing)");
-    wal_obs.syncs = &reg.counter("sf_ds_wal_syncs_total", {}, "WAL fsync calls");
-    wal_obs.fsync_duration =
+    auto* syncs = &reg.counter("sf_ds_wal_syncs_total", {}, "WAL fsync calls");
+    auto* fsync_duration =
         &reg.histogram("sf_ds_wal_fsync_duration_seconds", obs::duration_buckets(), {},
                        "WAL fsync latency");
+    for (std::size_t shard = 0; shard < families.size(); ++shard) {
+      Family& family = *families[shard];
+      family.obs.records = records;
+      family.obs.bytes = bytes;
+      family.obs.syncs = syncs;
+      family.obs.fsync_duration = fsync_duration;
+      // Per-shard byte series only when actually sharded: one series per
+      // shard is bounded cardinality, but the unsharded default would just
+      // duplicate sf_ds_wal_bytes_total (see DESIGN.md §9).
+      family.obs.shard_bytes =
+          shards == 1 ? nullptr
+                      : &reg.counter("sf_ds_wal_shard_bytes_total",
+                                     {{"shard", std::to_string(shard)}},
+                                     "WAL bytes appended per shard family");
+      if (family.writer) family.writer->set_obs(&family.obs);
+    }
     wave_commits =
         &reg.counter("sf_ds_wave_commits_total", {}, "Wave-commit records stamped");
     checkpoints = &reg.counter("sf_ds_checkpoints_total", {}, "Checkpoints written");
     checkpoint_duration =
         &reg.histogram("sf_ds_checkpoint_duration_seconds", obs::duration_buckets(), {},
                        "Checkpoint capture + write duration");
-    if (writer) writer->set_obs(&wal_obs);
+    metrics_wired = true;
   }
 
   void unwire_metrics() {
-    wal_obs = WalObs{};
+    for (auto& family : families) {
+      family->obs = WalObs{};
+      if (family->writer) family->writer->set_obs(nullptr);
+    }
     wave_commits = nullptr;
     checkpoints = nullptr;
     checkpoint_duration = nullptr;
-    if (writer) writer->set_obs(nullptr);
+    metrics_wired = false;
   }
 };
 
@@ -93,10 +171,26 @@ struct DataStore::StoreObs {
   obs::Tracer* tracer = nullptr;
   obs::MetricsRegistry* registry = nullptr;  ///< for late durability wiring
   std::uint64_t sample_mask = 63;
+  /// Per-shard routed-op counters + imbalance gauge (max/mean of the shard
+  /// op counts, refreshed at each wave commit). Empty/null on the unsharded
+  /// default — no extra series unless sharding is actually on (§9 note).
+  std::vector<obs::Counter*> shard_ops;
+  obs::Gauge* shard_imbalance = nullptr;
 
-  StoreObs(obs::MetricsRegistry& registry, obs::Tracer* tr, unsigned shift)
+  StoreObs(obs::MetricsRegistry& registry, obs::Tracer* tr, unsigned shift, std::size_t shards)
       : tracer(tr), registry(&registry) {
     sample_mask = (std::uint64_t{1} << shift) - 1;
+    if (shards > 1) {
+      shard_ops.reserve(shards);
+      for (std::size_t shard = 0; shard < shards; ++shard) {
+        shard_ops.push_back(&registry.counter("sf_ds_shard_ops_total",
+                                              {{"shard", std::to_string(shard)}},
+                                              "Datastore ops routed to each shard"));
+      }
+      shard_imbalance = &registry.gauge(
+          "sf_ds_shard_imbalance", {},
+          "Max-over-mean of per-shard routed op counts (1.0 = perfectly even)");
+    }
     auto op_counter = [&registry](const char* op) {
       return &registry.counter("sf_ds_ops_total", {{"op", op}},
                                "Datastore operations by kind");
@@ -142,7 +236,8 @@ std::uint64_t next_registry_gen() noexcept {
 }
 }  // namespace
 
-DataStore::DataStore(std::size_t max_versions) : max_versions_(max_versions) {
+DataStore::DataStore(std::size_t max_versions, ShardOptions shard_options)
+    : max_versions_(max_versions), shard_options_(shard_options), ring_(shard_options) {
   SF_CHECK(max_versions >= 1, "DataStore must retain at least one version");
   tables_.store(std::make_shared<const TableMap>(), std::memory_order_release);
   registry_gen_.store(next_registry_gen(), std::memory_order_release);
@@ -156,17 +251,11 @@ void DataStore::set_instrumentation(obs::MetricsRegistry* registry, obs::Tracer*
   SF_CHECK(latency_sample_shift < 32, "latency_sample_shift out of range");
   if (registry == nullptr) {
     obs_.reset();
-    if (durability_) {
-      std::lock_guard lock(durability_->wal_mutex);
-      durability_->unwire_metrics();
-    }
+    if (durability_) durability_->unwire_metrics();
     return;
   }
-  obs_ = std::make_unique<StoreObs>(*registry, tracer, latency_sample_shift);
-  if (durability_) {
-    std::lock_guard lock(durability_->wal_mutex);
-    durability_->wire_metrics(*registry);
-  }
+  obs_ = std::make_unique<StoreObs>(*registry, tracer, latency_sample_shift, shards());
+  if (durability_) durability_->wire_metrics(*registry);
 }
 
 std::shared_ptr<DataStore::TableEntry> DataStore::find_entry(const TableName& table) const {
@@ -196,20 +285,22 @@ std::shared_ptr<DataStore::TableEntry> DataStore::find_entry(const TableName& ta
 
 std::shared_ptr<DataStore::TableEntry> DataStore::entry_for(const TableName& table) {
   if (auto entry = find_entry(table)) return entry;
+  LockRankScope rank(kLockRankRegistry);
   std::lock_guard lock(registry_mutex_);
   // Re-check under the writer lock: another thread may have created it
   // between our lock-free lookup and here.
   auto snap = tables_.load(std::memory_order_acquire);
   if (const auto it = snap->find(table); it != snap->end()) return it->second;
   auto next = std::make_shared<TableMap>(*snap);
-  auto entry = std::make_shared<TableEntry>(max_versions_);
+  auto entry = std::make_shared<TableEntry>(max_versions_, shards());
   next->emplace(table, entry);
   if (durability_) {
     // Logged before the new registry snapshot is published, so the create
-    // record precedes every put record for this table in the log. If the
-    // append throws, the table was never created.
-    std::lock_guard wal_lock(durability_->wal_mutex);
-    durability_->writer->append_create_table(table);
+    // record precedes every put record for this table in each family's log.
+    // If the append throws, the table was never created.
+    durability_->broadcast([&table](WalWriter& writer, std::optional<std::uint64_t> lsn) {
+      writer.append_create_table(table, lsn);
+    });
   }
   tables_.store(std::shared_ptr<const TableMap>(std::move(next)), std::memory_order_release);
   registry_gen_.store(next_registry_gen(), std::memory_order_release);
@@ -225,15 +316,22 @@ void DataStore::put(const TableName& table, const RowKey& row, const ColumnKey& 
     if (timed) t0 = std::chrono::steady_clock::now();
   }
   const auto entry = entry_for(table);
+  const std::size_t shard = ring_.shard_of(row);
+  if (obs_ && !obs_->shard_ops.empty()) obs_->shard_ops[shard]->inc();
+  Slot& slot = *entry->slots[shard];
   std::optional<double> previous;
   {
-    std::unique_lock lock(entry->mutex);
-    previous = entry->table.put(row, column, ts, value);
+    LockRankScope table_rank(kLockRankTable);
+    std::unique_lock lock(slot.mutex);
+    previous = slot.table.put(row, column, ts, value);
     if (durability_) {
-      // Log under the table lock so WAL order matches apply order for this
-      // table; the WAL mutex is a leaf lock (see Durability).
-      std::lock_guard wal_lock(durability_->wal_mutex);
-      durability_->writer->append_put(table, row, column, ts, value);
+      // Log under the slot lock so WAL order matches apply order for this
+      // shard; the family mutex ranks below every table lock (see
+      // Durability).
+      auto& family = *durability_->families[shard];
+      LockRankScope wal_rank(kLockRankWal);
+      std::lock_guard wal_lock(family.mutex);
+      family.writer->append_put(table, row, column, ts, value);
     }
   }
   if (observer_count_.load(std::memory_order_acquire) != 0) {
@@ -264,31 +362,80 @@ void DataStore::put_batch(const TableName& table, Timestamp ts, std::span<const 
   std::shared_ptr<const ObserverList> observers;
   if (observer_count_.load(std::memory_order_acquire) != 0) observers = observer_snapshot();
   const bool want_mutations = observers != nullptr && !observers->empty();
-  std::vector<std::pair<double, bool>> previous;  // (old value, had old) per op
-  if (want_mutations) previous.reserve(ops.size());
-  {
-    std::unique_lock lock(entry->mutex);
+  // (old value, had old) per op, at the op's ORIGINAL index — sub-batches of
+  // different shards write disjoint slots of it concurrently.
+  std::vector<std::pair<double, bool>> previous;
+  if (want_mutations) previous.resize(ops.size());
+
+  if (shards() == 1) {
+    // Unsharded fast path: one lock, one WAL record — byte-identical
+    // behavior (and log) to the pre-sharding store.
+    Slot& slot = *entry->slots[0];
+    LockRankScope table_rank(kLockRankTable);
+    std::unique_lock lock(slot.mutex);
     std::size_t applied = 0;
     try {
-      for (const PutOp& op : ops) {
-        const auto prev = entry->table.put(op.row, op.column, ts, op.value);
+      for (std::size_t i = 0; i < ops.size(); ++i) {
+        const auto prev = slot.table.put(ops[i].row, ops[i].column, ts, ops[i].value);
         ++applied;
-        if (want_mutations) previous.emplace_back(prev.value_or(0.0), prev.has_value());
+        if (want_mutations) previous[i] = {prev.value_or(0.0), prev.has_value()};
       }
     } catch (...) {
       // A mid-batch failure (timestamp regression) leaves a prefix applied;
       // log exactly that prefix so replay reproduces the in-memory state.
       if (durability_ && applied > 0) {
-        std::lock_guard wal_lock(durability_->wal_mutex);
-        durability_->writer->append_batch(table, ts, ops.first(applied));
+        auto& family = *durability_->families[0];
+        LockRankScope wal_rank(kLockRankWal);
+        std::lock_guard wal_lock(family.mutex);
+        family.writer->append_batch(table, ts, ops.first(applied));
       }
       throw;
     }
     if (durability_) {
-      std::lock_guard wal_lock(durability_->wal_mutex);
-      durability_->writer->append_batch(table, ts, ops);
+      auto& family = *durability_->families[0];
+      LockRankScope wal_rank(kLockRankWal);
+      std::lock_guard wal_lock(family.mutex);
+      family.writer->append_batch(table, ts, ops);
+    }
+  } else {
+    // Split by shard (stable: original order within each sub-batch, so the
+    // same-cell-twice-in-one-batch case keeps its order — equal rows always
+    // share a shard). Each sub-batch applies under its own slot lock and
+    // logs ONE record to its own WAL family.
+    std::vector<std::vector<std::uint32_t>> by_shard(shards());
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      by_shard[ring_.shard_of(ops[i].row)].push_back(static_cast<std::uint32_t>(i));
+    }
+    std::vector<std::size_t> hit;  // shards with a non-empty sub-batch
+    for (std::size_t shard = 0; shard < by_shard.size(); ++shard) {
+      if (!by_shard[shard].empty()) hit.push_back(shard);
+    }
+    if (obs_ && !obs_->shard_ops.empty()) {
+      for (const std::size_t shard : hit) obs_->shard_ops[shard]->inc(by_shard[shard].size());
+    }
+    auto* previous_out = want_mutations ? &previous : nullptr;
+    ThreadPool* pool = shard_options_.batch_pool;
+    if (pool != nullptr && hit.size() > 1 &&
+        ops.size() >= shard_options_.parallel_batch_min_ops) {
+      std::vector<std::function<void()>> tasks;
+      tasks.reserve(hit.size());
+      for (const std::size_t shard : hit) {
+        tasks.push_back([this, &table, entry, shard, ts, ops, &by_shard, previous_out] {
+          apply_shard_batch(table, *entry, shard, ts, ops, by_shard[shard], previous_out);
+        });
+      }
+      // Caller-participating run_all: safe even when the calling step itself
+      // runs on this same pool. Rethrows the first failure in shard order;
+      // other shards' sub-batches still complete (each one applied + logged
+      // atomically, so WAL and memory stay in agreement).
+      pool->run_all(std::move(tasks));
+    } else {
+      for (const std::size_t shard : hit) {
+        apply_shard_batch(table, *entry, shard, ts, ops, by_shard[shard], previous_out);
+      }
     }
   }
+
   if (want_mutations) {
     Mutation m;
     m.kind = MutationKind::kPut;
@@ -306,19 +453,67 @@ void DataStore::put_batch(const TableName& table, Timestamp ts, std::span<const 
   if (obs_) obs_->batch_latency->observe(StoreObs::seconds_since(t0));
 }
 
+void DataStore::apply_shard_batch(const TableName& table, TableEntry& entry, std::size_t shard,
+                                  Timestamp ts, std::span<const PutOp> ops,
+                                  const std::vector<std::uint32_t>& indices,
+                                  std::vector<std::pair<double, bool>>* previous) {
+  // Materialize the sub-batch once: it is both the apply order and the ONE
+  // WAL record for this shard, so replaying the family reproduces exactly
+  // what this slot applied.
+  std::vector<PutOp> sub;
+  sub.reserve(indices.size());
+  for (const std::uint32_t i : indices) sub.push_back(ops[i]);
+
+  Slot& slot = *entry.slots[shard];
+  LockRankScope table_rank(kLockRankTable);
+  std::unique_lock lock(slot.mutex);
+  std::size_t applied = 0;
+  try {
+    for (std::size_t j = 0; j < sub.size(); ++j) {
+      const auto prev = slot.table.put(sub[j].row, sub[j].column, ts, sub[j].value);
+      ++applied;
+      if (previous != nullptr) {
+        (*previous)[indices[j]] = {prev.value_or(0.0), prev.has_value()};
+      }
+    }
+  } catch (...) {
+    // Same prefix rule as the unsharded batch, per shard: log exactly what
+    // this slot applied before the failure.
+    if (durability_ && applied > 0) {
+      auto& family = *durability_->families[shard];
+      LockRankScope wal_rank(kLockRankWal);
+      std::lock_guard wal_lock(family.mutex);
+      family.writer->append_batch(table, ts, std::span<const PutOp>(sub).first(applied));
+    }
+    throw;
+  }
+  if (durability_) {
+    auto& family = *durability_->families[shard];
+    LockRankScope wal_rank(kLockRankWal);
+    std::lock_guard wal_lock(family.mutex);
+    family.writer->append_batch(table, ts, sub);
+  }
+}
+
 void DataStore::erase(const TableName& table, const RowKey& row, const ColumnKey& column,
                       Timestamp ts) {
   if (obs_) obs_->erases->inc();
   const auto entry = find_entry(table);
   if (entry == nullptr) return;
+  const std::size_t shard = ring_.shard_of(row);
+  if (obs_ && !obs_->shard_ops.empty()) obs_->shard_ops[shard]->inc();
+  Slot& slot = *entry->slots[shard];
   std::optional<double> removed;
   {
-    std::unique_lock lock(entry->mutex);
-    removed = entry->table.erase(row, column);
+    LockRankScope table_rank(kLockRankTable);
+    std::unique_lock lock(slot.mutex);
+    removed = slot.table.erase(row, column);
     if (removed && durability_) {
       // Erasing an absent cell is not a mutation, so it is not logged.
-      std::lock_guard wal_lock(durability_->wal_mutex);
-      durability_->writer->append_erase(table, row, column, ts);
+      auto& family = *durability_->families[shard];
+      LockRankScope wal_rank(kLockRankWal);
+      std::lock_guard wal_lock(family.mutex);
+      family.writer->append_erase(table, row, column, ts);
     }
   }
   if (!removed) return;
@@ -347,8 +542,12 @@ std::optional<double> DataStore::get(const TableName& table, const RowKey& row,
   const auto entry = find_entry(table);
   std::optional<double> out;
   if (entry != nullptr) {
-    std::shared_lock lock(entry->mutex);
-    out = entry->table.get(row, column);
+    const std::size_t shard = ring_.shard_of(row);
+    if (obs_ && !obs_->shard_ops.empty()) obs_->shard_ops[shard]->inc();
+    Slot& slot = *entry->slots[shard];
+    LockRankScope table_rank(kLockRankTable);
+    std::shared_lock lock(slot.mutex);
+    out = slot.table.get(row, column);
   }
   if (timed) obs_->get_latency->observe(StoreObs::seconds_since(t0));
   return out;
@@ -360,8 +559,71 @@ std::optional<double> DataStore::get_previous(const TableName& table, const RowK
   if (obs_) obs_->gets->inc();
   const auto entry = find_entry(table);
   if (entry == nullptr) return std::nullopt;
-  std::shared_lock lock(entry->mutex);
-  return entry->table.get_previous(row, column);
+  Slot& slot = *entry->slots[ring_.shard_of(row)];
+  LockRankScope table_rank(kLockRankTable);
+  std::shared_lock lock(slot.mutex);
+  return slot.table.get_previous(row, column);
+}
+
+std::optional<double> DataStore::get_at(const TableName& table, const RowKey& row,
+                                        const ColumnKey& column, Timestamp ts) const {
+  if (obs_) obs_->gets->inc();
+  const auto entry = find_entry(table);
+  if (entry == nullptr) return std::nullopt;
+  Slot& slot = *entry->slots[ring_.shard_of(row)];
+  LockRankScope table_rank(kLockRankTable);
+  std::shared_lock lock(slot.mutex);
+  return slot.table.get_at(row, column, ts);
+}
+
+std::optional<double> DataStore::get_previous_at(const TableName& table, const RowKey& row,
+                                                 const ColumnKey& column, Timestamp ts) const {
+  if (obs_) obs_->gets->inc();
+  const auto entry = find_entry(table);
+  if (entry == nullptr) return std::nullopt;
+  Slot& slot = *entry->slots[ring_.shard_of(row)];
+  LockRankScope table_rank(kLockRankTable);
+  std::shared_lock lock(slot.mutex);
+  return slot.table.get_previous_at(row, column, ts);
+}
+
+void DataStore::scan_slots_merged(
+    const TableEntry& entry, const ContainerRef& container, std::optional<Timestamp> at,
+    const std::function<void(const RowKey&, const ColumnKey&, double)>& visit) const {
+  // Lock every slot shared in index order (same-rank order rule), gather the
+  // matches, then restore global (row, column) order — each slot only holds
+  // its own arc of the ring, so the merged order is not free like it is for
+  // one slot. Sorting the union keeps the slot critical sections short.
+  struct Hit {
+    const std::string* row;
+    const std::string* col;
+    double value;
+  };
+  std::vector<Hit> hits;
+  const bool unfiltered = !container.has_column() && !container.has_row_prefix();
+  {
+    LockRankScope table_rank(kLockRankTable);
+    std::vector<std::shared_lock<std::shared_mutex>> locks;
+    locks.reserve(entry.slots.size());
+    for (const auto& slot : entry.slots) locks.emplace_back(slot->mutex);
+    for (const auto& slot : entry.slots) {
+      const auto gather = [&](const Table::CellView& cv) {
+        if (unfiltered || container.matches_cell(*cv.row, *cv.col)) {
+          hits.push_back(Hit{cv.row, cv.col, cv.value});
+        }
+      };
+      if (at) {
+        slot->table.scan_cells_at(*at, gather);
+      } else {
+        slot->table.scan_cells(gather);
+      }
+    }
+  }
+  std::sort(hits.begin(), hits.end(), [](const Hit& a, const Hit& b) {
+    const int cmp = a.row->compare(*b.row);
+    return cmp != 0 ? cmp < 0 : a.col->compare(*b.col) < 0;
+  });
+  for (const Hit& hit : hits) visit(*hit.row, *hit.col, hit.value);
 }
 
 void DataStore::scan_container(
@@ -374,13 +636,19 @@ void DataStore::scan_container(
   }
   const auto entry = find_entry(container.table());
   if (entry != nullptr) {
-    const bool unfiltered = !container.has_column() && !container.has_row_prefix();
-    std::shared_lock lock(entry->mutex);
-    entry->table.scan_cells([&](const Table::CellView& cv) {
-      if (unfiltered || container.matches_cell(*cv.row, *cv.col)) {
-        visit(*cv.row, *cv.col, cv.value);
-      }
-    });
+    if (entry->slots.size() == 1) {
+      const bool unfiltered = !container.has_column() && !container.has_row_prefix();
+      Slot& slot = *entry->slots[0];
+      LockRankScope table_rank(kLockRankTable);
+      std::shared_lock lock(slot.mutex);
+      slot.table.scan_cells([&](const Table::CellView& cv) {
+        if (unfiltered || container.matches_cell(*cv.row, *cv.col)) {
+          visit(*cv.row, *cv.col, cv.value);
+        }
+      });
+    } else {
+      scan_slots_merged(*entry, container, std::nullopt, visit);
+    }
   }
   if (obs_) {
     obs_->scan_latency->observe(StoreObs::seconds_since(t0));
@@ -388,6 +656,27 @@ void DataStore::scan_container(
       obs_->tracer->record("ds_scan:" + container.table(), "ds", 0, t0,
                            std::chrono::steady_clock::now() - t0);
     }
+  }
+}
+
+void DataStore::scan_container_at(
+    const ContainerRef& container, Timestamp ts,
+    const std::function<void(const RowKey&, const ColumnKey&, double)>& visit) const {
+  if (obs_) obs_->scans->inc();
+  const auto entry = find_entry(container.table());
+  if (entry == nullptr) return;
+  if (entry->slots.size() == 1) {
+    const bool unfiltered = !container.has_column() && !container.has_row_prefix();
+    Slot& slot = *entry->slots[0];
+    LockRankScope table_rank(kLockRankTable);
+    std::shared_lock lock(slot.mutex);
+    slot.table.scan_cells_at(ts, [&](const Table::CellView& cv) {
+      if (unfiltered || container.matches_cell(*cv.row, *cv.col)) {
+        visit(*cv.row, *cv.col, cv.value);
+      }
+    });
+  } else {
+    scan_slots_merged(*entry, container, ts, visit);
   }
 }
 
@@ -402,16 +691,42 @@ FlatSnapshot DataStore::snapshot_flat(const ContainerRef& container) const {
   if (entry != nullptr) {
     const bool unfiltered = !container.has_column() && !container.has_row_prefix();
     std::vector<FlatEntry> entries;
-    {
-      std::shared_lock lock(entry->mutex);
-      entries.reserve(entry->table.cell_count());
-      entry->table.scan_cells([&](const Table::CellView& cv) {
-        if (unfiltered || container.matches_cell(*cv.row, *cv.col)) {
-          entries.push_back(FlatEntry{cv.id, cv.row, cv.col, cv.value});
+    if (entry->slots.size() == 1) {
+      Slot& slot = *entry->slots[0];
+      {
+        LockRankScope table_rank(kLockRankTable);
+        std::shared_lock lock(slot.mutex);
+        entries.reserve(slot.table.cell_count());
+        slot.table.scan_cells([&](const Table::CellView& cv) {
+          if (unfiltered || container.matches_cell(*cv.row, *cv.col)) {
+            entries.push_back(FlatEntry{cv.id, cv.row, cv.col, cv.value});
+          }
+        });
+      }
+      out = FlatSnapshot(entry, &slot.table, std::move(entries));
+    } else {
+      {
+        LockRankScope table_rank(kLockRankTable);
+        std::vector<std::shared_lock<std::shared_mutex>> locks;
+        locks.reserve(entry->slots.size());
+        for (const auto& slot : entry->slots) locks.emplace_back(slot->mutex);
+        for (const auto& slot : entry->slots) {
+          slot->table.scan_cells([&](const Table::CellView& cv) {
+            if (unfiltered || container.matches_cell(*cv.row, *cv.col)) {
+              entries.push_back(FlatEntry{cv.id, cv.row, cv.col, cv.value});
+            }
+          });
         }
+      }
+      std::sort(entries.begin(), entries.end(), [](const FlatEntry& a, const FlatEntry& b) {
+        const int cmp = a.row->compare(*b.row);
+        return cmp != 0 ? cmp < 0 : a.col->compare(*b.col) < 0;
       });
+      // keyspace = nullptr: packed interner ids are only unique per slot, so
+      // the id fast path (pointer-equal keyspaces) must not engage across
+      // differently sharded snapshots; consumers fall back to string keys.
+      out = FlatSnapshot(entry, nullptr, std::move(entries));
     }
-    out = FlatSnapshot(entry, &entry->table, std::move(entries));
   }
   if (obs_) {
     obs_->scan_latency->observe(StoreObs::seconds_since(t0));
@@ -440,8 +755,13 @@ std::map<std::string, double> DataStore::snapshot(const ContainerRef& container)
 std::size_t DataStore::cell_count(const TableName& table) const {
   const auto entry = find_entry(table);
   if (entry == nullptr) return 0;
-  std::shared_lock lock(entry->mutex);
-  return entry->table.cell_count();
+  LockRankScope table_rank(kLockRankTable);
+  std::size_t n = 0;
+  for (const auto& slot : entry->slots) {
+    std::shared_lock lock(slot->mutex);
+    n += slot->table.cell_count();
+  }
+  return n;
 }
 
 std::size_t DataStore::container_cell_count(const ContainerRef& container) const {
@@ -461,24 +781,28 @@ std::vector<TableName> DataStore::table_names() const {
 }
 
 void DataStore::drop_table(const TableName& table) {
+  LockRankScope rank(kLockRankRegistry);
   std::lock_guard lock(registry_mutex_);
   const auto snap = tables_.load(std::memory_order_acquire);
   if (!snap->contains(table)) return;
   auto next = std::make_shared<TableMap>(*snap);
   next->erase(table);
   if (durability_) {
-    std::lock_guard wal_lock(durability_->wal_mutex);
-    durability_->writer->append_drop_table(table);
+    durability_->broadcast([&table](WalWriter& writer, std::optional<std::uint64_t> lsn) {
+      writer.append_drop_table(table, lsn);
+    });
   }
   tables_.store(std::shared_ptr<const TableMap>(std::move(next)), std::memory_order_release);
   registry_gen_.store(next_registry_gen(), std::memory_order_release);
 }
 
 void DataStore::clear() {
+  LockRankScope rank(kLockRankRegistry);
   std::lock_guard lock(registry_mutex_);
   if (durability_) {
-    std::lock_guard wal_lock(durability_->wal_mutex);
-    durability_->writer->append_clear();
+    durability_->broadcast([](WalWriter& writer, std::optional<std::uint64_t> lsn) {
+      writer.append_clear(lsn);
+    });
   }
   tables_.store(std::make_shared<const TableMap>(), std::memory_order_release);
   registry_gen_.store(next_registry_gen(), std::memory_order_release);
@@ -488,15 +812,22 @@ std::vector<CellVersion> DataStore::cell_versions(const TableName& table, const 
                                                   const ColumnKey& column) const {
   const auto entry = find_entry(table);
   if (entry == nullptr) return {};
-  std::shared_lock lock(entry->mutex);
-  return entry->table.versions(row, column);
+  Slot& slot = *entry->slots[ring_.shard_of(row)];
+  LockRankScope table_rank(kLockRankTable);
+  std::shared_lock lock(slot.mutex);
+  return slot.table.versions(row, column);
 }
 
 namespace {
 
-/// WAL segments and checkpoint cuts found in a data dir, each ascending.
+/// WAL segment files (both namings, as (shard, seq) plus the actual file
+/// name, sorted by (seq, shard)) and checkpoint cuts found in a data dir.
+struct FoundSegment {
+  WalSegmentId id;
+  std::string name;
+};
 struct DirScan {
-  std::vector<std::uint64_t> segments;
+  std::vector<FoundSegment> segments;
   std::vector<std::uint64_t> checkpoints;
 };
 
@@ -505,8 +836,8 @@ DirScan scan_data_dir(const std::string& dir, bool remove_tmp) {
   std::error_code ec;
   for (const auto& dirent : std::filesystem::directory_iterator(dir, ec)) {
     const std::string name = dirent.path().filename().string();
-    if (const auto seq = parse_wal_segment_name(name)) {
-      out.segments.push_back(*seq);
+    if (const auto id = parse_any_wal_segment_name(name)) {
+      out.segments.push_back(FoundSegment{*id, name});
     } else if (const auto cut = parse_checkpoint_file_name(name)) {
       out.checkpoints.push_back(*cut);
     } else if (remove_tmp && name.ends_with(".tmp")) {
@@ -517,19 +848,24 @@ DirScan scan_data_dir(const std::string& dir, bool remove_tmp) {
     }
   }
   if (ec) throw Error("cannot scan data dir '" + dir + "': " + ec.message());
-  std::sort(out.segments.begin(), out.segments.end());
+  std::sort(out.segments.begin(), out.segments.end(),
+            [](const FoundSegment& a, const FoundSegment& b) {
+              return a.id.seq != b.id.seq ? a.id.seq < b.id.seq : a.id.shard < b.id.shard;
+            });
   std::sort(out.checkpoints.begin(), out.checkpoints.end());
   return out;
 }
 
 /// Best-effort deletion of everything a durable checkpoint at `cut`
-/// supersedes: WAL segments <= cut and older checkpoints.
+/// supersedes: WAL segments <= cut (either naming — a store reopened with a
+/// different shard count leaves the other family behind) and older
+/// checkpoints.
 void remove_superseded(const std::string& dir, std::uint64_t cut) {
   std::error_code ec;
   for (const auto& dirent : std::filesystem::directory_iterator(dir, ec)) {
     const std::string name = dirent.path().filename().string();
     bool superseded = false;
-    if (const auto seq = parse_wal_segment_name(name)) superseded = *seq <= cut;
+    if (const auto id = parse_any_wal_segment_name(name)) superseded = id->seq <= cut;
     if (const auto ck = parse_checkpoint_file_name(name)) superseded = *ck < cut;
     if (superseded) {
       std::error_code rm_ec;
@@ -554,9 +890,9 @@ void DataStore::enable_durability(const std::string& dir, DurabilityOptions opti
   auto durability = std::make_unique<Durability>();
   durability->dir = dir;
   durability->options = options;
+  durability->shards = shards();
   durability->segment_seq = 1;
-  durability->writer = std::make_unique<WalWriter>(durability->segment_path(1), options.flush,
-                                                   options.fault_injector);
+  durability->open_writers(/*seq=*/1, /*first_record_seq=*/0);
   attach_durability(std::move(durability));
 }
 
@@ -599,13 +935,14 @@ void DataStore::replay_record(const WalRecord& record) {
 }
 
 std::unique_ptr<DataStore> DataStore::recover(const std::string& dir, DurabilityOptions options,
-                                              std::size_t max_versions, RecoveryInfo* info) {
+                                              std::size_t max_versions, RecoveryInfo* info,
+                                              ShardOptions shard_options) {
   const auto t0 = std::chrono::steady_clock::now();
   RecoveryInfo local;
   std::filesystem::create_directories(dir);
   const DirScan found = scan_data_dir(dir, /*remove_tmp=*/true);
 
-  auto store = std::make_unique<DataStore>(max_versions);
+  auto store = std::make_unique<DataStore>(max_versions, shard_options);
   std::uint64_t cut = 0;
   std::optional<Timestamp> last_wave;
 
@@ -622,11 +959,15 @@ std::unique_ptr<DataStore> DataStore::recover(const std::string& dir, Durability
     store->max_versions_ = image->max_versions;
     for (const CheckpointTable& table : image->tables) {
       const auto entry = store->entry_for(table.name);
-      std::unique_lock lock(entry->mutex);
       for (const CheckpointTable::Cell& cell : table.cells) {
+        // Each row is re-routed through THIS store's ring — checkpoints are
+        // shard-agnostic, so a dir written with any shard count reloads into
+        // any other.
+        Slot& slot = *entry->slots[store->ring_.shard_of(cell.row)];
+        std::unique_lock lock(slot.mutex);
         // Versions are stored newest first; re-put oldest first.
         for (auto it = cell.versions.rbegin(); it != cell.versions.rend(); ++it) {
-          entry->table.put(cell.row, cell.column, it->timestamp, it->value);
+          slot.table.put(cell.row, cell.column, it->timestamp, it->value);
         }
       }
     }
@@ -634,58 +975,129 @@ std::unique_ptr<DataStore> DataStore::recover(const std::string& dir, Durability
     local.checkpoint_loaded = true;
   }
 
-  std::vector<std::uint64_t> replay;
-  for (const std::uint64_t seq : found.segments) {
-    if (seq > cut) replay.push_back(seq);
+  // Post-cut segment files grouped by seq (one group = the families of one
+  // rotation generation), seqs contiguous from cut + 1.
+  std::map<std::uint64_t, std::vector<const FoundSegment*>> groups;
+  for (const FoundSegment& segment : found.segments) {
+    if (segment.id.seq > cut) groups[segment.id.seq].push_back(&segment);
   }
-  for (std::size_t i = 0; i < replay.size(); ++i) {
-    if (replay[i] != cut + 1 + i) {
-      throw Error("WAL segment " + std::to_string(cut + 1 + i) + " is missing from '" + dir +
-                  "'; recovery cannot proceed");
+  {
+    std::uint64_t expect = cut + 1;
+    for (const auto& [seq, _] : groups) {
+      if (seq != expect) {
+        throw Error("WAL segment " + std::to_string(expect) + " is missing from '" + dir +
+                    "'; recovery cannot proceed");
+      }
+      ++expect;
     }
   }
-  for (std::size_t i = 0; i < replay.size(); ++i) {
-    const std::string path =
-        (std::filesystem::path(dir) / wal_segment_name(replay[i])).string();
-    WalReader reader(path);
-    WalRecord record;
-    for (;;) {
-      const WalReader::Next next = reader.next(record);
-      if (next == WalReader::Next::kEnd) break;
-      if (next == WalReader::Next::kTornTail) {
-        if (i + 1 != replay.size()) {
-          // Only a crash mid-append can tear a record, and appends only ever
-          // go to the newest segment.
-          throw Error("WAL segment '" + path +
-                      "' has a torn record but is not the final segment: corruption");
+  // Final segment seq per family: the only place a torn tail is legal.
+  std::map<std::size_t, std::uint64_t> last_seq_of_shard;
+  for (const auto& [seq, segments] : groups) {
+    for (const FoundSegment* segment : segments) last_seq_of_shard[segment->id.shard] = seq;
+  }
+
+  std::uint64_t max_lsn = 0;
+  bool any_records = false;
+  for (const auto& [seq, segments] : groups) {
+    // Read every family's records at this seq (truncating legal torn tails),
+    // then merge them back into mutation order by lsn. Records broadcast to
+    // every family (create/drop/clear, wave commits) share one lsn across
+    // the copies: they are applied once, and a wave commit only counts as
+    // durable when EVERY family of the generation holds it — the two-phase
+    // barrier that keeps any one shard from being ahead of the stamp.
+    std::vector<std::vector<WalRecord>> logs(segments.size());
+    for (std::size_t f = 0; f < segments.size(); ++f) {
+      const FoundSegment& segment = *segments[f];
+      const std::string path = (std::filesystem::path(dir) / segment.name).string();
+      WalReader reader(path);
+      WalRecord record;
+      for (;;) {
+        const WalReader::Next next = reader.next(record);
+        if (next == WalReader::Next::kEnd) break;
+        if (next == WalReader::Next::kTornTail) {
+          if (last_seq_of_shard[segment.id.shard] != seq) {
+            // Only a crash mid-append can tear a record, and a family only
+            // ever appends to its newest segment.
+            throw Error("WAL segment '" + path +
+                        "' has a torn record but is not the final segment: corruption");
+          }
+          std::filesystem::resize_file(path, reader.clean_bytes());
+          local.truncated_torn_tail = true;
+          break;
         }
-        std::filesystem::resize_file(path, reader.clean_bytes());
-        local.truncated_torn_tail = true;
-        break;
+        logs[f].push_back(std::move(record));
       }
-      if (record.kind == WalRecordKind::kWaveCommit) {
-        last_wave = record.wave;
+      ++local.segments_replayed;
+    }
+
+    if (logs.size() == 1) {
+      // Single family at this seq (unsharded dirs, and the common case of a
+      // shard generation of one): file order IS mutation order.
+      for (const WalRecord& record : logs[0]) {
+        max_lsn = std::max(max_lsn, record.lsn);
+        any_records = true;
+        if (record.kind == WalRecordKind::kWaveCommit) {
+          last_wave = record.wave;
+        } else {
+          store->replay_record(record);
+        }
+        ++local.records_replayed;
+      }
+      continue;
+    }
+
+    std::vector<std::size_t> head(logs.size(), 0);
+    for (;;) {
+      // Lowest lsn among the family heads; per-family order is already lsn
+      // order (each family draws under its mutex), so this is a k-way merge.
+      std::uint64_t min_lsn = 0;
+      bool have = false;
+      for (std::size_t f = 0; f < logs.size(); ++f) {
+        if (head[f] >= logs[f].size()) continue;
+        const std::uint64_t lsn = logs[f][head[f]].lsn;
+        if (!have || lsn < min_lsn) min_lsn = lsn;
+        have = true;
+      }
+      if (!have) break;
+      const WalRecord* chosen = nullptr;
+      std::size_t copies = 0;
+      for (std::size_t f = 0; f < logs.size(); ++f) {
+        if (head[f] >= logs[f].size() || logs[f][head[f]].lsn != min_lsn) continue;
+        if (chosen == nullptr) chosen = &logs[f][head[f]];
+        ++copies;
+        ++head[f];
+      }
+      max_lsn = std::max(max_lsn, min_lsn);
+      any_records = true;
+      if (chosen->kind == WalRecordKind::kWaveCommit) {
+        // Durable only when every family of the generation has the stamp on
+        // disk; a partial broadcast (crash between the two phases) leaves
+        // the wave un-durable even though some shards logged it.
+        if (copies == segments.size()) last_wave = chosen->wave;
       } else {
-        store->replay_record(record);
+        store->replay_record(*chosen);
       }
       ++local.records_replayed;
     }
-    ++local.segments_replayed;
   }
 
   // A crash between "checkpoint durable" and "old artifacts deleted" leaves
   // superseded files behind; finish the job now that replay is done.
   if (local.checkpoint_loaded) remove_superseded(dir, cut);
 
-  const std::uint64_t next_seq = (replay.empty() ? cut : replay.back()) + 1;
+  const std::uint64_t next_seq = (groups.empty() ? cut : groups.rbegin()->first) + 1;
   auto durability = std::make_unique<Durability>();
   durability->dir = dir;
   durability->options = options;
+  durability->shards = store->shards();
   durability->segment_seq = next_seq;
   durability->committed_wave = last_wave;
-  durability->writer =
-      std::make_unique<WalWriter>(durability->segment_path(next_seq), options.flush,
-                                  options.fault_injector, local.records_replayed);
+  // Sharded stores continue the store-global lsn sequence past everything on
+  // disk; the unsharded store keeps the legacy record-count seq space via
+  // first_record_seq below.
+  durability->next_lsn.store(any_records ? max_lsn + 1 : 0, std::memory_order_relaxed);
+  durability->open_writers(next_seq, /*first_record_seq=*/local.records_replayed);
   store->attach_durability(std::move(durability));
 
   local.last_durable_wave = last_wave;
@@ -705,13 +1117,51 @@ void DataStore::commit_wave(Timestamp wave) {
   if (!durability_) return;
   bool checkpoint_due = false;
   {
-    std::lock_guard lock(durability_->wal_mutex);
-    durability_->writer->append_wave_commit(wave);
+    LockRankScope wal_rank(kLockRankWal);
+    std::vector<std::unique_lock<std::mutex>> family_locks;
+    family_locks.reserve(durability_->families.size());
+    for (auto& family : durability_->families) family_locks.emplace_back(family->mutex);
+    if (durability_->shards == 1) {
+      // Legacy single-call path: append + fsync in one step, identical log
+      // and fsync cadence to the unsharded store.
+      durability_->families[0]->writer->append_wave_commit(wave);
+    } else {
+      // Two-phase all-shards barrier. Phase 1 writes the same-lsn commit
+      // record into EVERY family's file (flushed, not yet synced); phase 2
+      // fsyncs each family. Recovery only honors the stamp when all families
+      // hold it, so no shard's durable state can be ahead of the wave
+      // boundary regardless of where a crash lands.
+      const std::uint64_t lsn =
+          durability_->next_lsn.fetch_add(1, std::memory_order_relaxed);
+      for (auto& family : durability_->families) {
+        family->writer->append_wave_commit(wave, lsn, /*sync_now=*/false);
+      }
+      for (auto& family : durability_->families) family->writer->sync();
+    }
+    LockRankScope meta_rank(kLockRankDurabilityMeta);
+    std::lock_guard meta(durability_->meta_mutex);
     durability_->committed_wave = wave;
     if (durability_->wave_commits != nullptr) durability_->wave_commits->inc();
     if (durability_->options.checkpoint_every_waves > 0 &&
         ++durability_->waves_since_checkpoint >= durability_->options.checkpoint_every_waves) {
       checkpoint_due = true;
+    }
+  }
+  if (obs_ && obs_->shard_imbalance != nullptr) {
+    // Wave boundaries are the natural cadence for the imbalance gauge: cheap
+    // (reads N counters once per wave) and aligned with how operators reason
+    // about the workload.
+    std::uint64_t total = 0;
+    std::uint64_t max_ops = 0;
+    for (const obs::Counter* counter : obs_->shard_ops) {
+      const std::uint64_t v = counter->value();
+      total += v;
+      max_ops = std::max(max_ops, v);
+    }
+    if (total > 0) {
+      const double mean =
+          static_cast<double>(total) / static_cast<double>(obs_->shard_ops.size());
+      obs_->shard_imbalance->set(static_cast<double>(max_ops) / mean);
     }
   }
   if (checkpoint_due) checkpoint();
@@ -726,27 +1176,38 @@ void DataStore::checkpoint() {
   image.max_versions = max_versions_;
   std::uint64_t cut = 0;
   {
-    // Lock order registry -> every table (shared) -> WAL, the same global
-    // order writers use (one table, then WAL), so this cannot deadlock. With
-    // all writers blocked, no record can land between the cut and the
-    // capture: the image contains exactly the effects of segments <= cut.
+    // Full lock-rank sweep: registry -> every slot (shared) -> every WAL
+    // family -> meta, each level in index order — the same global order
+    // writers use, so this cannot deadlock. With all writers blocked, no
+    // record can land between the cut and the capture: the image contains
+    // exactly the effects of segments <= cut, across every family.
+    LockRankScope registry_rank(kLockRankRegistry);
     std::lock_guard registry_lock(registry_mutex_);
     const auto snap = tables_.load(std::memory_order_acquire);
+    LockRankScope table_rank(kLockRankTable);
     std::vector<std::shared_lock<std::shared_mutex>> table_locks;
-    table_locks.reserve(snap->size());
-    for (const auto& [name, entry] : *snap) table_locks.emplace_back(entry->mutex);
-    std::lock_guard wal_lock(durability_->wal_mutex);
+    for (const auto& [name, entry] : *snap) {
+      for (const auto& slot : entry->slots) table_locks.emplace_back(slot->mutex);
+    }
+    LockRankScope wal_rank(kLockRankWal);
+    std::vector<std::unique_lock<std::mutex>> family_locks;
+    family_locks.reserve(durability_->families.size());
+    for (auto& family : durability_->families) family_locks.emplace_back(family->mutex);
+    LockRankScope meta_rank(kLockRankDurabilityMeta);
+    std::lock_guard meta(durability_->meta_mutex);
 
     cut = durability_->segment_seq;
-    const std::uint64_t next_record_seq = durability_->writer->record_seq();
-    durability_->writer.reset();  // flushes; closing the segment at the cut
-    durability_->segment_seq = cut + 1;
-    durability_->writer = std::make_unique<WalWriter>(
-        durability_->segment_path(cut + 1), durability_->options.flush,
-        durability_->options.fault_injector, next_record_seq);
-    if (durability_->wal_obs.records != nullptr) {
-      durability_->writer->set_obs(&durability_->wal_obs);
+    for (std::size_t shard = 0; shard < durability_->families.size(); ++shard) {
+      auto& family = *durability_->families[shard];
+      const std::uint64_t next_record_seq = family.writer->record_seq();
+      family.writer.reset();  // flushes; closing this family's segment at the cut
+      family.writer = std::make_unique<WalWriter>(
+          durability_->segment_path(shard, cut + 1), durability_->options.flush,
+          durability_->options.fault_injector, next_record_seq, durability_->lsn_source(),
+          durability_->fault_tag(shard));
+      if (family.obs.records != nullptr) family.writer->set_obs(&family.obs);
     }
+    durability_->segment_seq = cut + 1;
     image.wal_cut_segment = cut;
     image.has_committed_wave = durability_->committed_wave.has_value();
     image.last_committed_wave = durability_->committed_wave.value_or(0);
@@ -756,14 +1217,16 @@ void DataStore::checkpoint() {
     for (const auto& [name, entry] : *snap) {
       CheckpointTable table;
       table.name = name;
-      table.cells.reserve(entry->table.cell_count());
-      entry->table.scan_cells([&](const Table::CellView& cv) {
-        CheckpointTable::Cell cell;
-        cell.row = *cv.row;
-        cell.column = *cv.col;
-        cell.versions = entry->table.versions(*cv.row, *cv.col);
-        table.cells.push_back(std::move(cell));
-      });
+      for (const auto& slot : entry->slots) {
+        table.cells.reserve(table.cells.size() + slot->table.cell_count());
+        slot->table.scan_cells([&](const Table::CellView& cv) {
+          CheckpointTable::Cell cell;
+          cell.row = *cv.row;
+          cell.column = *cv.col;
+          cell.versions = slot->table.versions(*cv.row, *cv.col);
+          table.cells.push_back(std::move(cell));
+        });
+      }
       image.tables.push_back(std::move(table));
     }
   }
@@ -779,13 +1242,17 @@ void DataStore::checkpoint() {
 
 void DataStore::sync_wal() {
   if (!durability_) return;
-  std::lock_guard lock(durability_->wal_mutex);
-  durability_->writer->sync();
+  LockRankScope wal_rank(kLockRankWal);
+  for (auto& family : durability_->families) {
+    std::lock_guard lock(family->mutex);
+    family->writer->sync();
+  }
 }
 
 std::optional<Timestamp> DataStore::last_committed_wave() const {
   if (!durability_) return std::nullopt;
-  std::lock_guard lock(durability_->wal_mutex);
+  LockRankScope meta_rank(kLockRankDurabilityMeta);
+  std::lock_guard meta(durability_->meta_mutex);
   return durability_->committed_wave;
 }
 

@@ -15,6 +15,7 @@
 #include "datastore/container_ref.h"
 #include "datastore/durability.h"
 #include "datastore/flat_snapshot.h"
+#include "datastore/shard_ring.h"
 #include "datastore/table.h"
 #include "datastore/types.h"
 
@@ -41,17 +42,24 @@ using MutationObserver = std::function<void(const Mutation&)>;
 /// HBase. Tables are created lazily on first write. All public operations
 /// are thread-safe. Concurrency model:
 ///
-///  - Each table has a reader/writer lock: `get`/`get_previous`/`scan_*`/
-///    `snapshot*`/`cell_count` run concurrently with each other; only
-///    `put`/`put_batch`/`erase` take the table exclusively.
+///  - Each table is partitioned into ShardOptions::shards lock domains by
+///    consistent hashing of the row key (one domain total with the default
+///    shards = 1): readers of a shard run concurrently with each other and
+///    with writers to *other* shards; only a write to the same shard
+///    excludes. With durability on, each shard also owns its own WAL segment
+///    family, so concurrent writers to different shards never contend on one
+///    log mutex and fsyncs amortize per shard.
 ///  - The table registry is RCU-style (an atomically swapped immutable map
 ///    snapshot), so point ops never touch a registry mutex; only table
 ///    creation/drop serializes on one.
 ///  - The observer list is copy-on-write: writers grab an immutable
 ///    snapshot of it per op (or once per batch) with a single atomic load.
+///  - Lock order (asserted in debug builds, see common/lock_rank.h):
+///    registry -> table shard slot -> WAL shard family -> durability meta;
+///    same-rank locks in shard-index order.
 class DataStore {
  public:
-  explicit DataStore(std::size_t max_versions = 2);
+  explicit DataStore(std::size_t max_versions = 2, ShardOptions shard_options = {});
   ~DataStore();
 
   DataStore(const DataStore&) = delete;
@@ -88,6 +96,16 @@ class DataStore {
   std::optional<double> get_previous(const TableName& table, const RowKey& row,
                                      const ColumnKey& column) const;
 
+  /// As-of-wave reads: the newest version with timestamp <= ts (and the one
+  /// before it). The isolation primitive pipelined wave execution is built
+  /// on — a client bound to wave w reads through these, so wave w+1's
+  /// concurrently ingested versions are invisible to it. Identical to
+  /// get/get_previous when nothing newer than ts has been written.
+  std::optional<double> get_at(const TableName& table, const RowKey& row,
+                               const ColumnKey& column, Timestamp ts) const;
+  std::optional<double> get_previous_at(const TableName& table, const RowKey& row,
+                                        const ColumnKey& column, Timestamp ts) const;
+
   /// Visits the latest value of every cell inside `container`, in
   /// (row, column) order.
   ///
@@ -104,6 +122,12 @@ class DataStore {
   void scan_container(const ContainerRef& container,
                       const std::function<void(const RowKey&, const ColumnKey&, double)>& visit)
       const;
+
+  /// As-of-wave scan_container: visits each cell's value as of `ts`,
+  /// skipping cells that only exist after it. Same deadlock contract.
+  void scan_container_at(
+      const ContainerRef& container, Timestamp ts,
+      const std::function<void(const RowKey&, const ColumnKey&, double)>& visit) const;
 
   /// Flat snapshot of a container: contiguous entries in (row, column)
   /// order with interner-backed zero-copy key views — the cheap path
@@ -145,10 +169,14 @@ class DataStore {
   /// empty/missing dir yields a fresh durable store. `info`, when non-null,
   /// receives what was found (incl. the last durable wave for the
   /// wave-boundary consistency rule).
+  /// `shard_options` shapes the *recovered* store; the dir may have been
+  /// written with any shard count (legacy and sharded segment names both
+  /// replay, with every row re-routed through the new ring).
   static std::unique_ptr<DataStore> recover(const std::string& dir,
                                             DurabilityOptions options = {},
                                             std::size_t max_versions = 2,
-                                            RecoveryInfo* info = nullptr);
+                                            RecoveryInfo* info = nullptr,
+                                            ShardOptions shard_options = {});
 
   /// Stamps the wave boundary: appends a wave-commit record and fsyncs (the
   /// durability point of the kEveryWave policy, and the data half of the
@@ -180,11 +208,30 @@ class DataStore {
   std::size_t subscribe(MutationObserver observer);
   void unsubscribe(std::size_t token);
 
+  std::size_t max_versions() const noexcept { return max_versions_; }
+  std::size_t shards() const noexcept { return ring_.shards(); }
+  const ShardOptions& shard_options() const noexcept { return shard_options_; }
+  /// Shard owning `row` — exposed for tests and benchmarks.
+  std::size_t shard_of(const RowKey& row) const noexcept { return ring_.shard_of(row); }
+
  private:
-  struct TableEntry {
+  /// One lock domain of a table: with N shards each table is a vector of N
+  /// slots, a row always living in slots[ring.shard_of(row)]. Slots are
+  /// heap-separated so the shared_mutexes of adjacent shards never share a
+  /// cache line.
+  struct Slot {
     mutable std::shared_mutex mutex;
     Table table;
-    explicit TableEntry(std::size_t max_versions) : table(max_versions) {}
+    explicit Slot(std::size_t max_versions) : table(max_versions) {}
+  };
+  struct TableEntry {
+    std::vector<std::unique_ptr<Slot>> slots;
+    TableEntry(std::size_t max_versions, std::size_t shards) {
+      slots.reserve(shards);
+      for (std::size_t i = 0; i < shards; ++i) {
+        slots.push_back(std::make_unique<Slot>(max_versions));
+      }
+    }
   };
   using TableMap = std::map<TableName, std::shared_ptr<TableEntry>>;
   using ObserverList = std::vector<std::pair<std::size_t, MutationObserver>>;
@@ -194,8 +241,20 @@ class DataStore {
   /// Existing entry or nullptr, via one atomic registry-snapshot load.
   std::shared_ptr<TableEntry> find_entry(const TableName& table) const;
   /// Existing entry, or creates one (copy-on-write registry swap), logging a
-  /// create-table record when durable.
+  /// create-table record (broadcast to every WAL family) when durable.
   std::shared_ptr<TableEntry> entry_for(const TableName& table);
+  /// Applies one sub-batch (the ops of `indices`) to its shard slot and WAL
+  /// family, recording previous values at the ops' original positions.
+  void apply_shard_batch(const TableName& table, TableEntry& entry, std::size_t shard,
+                         Timestamp ts, std::span<const PutOp> ops,
+                         const std::vector<std::uint32_t>& indices,
+                         std::vector<std::pair<double, bool>>* previous);
+  /// Merged as-of scan across every slot of a table (shards > 1 path):
+  /// locks all slots shared, gathers matches, restores (row, column) order.
+  void scan_slots_merged(const TableEntry& entry, const ContainerRef& container,
+                         std::optional<Timestamp> at,
+                         const std::function<void(const RowKey&, const ColumnKey&, double)>&
+                             visit) const;
   /// Installs an open WAL + bookkeeping (shared by enable_durability and
   /// recover). Wires the WAL metric handles when instrumentation is on.
   void attach_durability(std::unique_ptr<Durability> durability);
@@ -206,10 +265,13 @@ class DataStore {
   }
 
   std::size_t max_versions_;
+  ShardOptions shard_options_;
+  ShardRing ring_;
   std::unique_ptr<StoreObs> obs_;  ///< null unless set_instrumentation attached one
-  /// Null unless durability is enabled. The WAL mutex inside serializes
-  /// appends; it is always taken *after* a table/registry lock (leaf order),
-  /// so log order matches apply order per table.
+  /// Null unless durability is enabled. The per-family WAL mutexes inside
+  /// serialize appends; they are always taken *after* a table/registry lock
+  /// (see the lock-rank order above), so log order matches apply order per
+  /// shard.
   std::unique_ptr<Durability> durability_;
 
   mutable std::mutex registry_mutex_;  ///< serializes table create/drop/clear only

@@ -156,6 +156,33 @@ std::optional<double> Table::get_previous(std::string_view row, std::string_view
   return version_slots_[static_cast<std::size_t>(cell) * max_versions_ + 1].value;
 }
 
+std::size_t Table::version_at(std::uint32_t cell, Timestamp ts) const noexcept {
+  const std::size_t base = static_cast<std::size_t>(cell) * max_versions_;
+  const std::uint32_t n = cell_nver_[cell];
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (version_slots_[base + i].timestamp <= ts) return i;
+  }
+  return max_versions_;
+}
+
+std::optional<double> Table::get_at(std::string_view row, std::string_view column,
+                                    Timestamp ts) const {
+  const std::uint32_t cell = find_cell(row, column);
+  if (cell == kNoCell) return std::nullopt;
+  const std::size_t at = version_at(cell, ts);
+  if (at >= max_versions_) return std::nullopt;
+  return version_slots_[static_cast<std::size_t>(cell) * max_versions_ + at].value;
+}
+
+std::optional<double> Table::get_previous_at(std::string_view row, std::string_view column,
+                                             Timestamp ts) const {
+  const std::uint32_t cell = find_cell(row, column);
+  if (cell == kNoCell) return std::nullopt;
+  const std::size_t at = version_at(cell, ts);
+  if (at + 1 >= cell_nver_[cell]) return std::nullopt;
+  return version_slots_[static_cast<std::size_t>(cell) * max_versions_ + at + 1].value;
+}
+
 std::vector<CellVersion> Table::versions(std::string_view row, std::string_view column) const {
   const std::uint32_t cell = find_cell(row, column);
   if (cell == kNoCell) return {};

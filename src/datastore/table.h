@@ -58,6 +58,18 @@ class Table {
   /// Version immediately preceding the latest, if retained.
   std::optional<double> get_previous(std::string_view row, std::string_view column) const;
 
+  /// As-of read: the newest version with timestamp <= ts, if any is
+  /// retained. With pipelined wave execution a client bound to wave w reads
+  /// through these so it never sees wave w+1's concurrently ingested
+  /// versions; for a serial store (no version newer than ts exists) they
+  /// degrade to exactly get()/get_previous(). A version that has already
+  /// fallen off the retention window is gone — pipelining depth d therefore
+  /// requires max_versions >= d + 1.
+  std::optional<double> get_at(std::string_view row, std::string_view column, Timestamp ts) const;
+  /// Version immediately preceding the as-of version at ts, if retained.
+  std::optional<double> get_previous_at(std::string_view row, std::string_view column,
+                                        Timestamp ts) const;
+
   /// Full retained history, newest first.
   std::vector<CellVersion> versions(std::string_view row, std::string_view column) const;
 
@@ -73,6 +85,25 @@ class Table {
       view.row = rows_.key_ptr(cell_row_[cell]);
       view.col = cols_.key_ptr(cell_col_[cell]);
       view.value = version_slots_[static_cast<std::size_t>(cell) * max_versions_].value;
+      visit(view);
+    }
+  }
+
+  /// As-of variant of scan_cells: visits every cell that has a version with
+  /// timestamp <= ts, in the same (row, column) order, with the value as of
+  /// ts. Cells created only after ts (a pipelined wave's fresh ingest) are
+  /// skipped entirely.
+  template <typename Visitor>
+  void scan_cells_at(Timestamp ts, Visitor&& visit) const {
+    ensure_sorted();
+    for (const std::uint32_t cell : sorted_) {
+      const std::size_t at = version_at(cell, ts);
+      if (at >= max_versions_) continue;
+      CellView view;
+      view.id = pack(cell_row_[cell], cell_col_[cell]);
+      view.row = rows_.key_ptr(cell_row_[cell]);
+      view.col = cols_.key_ptr(cell_col_[cell]);
+      view.value = version_slots_[static_cast<std::size_t>(cell) * max_versions_ + at].value;
       visit(view);
     }
   }
@@ -106,6 +137,10 @@ class Table {
 
   /// Cell index for (row_id, col_id), or kNoCell.
   std::uint32_t find_cell(std::uint32_t row_id, std::uint32_t col_id) const noexcept;
+  /// Slot offset (within the cell's inline versions) of the newest version
+  /// with timestamp <= ts, or max_versions_ when none qualifies. Linear over
+  /// the retained versions — max_versions is small by construction.
+  std::size_t version_at(std::uint32_t cell, Timestamp ts) const noexcept;
   std::uint32_t find_cell(std::string_view row, std::string_view column) const noexcept;
   void index_insert(std::uint64_t key, std::uint32_t cell);
   void grow_index();

@@ -14,7 +14,6 @@ namespace smartflux::ds {
 
 namespace {
 
-constexpr std::string_view kWalTag = "wal";
 /// Flush the user-space buffer to the OS once it exceeds this, even under
 /// kEveryWave (bounds memory, keeps the file current for external readers).
 constexpr std::size_t kPendingFlushBytes = 1u << 20;
@@ -134,15 +133,43 @@ std::optional<std::uint64_t> parse_checkpoint_file_name(std::string_view name) {
   return parse_seq_name(name, "checkpoint-", ".sfck");
 }
 
+std::string sharded_wal_segment_name(std::size_t shard, std::uint64_t seq) {
+  char buf[80];
+  std::snprintf(buf, sizeof buf, "wal-s%llu-%06llu.sflog",
+                static_cast<unsigned long long>(shard), static_cast<unsigned long long>(seq));
+  return buf;
+}
+
+std::optional<WalSegmentId> parse_any_wal_segment_name(std::string_view name) {
+  if (const auto seq = parse_wal_segment_name(name)) return WalSegmentId{0, *seq};
+  constexpr std::string_view prefix = "wal-s";
+  if (name.size() <= prefix.size() || name.substr(0, prefix.size()) != prefix) {
+    return std::nullopt;
+  }
+  const std::size_t dash = name.find('-', prefix.size());
+  if (dash == std::string_view::npos || dash == prefix.size()) return std::nullopt;
+  std::size_t shard = 0;
+  for (const char c : name.substr(prefix.size(), dash - prefix.size())) {
+    if (c < '0' || c > '9') return std::nullopt;
+    shard = shard * 10 + static_cast<std::size_t>(c - '0');
+  }
+  const auto seq = parse_seq_name(name.substr(dash + 1), "", ".sflog");
+  if (!seq) return std::nullopt;
+  return WalSegmentId{shard, *seq};
+}
+
 // ---------------------------------------------------------------------------
 // WalWriter
 
 WalWriter::WalWriter(std::string path, WalFlushPolicy policy, FaultInjector* injector,
-                     std::uint64_t first_record_seq)
+                     std::uint64_t first_record_seq, std::atomic<std::uint64_t>* lsn_source,
+                     std::string fault_tag)
     : path_(std::move(path)),
       file_(SyncFile::open_append(path_)),
       policy_(policy),
       injector_(injector),
+      lsn_source_(lsn_source),
+      fault_tag_(std::move(fault_tag)),
       record_seq_(first_record_seq) {}
 
 WalWriter::~WalWriter() {
@@ -162,13 +189,18 @@ void WalWriter::check_usable() const {
   }
 }
 
-void WalWriter::append(std::string_view payload, int sync_class) {
+std::uint64_t WalWriter::next_lsn() noexcept {
+  return lsn_source_ != nullptr ? lsn_source_->fetch_add(1, std::memory_order_relaxed)
+                                : record_seq_;
+}
+
+void WalWriter::append(std::string_view payload, int sync_class, std::uint64_t lsn) {
   check_usable();
   SF_CHECK(payload.size() <= kWalMaxPayloadBytes, "WAL record payload too large");
-  const std::uint64_t seq = record_seq_;
+  const std::uint64_t seq = lsn;
 
   DiskWriteFault fault = DiskWriteFault::kNone;
-  if (injector_ != nullptr) fault = injector_->disk_write_fault(kWalTag, seq);
+  if (injector_ != nullptr) fault = injector_->disk_write_fault(fault_tag_, seq);
   if (fault == DiskWriteFault::kCrash) {
     broken_ = true;
     // A crash before the record: previously buffered records die with the
@@ -194,7 +226,7 @@ void WalWriter::append(std::string_view payload, int sync_class) {
     const std::size_t keep =
         fault == DiskWriteFault::kShortWrite
             ? frame.size() - 1
-            : injector_->torn_write_bytes(kWalTag, seq, frame.size());
+            : injector_->torn_write_bytes(fault_tag_, seq, frame.size());
     file_.write_all(frame.data(), keep);
     throw InjectedFault("injected torn write at WAL record " + std::to_string(seq));
   }
@@ -204,16 +236,18 @@ void WalWriter::append(std::string_view payload, int sync_class) {
   if (obs_ != nullptr && obs_->records != nullptr) {
     obs_->records->inc();
     obs_->bytes->inc(frame.size());
+    if (obs_->shard_bytes != nullptr) obs_->shard_bytes->inc(frame.size());
   }
 
   pending_.append(frame);
   const bool policy_sync =
-      sync_class >= 2 ||
-      (sync_class >= 1 && policy_ != WalFlushPolicy::kEveryWave) ||
-      policy_ == WalFlushPolicy::kEveryOp;
+      sync_class == 2 ||
+      (sync_class == 1 && policy_ != WalFlushPolicy::kEveryWave) ||
+      (sync_class != 3 && policy_ == WalFlushPolicy::kEveryOp);
   if (policy_sync) {
     sync();
-  } else if (pending_.size() >= kPendingFlushBytes || policy_ != WalFlushPolicy::kEveryWave) {
+  } else if (sync_class == 3 || pending_.size() >= kPendingFlushBytes ||
+             policy_ != WalFlushPolicy::kEveryWave) {
     flush();
   }
 }
@@ -233,7 +267,7 @@ void WalWriter::flush() {
 void WalWriter::sync() {
   flush();
   const std::uint64_t seq = sync_seq_++;
-  if (injector_ != nullptr && injector_->disk_fsync_fault(kWalTag, seq)) {
+  if (injector_ != nullptr && injector_->disk_fsync_fault(fault_tag_, seq)) {
     broken_ = true;
     throw InjectedFault("injected fsync failure on WAL '" + path_ + "'");
   }
@@ -260,19 +294,23 @@ void WalWriter::sync() {
 
 void WalWriter::append_put(std::string_view table, std::string_view row,
                            std::string_view column, Timestamp ts, double value) {
+  const std::uint64_t lsn = next_lsn();
   scratch_.clear();
   put_u8(scratch_, static_cast<std::uint8_t>(WalRecordKind::kPut));
+  put_u64(scratch_, lsn);
   put_str(scratch_, table);
   put_str(scratch_, row);
   put_str(scratch_, column);
   put_u64(scratch_, ts);
   put_f64(scratch_, value);
-  append(scratch_, 0);
+  append(scratch_, 0, lsn);
 }
 
 void WalWriter::append_batch(std::string_view table, Timestamp ts, std::span<const PutOp> ops) {
+  const std::uint64_t lsn = next_lsn();
   scratch_.clear();
   put_u8(scratch_, static_cast<std::uint8_t>(WalRecordKind::kPutBatch));
+  put_u64(scratch_, lsn);
   put_str(scratch_, table);
   put_u64(scratch_, ts);
   put_u32(scratch_, static_cast<std::uint32_t>(ops.size()));
@@ -281,45 +319,56 @@ void WalWriter::append_batch(std::string_view table, Timestamp ts, std::span<con
     put_str(scratch_, op.column);
     put_f64(scratch_, op.value);
   }
-  append(scratch_, 1);
+  append(scratch_, 1, lsn);
 }
 
 void WalWriter::append_erase(std::string_view table, std::string_view row,
                              std::string_view column, Timestamp ts) {
+  const std::uint64_t lsn = next_lsn();
   scratch_.clear();
   put_u8(scratch_, static_cast<std::uint8_t>(WalRecordKind::kErase));
+  put_u64(scratch_, lsn);
   put_str(scratch_, table);
   put_str(scratch_, row);
   put_str(scratch_, column);
   put_u64(scratch_, ts);
-  append(scratch_, 0);
+  append(scratch_, 0, lsn);
 }
 
-void WalWriter::append_create_table(std::string_view table) {
+void WalWriter::append_create_table(std::string_view table, std::optional<std::uint64_t> lsn) {
+  const std::uint64_t seq = lsn ? *lsn : next_lsn();
   scratch_.clear();
   put_u8(scratch_, static_cast<std::uint8_t>(WalRecordKind::kCreateTable));
+  put_u64(scratch_, seq);
   put_str(scratch_, table);
-  append(scratch_, 1);
+  append(scratch_, 1, seq);
 }
 
-void WalWriter::append_drop_table(std::string_view table) {
+void WalWriter::append_drop_table(std::string_view table, std::optional<std::uint64_t> lsn) {
+  const std::uint64_t seq = lsn ? *lsn : next_lsn();
   scratch_.clear();
   put_u8(scratch_, static_cast<std::uint8_t>(WalRecordKind::kDropTable));
+  put_u64(scratch_, seq);
   put_str(scratch_, table);
-  append(scratch_, 1);
+  append(scratch_, 1, seq);
 }
 
-void WalWriter::append_clear() {
+void WalWriter::append_clear(std::optional<std::uint64_t> lsn) {
+  const std::uint64_t seq = lsn ? *lsn : next_lsn();
   scratch_.clear();
   put_u8(scratch_, static_cast<std::uint8_t>(WalRecordKind::kClear));
-  append(scratch_, 1);
+  put_u64(scratch_, seq);
+  append(scratch_, 1, seq);
 }
 
-void WalWriter::append_wave_commit(Timestamp wave) {
+void WalWriter::append_wave_commit(Timestamp wave, std::optional<std::uint64_t> lsn,
+                                   bool sync_now) {
+  const std::uint64_t seq = lsn ? *lsn : next_lsn();
   scratch_.clear();
   put_u8(scratch_, static_cast<std::uint8_t>(WalRecordKind::kWaveCommit));
+  put_u64(scratch_, seq);
   put_u64(scratch_, wave);
-  append(scratch_, 2);
+  append(scratch_, sync_now ? 2 : 3, seq);
 }
 
 // ---------------------------------------------------------------------------
@@ -378,6 +427,7 @@ WalReader::Next WalReader::next(WalRecord& out) {
   out = WalRecord{};
   const auto kind = static_cast<WalRecordKind>(dec.u8());
   out.kind = kind;
+  out.lsn = dec.u64();
   switch (kind) {
     case WalRecordKind::kPut:
       out.table = dec.str();

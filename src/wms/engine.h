@@ -24,9 +24,21 @@ class Tracer;
 struct SpanRecord;
 }  // namespace smartflux::obs
 
+namespace smartflux::ds {
+class Client;
+}
+
 namespace smartflux::wms {
 
 class WaveJournal;
+
+/// Ingest callback for pipelined wave execution: writes wave w's input data
+/// through a Client already bound to w. The engine calls it from a dedicated
+/// ingest thread, one wave at a time (never two ingests concurrently), but
+/// concurrently with the *compute* of earlier waves — so the tables an
+/// ingest writes must be disjoint from the cells workflow steps write, or
+/// per-cell timestamps could regress.
+using WaveIngest = std::function<void(ds::Client&, ds::Timestamp)>;
 
 /// Decides, per wave, whether an eligible error-tolerant step runs. This is
 /// the integration point SmartFlux plugs into (the paper's "triggering
@@ -167,6 +179,21 @@ class WorkflowEngine {
   /// Convenience: runs waves [first, first+count) under one controller.
   std::vector<WaveResult> run_waves(ds::Timestamp first, std::size_t count,
                                     TriggerController& controller);
+
+  /// Pipelined variant of run_waves: a dedicated ingest thread runs
+  /// `ingest(client, w)` for up to `depth` waves ahead of the wave currently
+  /// computing, so wave w+1's feed lands in the store while wave w's steps
+  /// execute. Wave w never starts before its own ingest completed, and
+  /// ingests run strictly one at a time in wave order. Because steps read
+  /// as-of their wave (Client::get/scan), compute at wave w is blind to the
+  /// ingest of w+1 — but the store must retain enough history:
+  /// requires store.max_versions() >= depth + 1 (throws InvalidArgument
+  /// otherwise, and when depth == 0). An ingest failure for wave w surfaces
+  /// from this call before wave w runs; already-completed waves' results are
+  /// lost with the exception, matching run_waves.
+  std::vector<WaveResult> run_waves_pipelined(ds::Timestamp first, std::size_t count,
+                                              TriggerController& controller,
+                                              const WaveIngest& ingest, std::size_t depth = 1);
 
   const WorkflowSpec& spec() const noexcept { return spec_; }
   ds::DataStore& store() noexcept { return *store_; }

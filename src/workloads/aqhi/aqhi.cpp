@@ -9,6 +9,7 @@
 
 #include "common/error.h"
 #include "common/hashing.h"
+#include "datastore/client.h"
 
 namespace smartflux::workloads {
 
@@ -41,6 +42,32 @@ std::map<std::string, std::map<std::string, double>> read_table(ds::Client& clie
 double combine_concentration(double o3, double pm25, double no2) {
   return 100.0 * std::pow(o3 / 100.0, 0.5) * std::pow(pm25 / 100.0, 0.3) *
          std::pow(no2 / 100.0, 0.2);
+}
+
+/// Writes one wave's full sensor grid as a single batch — shared by the
+/// 1_feed step and the pipelined ingest path, so both produce identical
+/// data. One batch for the whole grid: a single lock acquisition per shard
+/// instead of 3·grid² (Client::put_batch). Rows are materialized first so
+/// the non-owning PutOp views stay valid.
+void put_sensor_batch(const AqhiParams& p, ds::Client& client, ds::Timestamp wave) {
+  AqhiWorkload gen{p};
+  std::vector<std::string> rows;
+  rows.reserve(p.grid * p.grid);
+  for (std::size_t x = 0; x < p.grid; ++x) {
+    for (std::size_t y = 0; y < p.grid; ++y) rows.push_back(detector_row(x, y));
+  }
+  std::vector<ds::PutOp> ops;
+  ops.reserve(rows.size() * 3);
+  std::size_t i = 0;
+  for (std::size_t x = 0; x < p.grid; ++x) {
+    for (std::size_t y = 0; y < p.grid; ++y) {
+      const std::string& row = rows[i++];
+      ops.push_back({row, "o3", gen.sensor(0, x, y, wave)});
+      ops.push_back({row, "pm25", gen.sensor(1, x, y, wave)});
+      ops.push_back({row, "no2", gen.sensor(2, x, y, wave)});
+    }
+  }
+  client.put_batch("sensors", ops);
 }
 
 }  // namespace
@@ -111,40 +138,31 @@ double AqhiWorkload::concentration(std::size_t x, std::size_t y, ds::Timestamp w
                                sensor(2, x, y, wave));
 }
 
-wms::WorkflowSpec AqhiWorkload::make_workflow() const {
+wms::WorkflowSpec AqhiWorkload::make_workflow() const { return make_workflow_impl(true); }
+
+wms::WorkflowSpec AqhiWorkload::make_compute_workflow() const {
+  return make_workflow_impl(false);
+}
+
+wms::WaveIngest AqhiWorkload::make_ingest() const {
+  return [p = params_](ds::Client& client, ds::Timestamp wave) {
+    put_sensor_batch(*p, client, wave);
+  };
+}
+
+wms::WorkflowSpec AqhiWorkload::make_workflow_impl(bool with_feed) const {
   const auto p = params_;  // shared with every closure below
 
   std::vector<wms::StepSpec> steps;
 
   // Step 1: simulates asynchronous arrival of sensory data; always executes
-  // (first updater of a data container, §2.4).
-  {
+  // (first updater of a data container, §2.4). In the compute-only variant
+  // the same batch arrives via make_ingest() instead.
+  if (with_feed) {
     wms::StepSpec s;
     s.id = "1_feed";
     s.outputs = {ds::ContainerRef::whole_table("sensors")};
-    s.fn = [p](wms::StepContext& ctx) {
-      AqhiWorkload gen{*p};
-      // One batch for the whole grid: a single table-lock acquisition instead
-      // of 3·grid² (Client::put_batch). Rows are materialized first so the
-      // non-owning PutOp views stay valid.
-      std::vector<std::string> rows;
-      rows.reserve(p->grid * p->grid);
-      for (std::size_t x = 0; x < p->grid; ++x) {
-        for (std::size_t y = 0; y < p->grid; ++y) rows.push_back(detector_row(x, y));
-      }
-      std::vector<ds::PutOp> ops;
-      ops.reserve(rows.size() * 3);
-      std::size_t i = 0;
-      for (std::size_t x = 0; x < p->grid; ++x) {
-        for (std::size_t y = 0; y < p->grid; ++y) {
-          const std::string& row = rows[i++];
-          ops.push_back({row, "o3", gen.sensor(0, x, y, ctx.wave)});
-          ops.push_back({row, "pm25", gen.sensor(1, x, y, ctx.wave)});
-          ops.push_back({row, "no2", gen.sensor(2, x, y, ctx.wave)});
-        }
-      }
-      ctx.client.put_batch("sensors", ops);
-    };
+    s.fn = [p](wms::StepContext& ctx) { put_sensor_batch(*p, ctx.client, ctx.wave); };
     steps.push_back(std::move(s));
   }
 
@@ -152,7 +170,7 @@ wms::WorkflowSpec AqhiWorkload::make_workflow() const {
   {
     wms::StepSpec s;
     s.id = "2_concentration";
-    s.predecessors = {"1_feed"};
+    if (with_feed) s.predecessors = {"1_feed"};
     s.inputs = {ds::ContainerRef::whole_table("sensors")};
     s.outputs = {ds::ContainerRef::whole_table("concentration")};
     s.max_error = p->max_error;

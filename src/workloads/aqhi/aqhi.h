@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "datastore/types.h"
+#include "wms/engine.h"
 #include "wms/workflow_spec.h"
 
 namespace smartflux::workloads {
@@ -35,6 +36,17 @@ class AqhiWorkload {
 
   wms::WorkflowSpec make_workflow() const;
 
+  /// Compute-only variant for pipelined execution: steps 2..5 with no 1_feed
+  /// — the sensor batch arrives out-of-band via make_ingest() before each
+  /// wave (WorkflowEngine::run_waves_pipelined /
+  /// WaveDriver::enable_pipelining), so wave w+1's feed overlaps wave w's
+  /// compute. Both variants write identical data for the same waves.
+  wms::WorkflowSpec make_compute_workflow() const;
+
+  /// The 1_feed body as a pipeline ingest callback: writes wave w's full
+  /// sensor grid as a single batch through the bound client.
+  wms::WaveIngest make_ingest() const;
+
   /// Raw sensor values (0–100). pollutant: 0 = O₃, 1 = PM2.5, 2 = NO₂.
   double sensor(std::size_t pollutant, std::size_t x, std::size_t y,
                 ds::Timestamp wave) const;
@@ -46,6 +58,8 @@ class AqhiWorkload {
   std::size_t zones_per_side() const noexcept;
 
  private:
+  wms::WorkflowSpec make_workflow_impl(bool with_feed) const;
+
   std::shared_ptr<const AqhiParams> params_;  // shared with the step closures
 };
 

@@ -9,6 +9,7 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -250,6 +251,201 @@ TEST(CrashMatrix, RecoveryIsIdempotentAndTheStoreContinues) {
   auto final_store = DataStore::recover(dir, {}, 2, &final_info);
   EXPECT_EQ(final_store->get("omega", "o", "o"), std::optional<double>{40.0});
   EXPECT_EQ(final_info.last_durable_wave, std::optional<Timestamp>{40});
+}
+
+// ---------------------------------------------------------------------------
+// Sharded stores: the same crash matrix against interleaved per-shard WAL
+// segment families.
+
+/// Mirror of crash_workload for a sharded store: identical logical sequence,
+/// but each put_batch is split per shard (one WAL record per shard hit,
+/// applied in shard index order — DataStore::put_batch's serial split order),
+/// so the model's record list again matches the store's global LSN sequence
+/// 1:1. Broadcast records (create/drop/clear/commit) carry one LSN each,
+/// exactly like the single-family layout.
+Workload sharded_crash_workload(const ShardRing& ring) {
+  Workload w;
+  const auto put_batch_split =
+      [&w, &ring](const std::string& table, Timestamp ts,
+                  std::vector<std::tuple<std::string, std::string, double>> cells) {
+        w.ensure_create(table);
+        std::map<std::size_t, std::vector<std::tuple<std::string, std::string, double>>> split;
+        for (const auto& cell : cells) split[ring.shard_of(std::get<0>(cell))].push_back(cell);
+        for (const auto& [shard, sub] : split) {
+          w.record_effects.push_back([table, ts, sub](ModelStore& m) {
+            for (const auto& [row, column, value] : sub) m.put(table, row, column, ts, value);
+          });
+        }
+        w.calls.push_back([table, ts, cells](DataStore& s) {
+          std::vector<PutOp> ops;
+          ops.reserve(cells.size());
+          for (const auto& [row, column, value] : cells) ops.push_back({row, column, value});
+          s.put_batch(table, ts, ops);
+        });
+      };
+  w.put("alpha", "r1", "c1", 1, 1.0);
+  w.put("alpha", "r1", "c2", 1, 1.5);
+  w.put("beta", "r1", "c1", 1, -2.0);
+  put_batch_split("alpha", 2, {{"r1", "c1", 2.0}, {"r2", "c1", 2.5}, {"r3", "c3", 0.125}});
+  w.commit_wave(1);
+  w.put("alpha", "r1", "c1", 3, 3.0);
+  w.erase("alpha", "r1", "c2", 3);
+  w.put("gamma", "rX", "cX", 3, 9.0);
+  w.commit_wave(2);
+  w.drop("beta");
+  w.put("beta", "r9", "c9", 4, 4.75);
+  put_batch_split("gamma", 4, {{"rX", "cX", 10.0}, {"rY", "cY", 11.0}});
+  w.commit_wave(3);
+  w.clear();
+  w.put("delta", "d", "d", 5, 5.0);
+  w.commit_wave(4);
+  return w;
+}
+
+std::pair<std::string, RecoveryInfo> run_and_recover_sharded(const Workload& workload,
+                                                             const ShardOptions& shard_options,
+                                                             const std::string& dir,
+                                                             DiskFaultKind fault_kind,
+                                                             std::uint64_t kill) {
+  FaultInjector injector(42);
+  // Empty tag: matches every shard's WAL family. The record seq a sharded
+  // writer reports is the store-global LSN, so `kill` selects one exact
+  // record boundary across the interleaved families regardless of which
+  // family that record lands in.
+  injector.add_disk_rule(DiskFaultRule{
+      .kind = fault_kind, .file_tag = "", .first_record = kill, .last_record = kill});
+  {
+    DataStore store(2, shard_options);
+    DurabilityOptions options;
+    options.flush = WalFlushPolicy::kEveryOp;
+    options.fault_injector = &injector;
+    store.enable_durability(dir, options);
+    try {
+      for (const auto& call : workload.calls) call(store);
+    } catch (const InjectedFault&) {
+      // The "crash": the store object dies here with one broken family.
+    }
+  }
+  RecoveryInfo info;
+  auto recovered = DataStore::recover(dir, {}, 2, &info, shard_options);
+  return {dump_store(*recovered), info};
+}
+
+TEST(ShardedCrashMatrix, EveryLsnKillPointRecoversTheExactPrefix) {
+  ShardOptions so;
+  so.shards = 3;
+  const ShardRing ring(so);
+  const Workload workload = sharded_crash_workload(ring);
+  const std::size_t total = workload.record_effects.size();
+  ASSERT_GE(total, 20u);
+  // kill == total arms no fault: the full workload must round-trip too.
+  for (std::size_t kill = 0; kill <= total; ++kill) {
+    const std::string dir = fresh_dir("sf_shard_crash_" + std::to_string(kill));
+    const auto [dump, info] =
+        run_and_recover_sharded(workload, so, dir, DiskFaultKind::kCrash, kill);
+    const ModelStore expected = workload.expected_after(kill);
+    EXPECT_EQ(dump, expected.dump()) << "kill point " << kill << " of " << total;
+    EXPECT_EQ(info.last_durable_wave, expected.last_wave) << "kill point " << kill;
+    EXPECT_FALSE(info.truncated_torn_tail) << "kill point " << kill;
+    EXPECT_EQ(info.records_replayed, std::min(kill, total)) << "kill point " << kill;
+    std::filesystem::remove_all(dir);
+  }
+}
+
+TEST(ShardedCrashMatrix, TornWritesTruncateToThePrefixAcrossFamilies) {
+  ShardOptions so;
+  so.shards = 3;
+  const ShardRing ring(so);
+  const Workload workload = sharded_crash_workload(ring);
+  const std::size_t total = workload.record_effects.size();
+  for (std::size_t kill = 0; kill < total; ++kill) {
+    const std::string dir = fresh_dir("sf_shard_torn_" + std::to_string(kill));
+    const auto [dump, info] =
+        run_and_recover_sharded(workload, so, dir, DiskFaultKind::kTornWrite, kill);
+    const ModelStore expected = workload.expected_after(kill);
+    EXPECT_EQ(dump, expected.dump()) << "torn record " << kill << " of " << total;
+    EXPECT_EQ(info.last_durable_wave, expected.last_wave) << "torn record " << kill;
+    EXPECT_TRUE(info.truncated_torn_tail) << "torn record " << kill;
+    std::filesystem::remove_all(dir);
+  }
+}
+
+/// Finds a row key the ring routes to `shard` (deterministic probe).
+std::string row_on_shard(const ShardRing& ring, std::size_t shard) {
+  for (int i = 0; i < 10000; ++i) {
+    std::string row = "row" + std::to_string(i);
+    if (ring.shard_of(row) == shard) return row;
+  }
+  ADD_FAILURE() << "no probe row found for shard " << shard;
+  return {};
+}
+
+TEST(ShardedCrashMatrix, PartialCommitBroadcastLeavesNoShardAheadOfTheStamp) {
+  ShardOptions so;
+  so.shards = 3;
+  const ShardRing ring(so);
+  const std::string r0 = row_on_shard(ring, 0);
+  const std::string r2 = row_on_shard(ring, 2);
+  const std::string dir = fresh_dir("sf_shard_partial_commit");
+  FaultInjector injector(7);
+  {
+    DataStore store(2, so);
+    DurabilityOptions options;
+    options.flush = WalFlushPolicy::kEveryOp;
+    options.fault_injector = &injector;
+    store.enable_durability(dir, options);
+    store.put("t", r0, "c", 1, 1.0);
+    store.put("t", r2, "c", 1, 2.0);
+    store.commit_wave(1);
+    store.put("t", r0, "c", 2, 3.0);
+    // Family s1 dies on its next append: the wave-2 commit broadcast lands
+    // in s0 but never reaches s1 or s2 — shard 0's log runs "ahead".
+    injector.add_disk_rule(
+        DiskFaultRule{.kind = DiskFaultKind::kCrash, .file_tag = "wal-s1"});
+    EXPECT_THROW(store.commit_wave(2), InjectedFault);
+  }
+  RecoveryInfo info;
+  auto recovered = DataStore::recover(dir, {}, 2, &info, so);
+  // The commit record exists in one family, not all — recovery refuses to
+  // advance the stamp past wave 1, so no shard ends up ahead of it.
+  EXPECT_EQ(info.last_durable_wave, std::optional<Timestamp>{1});
+  EXPECT_EQ(recovered->last_committed_wave(), std::optional<Timestamp>{1});
+  // The wave-2 put was logged before the crash and replays; re-running wave
+  // 2 with equal timestamps converges, per the wave-boundary contract.
+  EXPECT_EQ(recovered->get("t", r0, "c"), std::optional<double>{3.0});
+}
+
+TEST(ShardedCheckpointing, CheckpointRotatesEveryFamilyAndBoundsReplay) {
+  ShardOptions so;
+  so.shards = 2;
+  const ShardRing ring(so);
+  const std::string r0 = row_on_shard(ring, 0);
+  const std::string r1 = row_on_shard(ring, 1);
+  const std::string dir = fresh_dir("sf_shard_ckpt");
+  {
+    DataStore store(2, so);
+    store.enable_durability(dir);
+    store.put("t", r0, "c", 1, 1.0);
+    store.put("t", r1, "c", 1, 2.0);
+    store.commit_wave(1);
+    store.checkpoint();
+    // The checkpoint cut every family's segment 1; appends continue in each
+    // family's segment 2.
+    EXPECT_TRUE(std::filesystem::exists(dir + "/checkpoint-000001.sfck"));
+    EXPECT_FALSE(std::filesystem::exists(dir + "/" + sharded_wal_segment_name(0, 1)));
+    EXPECT_FALSE(std::filesystem::exists(dir + "/" + sharded_wal_segment_name(1, 1)));
+    EXPECT_TRUE(std::filesystem::exists(dir + "/" + sharded_wal_segment_name(0, 2)));
+    EXPECT_TRUE(std::filesystem::exists(dir + "/" + sharded_wal_segment_name(1, 2)));
+    store.put("t", r0, "c", 2, 3.0);
+    store.commit_wave(2);
+  }
+  RecoveryInfo info;
+  auto recovered = DataStore::recover(dir, {}, 2, &info, so);
+  EXPECT_TRUE(info.checkpoint_loaded);
+  EXPECT_EQ(info.last_durable_wave, std::optional<Timestamp>{2});
+  EXPECT_EQ(recovered->cell_versions("t", r0, "c"),
+            (std::vector<CellVersion>{{2, 3.0}, {1, 1.0}}));
+  EXPECT_EQ(recovered->get("t", r1, "c"), std::optional<double>{2.0});
 }
 
 TEST(Durability, FsyncFailureIsFatalButNotCorrupting) {

@@ -48,6 +48,36 @@ TEST(ThreadPool, RunAllRethrowsFirstError) {
   EXPECT_EQ(completed.load(), 2);  // the other tasks still ran
 }
 
+TEST(ThreadPool, NestedRunAllDoesNotDeadlock) {
+  // A task running on the pool issues its own run_all on the SAME pool —
+  // the sharded put_batch-inside-a-workflow-step shape. The caller-
+  // participating design means the inner batch always completes even with
+  // every worker occupied by outer tasks.
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  std::vector<std::function<void()>> outer;
+  for (int i = 0; i < 4; ++i) {
+    outer.push_back([&pool, &inner_total] {
+      std::vector<std::function<void()>> inner;
+      for (int j = 0; j < 8; ++j) inner.push_back([&inner_total] { ++inner_total; });
+      pool.run_all(std::move(inner));
+    });
+  }
+  pool.run_all(std::move(outer));
+  EXPECT_EQ(inner_total.load(), 32);
+}
+
+TEST(ThreadPool, NestedRunAllPropagatesInnerErrors) {
+  ThreadPool pool(2);
+  std::vector<std::function<void()>> outer;
+  outer.push_back([&pool] {
+    std::vector<std::function<void()>> inner;
+    inner.push_back([] { throw std::logic_error("inner failed"); });
+    pool.run_all(std::move(inner));  // rethrows here, inside the outer task
+  });
+  EXPECT_THROW(pool.run_all(std::move(outer)), std::logic_error);
+}
+
 TEST(ThreadPool, DrainsQueueOnDestruction) {
   std::atomic<int> counter{0};
   {

@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 #include "common/error.h"
+#include "datastore/client.h"
 #include "wms/engine.h"
 
 namespace smartflux::wms {
@@ -267,6 +271,117 @@ TEST(Engine, ControllerCallbacksInOrder) {
   const std::vector<std::string> expected{"begin",   "done:a",  "query:b", "done:b",
                                           "query:c", "done:c", "end"};
   EXPECT_EQ(ctl.events, expected);
+}
+
+// ---------------------------------------------------------------------------
+// Pipelined wave execution
+
+/// Workflow reading the externally ingested feed: each wave records the feed
+/// value it observed under its own row, so cross-wave contamination (a wave
+/// seeing a newer ingest) would be visible in the output table forever.
+WorkflowSpec feed_reader_spec() {
+  StepSpec read;
+  read.id = "read";
+  read.fn = [](StepContext& ctx) {
+    const double in = ctx.client.get("in", "r", "v").value_or(-1.0);
+    ctx.client.put("out", "w" + std::to_string(ctx.wave), "v", in);
+  };
+  StepSpec scale;
+  scale.id = "scale";
+  scale.predecessors = {"read"};
+  scale.fn = [](StepContext& ctx) {
+    const double v =
+        ctx.client.get("out", "w" + std::to_string(ctx.wave), "v").value_or(0.0);
+    ctx.client.put("scaled", "w" + std::to_string(ctx.wave), "v", 2.0 * v);
+  };
+  return WorkflowSpec("feed_reader", {read, scale});
+}
+
+TEST(PipelinedWaves, EachWaveReadsExactlyItsOwnIngest) {
+  ds::DataStore store(/*max_versions=*/2);
+  WorkflowEngine engine(feed_reader_spec(), store);
+  SyncController sync;
+  const WaveIngest ingest = [](ds::Client& client, ds::Timestamp wave) {
+    client.put("in", "r", "v", static_cast<double>(wave) * 10.0);
+  };
+  const auto results = engine.run_waves_pipelined(1, 8, sync, ingest, /*depth=*/1);
+  ASSERT_EQ(results.size(), 8u);
+  for (const auto& r : results) EXPECT_EQ(r.executed_count(), 2u) << "wave " << r.wave;
+  // Every wave saw the feed value ingested for it — not a newer one that the
+  // pipeline had already written.
+  for (ds::Timestamp w = 1; w <= 8; ++w) {
+    EXPECT_EQ(store.get("out", "w" + std::to_string(w), "v"),
+              std::optional<double>{static_cast<double>(w) * 10.0});
+    EXPECT_EQ(store.get("scaled", "w" + std::to_string(w), "v"),
+              std::optional<double>{static_cast<double>(w) * 20.0});
+  }
+  EXPECT_EQ(store.last_committed_wave(), std::nullopt);  // not durable: no stamp
+  EXPECT_EQ(engine.waves_run(), 8u);
+}
+
+TEST(PipelinedWaves, MatchesUnpipelinedExecutionExactly) {
+  const auto run = [](ds::DataStore& store, bool pipelined, std::size_t depth) {
+    WorkflowEngine engine(feed_reader_spec(), store);
+    SyncController sync;
+    const WaveIngest ingest = [](ds::Client& client, ds::Timestamp wave) {
+      client.put("in", "r", "v", 100.0 + static_cast<double>(wave));
+    };
+    if (pipelined) {
+      engine.run_waves_pipelined(1, 6, sync, ingest, depth);
+    } else {
+      for (ds::Timestamp w = 1; w <= 6; ++w) {
+        ds::Client client(store, w);
+        ingest(client, w);
+        engine.run_wave(w, sync);
+      }
+    }
+  };
+  const auto fingerprint = [](const ds::DataStore& store) {
+    std::string out;
+    for (const auto& table : store.table_names()) {
+      store.scan_container(ds::ContainerRef::whole_table(table),
+                           [&](const ds::RowKey& r, const ds::ColumnKey& c, double v) {
+                             out += table + "/" + r + "/" + c + "=" + std::to_string(v) + ";";
+                           });
+    }
+    return out;
+  };
+  ds::DataStore serial(4);
+  run(serial, false, 0);
+  ds::DataStore depth1(4);
+  run(depth1, true, 1);
+  ds::DataStore depth3(4);
+  run(depth3, true, 3);
+  EXPECT_EQ(fingerprint(depth1), fingerprint(serial));
+  EXPECT_EQ(fingerprint(depth3), fingerprint(serial));
+}
+
+TEST(PipelinedWaves, RejectsDepthsTheStoreCannotRetain) {
+  ds::DataStore store(/*max_versions=*/2);
+  WorkflowEngine engine(feed_reader_spec(), store);
+  SyncController sync;
+  const WaveIngest ingest = [](ds::Client&, ds::Timestamp) {};
+  EXPECT_THROW(engine.run_waves_pipelined(1, 2, sync, ingest, /*depth=*/0),
+               smartflux::InvalidArgument);
+  // depth 2 needs max_versions >= 3.
+  EXPECT_THROW(engine.run_waves_pipelined(1, 2, sync, ingest, /*depth=*/2),
+               smartflux::InvalidArgument);
+  EXPECT_EQ(engine.waves_run(), 0u);
+}
+
+TEST(PipelinedWaves, IngestFailureSurfacesBeforeItsWaveRuns) {
+  ds::DataStore store(/*max_versions=*/2);
+  WorkflowEngine engine(feed_reader_spec(), store);
+  SyncController sync;
+  const WaveIngest ingest = [](ds::Client& client, ds::Timestamp wave) {
+    if (wave == 3) throw std::runtime_error("feed outage");
+    client.put("in", "r", "v", static_cast<double>(wave));
+  };
+  EXPECT_THROW(engine.run_waves_pipelined(1, 6, sync, ingest, 1), std::runtime_error);
+  // Waves 1 and 2 completed; wave 3 never started.
+  EXPECT_EQ(engine.waves_run(), 2u);
+  EXPECT_EQ(engine.last_wave(), std::optional<ds::Timestamp>{2});
+  EXPECT_EQ(store.get("out", "w3", "v"), std::nullopt);
 }
 
 }  // namespace
