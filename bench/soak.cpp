@@ -1,0 +1,338 @@
+// Overload-resilience soak: the AQHI workload driven for hours of simulated
+// waves under a deterministic chaos campaign — burst arrivals, late/missing
+// sensors, hot-key skew, a flash event, one wedged step and one disk crash —
+// on a durable (WAL + checkpoint) store with the soft memory ceiling, the
+// SmartFlux overload health machine and the stall watchdog all armed.
+//
+//   ./bench/soak [app_waves] [train_waves] [grid] [seed] > docs/bench/soak.json
+//
+// Defaults (1000 app waves, grid 20 = 1200 sensor cells/wave, burst factor 4)
+// push ~2M cells through ingest. The bench exits non-zero when any resilience
+// bound is violated:
+//   - tracked memory exceeded the soft ceiling by more than 5%
+//   - a wave is missing from the journal (shed waves must be journaled, so
+//     "dropped accountably" is checkable: every wave appears exactly once)
+//   - the injected wedged step did not stall the watchdog, or stalled it
+//     without a subsequent recovery
+//   - the injected WAL crash did not recover
+//
+// Phases: (1) pressured pipelined training — chaos ingest through the
+// bounded wave queue (kBlock watermarks) while the knowledge base captures;
+// (2) model build; (3) application soak under a simulated arrival backlog
+// that drives the health machine through pressured/shedding episodes every
+// burst; mid-soak a WAL crash is injected during ingest, the store is
+// abandoned, recovered from disk, and the run resumes at the wave-boundary
+// consistency cut.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "core/qod_engine.h"
+#include "core/smartflux.h"
+#include "datastore/client.h"
+#include "datastore/datastore.h"
+#include "scenario/scenario.h"
+#include "wms/journal.h"
+#include "wms/watchdog.h"
+#include "workloads/aqhi/aqhi.h"
+
+namespace {
+
+using namespace smartflux;
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+double pctl(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(p * static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
+struct Config {
+  std::size_t app_waves = 1000;
+  std::size_t train_waves = 160;
+  std::size_t grid = 20;
+  std::uint64_t seed = 42;
+  std::size_t checkpoint_every = 50;  ///< manual, timed checkpoints
+  std::string dir = "soak_data";
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg;
+  if (argc > 1) cfg.app_waves = static_cast<std::size_t>(std::atoll(argv[1]));
+  if (argc > 2) cfg.train_waves = static_cast<std::size_t>(std::atoll(argv[2]));
+  if (argc > 3) cfg.grid = static_cast<std::size_t>(std::atoll(argv[3]));
+  if (argc > 4) cfg.seed = static_cast<std::uint64_t>(std::atoll(argv[4]));
+
+  const ds::Timestamp app_first = cfg.train_waves + 1;
+  const ds::Timestamp app_last = cfg.train_waves + cfg.app_waves;
+  // The wedged step fires late in a burst period (backlog drained by then,
+  // so the wave runs fully); the crash fires mid-soak.
+  ds::Timestamp hang_wave = app_first + 20;
+  while (hang_wave % 20 != 18) ++hang_wave;
+  const ds::Timestamp crash_trigger = cfg.train_waves + cfg.app_waves / 2;
+
+  workloads::AqhiParams params;
+  params.grid = cfg.grid;
+  params.seed = cfg.seed;
+  workloads::AqhiWorkload workload(params);
+
+  scenario::CampaignOptions campaign_opts;
+  campaign_opts.seed = cfg.seed;
+  campaign_opts.scenario.burst = {.period = 20, .length = 4, .factor = 4.0};
+  campaign_opts.scenario.late = {.probability = 0.02, .delay = 2};
+  campaign_opts.scenario.drop = {.probability = 0.01};
+  campaign_opts.scenario.hot_key = {.fraction = 0.05, .hot_keys = 4};
+  scenario::FlashEvent flash;
+  flash.first_wave = app_first + 200;
+  flash.last_wave = app_first + 230;
+  flash.scale = 1.8;
+  campaign_opts.scenario.flash.push_back(flash);
+  {
+    FaultRule hang;
+    hang.step_id = "2_concentration";
+    hang.kind = FaultKind::kHang;
+    hang.first_wave = hang_wave;
+    hang.last_wave = hang_wave;
+    hang.max_attempt = 1;  // the retry after the watchdog cancel succeeds
+    hang.hang_for = std::chrono::milliseconds(10'000);
+    hang.message = "soak: wedged step";
+    campaign_opts.step_faults.push_back(hang);
+  }
+  scenario::Campaign campaign(campaign_opts);
+  wms::WaveIngest chaos_ingest = campaign.wrap(workload.make_ingest());
+
+  wms::WatchdogOptions wd_opts;
+  wd_opts.stall_multiplier = 8.0;
+  wd_opts.min_stall = std::chrono::milliseconds(250);
+  wms::StallWatchdog watchdog(wd_opts);
+
+  std::filesystem::remove_all(cfg.dir);
+  std::filesystem::create_directories(cfg.dir);
+  const std::string store_dir = cfg.dir + "/store";
+  const std::string journal_path = cfg.dir + "/journal.txt";
+
+  ds::DurabilityOptions dur;
+  dur.flush = ds::WalFlushPolicy::kEveryWave;
+  dur.fault_injector = &campaign.faults();
+  constexpr std::size_t kMaxVersions = 4;  // >= pipelined high watermark
+  const ds::ShardOptions shards{.shards = 2};
+
+  wms::WorkflowEngine::Options eng_opts;
+  eng_opts.retry.max_attempts = 3;
+  eng_opts.retry.initial_backoff = std::chrono::milliseconds(2);
+  eng_opts.retry.propagate = false;  // record failures, keep the wave going
+  eng_opts.fault_injector = &campaign.faults();
+  eng_opts.watchdog = &watchdog;
+
+  auto store = std::make_unique<ds::DataStore>(kMaxVersions, shards);
+  store->enable_durability(store_dir, dur);
+
+  wms::WorkflowSpec spec = workload.make_compute_workflow();
+  auto engine = std::make_unique<wms::WorkflowEngine>(spec, *store, eng_opts);
+  wms::WaveJournal journal;
+  engine->attach_journal(&journal);
+  journal.open_sink(journal_path);
+
+  // Phase 1: pressured pipelined training — chaos ingest flows through the
+  // bounded wave queue while the training controller captures the KB.
+  core::TrainingController trainer(spec, *store, {});
+  wms::PressureOptions pressure;
+  pressure.high_watermark = 4;
+  pressure.low_watermark = 2;
+  pressure.overflow = wms::OverflowPolicy::kBlock;
+  wms::PressureStats pstats;
+  const auto t_train = Clock::now();
+  engine->run_waves_pipelined(1, cfg.train_waves, trainer, chaos_ingest, pressure, &pstats);
+  const double train_ms = ms_since(t_train);
+
+  // The ceiling is set just under the post-training footprint: the bounded
+  // chaos key universe is fully interned by now, so the soak must hold the
+  // line within 5% while pressure relief (checkpoint + trims) stays busy.
+  const std::size_t footprint = store->approx_memory_bytes();
+  ds::MemoryOptions mem;
+  mem.soft_limit_bytes = footprint - footprint / 50;  // 98% of warm footprint
+  mem.trim_keep_versions = 2;                         // serial app phase reads prev+cur
+  store->set_memory_options(mem);
+
+  core::SmartFluxOptions sf_opts;
+  sf_opts.audit.audit_every = 12;
+  sf_opts.overload.pressured_backlog = 3;
+  sf_opts.overload.shedding_backlog = 6;
+  sf_opts.overload.halted_backlog = 0;  // tests cover halt; the soak must finish
+  sf_opts.overload.catchup_budget = 4;
+  sf_opts.overload.consider_store_pressure = false;  // backlog-driven here
+  auto sf = std::make_unique<core::SmartFluxEngine>(*engine, sf_opts);
+  sf->restore_knowledge_base(trainer.take_knowledge_base());
+  sf->build_model();
+  const core::KnowledgeBase kb_snapshot = sf->knowledge_base();  // for post-crash rebuild
+
+  // Phase 3: application soak.
+  std::vector<double> lat_normal_ms, lat_burst_ms, checkpoint_ms;
+  core::SmartFluxEngine::OverloadStats shed_agg;  // accumulated across the crash
+  std::size_t backlog = 0;
+  bool crash_armed = false, crashed = false;
+  double recovery_seconds = -1.0;
+  ds::Timestamp crash_wave = 0, resume_wave = 0;
+
+  for (ds::Timestamp wave = app_first; wave <= app_last; ++wave) {
+    if (!crashed && !crash_armed && wave == crash_trigger) {
+      DiskFaultRule crash;
+      crash.kind = DiskFaultKind::kCrash;
+      crash.file_tag = "wal-s0";  // sharded store: per-family tags, not "wal"
+      crash.message = "soak: power cut";
+      campaign.faults().add_disk_rule(crash);  // next WAL append dies
+      crash_armed = true;
+    }
+    const bool burst = campaign.scenario().burst_wave(wave);
+    if (burst) backlog += 3;  // arrivals outpace compute during a burst
+
+    const std::size_t shed_before = sf->overload_stats().waves_shed;
+    const auto t0 = Clock::now();
+    try {
+      ds::Client ingest_client(*store, wave);
+      chaos_ingest(ingest_client, wave);
+      sf->report_backlog(backlog);
+      sf->run_wave(wave);
+    } catch (const InjectedFault&) {
+      // The injected power cut: abandon the wedged store mid-wave and
+      // recover from disk, resuming at the wave-boundary consistency cut.
+      crashed = true;
+      crash_wave = wave;
+      campaign.faults().clear_rules();
+      const auto& pre = sf->overload_stats();
+      shed_agg.waves_shed += pre.waves_shed;
+      shed_agg.monitor_only_waves += pre.monitor_only_waves;
+      shed_agg.transitions += pre.transitions;
+      shed_agg.forced_full_waves += pre.forced_full_waves;
+      sf.reset();
+      engine.reset();
+      store.reset();
+
+      const auto t_rec = Clock::now();
+      ds::RecoveryInfo info;
+      store = ds::DataStore::recover(store_dir, dur, kMaxVersions, &info, shards);
+      const ds::Timestamp durable = info.last_durable_wave.value_or(0);
+      journal = journal.truncated_to(durable);
+      journal.open_sink(journal_path);
+      store->set_memory_options(mem);
+      engine = std::make_unique<wms::WorkflowEngine>(spec, *store, eng_opts);
+      engine->attach_journal(&journal);
+      sf = std::make_unique<core::SmartFluxEngine>(*engine, sf_opts);
+      sf->restore_knowledge_base(kb_snapshot);
+      sf->build_model();
+      sf->resume_from_journal(journal);
+      recovery_seconds = std::chrono::duration<double>(Clock::now() - t_rec).count();
+      resume_wave = durable + 1;
+      wave = durable;  // loop increment re-runs durable+1 onward
+      backlog = 0;
+      continue;
+    }
+    (burst ? lat_burst_ms : lat_normal_ms).push_back(ms_since(t0));
+
+    const bool shed = sf->overload_stats().waves_shed > shed_before;
+    const std::size_t drained = shed ? 3 : 1;  // shedding exists to catch up
+    backlog = backlog > drained ? backlog - drained : 0;
+
+    if (wave % cfg.checkpoint_every == 0) {
+      const auto t_cp = Clock::now();
+      store->checkpoint();
+      checkpoint_ms.push_back(ms_since(t_cp));
+    }
+  }
+
+  const auto& post = sf->overload_stats();
+  shed_agg.waves_shed += post.waves_shed;
+  shed_agg.monitor_only_waves += post.monitor_only_waves;
+  shed_agg.transitions += post.transitions;
+  shed_agg.forced_full_waves += post.forced_full_waves;
+
+  // Accountability check: every wave 1..app_last journaled exactly once.
+  std::size_t lost_waves = 0;
+  {
+    ds::Timestamp expected = 1;
+    for (const wms::WaveRecord& rec : journal.records()) {
+      if (rec.wave != expected) break;
+      ++expected;
+    }
+    lost_waves = static_cast<std::size_t>(app_last + 1 - expected);
+  }
+
+  const ds::MemoryStats mstats = store->memory_stats();
+  const scenario::ScenarioStats& sstats = campaign.scenario().stats();
+  const double ceiling = static_cast<double>(mem.soft_limit_bytes);
+  const double peak_ratio = ceiling > 0 ? static_cast<double>(mstats.peak_tracked_bytes) / ceiling
+                                        : 0.0;
+  const double shed_rate =
+      static_cast<double>(shed_agg.waves_shed) / static_cast<double>(cfg.app_waves);
+
+  const bool ceiling_ok = peak_ratio <= 1.05;
+  const bool waves_ok = lost_waves == 0;
+  const bool watchdog_ok = watchdog.stalls_fired() >= 1 && watchdog.recoveries() >= 1;
+  const bool recovery_ok = crashed && recovery_seconds >= 0.0;
+  const bool pass = ceiling_ok && waves_ok && watchdog_ok && recovery_ok;
+
+  std::printf("{\n");
+  std::printf("  \"config\": {\"train_waves\": %zu, \"app_waves\": %zu, \"grid\": %zu, "
+              "\"seed\": %llu, \"burst_factor\": 4, \"checkpoint_every\": %zu},\n",
+              cfg.train_waves, cfg.app_waves, cfg.grid,
+              static_cast<unsigned long long>(cfg.seed), cfg.checkpoint_every);
+  std::printf("  \"ingest\": {\"cells_in\": %zu, \"cells_emitted\": %zu, \"dropped\": %zu, "
+              "\"deferred\": %zu, \"replayed\": %zu, \"burst_cells\": %zu, "
+              "\"hot_key_redirects\": %zu, \"flash_cells\": %zu},\n",
+              sstats.cells_in, sstats.cells_emitted, sstats.cells_dropped,
+              sstats.cells_deferred, sstats.cells_replayed, sstats.burst_cells,
+              sstats.hot_key_redirects, sstats.flash_cells);
+  std::printf("  \"training\": {\"ms\": %.1f, \"producer_blocks\": %zu, \"peak_depth\": %zu},\n",
+              train_ms, pstats.producer_blocks, pstats.peak_depth);
+  std::printf("  \"overload\": {\"waves_shed\": %zu, \"monitor_only_waves\": %zu, "
+              "\"forced_full_waves\": %zu, \"health_transitions\": %zu, "
+              "\"shed_rate\": %.4f},\n",
+              shed_agg.waves_shed, shed_agg.monitor_only_waves, shed_agg.forced_full_waves,
+              shed_agg.transitions, shed_rate);
+  std::printf("  \"latency_ms\": {\"normal_p50\": %.2f, \"normal_p99\": %.2f, "
+              "\"burst_p50\": %.2f, \"burst_p99\": %.2f, \"checkpoint_p99\": %.2f},\n",
+              pctl(lat_normal_ms, 0.50), pctl(lat_normal_ms, 0.99), pctl(lat_burst_ms, 0.50),
+              pctl(lat_burst_ms, 0.99), pctl(checkpoint_ms, 0.99));
+  std::printf("  \"memory\": {\"ceiling_bytes\": %zu, \"peak_tracked_bytes\": %zu, "
+              "\"peak_over_ceiling\": %.4f, \"pressure_events\": %zu, "
+              "\"versions_trimmed\": %zu},\n",
+              mem.soft_limit_bytes, mstats.peak_tracked_bytes, peak_ratio,
+              mstats.pressure_events, mstats.versions_trimmed);
+  std::printf("  \"watchdog\": {\"stalls\": %zu, \"recoveries\": %zu},\n",
+              watchdog.stalls_fired(), watchdog.recoveries());
+  std::printf("  \"recovery\": {\"crash_wave\": %llu, \"resume_wave\": %llu, "
+              "\"seconds\": %.4f},\n",
+              static_cast<unsigned long long>(crash_wave),
+              static_cast<unsigned long long>(resume_wave), recovery_seconds);
+  std::printf("  \"audit\": {\"audits\": %zu, \"violations\": %zu, \"degradations\": %zu},\n",
+              sf->audit_stats().audits_run, sf->audit_stats().violations,
+              sf->audit_stats().degradations);
+  std::printf("  \"lost_waves\": %zu,\n", lost_waves);
+  std::printf("  \"faults_injected\": %zu,\n", campaign.faults().injected_count());
+  std::printf("  \"pass\": %s\n", pass ? "true" : "false");
+  std::printf("}\n");
+
+  if (!pass) {
+    std::fprintf(stderr,
+                 "soak FAILED: ceiling_ok=%d (peak/ceiling=%.3f) waves_ok=%d (lost=%zu) "
+                 "watchdog_ok=%d (stalls=%zu recoveries=%zu) recovery_ok=%d\n",
+                 ceiling_ok, peak_ratio, waves_ok, lost_waves, watchdog_ok,
+                 watchdog.stalls_fired(), watchdog.recoveries(), recovery_ok);
+    return 1;
+  }
+  return 0;
+}

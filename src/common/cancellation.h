@@ -2,8 +2,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <limits>
+#include <mutex>
 #include <optional>
-#include <thread>
 
 #include "common/error.h"
 
@@ -27,23 +29,63 @@ class Cancelled : public Error {
 /// via throw_if_cancelled(). Purely cooperative — nothing is interrupted
 /// preemptively, so a step that never polls can still overrun its deadline
 /// (the engine detects the overrun when the step returns).
+///
+/// One token, many deadline sources: set_deadline() installs the per-attempt
+/// budget, cancel_at() *tightens* it (never loosens), so the retry-policy
+/// timeout and the stall watchdog share a single mechanism — whichever
+/// deadline is earlier wins. cancel()/cancel_at() may be called from any
+/// thread; sleepers blocked in sleep_for() are woken through a condition
+/// variable, not by polling.
 class CancellationToken {
  public:
   using Clock = std::chrono::steady_clock;
 
   CancellationToken() = default;
-  explicit CancellationToken(Clock::time_point deadline) : deadline_(deadline) {}
+  explicit CancellationToken(Clock::time_point deadline)
+      : deadline_ns_(deadline.time_since_epoch().count()) {}
 
-  void set_deadline(Clock::time_point deadline) noexcept { deadline_ = deadline; }
-  std::optional<Clock::time_point> deadline() const noexcept { return deadline_; }
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
 
-  /// Requests cancellation. Safe to call from any thread.
-  void cancel() noexcept { cancel_requested_.store(true, std::memory_order_relaxed); }
+  /// Installs (or replaces) the deadline. Not a tightening operation — use
+  /// cancel_at() for that.
+  void set_deadline(Clock::time_point deadline) noexcept {
+    deadline_ns_.store(deadline.time_since_epoch().count(), std::memory_order_relaxed);
+    notify();
+  }
+
+  /// Absolute-deadline cancellation: arms (or *tightens*) the deadline to
+  /// `deadline`. A later deadline than the current one is ignored, so
+  /// multiple watchers can each declare their budget and the earliest wins.
+  /// Safe to call from any thread, concurrently with a sleeper.
+  void cancel_at(Clock::time_point deadline) noexcept {
+    const Clock::rep target = deadline.time_since_epoch().count();
+    Clock::rep current = deadline_ns_.load(std::memory_order_relaxed);
+    while (target < current &&
+           !deadline_ns_.compare_exchange_weak(current, target, std::memory_order_relaxed)) {
+    }
+    notify();
+  }
+
+  std::optional<Clock::time_point> deadline() const noexcept {
+    const Clock::rep ns = deadline_ns_.load(std::memory_order_relaxed);
+    if (ns == kNoDeadline) return std::nullopt;
+    return Clock::time_point(Clock::duration(ns));
+  }
+
+  /// Requests cancellation. Safe to call from any thread; wakes sleepers.
+  void cancel() noexcept {
+    cancel_requested_.store(true, std::memory_order_relaxed);
+    notify();
+  }
 
   bool cancel_requested() const noexcept {
     return cancel_requested_.load(std::memory_order_relaxed);
   }
-  bool expired() const noexcept { return deadline_ && Clock::now() >= *deadline_; }
+  bool expired() const noexcept {
+    const Clock::rep ns = deadline_ns_.load(std::memory_order_relaxed);
+    return ns != kNoDeadline && Clock::now().time_since_epoch().count() >= ns;
+  }
   bool cancelled() const noexcept { return cancel_requested() || expired(); }
 
   /// Throws Cancelled on an explicit cancel(), Timeout past the deadline.
@@ -52,22 +94,37 @@ class CancellationToken {
     if (expired()) throw Timeout("deadline exceeded");
   }
 
-  /// Sleeps up to `duration` in small slices, polling for cancellation.
-  /// Returns false (early) as soon as the token is cancelled or expired.
+  /// Blocks up to `duration` on a condition variable, waking early the
+  /// moment the token is cancelled or its (possibly tightening) deadline
+  /// passes. Returns false on that early wake, true after a full sleep.
   bool sleep_for(std::chrono::nanoseconds duration) const {
-    constexpr auto kSlice = std::chrono::milliseconds(1);
     const auto until = Clock::now() + duration;
-    while (Clock::now() < until) {
+    std::unique_lock lock(mutex_);
+    for (;;) {
       if (cancelled()) return false;
-      const auto left = until - Clock::now();
-      std::this_thread::sleep_for(left < kSlice ? left : std::chrono::nanoseconds(kSlice));
+      const auto now = Clock::now();
+      if (now >= until) return true;
+      auto wake = until;
+      if (const auto dl = deadline(); dl && *dl < wake) wake = *dl;
+      cv_.wait_until(lock, wake);
     }
-    return !cancelled();
   }
 
  private:
+  static constexpr Clock::rep kNoDeadline = std::numeric_limits<Clock::rep>::max();
+
+  /// cancel()/cancel_at() publish their state *before* this; the empty
+  /// critical section pairs with the sleeper's predicate-check-under-lock so
+  /// a wakeup between check and wait can never be missed.
+  void notify() const noexcept {
+    { std::lock_guard lock(mutex_); }
+    cv_.notify_all();
+  }
+
   std::atomic<bool> cancel_requested_{false};
-  std::optional<Clock::time_point> deadline_;
+  std::atomic<Clock::rep> deadline_ns_{kNoDeadline};
+  mutable std::mutex mutex_;
+  mutable std::condition_variable cv_;
 };
 
 }  // namespace smartflux

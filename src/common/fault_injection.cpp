@@ -1,6 +1,7 @@
 #include "common/fault_injection.h"
 
 #include <functional>
+#include <thread>
 
 #include "common/hashing.h"
 #include "common/logging.h"
@@ -40,14 +41,16 @@ void FaultInjector::on_attempt(const std::string& step_id, std::uint64_t wave,
       throw InjectedFault(rule.message + " (step '" + step_id + "', wave " +
                           std::to_string(wave) + ", attempt " + std::to_string(attempt) + ")");
     }
-    // kHang: cooperative stall. throw_if_cancelled raises Timeout the moment
-    // the attempt's deadline passes, which is exactly how a hung step dies.
+    // kHang: cooperative stall. The token's condition-variable sleep returns
+    // early the moment the attempt's deadline passes or the watchdog cancels
+    // it, and throw_if_cancelled then raises Timeout/Cancelled — exactly how
+    // a hung step dies, without a busy poll.
     SF_LOG_DEBUG("fault") << "injected hang: step '" << step_id << "' wave " << wave
                           << " attempt " << attempt << " for " << rule.hang_for.count() << "ms";
-    const auto until = CancellationToken::Clock::now() + rule.hang_for;
-    while (CancellationToken::Clock::now() < until) {
-      if (token) token->throw_if_cancelled();
-      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    if (token != nullptr) {
+      if (!token->sleep_for(rule.hang_for)) token->throw_if_cancelled();
+    } else {
+      std::this_thread::sleep_for(rule.hang_for);
     }
     return;  // hang elapsed without a deadline: slow but alive
   }

@@ -176,6 +176,12 @@ struct DataStore::StoreObs {
   /// default — no extra series unless sharding is actually on (§9 note).
   std::vector<obs::Counter*> shard_ops;
   obs::Gauge* shard_imbalance = nullptr;
+  /// Soft memory ceiling series (registered eagerly; cheap, and the gauges
+  /// only move when a ceiling is actually configured).
+  obs::Gauge* tracked_bytes = nullptr;
+  obs::Gauge* memory_pressure = nullptr;
+  obs::Counter* pressure_events = nullptr;
+  obs::Counter* versions_trimmed = nullptr;
 
   StoreObs(obs::MetricsRegistry& registry, obs::Tracer* tr, unsigned shift, std::size_t shards)
       : tracer(tr), registry(&registry) {
@@ -200,6 +206,14 @@ struct DataStore::StoreObs {
                                  {{"op", op}},
                                  "Datastore op latency (point ops sampled 1-in-2^shift)");
     };
+    tracked_bytes = &registry.gauge("sf_ds_tracked_bytes", {},
+                                    "Approximate store heap footprint (wave-commit cadence)");
+    memory_pressure = &registry.gauge("sf_ds_memory_pressure", {},
+                                      "1 while tracked bytes exceed the soft ceiling");
+    pressure_events = &registry.counter("sf_ds_memory_pressure_events_total", {},
+                                        "Transitions into memory pressure");
+    versions_trimmed = &registry.counter("sf_ds_trimmed_versions_total", {},
+                                         "Superseded cell versions dropped under pressure");
     gets = op_counter("get");
     puts = op_counter("put");
     batches = op_counter("put_batch");
@@ -1114,7 +1128,11 @@ std::unique_ptr<DataStore> DataStore::recover(const std::string& dir, Durability
 }
 
 void DataStore::commit_wave(Timestamp wave) {
-  if (!durability_) return;
+  if (!durability_) {
+    // Non-durable stores still honor the memory ceiling at wave boundaries.
+    maybe_relieve_memory();
+    return;
+  }
   bool checkpoint_due = false;
   {
     LockRankScope wal_rank(kLockRankWal);
@@ -1165,6 +1183,86 @@ void DataStore::commit_wave(Timestamp wave) {
     }
   }
   if (checkpoint_due) checkpoint();
+  maybe_relieve_memory();
+}
+
+void DataStore::set_memory_options(MemoryOptions options) {
+  SF_CHECK(options.trim_keep_versions >= 1 || !options.enabled(),
+           "trim_keep_versions must be >= 1");
+  memory_options_ = options;
+  if (!options.enabled()) {
+    memory_pressure_.store(false, std::memory_order_relaxed);
+    if (obs_) obs_->memory_pressure->set(0.0);
+  }
+}
+
+std::size_t DataStore::approx_memory_bytes() const {
+  const auto snap = tables_.load(std::memory_order_acquire);
+  std::size_t total = 0;
+  LockRankScope table_rank(kLockRankTable);
+  for (const auto& [name, entry] : *snap) {
+    for (const auto& slot : entry->slots) {
+      std::shared_lock lock(slot->mutex);
+      total += slot->table.approx_bytes();
+    }
+  }
+  return total;
+}
+
+std::size_t DataStore::trim_superseded(std::size_t keep_versions) {
+  const auto snap = tables_.load(std::memory_order_acquire);
+  std::size_t dropped = 0;
+  LockRankScope table_rank(kLockRankTable);
+  for (const auto& [name, entry] : *snap) {
+    for (const auto& slot : entry->slots) {
+      std::unique_lock lock(slot->mutex);
+      dropped += slot->table.trim_versions(keep_versions);
+    }
+  }
+  return dropped;
+}
+
+MemoryStats DataStore::memory_stats() const {
+  std::lock_guard lock(memory_mutex_);
+  return memory_stats_;
+}
+
+void DataStore::maybe_relieve_memory() {
+  if (!memory_options_.enabled()) return;
+  const std::size_t bytes = approx_memory_bytes();
+  {
+    std::lock_guard lock(memory_mutex_);
+    memory_stats_.tracked_bytes = bytes;
+    memory_stats_.peak_tracked_bytes = std::max(memory_stats_.peak_tracked_bytes, bytes);
+  }
+  if (obs_) obs_->tracked_bytes->set(static_cast<double>(bytes));
+  if (bytes <= memory_options_.soft_limit_bytes) {
+    memory_pressure_.store(false, std::memory_order_relaxed);
+    if (obs_) obs_->memory_pressure->set(0.0);
+    return;
+  }
+  const bool entering = !memory_pressure_.exchange(true, std::memory_order_relaxed);
+  if (obs_) obs_->memory_pressure->set(1.0);
+  if (entering) {
+    {
+      std::lock_guard lock(memory_mutex_);
+      ++memory_stats_.pressure_events;
+    }
+    if (obs_) obs_->pressure_events->inc();
+    SF_LOG_WARN("ds") << "memory pressure: tracked " << bytes << " bytes > soft limit "
+                      << memory_options_.soft_limit_bytes;
+    // Checkpoint only on the transition — it is the expensive half of the
+    // relief, and repeating it every pressured wave would thrash the disk.
+    if (memory_options_.checkpoint_on_pressure && durability_ != nullptr) checkpoint();
+  }
+  // Trimming is cheap (a linear nver sweep, no allocation), so do it on
+  // every pressured wave: newly superseded versions keep being dropped.
+  const std::size_t dropped = trim_superseded(memory_options_.trim_keep_versions);
+  if (dropped > 0) {
+    std::lock_guard lock(memory_mutex_);
+    memory_stats_.versions_trimmed += dropped;
+  }
+  if (obs_ && dropped > 0) obs_->versions_trimmed->inc(dropped);
 }
 
 void DataStore::checkpoint() {

@@ -38,6 +38,35 @@ namespace smartflux::ds {
 /// concurrent readers or writers to other tables.
 using MutationObserver = std::function<void(const Mutation&)>;
 
+/// Soft memory ceiling for the store. Crossing soft_limit_bytes at a wave
+/// commit flips the pressure gauge and triggers relief: a checkpoint (on the
+/// first pressured wave only — it rotates the WAL and bounds recovery debt)
+/// followed by trimming superseded cell versions down to
+/// trim_keep_versions. The ceiling is *soft*: the SoA tables keep their
+/// version slots inline, so trimming shrinks the logical history (as-of
+/// reads, checkpoints) rather than freeing bytes — the hard bound on
+/// footprint is the caller's admission control (bounded key universe +
+/// backpressured ingest), which the pressure gauge exists to drive.
+struct MemoryOptions {
+  /// Tracked-bytes ceiling; 0 disables the whole mechanism.
+  std::size_t soft_limit_bytes = 0;
+  /// Versions each cell keeps after a pressure trim. Must cover the deepest
+  /// in-flight as-of read window (pipelined waves!).
+  std::size_t trim_keep_versions = 1;
+  /// Checkpoint when pressure is first entered (durable stores only).
+  bool checkpoint_on_pressure = true;
+
+  bool enabled() const noexcept { return soft_limit_bytes > 0; }
+};
+
+/// Ceiling bookkeeping, readable without a metrics registry.
+struct MemoryStats {
+  std::size_t tracked_bytes = 0;       ///< last sample (wave-commit cadence)
+  std::size_t peak_tracked_bytes = 0;
+  std::size_t pressure_events = 0;     ///< transitions into pressure
+  std::size_t versions_trimmed = 0;
+};
+
 /// In-process, versioned, column-oriented key-value store standing in for
 /// HBase. Tables are created lazily on first write. All public operations
 /// are thread-safe. Concurrency model:
@@ -203,6 +232,31 @@ class DataStore {
   /// Data directory, empty when durability is disabled.
   std::string data_dir() const;
 
+  // --- Soft memory ceiling --------------------------------------------------
+
+  /// Installs (or disables, with a default-constructed value) the soft
+  /// memory ceiling. Checked at every commit_wave — including on
+  /// non-durable stores, where commit_wave is otherwise a no-op.
+  void set_memory_options(MemoryOptions options);
+  const MemoryOptions& memory_options() const noexcept { return memory_options_; }
+
+  /// Rough tracked heap footprint across every table and shard (capacities
+  /// of the SoA arrays + interned keys). Takes each slot's shared lock in
+  /// turn, so the figure is a consistent-per-slot approximation.
+  std::size_t approx_memory_bytes() const;
+
+  /// True while the last ceiling check found tracked bytes above the limit.
+  bool memory_pressure() const noexcept {
+    return memory_pressure_.load(std::memory_order_relaxed);
+  }
+
+  /// Trims every cell of every table to at most `keep_versions` retained
+  /// versions (see Table::trim_versions for the read-window caution).
+  /// Returns the number of versions dropped.
+  std::size_t trim_superseded(std::size_t keep_versions);
+
+  MemoryStats memory_stats() const;
+
   /// Registers a mutation observer; returns a token for unsubscribe.
   /// See MutationObserver for the reentrancy rule.
   std::size_t subscribe(MutationObserver observer);
@@ -258,6 +312,9 @@ class DataStore {
   /// Installs an open WAL + bookkeeping (shared by enable_durability and
   /// recover). Wires the WAL metric handles when instrumentation is on.
   void attach_durability(std::unique_ptr<Durability> durability);
+  /// Ceiling check + relief, run at the tail of every commit_wave outside
+  /// all locks (checkpoint() and trim_superseded() take their own).
+  void maybe_relieve_memory();
   /// Replays one WAL record into this (not-yet-durable) store.
   void replay_record(const struct WalRecord& record);
   std::shared_ptr<const ObserverList> observer_snapshot() const {
@@ -281,6 +338,11 @@ class DataStore {
   /// against it with one lock-free load, skipping the refcounted
   /// atomic-shared_ptr load while the registry is unchanged (find_entry).
   std::atomic<std::uint64_t> registry_gen_;
+
+  MemoryOptions memory_options_;
+  std::atomic<bool> memory_pressure_{false};
+  mutable std::mutex memory_mutex_;  ///< guards memory_stats_
+  MemoryStats memory_stats_;
 
   std::mutex observers_mutex_;  ///< serializes subscribe/unsubscribe only
   std::atomic<std::shared_ptr<const ObserverList>> observers_;

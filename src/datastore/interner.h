@@ -38,6 +38,7 @@ class KeyInterner {
     }
     const auto id = static_cast<std::uint32_t>(keys_.size());
     keys_.emplace_back(key);
+    key_bytes_ += key.size();
     slots_[i] = id;
     // Grow at ~70% load so linear probing stays short.
     if ((keys_.size() + 1) * 10 > slots_.size() * 7) grow();
@@ -58,6 +59,14 @@ class KeyInterner {
   const std::string& key(std::uint32_t id) const noexcept { return keys_[id]; }
   const std::string* key_ptr(std::uint32_t id) const noexcept { return &keys_[id]; }
   std::size_t size() const noexcept { return keys_.size(); }
+
+  /// Rough heap footprint: key characters + per-string headers + index
+  /// slots. Feeds the store's soft memory ceiling; same thread contract as
+  /// the readers.
+  std::size_t approx_bytes() const noexcept {
+    return key_bytes_ + keys_.size() * sizeof(std::string) +
+           slots_.capacity() * sizeof(std::uint32_t);
+  }
 
  private:
   static constexpr std::size_t kInitialSlots = 64;  // power of two
@@ -83,6 +92,7 @@ class KeyInterner {
 
   std::deque<std::string> keys_;        ///< id -> canonical string (pointer-stable)
   std::vector<std::uint32_t> slots_;    ///< open-addressing index, kNoId = empty
+  std::size_t key_bytes_ = 0;           ///< total interned key characters
 };
 
 }  // namespace smartflux::ds

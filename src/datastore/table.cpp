@@ -241,6 +241,35 @@ std::vector<double> Table::column_values(std::string_view column) const {
   return out;
 }
 
+std::size_t Table::approx_bytes() const {
+  const auto vec_bytes = [](const auto& v) {
+    return v.capacity() * sizeof(typename std::decay_t<decltype(v)>::value_type);
+  };
+  std::size_t total = vec_bytes(cell_row_) + vec_bytes(cell_col_) + vec_bytes(cell_nver_) +
+                      vec_bytes(version_slots_) + vec_bytes(free_cells_) +
+                      vec_bytes(idx_key_) + vec_bytes(idx_cell_) + vec_bytes(row_live_) +
+                      rows_.approx_bytes() + cols_.approx_bytes();
+  {
+    // sorted_ is rebuilt lazily under sorted_mutex_ by concurrent readers;
+    // its capacity must be read under the same mutex.
+    std::lock_guard lock(sorted_mutex_);
+    total += vec_bytes(sorted_);
+  }
+  return total;
+}
+
+std::size_t Table::trim_versions(std::size_t keep) noexcept {
+  const auto keep32 = static_cast<std::uint32_t>(std::max<std::size_t>(1, keep));
+  std::size_t dropped = 0;
+  for (std::size_t cell = 0; cell < cell_nver_.size(); ++cell) {
+    if (cell_nver_[cell] > keep32) {
+      dropped += cell_nver_[cell] - keep32;
+      cell_nver_[cell] = keep32;
+    }
+  }
+  return dropped;
+}
+
 void Table::clear() noexcept {
   cell_row_.clear();
   cell_col_.clear();

@@ -127,6 +127,19 @@ class Table {
   /// views held by outstanding FlatSnapshots stay valid.
   void clear() noexcept;
 
+  /// Rough heap footprint of the table (SoA arrays at capacity, index,
+  /// interned keys). Capacities, not sizes: this is what the process
+  /// actually holds, which is what a memory ceiling must track.
+  std::size_t approx_bytes() const;
+
+  /// Drops retained versions beyond `keep` per cell (the latest `keep`
+  /// survive; keep is clamped to >= 1). Returns the number of versions
+  /// dropped. The inline slot layout means no bytes are reclaimed — this
+  /// trims the *logical* history so as-of reads and checkpoints shrink.
+  /// Caution: a pipelined reader at wave w needs the version window that
+  /// covers w, so keep must be >= the deepest in-flight read window.
+  std::size_t trim_versions(std::size_t keep) noexcept;
+
  private:
   static constexpr std::uint32_t kNoCell = 0xFFFFFFFFu;    ///< empty index slot
   static constexpr std::uint32_t kTombstone = 0xFFFFFFFEu; ///< erased index slot

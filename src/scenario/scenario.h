@@ -1,0 +1,178 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "datastore/client.h"
+#include "wms/engine.h"
+
+namespace smartflux::scenario {
+
+/// One captured ingest write, as seen (and mutated) by the scenario engine.
+struct CellWrite {
+  ds::TableName table;
+  ds::RowKey row;
+  ds::ColumnKey column;
+  double value = 0.0;
+};
+
+/// Burst arrivals: every `period` waves, `length` consecutive waves carry
+/// `factor`x the normal cell volume. Extra cells are clones of the wave's
+/// real cells under row suffixes "~b0".."~b<factor-2>" — a *bounded* key
+/// pool (rows x (factor-1) extra keys total), so a soak run's footprint
+/// stays a function of the configured universe, not of runtime.
+struct BurstOptions {
+  /// A burst starts every `period` waves; 0 disables bursts.
+  std::size_t period = 0;
+  /// Consecutive burst waves per period.
+  std::size_t length = 1;
+  /// Arrival multiplier during a burst (integer part used; must be > 1 to
+  /// have any effect).
+  double factor = 4.0;
+
+  bool enabled() const noexcept { return period > 0 && factor > 1.0; }
+};
+
+/// Late sensors: each cell independently arrives `delay` waves late with
+/// `probability`. A deferred cell is re-injected into the wave it arrives
+/// in (and written with *that* wave's timestamp — late data is recorded at
+/// arrival time, exactly like a real late report). Cells deferred past the
+/// end of the run are never delivered.
+struct LateOptions {
+  double probability = 0.0;
+  std::size_t delay = 1;
+
+  bool enabled() const noexcept { return probability > 0.0; }
+};
+
+/// Missing sensors: each cell is silently dropped with `probability` while
+/// the wave is inside [first_wave, last_wave].
+struct DropOptions {
+  double probability = 0.0;
+  std::uint64_t first_wave = 0;
+  std::uint64_t last_wave = ~std::uint64_t{0};
+
+  bool enabled() const noexcept { return probability > 0.0; }
+};
+
+/// Hot-key skew: redirects `fraction` of cell writes onto one of `hot_keys`
+/// shared rows ("hot~0".."hot~<n-1>"), concentrating load onto a few shard
+/// lock domains the way a celebrity key would.
+struct HotKeyOptions {
+  double fraction = 0.0;
+  std::size_t hot_keys = 4;
+
+  bool enabled() const noexcept { return fraction > 0.0 && hot_keys > 0; }
+};
+
+/// Flash event: while the wave is inside [first_wave, last_wave], every
+/// matching cell's value becomes value * scale + offset — a sudden regime
+/// change (flash flood, sensor spike) the classifier has never seen.
+struct FlashEvent {
+  std::uint64_t first_wave = 0;
+  std::uint64_t last_wave = 0;
+  /// Restrict to one table; empty matches every table.
+  ds::TableName table;
+  double scale = 1.0;
+  double offset = 0.0;
+
+  bool active(ds::Timestamp wave) const noexcept {
+    return wave >= first_wave && wave <= last_wave;
+  }
+};
+
+/// Composable chaos configuration. Every probabilistic draw is a stateless
+/// hash of (seed, mutator stream, wave, cell identity), so a given seed
+/// reproduces the exact same mutation schedule on every run regardless of
+/// thread count or call order — the same determinism contract FaultInjector
+/// gives for step/disk faults.
+struct ScenarioOptions {
+  std::uint64_t seed = 0;
+  BurstOptions burst{};
+  LateOptions late{};
+  DropOptions drop{};
+  HotKeyOptions hot_key{};
+  std::vector<FlashEvent> flash{};
+};
+
+/// Mutation accounting, readable after a run (not synchronized with a
+/// concurrently running ingest — read it once the run has completed).
+struct ScenarioStats {
+  std::size_t cells_in = 0;        ///< cells captured from the inner ingest
+  std::size_t cells_emitted = 0;   ///< cells actually written downstream
+  std::size_t cells_dropped = 0;   ///< missing-sensor drops
+  std::size_t cells_deferred = 0;  ///< late cells parked for a future wave
+  std::size_t cells_replayed = 0;  ///< late cells delivered at arrival
+  std::size_t burst_cells = 0;     ///< clone cells added by bursts
+  std::size_t hot_key_redirects = 0;
+  std::size_t flash_cells = 0;     ///< cell values rewritten by flash events
+};
+
+/// Wraps any workload's WaveIngest with deterministic input chaos: the inner
+/// ingest runs against a private scratch store, its writes are captured,
+/// mutated (late-arrival replay, drops, late deferral, flash events, hot-key
+/// skew, bursts — in that order) and the surviving cells are emitted into
+/// the real client as per-table batches.
+///
+/// The wrapper must outlive every ingest invocation. Invocations must be
+/// sequential in wave order (the contract run_waves_pipelined already
+/// guarantees: one ingest worker, strictly ordered waves).
+class ScenarioEngine {
+ public:
+  explicit ScenarioEngine(ScenarioOptions options) : options_(std::move(options)) {}
+
+  /// The chaos-wrapped ingest. Capturing `this`: the engine must outlive it.
+  wms::WaveIngest wrap(wms::WaveIngest inner);
+
+  /// True when `wave` falls inside a burst window (benches use this to
+  /// bucket wave latencies into burst vs normal).
+  bool burst_wave(ds::Timestamp wave) const noexcept;
+
+  const ScenarioOptions& options() const noexcept { return options_; }
+  const ScenarioStats& stats() const noexcept { return stats_; }
+
+ private:
+  void mutate_and_emit(ds::Client& out, ds::Timestamp wave, std::vector<CellWrite> cells);
+
+  ScenarioOptions options_;
+  ScenarioStats stats_;
+  ds::DataStore scratch_{1};  ///< capture target, cleared every wave
+  std::map<ds::Timestamp, std::vector<CellWrite>> deferred_;  ///< late cells by delivery wave
+};
+
+/// One deterministic chaos campaign: an input-mutation scenario plus a
+/// step/disk fault schedule, both derived from a single master seed
+/// (scenario draws use hash64(seed, 1), fault draws hash64(seed, 2)), so a
+/// campaign is reproduced end to end by one number.
+struct CampaignOptions {
+  std::uint64_t seed = 0;
+  /// Input chaos; its `seed` field is overwritten with the derived seed.
+  ScenarioOptions scenario{};
+  /// Step-attempt faults (throw / hang / failed writes).
+  std::vector<FaultRule> step_faults{};
+  /// Durable-sink faults (torn/short writes, fsync failures, crashes).
+  std::vector<DiskFaultRule> disk_faults{};
+};
+
+class Campaign {
+ public:
+  explicit Campaign(CampaignOptions options);
+
+  /// Chaos-wraps a workload ingest (see ScenarioEngine::wrap).
+  wms::WaveIngest wrap(wms::WaveIngest inner) { return scenario_.wrap(std::move(inner)); }
+
+  ScenarioEngine& scenario() noexcept { return scenario_; }
+  /// Wire this into WorkflowEngine::Options::fault_injector and/or
+  /// DurabilityOptions::fault_injector.
+  FaultInjector& faults() noexcept { return faults_; }
+
+ private:
+  ScenarioEngine scenario_;
+  FaultInjector faults_;
+};
+
+}  // namespace smartflux::scenario

@@ -13,6 +13,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "wms/journal.h"
+#include "wms/watchdog.h"
 
 namespace smartflux::wms {
 
@@ -42,6 +43,8 @@ double to_seconds(std::chrono::nanoseconds ns) noexcept {
 /// counters additionally {status}.
 struct WorkflowEngine::EngineObs {
   obs::Counter* waves = nullptr;
+  obs::Counter* waves_shed = nullptr;
+  obs::Gauge* ingest_queue_depth = nullptr;
   obs::Histogram* wave_duration = nullptr;
   std::vector<std::array<obs::Counter*, kStatusCount>> status;  // [step][StepStatus]
   std::vector<obs::Counter*> retry_attempts;                    // attempts beyond the first
@@ -51,6 +54,10 @@ struct WorkflowEngine::EngineObs {
   EngineObs(obs::MetricsRegistry& registry, const WorkflowSpec& spec) {
     const obs::Labels wf{{"workflow", spec.name()}};
     waves = &registry.counter("sf_wms_waves_total", wf, "Waves run by the workflow engine");
+    waves_shed = &registry.counter("sf_wms_waves_shed_total", wf,
+                                   "Waves dropped accountably under overload");
+    ingest_queue_depth = &registry.gauge("sf_wms_ingest_queue_depth", wf,
+                                         "Ingested-not-yet-computed waves (pressured pipeline)");
     wave_duration = &registry.histogram("sf_wms_wave_duration_seconds", obs::duration_buckets(),
                                         wf, "Wall-clock duration of one wave");
     status.resize(spec.size());
@@ -137,8 +144,15 @@ WorkflowEngine::WorkflowEngine(WorkflowSpec spec, ds::DataStore& store, Options 
   if (options_.worker_threads > 0) {
     pool_ = std::make_unique<ThreadPool>(options_.worker_threads);
   }
+  probe_gate_.reset(spec_.size());
   for (std::size_t i = 0; i < spec_.size(); ++i) {
     step_hashes_[i] = std::hash<std::string>{}(spec_.step_at(i).id);
+  }
+  if (options_.watchdog != nullptr) {
+    watchdog_keys_.reserve(spec_.size());
+    for (std::size_t i = 0; i < spec_.size(); ++i) {
+      watchdog_keys_.push_back(spec_.name() + "/" + spec_.step_at(i).id);
+    }
   }
   if (options_.tracer != nullptr) {
     step_span_names_.reserve(spec_.size());
@@ -270,20 +284,33 @@ void WorkflowEngine::process_step(std::size_t index, ds::Timestamp wave, WaveRes
     apply_status(index, StepStatus::kQuarantined, wave, false);
     return;
   }
-  if (!eligible(index)) return;  // status stays kNotEligible
+  if (!eligible(index)) {  // status stays kNotEligible
+    if (probe) probe_gate_.release(index);
+    return;
+  }
   const StepSpec& step = spec_.step_at(index);
   const bool run = !step.tolerates_error() || controller.should_execute(spec_, index, wave);
   if (!run) {
     result.status[index] = StepStatus::kSkipped;
+    if (probe) probe_gate_.release(index);
     return;
   }
-  const AttemptOutcome outcome = run_step_attempts(index, wave, probe ? 1 : 0);
+  AttemptOutcome outcome;
+  try {
+    outcome = run_step_attempts(index, wave, probe ? 1 : 0);
+  } catch (...) {
+    if (probe) probe_gate_.release(index);
+    throw;  // propagating policy: the claim must not outlive the wave
+  }
   if (outcome.success) {
     record_execution(index, wave, result, outcome, controller);
   } else {
     record_outcome(index, result, StepStatus::kFailed, outcome);
     apply_status(index, StepStatus::kFailed, wave, false);
   }
+  // The probe's outcome is folded into the breaker state above; only now may
+  // the next wave claim a fresh probe.
+  if (probe) probe_gate_.release(index);
 }
 
 WaveResult WorkflowEngine::run_wave_parallel(ds::Timestamp wave, TriggerController& controller) {
@@ -303,13 +330,17 @@ WaveResult WorkflowEngine::run_wave_parallel(ds::Timestamp wave, TriggerControll
         apply_status(index, StepStatus::kQuarantined, wave, false);
         continue;
       }
-      if (!eligible(index)) continue;
+      if (!eligible(index)) {
+        if (probe) probe_gate_.release(index);
+        continue;
+      }
       const StepSpec& step = spec_.step_at(index);
       if (!step.tolerates_error() || controller.should_execute(spec_, index, wave)) {
         to_run.push_back(index);
         probes.push_back(probe);
       } else {
         result.status[index] = StepStatus::kSkipped;
+        if (probe) probe_gate_.release(index);
       }
     }
 
@@ -324,7 +355,15 @@ WaveResult WorkflowEngine::run_wave_parallel(ds::Timestamp wave, TriggerControll
       tasks.push_back([this, wave, index = to_run[k], cap = probes[k] ? std::size_t{1} : 0,
                        &outcomes, k] { outcomes[k] = run_step_attempts(index, wave, cap); });
     }
-    pool_->run_all(std::move(tasks));
+    try {
+      pool_->run_all(std::move(tasks));
+    } catch (...) {
+      // Propagating failure aborts the wave: don't leave probe claims behind.
+      for (std::size_t k = 0; k < to_run.size(); ++k) {
+        if (probes[k]) probe_gate_.release(to_run[k]);
+      }
+      throw;
+    }
 
     // Phase 3 (serial, spec order): bookkeeping and notifications.
     for (std::size_t k = 0; k < to_run.size(); ++k) {
@@ -335,17 +374,23 @@ WaveResult WorkflowEngine::run_wave_parallel(ds::Timestamp wave, TriggerControll
         record_outcome(index, result, StepStatus::kFailed, outcomes[k]);
         apply_status(index, StepStatus::kFailed, wave, false);
       }
+      if (probes[k]) probe_gate_.release(index);
     }
   }
   controller.end_wave(wave);
   return result;
 }
 
-bool WorkflowEngine::quarantine_gate(std::size_t index, bool* probe) const {
+bool WorkflowEngine::quarantine_gate(std::size_t index, bool* probe) {
   const StepFaultState& fs = fault_states_[index];
   if (!fs.quarantined) return false;
-  if (fs.waves_in_quarantine >= options_.quarantine.cooldown_waves) {
-    *probe = true;  // half-open: one attempt this wave
+  // Half-open admission is a CAS, not a cooldown comparison alone: with
+  // pipelined or overlapping waves two gate evaluations can both see the
+  // cooldown elapsed, and only the CAS winner may probe — the loser sits
+  // the wave out as still-quarantined.
+  if (fs.waves_in_quarantine >= options_.quarantine.cooldown_waves &&
+      probe_gate_.try_claim(index)) {
+    *probe = true;  // half-open: one in-flight attempt, released by the caller
     return false;
   }
   return true;
@@ -362,6 +407,22 @@ WorkflowEngine::AttemptOutcome WorkflowEngine::run_step_attempts(std::size_t ind
   AttemptOutcome out;
   const auto start = std::chrono::steady_clock::now();
   out.start = start;
+  // Closes the watchdog bracket on every exit path (success return, retry,
+  // propagating throw) *before* the attempt's stack token dies — the
+  // watchdog only dereferences the token while the bracket is open.
+  struct WatchdogBracket {
+    StallWatchdog* watchdog = nullptr;
+    std::uint64_t ticket = 0;
+    std::chrono::steady_clock::time_point attempt_start{};
+    bool success = false;
+    ~WatchdogBracket() {
+      if (watchdog == nullptr) return;
+      watchdog->end_attempt(ticket,
+                            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                std::chrono::steady_clock::now() - attempt_start),
+                            success);
+    }
+  };
   for (std::size_t attempt = 1; attempt <= max_attempts; ++attempt) {
     if (attempt > 1) {
       const auto pause =
@@ -373,6 +434,12 @@ WorkflowEngine::AttemptOutcome WorkflowEngine::run_step_attempts(std::size_t ind
     CancellationToken token;
     if (policy.timeout.count() > 0) {
       token.set_deadline(CancellationToken::Clock::now() + policy.timeout);
+    }
+    WatchdogBracket bracket;  // declared after token: unregisters first
+    if (options_.watchdog != nullptr) {
+      bracket.watchdog = options_.watchdog;
+      bracket.attempt_start = std::chrono::steady_clock::now();
+      bracket.ticket = options_.watchdog->begin_attempt(watchdog_keys_[index], wave, &token);
     }
     FaultInjector* injector = options_.fault_injector;
     ds::Client client =
@@ -397,6 +464,7 @@ WorkflowEngine::AttemptOutcome WorkflowEngine::run_step_attempts(std::size_t ind
                       std::to_string(wave));
       }
       out.success = true;
+      bracket.success = true;
       out.elapsed = std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - start);
       return out;
@@ -623,6 +691,144 @@ std::vector<WaveResult> WorkflowEngine::run_waves_pipelined(ds::Timestamp first,
   return out;
 }
 
+WaveResult WorkflowEngine::shed_wave(ds::Timestamp wave) {
+  if (last_wave_ && wave <= *last_wave_) {
+    throw InvalidArgument("waves must be strictly increasing (got " + std::to_string(wave) +
+                          " after " + std::to_string(*last_wave_) + ")");
+  }
+  last_wave_ = wave;
+  ++waves_run_;
+  ++waves_shed_;
+  WaveResult result = make_result(wave, spec_.size());
+  std::fill(result.status.begin(), result.status.end(), StepStatus::kSkipped);
+  // Same wave-boundary order as run_wave: the shed wave commits to the store
+  // and is journaled as all-skipped, so recovery replays it as a completed
+  // empty wave — dropped load is accounted, never silently lost.
+  store_->commit_wave(wave);
+  if (journal_ != nullptr) journal_->append(WaveRecord{wave, result.status});
+  if (obs_ != nullptr) {
+    obs_->waves->inc_single_writer();
+    obs_->waves_shed->inc_single_writer();
+    const auto skipped = static_cast<std::size_t>(StepStatus::kSkipped);
+    for (std::size_t i = 0; i < spec_.size(); ++i) obs_->status[i][skipped]->inc_single_writer();
+  }
+  SF_LOG_INFO("wms") << "wave " << wave << " shed under overload — journaled as skipped";
+  return result;
+}
+
+std::vector<WaveResult> WorkflowEngine::run_waves_pipelined(ds::Timestamp first,
+                                                            std::size_t count,
+                                                            TriggerController& controller,
+                                                            const WaveIngest& ingest,
+                                                            const PressureOptions& pressure,
+                                                            PressureStats* stats_out) {
+  SF_CHECK(static_cast<bool>(ingest), "ingest must be callable");
+  if (!pressure.enabled()) {
+    throw InvalidArgument("pressured pipelining needs high_watermark >= 1");
+  }
+  if (pressure.high_watermark > store_->max_versions()) {
+    throw InvalidArgument("high_watermark " + std::to_string(pressure.high_watermark) +
+                          " needs a store with max_versions >= " +
+                          std::to_string(pressure.high_watermark) + " (got " +
+                          std::to_string(store_->max_versions()) +
+                          "): a computing wave must still see its own version past the " +
+                          "ingests admitted ahead of it");
+  }
+  std::vector<WaveResult> out;
+  out.reserve(count);
+  if (count == 0) return out;
+
+  struct IngestDone {
+    std::exception_ptr error;
+    bool shed = false;
+  };
+
+  BoundedWaveQueue queue(pressure);
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::map<ds::Timestamp, IngestDone> done;
+  bool stop = false;
+  // Under kShed the producer never blocks in push(), so bound the done-map
+  // too — otherwise a stalled consumer turns "bounded queue" into an
+  // unbounded completion backlog.
+  const std::size_t done_cap = 2 * pressure.high_watermark + 2;
+
+  // One ingest worker doubles as the (fast) arrival producer: it races
+  // through the waves as quickly as admission allows, serialized in wave
+  // order. A refused wave is shed *before* its feed is written — true load
+  // shedding, no wasted ingest work.
+  std::thread worker([&] {
+    for (std::size_t k = 0; k < count; ++k) {
+      const ds::Timestamp wave = first + static_cast<ds::Timestamp>(k);
+      {
+        std::unique_lock lock(mutex);
+        cv.wait(lock, [&] { return stop || done.size() < done_cap; });
+        if (stop) return;
+      }
+      const bool admitted = queue.push(wave);  // kBlock: waits for the drain
+      {
+        std::lock_guard lock(mutex);
+        if (stop) return;  // push was released by close(), not a real verdict
+      }
+      IngestDone d;
+      if (!admitted) {
+        d.shed = true;
+      } else {
+        try {
+          ds::Client client(*store_, wave);
+          ingest(client, wave);
+        } catch (...) {
+          d.error = std::current_exception();
+        }
+      }
+      {
+        std::lock_guard lock(mutex);
+        done.emplace(wave, std::move(d));
+      }
+      cv.notify_all();
+    }
+  });
+  // Joins on every exit path (including a propagating step failure below).
+  struct StopAndJoin {
+    std::thread& worker;
+    std::mutex& mutex;
+    std::condition_variable& cv;
+    BoundedWaveQueue& queue;
+    bool& stop;
+    ~StopAndJoin() {
+      {
+        std::lock_guard lock(mutex);
+        stop = true;
+      }
+      queue.close();
+      cv.notify_all();
+      worker.join();
+    }
+  } join_guard{worker, mutex, cv, queue, stop};
+
+  for (std::size_t k = 0; k < count; ++k) {
+    const ds::Timestamp wave = first + static_cast<ds::Timestamp>(k);
+    IngestDone d;
+    {
+      std::unique_lock lock(mutex);
+      cv.wait(lock, [&] { return done.count(wave) != 0; });
+      d = std::move(done.at(wave));
+      done.erase(wave);
+    }
+    cv.notify_all();  // wake a producer parked on the done-cap
+    if (d.error) std::rethrow_exception(d.error);
+    if (d.shed) {
+      out.push_back(shed_wave(wave));
+      continue;
+    }
+    out.push_back(run_wave(wave, controller));
+    queue.pop();  // compute done: release the admission slot
+    if (obs_ != nullptr) obs_->ingest_queue_depth->set(static_cast<double>(queue.depth()));
+  }
+  if (stats_out != nullptr) *stats_out = queue.stats();
+  return out;
+}
+
 std::size_t WorkflowEngine::execution_count(std::size_t step_index) const {
   SF_CHECK(step_index < spec_.size(), "step index out of range");
   return exec_counts_[step_index];
@@ -694,10 +900,12 @@ void WorkflowEngine::reset_history() {
   std::fill(exec_counts_.begin(), exec_counts_.end(), std::size_t{0});
   std::fill(failure_counts_.begin(), failure_counts_.end(), std::size_t{0});
   std::fill(fault_states_.begin(), fault_states_.end(), StepFaultState{});
+  probe_gate_.reset(spec_.size());
   last_failure_.clear();
   std::fill(last_exec_wave_.begin(), last_exec_wave_.end(), std::optional<ds::Timestamp>{});
   total_executions_ = 0;
   waves_run_ = 0;
+  waves_shed_ = 0;
   last_wave_.reset();
 }
 

@@ -11,6 +11,8 @@
 
 #include "common/thread_pool.h"
 #include "datastore/datastore.h"
+#include "wms/backpressure.h"
+#include "wms/probe_gate.h"
 #include "wms/retry_policy.h"
 #include "wms/workflow_spec.h"
 
@@ -31,6 +33,7 @@ class Client;
 namespace smartflux::wms {
 
 class WaveJournal;
+class StallWatchdog;
 
 /// Ingest callback for pipelined wave execution: writes wave w's input data
 /// through a Client already bound to w. The engine calls it from a dedicated
@@ -165,6 +168,10 @@ class WorkflowEngine {
     /// Optional tracer (not owned): one span per wave plus one per attempted
     /// step, parented to the wave span.
     obs::Tracer* tracer = nullptr;
+    /// Optional stall watchdog (not owned; may be shared across engines).
+    /// Every step attempt is bracketed begin/end so a wedged attempt gets
+    /// its CancellationToken cancelled cooperatively.
+    StallWatchdog* watchdog = nullptr;
   };
 
   WorkflowEngine(WorkflowSpec spec, ds::DataStore& store);
@@ -195,6 +202,27 @@ class WorkflowEngine {
                                               TriggerController& controller,
                                               const WaveIngest& ingest, std::size_t depth = 1);
 
+  /// Backpressured variant: the ingest worker produces waves as fast as it
+  /// can, but admission into the ingested-not-yet-computed window is bounded
+  /// by `pressure` (high/low watermarks). Under OverflowPolicy::kBlock the
+  /// producer stalls until compute drains the window to the low watermark;
+  /// under kShed a refused wave's feed is never written and the wave is
+  /// journaled as shed via shed_wave() — dropped accountably, never lost.
+  /// Requires pressure.enabled() and store.max_versions() >=
+  /// pressure.high_watermark (at most high-1 newer versions land while a
+  /// wave computes). Lifetime queue counters land in *stats_out when given.
+  std::vector<WaveResult> run_waves_pipelined(ds::Timestamp first, std::size_t count,
+                                              TriggerController& controller,
+                                              const WaveIngest& ingest,
+                                              const PressureOptions& pressure,
+                                              PressureStats* stats_out = nullptr);
+
+  /// Sheds one wave under overload: no step runs, every step is journaled as
+  /// kSkipped and the wave commits to the store, so recovery replays it as a
+  /// completed (empty) wave instead of re-running it. Same strictly-
+  /// increasing wave contract as run_wave.
+  WaveResult shed_wave(ds::Timestamp wave);
+
   const WorkflowSpec& spec() const noexcept { return spec_; }
   ds::DataStore& store() noexcept { return *store_; }
 
@@ -202,6 +230,8 @@ class WorkflowEngine {
   std::size_t execution_count(std::size_t step_index) const;
   std::size_t total_executions() const noexcept { return total_executions_; }
   std::size_t waves_run() const noexcept { return waves_run_; }
+  /// Waves dropped through shed_wave() (counted within waves_run()).
+  std::size_t waves_shed() const noexcept { return waves_shed_; }
   /// Wave of the most recent execution of a step; nullopt if never run.
   std::optional<ds::Timestamp> last_executed_wave(std::size_t step_index) const;
   /// Most recent wave run (or restored from a journal); nullopt if none.
@@ -268,8 +298,11 @@ class WorkflowEngine {
   const RetryPolicy& policy_for(std::size_t index) const;
   /// Quarantine gate, evaluated before eligibility/triggering: returns true
   /// when the step must sit this wave out; sets *probe when a half-open
-  /// probe is due instead.
-  bool quarantine_gate(std::size_t index, bool* probe) const;
+  /// probe is due instead. Probe admission is a CAS on probe_gate_ so
+  /// concurrent gate evaluations (pipelined waves) admit exactly one probe;
+  /// a caller that received *probe == true owns the claim and must release
+  /// it once the probe's outcome is applied (or the step was not run).
+  bool quarantine_gate(std::size_t index, bool* probe);
   /// Runs the retry loop. `attempts_cap` > 0 bounds the attempts (half-open
   /// probes use 1). On exhaustion the failure is recorded (failure_count,
   /// last_failure_message) and — under a propagating policy — the original
@@ -301,7 +334,10 @@ class WorkflowEngine {
   std::vector<std::size_t> exec_counts_;
   std::vector<std::size_t> failure_counts_;
   std::vector<StepFaultState> fault_states_;
+  ProbeGate probe_gate_;  ///< single-slot half-open probe admission per step
   std::vector<std::uint64_t> step_hashes_;  ///< per-step hash for jitter draws
+  /// "workflow/step" history keys, built only when a watchdog is attached.
+  std::vector<std::string> watchdog_keys_;
   std::mutex failure_mutex_;  ///< guards failure counts/message under parallel waves
   std::string last_failure_;
   std::vector<std::optional<ds::Timestamp>> last_exec_wave_;
@@ -318,6 +354,7 @@ class WorkflowEngine {
   WaveJournal* journal_ = nullptr;
   std::size_t total_executions_ = 0;
   std::size_t waves_run_ = 0;
+  std::size_t waves_shed_ = 0;
   std::optional<ds::Timestamp> last_wave_;
 };
 

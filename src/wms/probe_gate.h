@@ -1,0 +1,55 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+
+namespace smartflux::wms {
+
+/// Per-step half-open probe admission. A quarantined step whose cooldown has
+/// elapsed is allowed exactly ONE in-flight probe attempt; with pipelined
+/// waves, two waves can evaluate the gate concurrently, so admission must be
+/// a compare-and-swap on shared state — a plain "cooldown elapsed?" check
+/// admits both (the PR 7 bugfix, regression-tested under TSan).
+///
+/// Lifecycle: try_claim() wins the probe slot; the winner MUST release() it
+/// on every exit path that does not consume the probe (step skipped, gate
+/// closed elsewhere) or after the probe's outcome is applied, so the next
+/// wave can probe again if the step stays quarantined.
+class ProbeGate {
+ public:
+  ProbeGate() = default;
+  explicit ProbeGate(std::size_t steps) { reset(steps); }
+
+  /// Drops all claims and resizes to `steps` slots (engine construction /
+  /// journal restore).
+  void reset(std::size_t steps) {
+    size_ = steps;
+    slots_ = std::make_unique<std::atomic<bool>[]>(steps);
+    for (std::size_t i = 0; i < steps; ++i) slots_[i].store(false, std::memory_order_relaxed);
+  }
+
+  /// Atomically claims the single probe slot for `step`. Exactly one caller
+  /// among any number of concurrent ones succeeds until release().
+  bool try_claim(std::size_t step) noexcept {
+    bool expected = false;
+    return slots_[step].compare_exchange_strong(expected, true, std::memory_order_acq_rel,
+                                                std::memory_order_acquire);
+  }
+
+  void release(std::size_t step) noexcept {
+    slots_[step].store(false, std::memory_order_release);
+  }
+
+  bool claimed(std::size_t step) const noexcept {
+    return slots_[step].load(std::memory_order_acquire);
+  }
+
+  std::size_t size() const noexcept { return size_; }
+
+ private:
+  std::size_t size_ = 0;
+  std::unique_ptr<std::atomic<bool>[]> slots_;
+};
+
+}  // namespace smartflux::wms

@@ -73,9 +73,29 @@ std::vector<WaveResult> WaveDriver::poll(const SimulatedClock& clock) {
   // Bound the batch by the count due on entry: a wave's own writes may re-arm
   // a data-availability source, which must surface at the *next* poll rather
   // than spin this one forever.
-  const std::size_t due = source_->waves_due(clock.now());
+  std::size_t due = source_->waves_due(clock.now());
   std::vector<WaveResult> out;
   out.reserve(due);
+  if (catchup_.budget > 0 && due > catchup_.budget) {
+    // Shed the oldest excess waves: their deadline is long past, so running
+    // them now only delays the waves that still matter. Each shed re-arms
+    // the source like a started wave would.
+    for (std::size_t excess = due - catchup_.budget; excess > 0; --excess) {
+      if (prefetch_.valid() && prefetched_wave_ == next_wave_) {
+        // The feed was prefetched for a wave we now drop; consume the future
+        // so a failed prefetch can't leak into a later wave's slot.
+        try {
+          prefetch_.get();
+        } catch (...) {
+          // Shed wave: its ingest outcome is irrelevant.
+        }
+      }
+      source_->on_wave_started(clock.now());
+      out.push_back(engine_->shed_wave(next_wave_++));
+      ++waves_shed_;
+    }
+    due = catchup_.budget;
+  }
   for (std::size_t k = 0; k < due; ++k) {
     if (ingest_) {
       // Ingest failures surface before the wave is consumed: the source is

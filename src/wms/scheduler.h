@@ -76,6 +76,15 @@ class DataAvailabilityWaveSource final : public WaveSource {
   std::size_t pending_ = 0;
 };
 
+/// Deadline-aware catch-up: when a poll finds more waves due than `budget`,
+/// the oldest excess waves are shed (journaled as all-skipped via
+/// WorkflowEngine::shed_wave) instead of replayed, so a driver that fell
+/// behind converges on the present instead of grinding through stale
+/// backlog. budget == 0 disables shedding (every due wave runs).
+struct CatchupPolicy {
+  std::size_t budget = 0;
+};
+
 /// Drives a WorkflowEngine from a WaveSource: each poll() runs every due
 /// wave under the given controller. Wave numbers are allocated sequentially
 /// starting from `first_wave`.
@@ -85,7 +94,13 @@ class WaveDriver {
              std::unique_ptr<WaveSource> source, ds::Timestamp first_wave = 1);
 
   /// Runs all waves due at the clock's current time; returns their results.
+  /// Under a CatchupPolicy, stale excess waves are shed first and appear in
+  /// the returned results as all-skipped WaveResults.
   std::vector<WaveResult> poll(const SimulatedClock& clock);
+
+  void set_catchup(CatchupPolicy policy) noexcept { catchup_ = policy; }
+  /// Waves shed by catch-up so far (not counted in waves_run()).
+  std::size_t waves_shed() const noexcept { return waves_shed_; }
 
   /// Enables one-wave-deep pipelined ingest: before wave w runs, its feed is
   /// guaranteed ingested (via `ingest`), and the ingest for wave w+1 is
@@ -110,6 +125,8 @@ class WaveDriver {
   std::unique_ptr<WaveSource> source_;
   ds::Timestamp next_wave_;
   std::size_t waves_run_ = 0;
+  std::size_t waves_shed_ = 0;
+  CatchupPolicy catchup_;
   WaveIngest ingest_;  ///< empty = pipelining disabled
   /// In-flight prefetch (std::async): the future's destructor joins it, so a
   /// driver destroyed mid-prefetch never leaves a dangling ingest thread.

@@ -1,0 +1,117 @@
+#include "wms/watchdog.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/logging.h"
+#include "obs/metrics.h"
+
+namespace smartflux::wms {
+
+StallWatchdog::StallWatchdog(WatchdogOptions options) : options_(options) {
+  SF_CHECK(options_.stall_multiplier >= 1.0, "stall multiplier must be >= 1");
+  SF_CHECK(options_.poll_interval.count() > 0, "poll interval must be positive");
+  if (options_.metrics != nullptr) {
+    stalls_metric_ = &options_.metrics->counter(
+        "sf_watchdog_stalls_total", {}, "Stalled step attempts cancelled by the watchdog");
+    recoveries_metric_ = &options_.metrics->counter(
+        "sf_watchdog_recoveries_total", {},
+        "Stalled steps that later completed successfully");
+    inflight_metric_ = &options_.metrics->gauge("sf_watchdog_inflight_attempts", {},
+                                                "Step attempts currently watched");
+  }
+  monitor_ = std::thread([this] { monitor_loop(); });
+}
+
+StallWatchdog::~StallWatchdog() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  monitor_.join();
+}
+
+std::uint64_t StallWatchdog::begin_attempt(const std::string& step_key, ds::Timestamp wave,
+                                           CancellationToken* token) {
+  SF_CHECK(token != nullptr, "watchdog attempts need a cancellation token");
+  std::lock_guard lock(mutex_);
+  const std::uint64_t ticket = next_ticket_++;
+  Inflight entry;
+  entry.key = step_key;
+  entry.wave = wave;
+  entry.token = token;
+  entry.deadline = Clock::time_point::max();
+  if (const auto it = history_.find(step_key); it != history_.end() && it->second.samples > 0) {
+    const auto scaled = std::chrono::nanoseconds(
+        static_cast<std::chrono::nanoseconds::rep>(it->second.mean_ns *
+                                                   options_.stall_multiplier));
+    const auto threshold = std::max<std::chrono::nanoseconds>(scaled, options_.min_stall);
+    entry.deadline = Clock::now() + threshold;
+  }
+  inflight_.emplace(ticket, std::move(entry));
+  if (inflight_metric_ != nullptr) inflight_metric_->set(static_cast<double>(inflight_.size()));
+  return ticket;
+}
+
+void StallWatchdog::end_attempt(std::uint64_t ticket, std::chrono::nanoseconds elapsed,
+                                bool success) {
+  std::lock_guard lock(mutex_);
+  const auto it = inflight_.find(ticket);
+  if (it == inflight_.end()) return;
+  const std::string key = std::move(it->second.key);
+  inflight_.erase(it);
+  if (inflight_metric_ != nullptr) inflight_metric_->set(static_cast<double>(inflight_.size()));
+  if (!success) return;
+  // Only successful attempts feed the baseline: a cancelled hang's duration
+  // is the threshold itself, and folding it in would ratchet the threshold
+  // upward until real stalls pass undetected.
+  History& h = history_[key];
+  h.mean_ns += (static_cast<double>(elapsed.count()) - h.mean_ns) /
+               static_cast<double>(++h.samples);
+  if (awaiting_recovery_.erase(key) > 0) {
+    ++recoveries_;
+    if (recoveries_metric_ != nullptr) recoveries_metric_->inc();
+    SF_LOG_INFO("watchdog") << "step '" << key << "' recovered after a stall cancellation";
+  }
+}
+
+std::size_t StallWatchdog::stalls_fired() const noexcept {
+  std::lock_guard lock(mutex_);
+  return stalls_fired_;
+}
+
+std::size_t StallWatchdog::recoveries() const noexcept {
+  std::lock_guard lock(mutex_);
+  return recoveries_;
+}
+
+std::chrono::nanoseconds StallWatchdog::historical_mean(const std::string& step_key) const {
+  std::lock_guard lock(mutex_);
+  const auto it = history_.find(step_key);
+  if (it == history_.end() || it->second.samples == 0) return std::chrono::nanoseconds{0};
+  return std::chrono::nanoseconds(
+      static_cast<std::chrono::nanoseconds::rep>(it->second.mean_ns));
+}
+
+void StallWatchdog::monitor_loop() {
+  std::unique_lock lock(mutex_);
+  while (!stop_) {
+    const auto now = Clock::now();
+    for (auto& [ticket, entry] : inflight_) {
+      if (entry.fired || now < entry.deadline) continue;
+      // Token dereference is safe: end_attempt() removes the entry under
+      // this mutex before the engine's attempt frame (and its token) dies.
+      entry.token->cancel();
+      entry.fired = true;
+      ++stalls_fired_;
+      awaiting_recovery_.insert(entry.key);
+      if (stalls_metric_ != nullptr) stalls_metric_->inc();
+      SF_LOG_WARN("watchdog") << "step '" << entry.key << "' stalled at wave " << entry.wave
+                              << " — cooperative cancellation fired";
+    }
+    cv_.wait_for(lock, options_.poll_interval, [this] { return stop_; });
+  }
+}
+
+}  // namespace smartflux::wms

@@ -1,0 +1,123 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/cancellation.h"
+#include "datastore/types.h"
+
+namespace smartflux::obs {
+class MetricsRegistry;
+class Counter;
+class Gauge;
+}  // namespace smartflux::obs
+
+namespace smartflux::wms {
+
+struct WatchdogOptions {
+  /// An attempt is declared stalled once it runs longer than
+  /// stall_multiplier × the step's historical mean duration (successful
+  /// attempts only, so cancelled hangs never inflate their own threshold).
+  double stall_multiplier = 8.0;
+  /// Floor under the scaled threshold — steps with sub-millisecond history
+  /// are not cancelled over scheduler jitter.
+  std::chrono::milliseconds min_stall{250};
+  /// Monitor thread scan cadence.
+  std::chrono::milliseconds poll_interval{20};
+  /// Optional sf_watchdog_* metrics (not owned).
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// Detects wedged step attempts and fires cooperative cancellation.
+///
+/// The engine brackets every attempt with begin_attempt()/end_attempt(); a
+/// monitor thread scans in-flight attempts every poll_interval and, when one
+/// overruns its stall threshold, calls cancel() on the attempt's
+/// CancellationToken — the step's next token poll (or its FaultInjector
+/// hang-sleep) unwinds with Cancelled, and the engine's retry/quarantine
+/// machinery takes over. Purely cooperative: a step that never polls its
+/// token is detected but not interrupted.
+///
+/// A step with no successful history yet is NOT watched — the watchdog has
+/// no baseline to judge it against, and the per-attempt RetryPolicy timeout
+/// already bounds first executions.
+///
+/// Thread safety: begin/end may be called from any engine worker thread; the
+/// token pointer is only dereferenced by the monitor under the same mutex
+/// end_attempt() takes, so the token (stack-allocated per attempt) can never
+/// be cancelled after the attempt returned. One watchdog may serve several
+/// engines.
+class StallWatchdog {
+ public:
+  explicit StallWatchdog(WatchdogOptions options = {});
+  ~StallWatchdog();
+
+  StallWatchdog(const StallWatchdog&) = delete;
+  StallWatchdog& operator=(const StallWatchdog&) = delete;
+
+  /// Registers an in-flight attempt. `step_key` identifies the step's
+  /// duration history (engines pass "workflow/step"); `token` must stay
+  /// alive until the matching end_attempt(). Returns the ticket to close
+  /// the bracket with.
+  std::uint64_t begin_attempt(const std::string& step_key, ds::Timestamp wave,
+                              CancellationToken* token);
+
+  /// Closes the bracket. Successful attempts feed the step's duration
+  /// history; a success on a step the watchdog previously cancelled counts
+  /// as a recovery.
+  void end_attempt(std::uint64_t ticket, std::chrono::nanoseconds elapsed, bool success);
+
+  /// Times the monitor cancelled a stalled attempt.
+  std::size_t stalls_fired() const noexcept;
+  /// Stalled steps that later completed successfully.
+  std::size_t recoveries() const noexcept;
+  /// Successful-attempt mean for a step key; 0 when no history.
+  std::chrono::nanoseconds historical_mean(const std::string& step_key) const;
+
+  const WatchdogOptions& options() const noexcept { return options_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Inflight {
+    std::string key;
+    ds::Timestamp wave = 0;
+    CancellationToken* token = nullptr;
+    Clock::time_point deadline{};  ///< max() = unwatched (no history)
+    bool fired = false;
+  };
+
+  struct History {
+    double mean_ns = 0.0;
+    std::size_t samples = 0;
+  };
+
+  void monitor_loop();
+
+  WatchdogOptions options_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::unordered_map<std::uint64_t, Inflight> inflight_;
+  std::unordered_map<std::string, History> history_;
+  /// Step keys with a fired stall and no successful completion yet.
+  std::unordered_set<std::string> awaiting_recovery_;
+  std::uint64_t next_ticket_ = 1;
+  std::size_t stalls_fired_ = 0;
+  std::size_t recoveries_ = 0;
+  bool stop_ = false;
+
+  obs::Counter* stalls_metric_ = nullptr;      ///< sf_watchdog_stalls_total
+  obs::Counter* recoveries_metric_ = nullptr;  ///< sf_watchdog_recoveries_total
+  obs::Gauge* inflight_metric_ = nullptr;      ///< sf_watchdog_inflight_attempts
+
+  std::thread monitor_;  ///< last member: started after everything above
+};
+
+}  // namespace smartflux::wms

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/cancellation.h"
+#include "common/fault_injection.h"
+#include "datastore/datastore.h"
+#include "obs/metrics.h"
+#include "wms/engine.h"
+#include "wms/probe_gate.h"
+#include "wms/watchdog.h"
+
+namespace smartflux::wms {
+namespace {
+
+using smartflux::CancellationToken;
+using smartflux::FaultInjector;
+using smartflux::FaultKind;
+using smartflux::FaultRule;
+using std::chrono::milliseconds;
+
+WatchdogOptions fast_watchdog(obs::MetricsRegistry* metrics = nullptr) {
+  return WatchdogOptions{.stall_multiplier = 2.0,
+                         .min_stall = milliseconds{30},
+                         .poll_interval = milliseconds{5},
+                         .metrics = metrics};
+}
+
+/// Waits (bounded) for the monitor thread to cancel `token`.
+bool wait_cancelled(const CancellationToken& token, milliseconds budget = milliseconds{5000}) {
+  const auto deadline = std::chrono::steady_clock::now() + budget;
+  while (!token.cancelled() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(milliseconds{2});
+  }
+  return token.cancelled();
+}
+
+TEST(StallWatchdog, FiresOnOverdueAttemptAndCountsRecovery) {
+  obs::MetricsRegistry registry;
+  StallWatchdog watchdog(fast_watchdog(&registry));
+
+  // Two quick successes give the step a baseline.
+  for (int i = 0; i < 2; ++i) {
+    CancellationToken token;
+    const auto ticket = watchdog.begin_attempt("wf/step", 1 + i, &token);
+    watchdog.end_attempt(ticket, milliseconds{10}, true);
+  }
+  EXPECT_EQ(watchdog.historical_mean("wf/step"), milliseconds{10});
+
+  // An attempt overrunning max(2 x 10ms, 30ms) gets cancelled.
+  CancellationToken token;
+  const auto ticket = watchdog.begin_attempt("wf/step", 3, &token);
+  EXPECT_TRUE(wait_cancelled(token));
+  watchdog.end_attempt(ticket, milliseconds{60}, false);
+  EXPECT_EQ(watchdog.stalls_fired(), 1u);
+  EXPECT_EQ(watchdog.recoveries(), 0u);
+  EXPECT_EQ(registry.counter("sf_watchdog_stalls_total").value(), 1u);
+
+  // The stalled step completing successfully later counts as a recovery.
+  CancellationToken token2;
+  const auto ticket2 = watchdog.begin_attempt("wf/step", 4, &token2);
+  watchdog.end_attempt(ticket2, milliseconds{10}, true);
+  EXPECT_EQ(watchdog.recoveries(), 1u);
+  EXPECT_EQ(registry.counter("sf_watchdog_recoveries_total").value(), 1u);
+}
+
+TEST(StallWatchdog, AttemptsWithoutHistoryAreNotWatched) {
+  StallWatchdog watchdog(fast_watchdog());
+  CancellationToken token;
+  const auto ticket = watchdog.begin_attempt("wf/new", 1, &token);
+  // Far past min_stall: without a baseline the watchdog must not judge.
+  std::this_thread::sleep_for(milliseconds{80});
+  EXPECT_FALSE(token.cancelled());
+  watchdog.end_attempt(ticket, milliseconds{80}, true);
+  EXPECT_EQ(watchdog.stalls_fired(), 0u);
+  EXPECT_EQ(watchdog.historical_mean("wf/new"), milliseconds{80});
+}
+
+TEST(StallWatchdog, HistoryTracksSuccessfulAttemptsOnly) {
+  StallWatchdog watchdog(fast_watchdog());
+  CancellationToken token;
+  auto ticket = watchdog.begin_attempt("wf/s", 1, &token);
+  watchdog.end_attempt(ticket, milliseconds{10}, true);
+  ticket = watchdog.begin_attempt("wf/s", 2, &token);
+  watchdog.end_attempt(ticket, milliseconds{20}, true);
+  EXPECT_EQ(watchdog.historical_mean("wf/s"), milliseconds{15});
+
+  // A (cancelled or failed) hang must not inflate the step's own threshold.
+  ticket = watchdog.begin_attempt("wf/s", 3, &token);
+  watchdog.end_attempt(ticket, milliseconds{5000}, false);
+  EXPECT_EQ(watchdog.historical_mean("wf/s"), milliseconds{15});
+}
+
+TEST(StallWatchdog, CancelsWedgedStepAndEngineRetryRecovers) {
+  // Wave 4's first attempt wedges for 10s; the watchdog cancels it after
+  // ~max(4 x mean, 50ms) and the engine's retry succeeds immediately.
+  FaultInjector injector;
+  injector.add_rule(FaultRule{.step_id = "wedge",
+                              .kind = FaultKind::kHang,
+                              .first_wave = 4,
+                              .last_wave = 4,
+                              .max_attempt = 1,
+                              .hang_for = milliseconds{10'000}});
+  StallWatchdog watchdog(WatchdogOptions{
+      .stall_multiplier = 4.0, .min_stall = milliseconds{50}, .poll_interval = milliseconds{10}});
+  ds::DataStore store;
+  StepSpec step;
+  step.id = "wedge";
+  step.fn = [](StepContext& ctx) {
+    ctx.client.put("t", "r", "c", static_cast<double>(ctx.wave));
+  };
+  WorkflowEngine engine(WorkflowSpec("wd", {step}), store,
+                        WorkflowEngine::Options{.retry = RetryPolicy::retries(2),
+                                                .fault_injector = &injector,
+                                                .watchdog = &watchdog});
+  SyncController sync;
+  engine.run_waves(1, 3, sync);  // build the duration baseline
+
+  const auto start = std::chrono::steady_clock::now();
+  const WaveResult result = engine.run_wave(4, sync);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+
+  EXPECT_TRUE(result.executed[0]);
+  EXPECT_EQ(result.attempts[0], 2u);
+  EXPECT_LT(elapsed, std::chrono::seconds{5});  // rescued, not the 10s hang
+  EXPECT_EQ(engine.failure_count(0), 0u);
+  EXPECT_EQ(watchdog.stalls_fired(), 1u);
+  EXPECT_EQ(watchdog.recoveries(), 1u);
+}
+
+TEST(StallWatchdog, SharedAcrossEnginesKeysBySpecAndStep) {
+  StallWatchdog watchdog(fast_watchdog());
+  ds::DataStore store_a, store_b;
+  StepSpec step;
+  step.id = "s";
+  step.fn = [](StepContext& ctx) { ctx.client.put("t", "r", "c", 1.0); };
+  WorkflowEngine a(WorkflowSpec("wf_a", {step}), store_a,
+                   WorkflowEngine::Options{.watchdog = &watchdog});
+  WorkflowEngine b(WorkflowSpec("wf_b", {step}), store_b,
+                   WorkflowEngine::Options{.watchdog = &watchdog});
+  SyncController sync;
+  a.run_wave(1, sync);
+  b.run_wave(1, sync);
+  // Same step id, different workflows: independent histories.
+  EXPECT_GT(watchdog.historical_mean("wf_a/s").count(), 0);
+  EXPECT_GT(watchdog.historical_mean("wf_b/s").count(), 0);
+  EXPECT_EQ(watchdog.historical_mean("wf_c/s").count(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// ProbeGate: the half-open probe CAS regression (run under TSan in CI)
+// ---------------------------------------------------------------------------
+
+TEST(ProbeGate, ConcurrentEvaluationsAdmitExactlyOneProbe) {
+  ProbeGate gate(1);
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 500;
+  std::atomic<int> inside{0};
+  std::atomic<int> admitted{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int r = 0; r < kRounds; ++r) {
+        if (gate.try_claim(0)) {
+          // The single-probe invariant: never two claimants inside at once.
+          const int occupants = inside.fetch_add(1, std::memory_order_acq_rel) + 1;
+          EXPECT_EQ(occupants, 1);
+          ++admitted;
+          inside.fetch_sub(1, std::memory_order_acq_rel);
+          gate.release(0);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_GT(admitted.load(), 0);
+  EXPECT_FALSE(gate.claimed(0));
+}
+
+TEST(ProbeGate, ResetDropsClaims) {
+  ProbeGate gate(2);
+  EXPECT_TRUE(gate.try_claim(0));
+  EXPECT_FALSE(gate.try_claim(0));
+  EXPECT_TRUE(gate.try_claim(1));
+  gate.reset(2);
+  EXPECT_FALSE(gate.claimed(0));
+  EXPECT_TRUE(gate.try_claim(0));
+  gate.release(0);
+  EXPECT_FALSE(gate.claimed(0));
+}
+
+}  // namespace
+}  // namespace smartflux::wms
