@@ -1,0 +1,257 @@
+// Network ingest bench: ≥100 concurrent loopback HTTP connections feed the
+// AQHI sensor grid through POST /ingest/sensors while the pipelined wave
+// engine (compute-only AQHI workflow + IngestBridge ingest) drains the
+// staged rows wave by wave — the full front-end path of DESIGN.md §14 under
+// load on one box.
+//
+// Client shape: kThreads feeder threads each own kConnsPerThread keep-alive
+// connections (threads × conns ≥ 100 concurrent sockets). A round sends one
+// pipelined request on every connection of the thread, then collects every
+// response; per-request latency is measured send→response-read on the
+// client side, under the full concurrent load. The engine runs waves on the
+// main thread concurrently with the feeders.
+//
+// Self-checks (exit 1): every ingest response is 202, every posted row is
+// drained into the store by the final wave, a spot cell is readable over
+// HTTP, and /metrics exposes the sf_net families.
+//
+// Emits one JSON object on stdout:
+//
+//   ./bench/net_ingest > docs/bench/net_ingest.json
+//   ./bench/net_ingest short > net_ingest.ci.json   (CI smoke: fewer rounds)
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "datastore/datastore.h"
+#include "net/bridge.h"
+#include "net/gateway.h"
+#include "net/server.h"
+#include "net/testing.h"
+#include "obs/metrics.h"
+#include "wms/engine.h"
+#include "workloads/aqhi/aqhi.h"
+
+namespace {
+
+using namespace smartflux;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kThreads = 4;
+constexpr std::size_t kConnsPerThread = 32;  // 4 × 32 = 128 concurrent connections
+constexpr std::size_t kRowsPerRequest = 24;
+
+double micros_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - start).count();
+}
+
+double quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+/// One wave-worth chunk of the AQHI grid as an ingest body: kRowsPerRequest
+/// detectors starting at a rotating offset, three pollutant columns each.
+std::string ingest_body(const workloads::AqhiWorkload& aqhi, std::size_t offset,
+                        ds::Timestamp wave) {
+  const std::size_t grid = aqhi.params().grid;
+  const std::size_t detectors = grid * grid;
+  std::string body;
+  body.reserve(kRowsPerRequest * 3 * 24);
+  char line[96];
+  for (std::size_t i = 0; i < kRowsPerRequest; ++i) {
+    const std::size_t d = (offset + i) % detectors;
+    const std::size_t x = d / grid;
+    const std::size_t y = d % grid;
+    for (std::size_t pollutant = 0; pollutant < 3; ++pollutant) {
+      static const char* kCols[] = {"o3", "pm25", "no2"};
+      std::snprintf(line, sizeof line, "d%zu_%zu,%s,%.6f\n", x, y, kCols[pollutant],
+                    aqhi.sensor(pollutant, x, y, wave));
+      body += line;
+    }
+  }
+  return body;
+}
+
+struct FeederResult {
+  std::vector<double> latencies_us;
+  std::size_t requests = 0;
+  std::size_t rows = 0;
+  std::size_t bad_status = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool short_mode = argc > 1 && std::strcmp(argv[1], "short") == 0;
+  const std::size_t rounds = short_mode ? 4 : 40;
+
+  ds::DataStore store(4);
+  obs::MetricsRegistry metrics;
+
+  net::IngestBridge::Options bridge_options;
+  bridge_options.metrics = &metrics;
+  net::IngestBridge bridge(bridge_options);
+
+  workloads::AqhiParams params;
+  const workloads::AqhiWorkload aqhi(params);
+  wms::WorkflowEngine engine(aqhi.make_compute_workflow(), store);
+  // The engine ingests HTTP-staged rows, not the workload generator: the
+  // bridge's WaveIngest is the 1_feed replacement.
+  const wms::WaveIngest ingest = bridge.make_ingest();
+
+  net::GatewayOptions gateway;
+  gateway.store = &store;
+  gateway.ingest = &bridge;
+  gateway.metrics = &metrics;
+  net::ServerOptions server_options;
+  server_options.metrics = &metrics;
+  server_options.max_connections = 2048;
+  net::Server server(net::make_gateway_router(gateway), server_options);
+  server.start();
+  const std::uint16_t port = server.port();
+
+  std::vector<FeederResult> results(kThreads);
+  std::atomic<bool> feeders_done{false};
+
+  const auto wall_start = Clock::now();
+  std::vector<std::thread> feeders;
+  feeders.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    feeders.emplace_back([&, t] {
+      FeederResult& result = results[t];
+      std::vector<net::testing::Client> conns;
+      conns.reserve(kConnsPerThread);
+      for (std::size_t c = 0; c < kConnsPerThread; ++c) conns.emplace_back(port);
+
+      std::vector<Clock::time_point> sent(kConnsPerThread);
+      for (std::size_t round = 0; round < rounds; ++round) {
+        const auto wave = static_cast<ds::Timestamp>(round + 1);
+        // Pipeline one request per connection, then collect every response:
+        // all kThreads × kConnsPerThread requests are in flight together.
+        for (std::size_t c = 0; c < kConnsPerThread; ++c) {
+          const std::size_t offset =
+              (t * kConnsPerThread + c) * kRowsPerRequest + round * 7;
+          const std::string body = ingest_body(aqhi, offset, wave);
+          sent[c] = Clock::now();
+          conns[c].send_request("POST", "/ingest/sensors", body);
+          result.rows += kRowsPerRequest * 3;
+        }
+        for (std::size_t c = 0; c < kConnsPerThread; ++c) {
+          const net::testing::ClientResponse response = conns[c].read_response();
+          result.latencies_us.push_back(micros_since(sent[c]));
+          ++result.requests;
+          if (response.status != 202) ++result.bad_status;
+        }
+      }
+    });
+  }
+
+  // Drain staged rows with the real pipelined engine while the feeders run:
+  // chunks of waves until the feeders finish, then one final drain wave.
+  wms::SyncController sync;
+  ds::Timestamp next_wave = 1;
+  std::size_t waves_run = 0;
+  std::thread driver([&] {
+    while (!feeders_done.load(std::memory_order_acquire)) {
+      if (bridge.staged_rows() == 0) {
+        // Nothing to drain: yield the core to the feeders instead of
+        // spinning empty waves (this box may have a single hardware thread).
+        std::this_thread::sleep_for(std::chrono::microseconds(500));
+        continue;
+      }
+      engine.run_waves_pipelined(next_wave, 2, sync, ingest);
+      next_wave += 2;
+      waves_run += 2;
+    }
+    engine.run_waves_pipelined(next_wave, 1, sync, ingest);
+    ++waves_run;
+  });
+
+  for (auto& thread : feeders) thread.join();
+  feeders_done.store(true, std::memory_order_release);
+  driver.join();
+  const double wall_seconds =
+      std::chrono::duration<double>(Clock::now() - wall_start).count();
+
+  // --- Self-checks ----------------------------------------------------------
+  std::size_t requests = 0;
+  std::size_t rows_posted = 0;
+  std::size_t bad_status = 0;
+  std::vector<double> latencies;
+  for (const FeederResult& result : results) {
+    requests += result.requests;
+    rows_posted += result.rows;
+    bad_status += result.bad_status;
+    latencies.insert(latencies.end(), result.latencies_us.begin(), result.latencies_us.end());
+  }
+  std::sort(latencies.begin(), latencies.end());
+
+  int failures = 0;
+  if (bad_status != 0) {
+    std::fprintf(stderr, "FAIL: %zu ingest responses were not 202\n", bad_status);
+    ++failures;
+  }
+  if (bridge.stats().rows_ingested != rows_posted || bridge.staged_rows() != 0) {
+    std::fprintf(stderr, "FAIL: posted %zu rows but engine drained %llu (staged %zu)\n",
+                 rows_posted, static_cast<unsigned long long>(bridge.stats().rows_ingested),
+                 bridge.staged_rows());
+    ++failures;
+  }
+  {
+    net::testing::Client probe(port);
+    if (probe.request("GET", "/get?table=sensors&row=d0_0&col=o3").status != 200) {
+      std::fprintf(stderr, "FAIL: spot read of an ingested cell did not return 200\n");
+      ++failures;
+    }
+    const net::testing::ClientResponse metrics_response = probe.request("GET", "/metrics");
+    if (metrics_response.status != 200 ||
+        metrics_response.body.find("sf_net_ingest_rows_total") == std::string::npos) {
+      std::fprintf(stderr, "FAIL: /metrics is missing the sf_net families\n");
+      ++failures;
+    }
+  }
+  const net::ServerStats stats = server.stats();
+  if (stats.slow_disconnects != 0 || stats.parse_errors != 0) {
+    std::fprintf(stderr, "FAIL: unexpected slow_disconnects=%llu parse_errors=%llu\n",
+                 static_cast<unsigned long long>(stats.slow_disconnects),
+                 static_cast<unsigned long long>(stats.parse_errors));
+    ++failures;
+  }
+  server.stop();
+
+  std::printf("{\n");
+  std::printf("  \"bench\": \"net_ingest\",\n");
+  std::printf("  \"mode\": \"%s\",\n", short_mode ? "short" : "full");
+  std::printf("  \"backend\": \"%s\",\n", server.backend_name());
+  std::printf("  \"connections\": %zu,\n", kThreads * kConnsPerThread);
+  std::printf("  \"feeder_threads\": %zu,\n", kThreads);
+  std::printf("  \"requests\": %zu,\n", requests);
+  std::printf("  \"rows_posted\": %zu,\n", rows_posted);
+  std::printf("  \"waves_run\": %zu,\n", waves_run);
+  std::printf("  \"wall_seconds\": %.3f,\n", wall_seconds);
+  std::printf("  \"requests_per_sec\": %.0f,\n", static_cast<double>(requests) / wall_seconds);
+  std::printf("  \"rows_per_sec\": %.0f,\n", static_cast<double>(rows_posted) / wall_seconds);
+  std::printf("  \"latency_us\": {\"p50\": %.0f, \"p90\": %.0f, \"p99\": %.0f, \"max\": %.0f},\n",
+              quantile(latencies, 0.50), quantile(latencies, 0.90), quantile(latencies, 0.99),
+              latencies.empty() ? 0.0 : latencies.back());
+  std::printf("  \"server\": {\"accepted\": %llu, \"requests\": %llu, \"bytes_read\": %llu, "
+              "\"bytes_written\": %llu},\n",
+              static_cast<unsigned long long>(stats.connections_accepted),
+              static_cast<unsigned long long>(stats.requests),
+              static_cast<unsigned long long>(stats.bytes_read),
+              static_cast<unsigned long long>(stats.bytes_written));
+  std::printf("  \"checks\": \"%s\"\n", failures == 0 ? "pass" : "FAIL");
+  std::printf("}\n");
+  return failures == 0 ? 0 : 1;
+}

@@ -3,23 +3,131 @@
 // example runs the full evaluation protocol with a synchronous shadow to
 // report the same quantities the paper's figures use — savings, confidence,
 // and the index trajectory — and then demonstrates on-demand re-training.
+//
+// With --serve <port> it instead exposes the live stack over HTTP
+// (DESIGN.md §14): POST sensor readings to /ingest/sensors, trigger waves
+// with POST /wave/run, read results via /get and /scan, scrape /metrics.
+// Ctrl-C stops it.
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <thread>
 
 #include "core/experiment.h"
+#include "net/bridge.h"
+#include "net/gateway.h"
+#include "net/server.h"
 #include "obs/export.h"
+#include "wms/backpressure.h"
 #include "workloads/aqhi/aqhi.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+void handle_signal(int) { g_stop.store(true, std::memory_order_release); }
+
+/// --serve mode: the compute-only AQHI workflow behind the HTTP gateway.
+/// Sensor rows arrive over POST /ingest/sensors; POST /wave/run admits wave
+/// requests into a bounded queue that a driver thread drains through the
+/// pipelined engine, so overload turns into 503s at the front door.
+int serve(std::uint16_t port) {
+  using namespace smartflux;
+
+  ds::DataStore store(4);
+  obs::MetricsRegistry registry;
+
+  workloads::AqhiParams params;
+  const workloads::AqhiWorkload workload(params);
+  wms::WorkflowEngine::Options engine_options;
+  engine_options.metrics = &registry;
+  wms::WorkflowEngine engine(workload.make_compute_workflow(), store, engine_options);
+
+  wms::PressureOptions pressure;
+  pressure.high_watermark = 64;
+  pressure.overflow = wms::OverflowPolicy::kShed;
+  wms::BoundedWaveQueue queue(pressure);
+
+  net::IngestBridge::Options bridge_options;
+  bridge_options.queue = &queue;
+  bridge_options.metrics = &registry;
+  net::IngestBridge bridge(bridge_options);
+
+  std::atomic<ds::Timestamp> next_wave{1};
+  std::atomic<std::size_t> waves_completed{0};
+
+  net::GatewayOptions gateway;
+  gateway.store = &store;
+  gateway.ingest = &bridge;
+  gateway.metrics = &registry;
+  gateway.run_waves = [&](std::size_t count) {
+    std::size_t admitted = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      if (!queue.push(next_wave.fetch_add(1, std::memory_order_relaxed))) break;
+      ++admitted;
+    }
+    return "{\"admitted\":" + std::to_string(admitted) +
+           ",\"requested\":" + std::to_string(count) + "}";
+  };
+  gateway.status_extra = [&] {
+    return "\"waves_completed\":" + std::to_string(waves_completed.load()) +
+           ",\"queue_depth\":" + std::to_string(queue.depth());
+  };
+
+  net::ServerOptions server_options;
+  server_options.port = port;
+  server_options.metrics = &registry;
+  net::Server server(net::make_gateway_router(gateway), server_options);
+  server.start();
+
+  // Driver: drains admitted waves through the pipelined engine, the bridge's
+  // WaveIngest replacing the 1_feed step.
+  const wms::WaveIngest ingest = bridge.make_ingest();
+  std::thread driver([&] {
+    wms::SyncController sync;
+    while (const auto wave = queue.pop()) {
+      engine.run_waves_pipelined(*wave, 1, sync, ingest);
+      waves_completed.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  std::printf("serving AQHI stack on http://127.0.0.1:%u (%s backend); Ctrl-C stops\n",
+              server.port(), server.backend_name());
+  std::printf("  curl -d 'd0_0,o3,42.5' http://127.0.0.1:%u/ingest/sensors\n", server.port());
+  std::printf("  curl -X POST http://127.0.0.1:%u/wave/run\n", server.port());
+  std::printf("  curl 'http://127.0.0.1:%u/get?table=sensors&row=d0_0&col=o3'\n", server.port());
+  std::printf("  curl http://127.0.0.1:%u/status\n", server.port());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  while (!g_stop.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  queue.close();  // wakes the driver; remaining admitted waves drain first
+  driver.join();
+  server.stop();
+  std::printf("stopped after %zu waves\n", waves_completed.load());
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace smartflux;
 
   // --metrics <file> dumps a Prometheus exposition page of the run ("-" =
-  // stdout).
+  // stdout). --serve <port> switches to live HTTP serving instead.
   const char* metrics_path = nullptr;
+  int serve_port = -1;
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--metrics") == 0) metrics_path = argv[i + 1];
+    if (std::strcmp(argv[i], "--serve") == 0) serve_port = std::atoi(argv[i + 1]);
   }
+  if (serve_port >= 0) return serve(static_cast<std::uint16_t>(serve_port));
   obs::MetricsRegistry registry;
 
   workloads::AqhiParams params;

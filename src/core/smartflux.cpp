@@ -173,7 +173,7 @@ SmartFluxEngine::SmartFluxEngine(wms::WorkflowEngine& engine, SmartFluxOptions o
       predictor_(options_.predictor) {
   if (options_.metrics != nullptr) {
     obs_ = std::make_unique<SfObs>(*options_.metrics);
-    obs_->phase_gauge->set(static_cast<double>(phase_));
+    obs_->phase_gauge->set(static_cast<double>(phase_.load(std::memory_order_relaxed)));
   }
 }
 
@@ -319,11 +319,12 @@ void SmartFluxEngine::set_health(Health next) {
 
 std::optional<wms::WaveResult> SmartFluxEngine::overload_gate(ds::Timestamp wave) {
   const Health target = target_health();
-  if (static_cast<int>(target) > static_cast<int>(health_)) {
+  const Health current = health_.load(std::memory_order_relaxed);
+  if (static_cast<int>(target) > static_cast<int>(current)) {
     set_health(target);  // escalate immediately
-  } else if (static_cast<int>(target) < static_cast<int>(health_)) {
+  } else if (static_cast<int>(target) < static_cast<int>(current)) {
     // De-escalate one level per wave: hysteresis against backlog flapping.
-    set_health(static_cast<Health>(static_cast<int>(health_) - 1));
+    set_health(static_cast<Health>(static_cast<int>(current) - 1));
   }
   if (health_ == Health::kHalted) {
     throw Overloaded("smartflux halted: backlog of " + std::to_string(backlog_) +

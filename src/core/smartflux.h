@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -181,7 +182,9 @@ class SmartFluxEngine {
   /// re-attaching it.
   void resume_from_journal(const wms::WaveJournal& journal, ds::Timestamp data_durable_through);
 
-  Phase phase() const noexcept { return phase_; }
+  /// Safe to read from any thread (the network front-end's /status endpoint
+  /// polls it while waves run on the driver thread).
+  Phase phase() const noexcept { return phase_.load(std::memory_order_relaxed); }
   const KnowledgeBase& knowledge_base() const;
   const Predictor& predictor() const noexcept { return predictor_; }
   /// The live QoD engine; valid during the application phase.
@@ -196,7 +199,9 @@ class SmartFluxEngine {
   /// overload health machine. Call before each run_wave; the health decision
   /// is evaluated at the next wave. No-op when overload is disabled.
   void report_backlog(std::size_t waves_behind) noexcept;
-  Health health() const noexcept { return health_; }
+  /// Safe to read from any thread — the admission-control path of the
+  /// network front-end consults it per request while the engine runs.
+  Health health() const noexcept { return health_.load(std::memory_order_relaxed); }
   const OverloadStats& overload_stats() const noexcept { return overload_stats_; }
 
  private:
@@ -227,7 +232,9 @@ class SmartFluxEngine {
   wms::WorkflowEngine* engine_;
   SmartFluxOptions options_;
   std::unique_ptr<SfObs> obs_;  ///< null unless options_.metrics is set
-  Phase phase_ = Phase::kIdle;
+  /// Atomic only for cross-thread *reads* (phase()/health()): all writes
+  /// stay on the engine's single driver thread via set_phase/set_health.
+  std::atomic<Phase> phase_{Phase::kIdle};
   std::unique_ptr<TrainingController> trainer_;
   Predictor predictor_;
   std::unique_ptr<QodController> qod_;
@@ -240,7 +247,7 @@ class SmartFluxEngine {
   AuditStats audit_stats_;
 
   // Overload-machine state (active when options_.overload.enabled()).
-  Health health_ = Health::kHealthy;
+  std::atomic<Health> health_{Health::kHealthy};
   std::size_t backlog_ = 0;              ///< last reported due-but-unrun waves
   std::size_t consecutive_reduced_ = 0;  ///< shed/monitor-only waves in a row
   OverloadStats overload_stats_;

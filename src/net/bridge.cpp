@@ -1,0 +1,166 @@
+#include "net/bridge.h"
+
+#include <cstdlib>
+
+#include "core/smartflux.h"
+#include "datastore/client.h"
+#include "obs/metrics.h"
+#include "wms/backpressure.h"
+
+namespace smartflux::net {
+
+struct IngestBridge::BridgeObs {
+  obs::Counter* rows = nullptr;
+  obs::Counter* waves = nullptr;
+  obs::Counter* refusals = nullptr;
+  obs::Gauge* staged = nullptr;
+
+  explicit BridgeObs(obs::MetricsRegistry& reg) {
+    rows = &reg.counter("sf_net_ingest_rows_total", {},
+                        "cell records accepted through POST /ingest");
+    waves = &reg.counter("sf_net_ingest_waves_total", {},
+                         "waves the bridge drained into the store");
+    refusals = &reg.counter("sf_net_ingest_refusals_total", {},
+                            "ingest requests refused with 503 by admission control");
+    staged = &reg.gauge("sf_net_ingest_staged_rows", {},
+                        "rows staged but not yet drained by a wave");
+  }
+};
+
+IngestBridge::IngestBridge() : IngestBridge(Options{}) {}
+
+IngestBridge::~IngestBridge() = default;
+
+IngestBridge::IngestBridge(Options options) : options_(options) {
+  if (options_.metrics != nullptr) obs_ = std::make_unique<BridgeObs>(*options_.metrics);
+}
+
+std::optional<IngestRefusal> IngestBridge::admission() const {
+  if (options_.queue != nullptr) {
+    if (options_.queue->closed()) {
+      return IngestRefusal{"queue-closed", options_.retry_after_seconds};
+    }
+    if (options_.queue->gated()) {
+      return IngestRefusal{"backpressure", options_.retry_after_seconds};
+    }
+  }
+  if (options_.smartflux != nullptr) {
+    const auto health = options_.smartflux->health();
+    if (health == core::SmartFluxEngine::Health::kShedding) {
+      return IngestRefusal{"shedding", options_.retry_after_seconds};
+    }
+    if (health == core::SmartFluxEngine::Health::kHalted) {
+      return IngestRefusal{"halted", options_.retry_after_seconds};
+    }
+  }
+  if (options_.max_staged_rows > 0 &&
+      staged_rows_.load(std::memory_order_relaxed) >= options_.max_staged_rows) {
+    return IngestRefusal{"staging-full", options_.retry_after_seconds};
+  }
+  return std::nullopt;
+}
+
+void IngestBridge::report_refusal() {
+  {
+    std::lock_guard lock(mutex_);
+    ++stats_.refusals;
+  }
+  if (obs_) obs_->refusals->inc();
+}
+
+std::size_t IngestBridge::stage(const std::string& table, std::vector<IngestRecord> records) {
+  const std::size_t count = records.size();
+  std::size_t total;
+  {
+    std::lock_guard lock(mutex_);
+    auto& bucket = staged_[table];
+    if (bucket.empty()) {
+      bucket = std::move(records);
+    } else {
+      bucket.insert(bucket.end(), std::make_move_iterator(records.begin()),
+                    std::make_move_iterator(records.end()));
+    }
+    stats_.rows_staged += count;
+    total = staged_rows_.fetch_add(count, std::memory_order_relaxed) + count;
+  }
+  if (obs_) {
+    obs_->rows->inc(count);
+    obs_->staged->set(static_cast<double>(total));
+  }
+  return total;
+}
+
+wms::WaveIngest IngestBridge::make_ingest() {
+  return [this](ds::Client& client, ds::Timestamp) {
+    Staged batch;
+    {
+      std::lock_guard lock(mutex_);
+      batch.swap(staged_);
+      ++stats_.waves_ingested;
+    }
+    std::size_t drained = 0;
+    for (const auto& [table, records] : batch) {
+      std::vector<ds::PutOp> ops;
+      ops.reserve(records.size());
+      for (const IngestRecord& r : records) ops.push_back({r.row, r.column, r.value});
+      client.put_batch(table, ops);
+      drained += records.size();
+    }
+    if (drained > 0) {
+      staged_rows_.fetch_sub(drained, std::memory_order_relaxed);
+      std::lock_guard lock(mutex_);
+      stats_.rows_ingested += drained;
+    }
+    if (obs_) {
+      obs_->waves->inc();
+      obs_->staged->set(static_cast<double>(staged_rows_.load(std::memory_order_relaxed)));
+    }
+  };
+}
+
+IngestBridge::Stats IngestBridge::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+std::optional<std::vector<IngestRecord>> parse_ingest_body(std::string_view body,
+                                                           std::string* error) {
+  std::vector<IngestRecord> records;
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+  while (start <= body.size()) {
+    std::size_t end = body.find('\n', start);
+    if (end == std::string_view::npos) end = body.size();
+    std::string_view line = body.substr(start, end - start);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    ++line_no;
+    const std::size_t next = end + 1;
+    if (!line.empty()) {
+      const std::size_t c1 = line.find(',');
+      const std::size_t c2 = c1 == std::string_view::npos ? c1 : line.find(',', c1 + 1);
+      if (c1 == std::string_view::npos || c2 == std::string_view::npos || c1 == 0 ||
+          c2 == c1 + 1) {
+        if (error != nullptr) {
+          *error = "line " + std::to_string(line_no) + ": expected row,col,value";
+        }
+        return std::nullopt;
+      }
+      const std::string value_text(line.substr(c2 + 1));
+      char* parsed_end = nullptr;
+      const double value = std::strtod(value_text.c_str(), &parsed_end);
+      if (value_text.empty() || parsed_end != value_text.c_str() + value_text.size()) {
+        if (error != nullptr) {
+          *error = "line " + std::to_string(line_no) + ": malformed value '" + value_text + "'";
+        }
+        return std::nullopt;
+      }
+      records.push_back(IngestRecord{std::string(line.substr(0, c1)),
+                                     std::string(line.substr(c1 + 1, c2 - c1 - 1)), value});
+    }
+    if (end == body.size()) break;
+    start = next;
+  }
+  return records;
+}
+
+}  // namespace smartflux::net

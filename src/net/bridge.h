@@ -1,0 +1,129 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "wms/engine.h"
+
+namespace smartflux::obs {
+class MetricsRegistry;
+class Counter;
+class Gauge;
+}  // namespace smartflux::obs
+
+namespace smartflux::wms {
+class BoundedWaveQueue;
+}
+
+namespace smartflux::core {
+class SmartFluxEngine;
+}
+
+namespace smartflux::net {
+
+/// One parsed ingest record (an owned copy of a `row,col,value` line).
+struct IngestRecord {
+  std::string row;
+  std::string column;
+  double value = 0.0;
+};
+
+/// Why an ingest request was refused, and what to tell the client.
+struct IngestRefusal {
+  std::string reason;           ///< "queue-closed" | "backpressure" | "shedding" | ...
+  int retry_after_seconds = 1;  ///< value of the Retry-After header
+};
+
+/// The bridge between the HTTP front-end and the wave engine: hundreds of
+/// connections stage rows concurrently (stage(), called on the server's
+/// loop thread per request), and one pipelined engine drains them wave by
+/// wave through the existing WaveIngest path (make_ingest() feeds every
+/// staged table to Client::put_batch, one batch per table per wave).
+///
+/// Admission control is evaluated per request *before* any row is staged:
+///
+///   - the wave queue the app paces waves with was closed, or is gated at
+///     its high watermark (backpressure)      -> 503 "queue-closed"/"backpressure"
+///   - the SmartFlux health machine reports
+///     shedding or halted                     -> 503 "shedding"/"halted"
+///   - staged-but-undrained rows exceed
+///     Options::max_staged_rows               -> 503 "staging-full"
+///
+/// so overload surfaces to clients as 503 + Retry-After instead of rows
+/// silently queueing toward an engine that cannot keep up.
+class IngestBridge {
+ public:
+  struct Options {
+    /// Staged-row ceiling across all tables; the local bound that holds
+    /// even when no queue/health source is wired. 0 = unbounded.
+    std::size_t max_staged_rows = 1 << 20;
+    /// Wave admission queue (not owned; optional): closed or gated refuses.
+    const wms::BoundedWaveQueue* queue = nullptr;
+    /// Health machine (not owned; optional): shedding/halted refuses.
+    const core::SmartFluxEngine* smartflux = nullptr;
+    /// Retry-After seconds attached to refusals.
+    int retry_after_seconds = 1;
+    /// Optional metrics (not owned): sf_net_ingest_* counters/gauges.
+    obs::MetricsRegistry* metrics = nullptr;
+  };
+
+  /// Counters, readable from any thread.
+  struct Stats {
+    std::uint64_t rows_staged = 0;
+    std::uint64_t rows_ingested = 0;   ///< rows drained into put_batch
+    std::uint64_t waves_ingested = 0;  ///< make_ingest() invocations
+    std::uint64_t refusals = 0;        ///< admission() refusals reported
+  };
+
+  IngestBridge();
+  explicit IngestBridge(Options options);
+  ~IngestBridge();  // out of line: BridgeObs is incomplete here
+
+  /// Admission check (thread-safe, lock-free on the staged-row count).
+  /// nullopt = admit. Does not count a refusal; report_refusal() does, so
+  /// the gateway counts exactly one refusal per refused request.
+  std::optional<IngestRefusal> admission() const;
+  void report_refusal();
+
+  /// Stages owned records for `table`; returns the total rows now staged.
+  /// Thread-safe; the records become visible to the next wave's ingest.
+  std::size_t stage(const std::string& table, std::vector<IngestRecord> records);
+
+  /// The WaveIngest callback for WorkflowEngine::run_waves_pipelined (and
+  /// for manual per-wave draining): swaps out everything staged so far and
+  /// writes it table by table through Client::put_batch. Rows staged while
+  /// wave w ingests land in wave w+1 — the coalescing boundary.
+  wms::WaveIngest make_ingest();
+
+  std::size_t staged_rows() const noexcept {
+    return staged_rows_.load(std::memory_order_relaxed);
+  }
+  Stats stats() const;
+
+ private:
+  using Staged = std::map<std::string, std::vector<IngestRecord>>;
+  struct BridgeObs;  ///< pre-resolved metric handles (bridge.cpp)
+
+  Options options_;
+  std::unique_ptr<BridgeObs> obs_;  ///< null when Options::metrics is null
+  mutable std::mutex mutex_;        ///< guards staged_ and stats_
+  Staged staged_;
+  Stats stats_;
+  std::atomic<std::size_t> staged_rows_{0};
+};
+
+/// Parses a newline-delimited `row,col,value` ingest body. Returns the
+/// records, or sets *error to a line-numbered message (1-based) on the
+/// first malformed line. Empty lines are skipped; value must parse fully as
+/// a double.
+std::optional<std::vector<IngestRecord>> parse_ingest_body(std::string_view body,
+                                                           std::string* error);
+
+}  // namespace smartflux::net

@@ -1,0 +1,240 @@
+#include "net/event_loop.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.h"
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#define SF_NET_HAVE_EPOLL 1
+#else
+#define SF_NET_HAVE_EPOLL 0
+#endif
+
+namespace smartflux::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw Error("net: " + what + ": " + std::strerror(errno));
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw_errno("fcntl(O_NONBLOCK)");
+  }
+}
+
+#if SF_NET_HAVE_EPOLL
+class EpollPoller final : public Poller {
+ public:
+  EpollPoller() : epfd_(::epoll_create1(EPOLL_CLOEXEC)) {
+    if (epfd_ < 0) throw_errno("epoll_create1");
+  }
+  ~EpollPoller() override { ::close(epfd_); }
+
+  void add(int fd, bool want_read, bool want_write) override {
+    control(EPOLL_CTL_ADD, fd, want_read, want_write);
+  }
+  void update(int fd, bool want_read, bool want_write) override {
+    control(EPOLL_CTL_MOD, fd, want_read, want_write);
+  }
+  void remove(int fd) override {
+    epoll_event ev{};
+    if (::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, &ev) < 0) throw_errno("epoll_ctl(DEL)");
+  }
+
+  void wait(std::vector<Event>& out, int timeout_ms) override {
+    epoll_event ready[kMaxEvents];
+    int n;
+    do {
+      n = ::epoll_wait(epfd_, ready, kMaxEvents, timeout_ms);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) throw_errno("epoll_wait");
+    for (int i = 0; i < n; ++i) {
+      Event e;
+      e.fd = ready[i].data.fd;
+      e.readable = (ready[i].events & (EPOLLIN | EPOLLRDHUP)) != 0;
+      e.writable = (ready[i].events & EPOLLOUT) != 0;
+      e.error = (ready[i].events & (EPOLLERR | EPOLLHUP)) != 0;
+      out.push_back(e);
+    }
+  }
+
+  const char* name() const noexcept override { return "epoll"; }
+
+ private:
+  static constexpr int kMaxEvents = 256;
+
+  void control(int op, int fd, bool want_read, bool want_write) {
+    epoll_event ev{};
+    ev.data.fd = fd;
+    if (want_read) ev.events |= EPOLLIN;
+    if (want_write) ev.events |= EPOLLOUT;
+    if (::epoll_ctl(epfd_, op, fd, &ev) < 0) throw_errno("epoll_ctl");
+  }
+
+  int epfd_;
+};
+#endif  // SF_NET_HAVE_EPOLL
+
+/// Portable poll(2) backend: a dense pollfd vector plus an fd -> index map;
+/// remove() swaps the tail in so wait() stays O(watched fds).
+class PollPoller final : public Poller {
+ public:
+  void add(int fd, bool want_read, bool want_write) override {
+    if (index_.count(fd) != 0) throw Error("net: poll add of watched fd");
+    index_[fd] = fds_.size();
+    fds_.push_back(pollfd{fd, events_mask(want_read, want_write), 0});
+  }
+
+  void update(int fd, bool want_read, bool want_write) override {
+    fds_[at(fd)].events = events_mask(want_read, want_write);
+  }
+
+  void remove(int fd) override {
+    const std::size_t i = at(fd);
+    index_.erase(fd);
+    if (i + 1 != fds_.size()) {
+      fds_[i] = fds_.back();
+      index_[fds_[i].fd] = i;
+    }
+    fds_.pop_back();
+  }
+
+  void wait(std::vector<Event>& out, int timeout_ms) override {
+    int n;
+    do {
+      n = ::poll(fds_.data(), fds_.size(), timeout_ms);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) throw_errno("poll");
+    for (const pollfd& p : fds_) {
+      if (p.revents == 0) continue;
+      Event e;
+      e.fd = p.fd;
+      e.readable = (p.revents & (POLLIN | POLLRDHUP_COMPAT)) != 0;
+      e.writable = (p.revents & POLLOUT) != 0;
+      e.error = (p.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+      out.push_back(e);
+      if (static_cast<int>(out.size()) == n) break;
+    }
+  }
+
+  const char* name() const noexcept override { return "poll"; }
+
+ private:
+#ifdef POLLRDHUP
+  static constexpr short POLLRDHUP_COMPAT = POLLRDHUP;
+#else
+  static constexpr short POLLRDHUP_COMPAT = 0;
+#endif
+
+  static short events_mask(bool want_read, bool want_write) noexcept {
+    short mask = 0;
+    if (want_read) mask |= POLLIN;
+    if (want_write) mask |= POLLOUT;
+    return mask;
+  }
+
+  std::size_t at(int fd) const {
+    const auto it = index_.find(fd);
+    if (it == index_.end()) throw Error("net: poll op on unwatched fd");
+    return it->second;
+  }
+
+  std::vector<pollfd> fds_;
+  std::unordered_map<int, std::size_t> index_;
+};
+
+}  // namespace
+
+bool epoll_available() noexcept { return SF_NET_HAVE_EPOLL != 0; }
+
+std::unique_ptr<Poller> make_poller(PollerBackend backend) {
+#if SF_NET_HAVE_EPOLL
+  if (backend == PollerBackend::kAuto || backend == PollerBackend::kEpoll) {
+    return std::make_unique<EpollPoller>();
+  }
+#else
+  if (backend == PollerBackend::kEpoll) {
+    throw InvalidArgument("net: epoll backend unavailable on this platform");
+  }
+#endif
+  return std::make_unique<PollPoller>();
+}
+
+EventLoop::EventLoop(PollerBackend backend) : poller_(make_poller(backend)) {
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) < 0) throw_errno("pipe");
+  wake_read_ = pipe_fds[0];
+  wake_write_ = pipe_fds[1];
+  set_nonblocking(wake_read_);
+  set_nonblocking(wake_write_);
+  // The wakeup pipe is watched like any other fd; its handler just drains.
+  watch(wake_read_, true, false, [this](bool, bool, bool) {
+    char buf[64];
+    while (::read(wake_read_, buf, sizeof buf) > 0) {
+    }
+  });
+}
+
+EventLoop::~EventLoop() {
+  ::close(wake_read_);
+  ::close(wake_write_);
+}
+
+void EventLoop::watch(int fd, bool want_read, bool want_write, FdHandler handler) {
+  SF_CHECK(fd >= 0, "watch of invalid fd");
+  SF_CHECK(handlers_.count(fd) == 0, "fd is already watched");
+  poller_->add(fd, want_read, want_write);
+  handlers_[fd] = std::move(handler);
+}
+
+void EventLoop::update(int fd, bool want_read, bool want_write) {
+  SF_CHECK(handlers_.count(fd) != 0, "update of unwatched fd");
+  poller_->update(fd, want_read, want_write);
+}
+
+void EventLoop::unwatch(int fd) {
+  if (handlers_.erase(fd) == 0) return;
+  poller_->remove(fd);
+}
+
+std::size_t EventLoop::run_once(int timeout_ms) {
+  events_.clear();
+  poller_->wait(events_, timeout_ms);
+  std::size_t handled = 0;
+  for (const Poller::Event& event : events_) {
+    // A handler earlier in this batch may have unwatched this fd (and the
+    // caller may have closed or even reused it) — drop the stale event.
+    const auto it = handlers_.find(event.fd);
+    if (it == handlers_.end()) continue;
+    // Copy the handler: the callback may unwatch its own fd, invalidating
+    // the map slot mid-call.
+    const FdHandler handler = it->second;
+    handler(event.readable, event.writable, event.error);
+    ++handled;
+  }
+  return handled;
+}
+
+void EventLoop::run() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    run_once(-1);
+  }
+}
+
+void EventLoop::stop() {
+  stop_.store(true, std::memory_order_release);
+  const char byte = 1;
+  // A full pipe already guarantees a pending wakeup; EAGAIN is fine.
+  [[maybe_unused]] const ssize_t n = ::write(wake_write_, &byte, 1);
+}
+
+}  // namespace smartflux::net

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace smartflux::net {
+
+/// Which readiness-notification backend an EventLoop multiplexes on.
+enum class PollerBackend {
+  kAuto,   ///< epoll where the platform has it, poll() otherwise
+  kEpoll,  ///< epoll(7); throws at construction when unavailable
+  kPoll,   ///< portable poll(2) fallback (also the test double for kEpoll)
+};
+
+/// True when this build carries the epoll backend (Linux).
+bool epoll_available() noexcept;
+
+/// Readiness multiplexer behind the event loop. Implementations are
+/// single-threaded (the loop thread owns them); add/update/remove take
+/// level-triggered interest, wait() appends ready fds.
+class Poller {
+ public:
+  struct Event {
+    int fd = -1;
+    bool readable = false;
+    bool writable = false;
+    /// Error/hangup on the fd — the handler should read (to observe EOF or
+    /// errno) and close.
+    bool error = false;
+  };
+
+  virtual ~Poller() = default;
+  virtual void add(int fd, bool want_read, bool want_write) = 0;
+  virtual void update(int fd, bool want_read, bool want_write) = 0;
+  virtual void remove(int fd) = 0;
+  /// Blocks up to timeout_ms (-1 = forever) and appends ready events.
+  virtual void wait(std::vector<Event>& out, int timeout_ms) = 0;
+  virtual const char* name() const noexcept = 0;
+};
+
+std::unique_ptr<Poller> make_poller(PollerBackend backend);
+
+/// Single-threaded readiness event loop: one thread calls run() (or
+/// run_once() in its own loop) and every watched fd's handler executes on
+/// that thread — handlers never need locks for loop-owned state, and must
+/// never block (the loop is the only thread serving every connection).
+/// stop() is the one thread-safe entry point: it wakes the loop via a
+/// self-pipe so a loop parked in the poller returns promptly.
+///
+/// Handlers may watch/unwatch any fd — including their own — from inside a
+/// callback; events already harvested for an fd unwatched mid-dispatch are
+/// dropped.
+class EventLoop {
+ public:
+  /// handler(readable, writable, error), called on the loop thread.
+  using FdHandler = std::function<void(bool, bool, bool)>;
+
+  explicit EventLoop(PollerBackend backend = PollerBackend::kAuto);
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Registers `fd` (non-blocking, owned by the caller) with its interest
+  /// set. Throws InvalidArgument if already watched.
+  void watch(int fd, bool want_read, bool want_write, FdHandler handler);
+  /// Adjusts the interest set of a watched fd.
+  void update(int fd, bool want_read, bool want_write);
+  /// Deregisters; does not close the fd.
+  void unwatch(int fd);
+  bool watching(int fd) const { return handlers_.count(fd) != 0; }
+
+  /// Runs until stop(). The stop flag latches: once stop() was called,
+  /// run() returns immediately forever after — there is no race between a
+  /// stop() issued before the loop thread entered run() and the loop
+  /// parking itself (a fresh loop is one EventLoop construction away).
+  void run();
+  /// One poller round: waits up to timeout_ms, dispatches, returns the
+  /// number of events handled.
+  std::size_t run_once(int timeout_ms);
+  /// Thread-safe: request the loop to return from run().
+  void stop();
+  bool stopped() const noexcept { return stop_.load(std::memory_order_acquire); }
+
+  const char* backend_name() const noexcept { return poller_->name(); }
+
+ private:
+  std::unique_ptr<Poller> poller_;
+  std::unordered_map<int, FdHandler> handlers_;
+  std::vector<Poller::Event> events_;  ///< reused across rounds
+  std::atomic<bool> stop_{false};
+  int wake_read_ = -1;   ///< self-pipe read end, watched internally
+  int wake_write_ = -1;  ///< written by stop()
+};
+
+}  // namespace smartflux::net

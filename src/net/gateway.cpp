@@ -1,0 +1,177 @@
+#include "net/gateway.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/smartflux.h"
+#include "datastore/datastore.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+
+namespace smartflux::net {
+
+namespace {
+
+std::string format_value(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+Response missing_param(const char* name) {
+  return json_response(400, std::string("{\"error\":\"missing query parameter '") + name +
+                                "'\"}\n");
+}
+
+Response refusal_response(const IngestRefusal& refusal) {
+  Response r = json_response(503, "{\"error\":\"overloaded\",\"reason\":\"" +
+                                      obs::json_escape(refusal.reason) + "\"}\n");
+  r.headers.emplace_back("Retry-After", std::to_string(refusal.retry_after_seconds));
+  return r;
+}
+
+void install_ingest(Router& router, IngestBridge* bridge) {
+  router.add("POST", "/ingest/<table>",
+             [bridge](const Request& request, const std::vector<std::string>& params) {
+               if (const auto refusal = bridge->admission()) {
+                 bridge->report_refusal();
+                 return refusal_response(*refusal);
+               }
+               std::string error;
+               auto records = parse_ingest_body(request.body, &error);
+               if (!records) {
+                 return json_response(400, "{\"error\":\"" + obs::json_escape(error) + "\"}\n");
+               }
+               const std::size_t count = records->size();
+               const std::size_t staged = bridge->stage(params[0], std::move(*records));
+               return json_response(202, "{\"staged\":" + std::to_string(count) +
+                                             ",\"pending\":" + std::to_string(staged) + "}\n");
+             });
+}
+
+void install_reads(Router& router, ds::DataStore* store) {
+  router.add("GET", "/get",
+             [store](const Request& request, const std::vector<std::string>&) {
+               const auto table = request.query_param("table");
+               const auto row = request.query_param("row");
+               const auto col = request.query_param("col");
+               if (!table) return missing_param("table");
+               if (!row) return missing_param("row");
+               if (!col) return missing_param("col");
+               const auto value = store->get(*table, *row, *col);
+               if (!value) return json_response(404, "{\"error\":\"no such cell\"}\n");
+               return json_response(200, "{\"value\":" + format_value(*value) + "}\n");
+             });
+
+  // Scans are served from a FlatSnapshot: the container is copied out under
+  // the table's shared lock and the (possibly large) response is built after
+  // the lock is gone, so a slow scan never blocks ingest writers.
+  router.add("GET", "/scan",
+             [store](const Request& request, const std::vector<std::string>&) {
+               const auto table = request.query_param("table");
+               if (!table) return missing_param("table");
+               if (!store->has_table(*table)) {
+                 return json_response(404, "{\"error\":\"no such table\"}\n");
+               }
+               ds::ContainerRef container(*table, request.query_param("column").value_or(""),
+                                          request.query_param("prefix").value_or(""));
+               const ds::FlatSnapshot snapshot = store->snapshot_flat(container);
+               std::string body;
+               body.reserve(snapshot.size() * 32);
+               for (const ds::FlatEntry& entry : snapshot) {
+                 body += *entry.row;
+                 body += ',';
+                 body += *entry.col;
+                 body += ',';
+                 body += format_value(entry.value);
+                 body += '\n';
+               }
+               return text_response(200, std::move(body));
+             });
+}
+
+void install_status(Router& router, GatewayOptions options) {
+  router.add("GET", "/status",
+             [options](const Request&, const std::vector<std::string>&) {
+               std::string body = "{";
+               if (options.smartflux != nullptr) {
+                 body += "\"health\":\"";
+                 body += core::health_name(options.smartflux->health());
+                 body += "\",\"phase\":\"";
+                 body += core::phase_name(options.smartflux->phase());
+                 body += "\"";
+               } else {
+                 body += "\"health\":\"unknown\",\"phase\":\"unknown\"";
+               }
+               if (options.ingest != nullptr) {
+                 const IngestBridge::Stats stats = options.ingest->stats();
+                 body += ",\"ingest\":{\"staged_rows\":" +
+                         std::to_string(options.ingest->staged_rows()) +
+                         ",\"rows_staged\":" + std::to_string(stats.rows_staged) +
+                         ",\"rows_ingested\":" + std::to_string(stats.rows_ingested) +
+                         ",\"waves_ingested\":" + std::to_string(stats.waves_ingested) +
+                         ",\"refusals\":" + std::to_string(stats.refusals);
+                 if (const auto refusal = options.ingest->admission()) {
+                   body += ",\"admission\":\"refusing: " + obs::json_escape(refusal->reason) +
+                           "\"}";
+                 } else {
+                   body += ",\"admission\":\"open\"}";
+                 }
+               }
+               if (options.status_extra) {
+                 const std::string extra = options.status_extra();
+                 if (!extra.empty()) {
+                   body += ',';
+                   body += extra;
+                 }
+               }
+               body += "}\n";
+               return json_response(200, std::move(body));
+             });
+}
+
+void install_wave_run(Router& router, std::function<std::string(std::size_t)> run_waves) {
+  router.add("POST", "/wave/run",
+             [run_waves = std::move(run_waves)](const Request& request,
+                                                const std::vector<std::string>&) {
+               if (!run_waves) {
+                 return json_response(503, "{\"error\":\"no wave driver attached\"}\n");
+               }
+               std::size_t count = 1;
+               if (const auto param = request.query_param("count")) {
+                 char* end = nullptr;
+                 const unsigned long long parsed = std::strtoull(param->c_str(), &end, 10);
+                 if (param->empty() || end != param->c_str() + param->size() || parsed == 0 ||
+                     parsed > 1'000'000) {
+                   return json_response(400, "{\"error\":\"count must be in [1, 1000000]\"}\n");
+                 }
+                 count = static_cast<std::size_t>(parsed);
+               }
+               return json_response(200, run_waves(count));
+             });
+}
+
+void install_metrics(Router& router, obs::MetricsRegistry* registry) {
+  router.add("GET", "/metrics",
+             [registry](const Request&, const std::vector<std::string>&) {
+               Response r;
+               r.status = 200;
+               r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+               r.body = obs::to_prometheus(registry->snapshot());
+               return r;
+             });
+}
+
+}  // namespace
+
+Router make_gateway_router(GatewayOptions options) {
+  Router router;
+  if (options.ingest != nullptr) install_ingest(router, options.ingest);
+  if (options.store != nullptr) install_reads(router, options.store);
+  install_status(router, options);
+  install_wave_run(router, options.run_waves);
+  if (options.metrics != nullptr) install_metrics(router, options.metrics);
+  return router;
+}
+
+}  // namespace smartflux::net

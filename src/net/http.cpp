@@ -1,0 +1,310 @@
+#include "net/http.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace smartflux::net {
+
+namespace {
+
+int hex_digit(char c) noexcept {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+std::string_view trim(std::string_view s) noexcept {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) s.remove_suffix(1);
+  return s;
+}
+
+/// Strict non-negative decimal; nullopt on any non-digit or overflow.
+std::optional<std::uint64_t> parse_decimal(std::string_view s) noexcept {
+  if (s.empty()) return std::nullopt;
+  std::uint64_t value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return std::nullopt;
+    if (value > (UINT64_MAX - 9) / 10) return std::nullopt;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+}  // namespace
+
+bool iequals(std::string_view a, std::string_view b) noexcept {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string url_decode(std::string_view in) {
+  std::string out;
+  out.reserve(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    if (in[i] == '+') {
+      out += ' ';
+    } else if (in[i] == '%' && i + 2 < in.size() && hex_digit(in[i + 1]) >= 0 &&
+               hex_digit(in[i + 2]) >= 0) {
+      out += static_cast<char>(hex_digit(in[i + 1]) * 16 + hex_digit(in[i + 2]));
+      i += 2;
+    } else {
+      out += in[i];
+    }
+  }
+  return out;
+}
+
+const std::string* Request::header(std::string_view name) const noexcept {
+  for (const auto& [key, value] : headers) {
+    if (iequals(key, name)) return &value;
+  }
+  return nullptr;
+}
+
+std::optional<std::string> Request::query_param(std::string_view key) const {
+  std::string_view rest = query;
+  while (!rest.empty()) {
+    const std::size_t amp = rest.find('&');
+    const std::string_view pair = rest.substr(0, amp);
+    rest = amp == std::string_view::npos ? std::string_view{} : rest.substr(amp + 1);
+    const std::size_t eq = pair.find('=');
+    const std::string_view k = pair.substr(0, eq);
+    if (url_decode(k) == key) {
+      return url_decode(eq == std::string_view::npos ? std::string_view{} : pair.substr(eq + 1));
+    }
+  }
+  return std::nullopt;
+}
+
+const char* status_reason(int status) noexcept {
+  switch (status) {
+    case 200: return "OK";
+    case 202: return "Accepted";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Content Too Large";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Unknown";
+  }
+}
+
+std::string serialize(const Response& response, bool keep_alive) {
+  std::string out = "HTTP/1.1 ";
+  out += std::to_string(response.status);
+  out += ' ';
+  out += status_reason(response.status);
+  out += "\r\nContent-Type: ";
+  out += response.content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(response.body.size());
+  out += "\r\nConnection: ";
+  out += keep_alive ? "keep-alive" : "close";
+  out += "\r\n";
+  for (const auto& [key, value] : response.headers) {
+    out += key;
+    out += ": ";
+    out += value;
+    out += "\r\n";
+  }
+  out += "\r\n";
+  out += response.body;
+  return out;
+}
+
+Response text_response(int status, std::string body) {
+  Response r;
+  r.status = status;
+  r.body = std::move(body);
+  return r;
+}
+
+Response json_response(int status, std::string body) {
+  Response r;
+  r.status = status;
+  r.content_type = "application/json";
+  r.body = std::move(body);
+  return r;
+}
+
+void RequestParser::feed(std::string_view data) {
+  if (failed()) return;  // poisoned: drop further input
+  buffer_.append(data);
+}
+
+RequestParser::Result RequestParser::fail(int status, std::string reason) {
+  error_status_ = status;
+  error_reason_ = std::move(reason);
+  return Result::kError;
+}
+
+RequestParser::Result RequestParser::next(Request* out) {
+  if (failed()) return Result::kError;
+
+  if (state_ == State::kHead) {
+    // Find the head terminator (CRLFCRLF, or bare LFLF from lax clients),
+    // resuming the scan where the previous call left off so byte-at-a-time
+    // feeds stay linear.
+    std::size_t head_end = std::string::npos;
+    std::size_t terminator_len = 0;
+    for (std::size_t i = std::max(scanned_, consumed_); i < buffer_.size(); ++i) {
+      if (buffer_[i] != '\n') continue;
+      if (i >= consumed_ + 1 && buffer_[i - 1] == '\n') {
+        head_end = i - 1;
+        terminator_len = 2;
+        break;
+      }
+      if (i >= consumed_ + 3 && buffer_[i - 1] == '\r' && buffer_[i - 2] == '\n' &&
+          buffer_[i - 3] == '\r') {
+        head_end = i - 3;
+        terminator_len = 4;
+        break;
+      }
+    }
+    if (head_end == std::string::npos) {
+      if (buffer_.size() - consumed_ > limits_.max_header_bytes) {
+        return fail(431, "request head exceeds " + std::to_string(limits_.max_header_bytes) +
+                             " bytes");
+      }
+      // Keep the last 3 bytes rescannable: the terminator may straddle feeds.
+      scanned_ = buffer_.size() > consumed_ + 3 ? buffer_.size() - 3 : consumed_;
+      return Result::kNeedMore;
+    }
+    if (head_end + terminator_len - consumed_ > limits_.max_header_bytes) {
+      return fail(431,
+                  "request head exceeds " + std::to_string(limits_.max_header_bytes) + " bytes");
+    }
+    const Result parsed = parse_head(head_end, terminator_len);
+    if (parsed != Result::kRequest) return parsed;  // kError
+    state_ = State::kBody;
+  }
+
+  // State::kBody: wait for the declared Content-Length.
+  if (buffer_.size() - consumed_ < body_needed_) return Result::kNeedMore;
+  pending_.body = buffer_.substr(consumed_, body_needed_);
+  consumed_ += body_needed_;
+  body_needed_ = 0;
+  state_ = State::kHead;
+  // Compact once the parsed-away prefix dominates, so a long-lived
+  // keep-alive connection does not grow its buffer without bound.
+  if (consumed_ > 64 * 1024 || consumed_ == buffer_.size()) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  scanned_ = consumed_;
+  *out = std::move(pending_);
+  pending_ = Request{};
+  return Result::kRequest;
+}
+
+RequestParser::Result RequestParser::parse_head(std::size_t head_end,
+                                                std::size_t terminator_len) {
+  const std::string_view head(buffer_.data() + consumed_, head_end - consumed_);
+  consumed_ = head_end + terminator_len;
+  scanned_ = consumed_;
+
+  pending_ = Request{};
+
+  // Split into lines (terminated by LF, optional CR stripped). Leading empty
+  // lines before the request line are tolerated per RFC 9112 §2.2.
+  std::vector<std::string_view> lines;
+  std::size_t start = 0;
+  while (start <= head.size()) {
+    std::size_t nl = head.find('\n', start);
+    if (nl == std::string_view::npos) nl = head.size();
+    std::string_view line = head.substr(start, nl - start);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (!(lines.empty() && line.empty())) lines.push_back(line);
+    if (nl == head.size()) break;
+    start = nl + 1;
+  }
+  if (lines.empty()) return fail(400, "empty request head");
+
+  // Request line: METHOD SP target SP HTTP/x.y — exactly three tokens.
+  {
+    const std::string_view line = lines[0];
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 = sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+    if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+        line.find(' ', sp2 + 1) != std::string_view::npos) {
+      return fail(400, "malformed request line");
+    }
+    const std::string_view method = line.substr(0, sp1);
+    const std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    const std::string_view version = line.substr(sp2 + 1);
+    if (method.empty() || target.empty() || target[0] != '/') {
+      return fail(400, "malformed request line");
+    }
+    if (version == "HTTP/1.1") {
+      pending_.version_minor = 1;
+    } else if (version == "HTTP/1.0") {
+      pending_.version_minor = 0;
+    } else if (version.substr(0, 5) == "HTTP/") {
+      return fail(505, "unsupported HTTP version");
+    } else {
+      return fail(400, "malformed request line");
+    }
+    pending_.method = std::string(method);
+    pending_.target = std::string(target);
+    const std::size_t q = target.find('?');
+    pending_.path = url_decode(target.substr(0, q));
+    if (q != std::string_view::npos) pending_.query = std::string(target.substr(q + 1));
+  }
+
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const std::string_view line = lines[i];
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return fail(400, "malformed header line");
+    }
+    const std::string_view name = line.substr(0, colon);
+    if (name.find(' ') != std::string_view::npos || name.find('\t') != std::string_view::npos) {
+      return fail(400, "malformed header name");
+    }
+    pending_.headers.emplace_back(std::string(name), std::string(trim(line.substr(colon + 1))));
+  }
+
+  // Framing headers. Transfer-Encoding (chunked or otherwise) is refused
+  // cleanly — this server only frames bodies by Content-Length.
+  if (pending_.header("Transfer-Encoding") != nullptr) {
+    return fail(501, "Transfer-Encoding not supported");
+  }
+  body_needed_ = 0;
+  bool have_length = false;
+  for (const auto& [key, value] : pending_.headers) {
+    if (!iequals(key, "Content-Length")) continue;
+    const auto length = parse_decimal(trim(value));
+    if (!length) return fail(400, "malformed Content-Length");
+    if (have_length && *length != body_needed_) {
+      return fail(400, "conflicting Content-Length headers");
+    }
+    if (*length > limits_.max_body_bytes) {
+      return fail(413,
+                  "declared body exceeds " + std::to_string(limits_.max_body_bytes) + " bytes");
+    }
+    body_needed_ = static_cast<std::size_t>(*length);
+    have_length = true;
+  }
+
+  pending_.keep_alive = pending_.version_minor >= 1;
+  if (const std::string* conn = pending_.header("Connection")) {
+    if (iequals(*conn, "close")) pending_.keep_alive = false;
+    if (iequals(*conn, "keep-alive")) pending_.keep_alive = true;
+  }
+  return Result::kRequest;
+}
+
+}  // namespace smartflux::net

@@ -1,0 +1,129 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace smartflux::net {
+
+/// Byte bounds the parser enforces per request. Oversized input is rejected
+/// with a definite status code (431 for the head, 413 for the body) instead
+/// of buffering without limit — the parser is the first line of admission
+/// control, before any handler runs.
+struct HttpLimits {
+  /// Request line + headers, terminator included.
+  std::size_t max_header_bytes = 8 * 1024;
+  /// Declared Content-Length above this is refused before the body is read.
+  std::size_t max_body_bytes = 1 << 20;
+};
+
+/// One parsed HTTP/1.1 (or 1.0) request.
+struct Request {
+  std::string method;      ///< as sent (methods are case-sensitive)
+  std::string target;      ///< raw request target ("/ingest/sensors?x=1")
+  std::string path;        ///< target before '?', percent-decoded per segment
+  std::string query;       ///< target after '?' (raw; see query_param)
+  int version_minor = 1;   ///< 1 for HTTP/1.1, 0 for HTTP/1.0
+  std::vector<std::pair<std::string, std::string>> headers;  ///< in arrival order
+  std::string body;
+  /// Connection semantics after this request (HTTP/1.1 default yes, 1.0
+  /// default no, "Connection:" header overrides either way).
+  bool keep_alive = true;
+
+  /// First header with this name (case-insensitive), or nullptr.
+  const std::string* header(std::string_view name) const noexcept;
+  /// Percent-decoded value of `key` in the query string, or nullopt.
+  std::optional<std::string> query_param(std::string_view key) const;
+};
+
+/// One response a handler produces. `headers` carries extras (Retry-After,
+/// ...); Content-Length, Content-Type and Connection are emitted by
+/// serialize().
+struct Response {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+};
+
+/// Canonical reason phrase for the status codes this server emits
+/// ("Unknown" otherwise).
+const char* status_reason(int status) noexcept;
+
+/// Wire form of a response; `keep_alive` selects the Connection header.
+std::string serialize(const Response& response, bool keep_alive);
+
+/// Convenience makers used across the gateway and the server's own error
+/// paths.
+Response text_response(int status, std::string body);
+Response json_response(int status, std::string body);
+
+/// Percent-decoding ('+' also decodes to space, as in form encoding).
+/// Malformed escapes are passed through verbatim.
+std::string url_decode(std::string_view in);
+
+/// Case-insensitive ASCII string compare (header names, header tokens).
+bool iequals(std::string_view a, std::string_view b) noexcept;
+
+/// Incremental HTTP/1.1 request parser. Feed it raw bytes as they arrive —
+/// any framing works: byte-at-a-time, one request per read, or many
+/// pipelined requests coalesced into a single buffer — then drain completed
+/// requests with next(). The parser owns one internal buffer; feed() never
+/// blocks and never throws on malformed input: protocol errors surface as
+/// Result::kError with the response status the connection should send
+/// before closing:
+///
+///   400  malformed request line / header / Content-Length
+///   413  declared body larger than HttpLimits::max_body_bytes
+///   431  head (request line + headers) larger than max_header_bytes
+///   501  Transfer-Encoding (chunked bodies are rejected cleanly)
+///   505  HTTP version other than 1.0 / 1.1
+///
+/// After an error the parser is poisoned: next() keeps returning kError and
+/// the connection must close (framing is unrecoverable).
+class RequestParser {
+ public:
+  explicit RequestParser(HttpLimits limits = {}) : limits_(limits) {}
+
+  enum class Result {
+    kNeedMore,  ///< no complete request buffered; feed more bytes
+    kRequest,   ///< *out was filled with the next pipelined request
+    kError,     ///< protocol error; see error_status()/error_reason()
+  };
+
+  /// Appends raw bytes from the connection.
+  void feed(std::string_view data);
+
+  /// Extracts the next complete request, FIFO across pipelined requests.
+  Result next(Request* out);
+
+  bool failed() const noexcept { return error_status_ != 0; }
+  int error_status() const noexcept { return error_status_; }
+  const std::string& error_reason() const noexcept { return error_reason_; }
+
+  /// Bytes buffered but not yet consumed (diagnostics).
+  std::size_t buffered_bytes() const noexcept { return buffer_.size() - consumed_; }
+
+ private:
+  enum class State { kHead, kBody };
+
+  Result fail(int status, std::string reason);
+  /// Parses the head block [consumed_, head_end) into pending_.
+  Result parse_head(std::size_t head_end, std::size_t terminator_len);
+
+  HttpLimits limits_;
+  std::string buffer_;
+  std::size_t consumed_ = 0;   ///< bytes of buffer_ already parsed away
+  std::size_t scanned_ = 0;    ///< head-terminator search resumes here
+  State state_ = State::kHead;
+  Request pending_;            ///< request being assembled (kBody state)
+  std::size_t body_needed_ = 0;
+  int error_status_ = 0;
+  std::string error_reason_;
+};
+
+}  // namespace smartflux::net

@@ -1,0 +1,70 @@
+#include "net/router.h"
+
+#include <exception>
+
+#include "common/logging.h"
+
+namespace smartflux::net {
+
+void Router::add(std::string method, std::string pattern, Handler handler) {
+  Route route;
+  route.method = std::move(method);
+  route.segments = split_path(pattern);
+  route.handler = std::move(handler);
+  routes_.push_back(std::move(route));
+}
+
+std::vector<std::string> Router::split_path(std::string_view path) {
+  std::vector<std::string> segments;
+  std::size_t start = 0;
+  while (start < path.size()) {
+    if (path[start] == '/') {
+      ++start;
+      continue;
+    }
+    std::size_t end = path.find('/', start);
+    if (end == std::string_view::npos) end = path.size();
+    segments.emplace_back(path.substr(start, end - start));
+    start = end;
+  }
+  return segments;
+}
+
+bool Router::match(const Route& route, const std::vector<std::string>& segments,
+                   std::vector<std::string>* params) {
+  if (route.segments.size() != segments.size()) return false;
+  params->clear();
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    const std::string& pattern = route.segments[i];
+    if (pattern.size() >= 2 && pattern.front() == '<' && pattern.back() == '>') {
+      params->push_back(segments[i]);
+    } else if (pattern != segments[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Response Router::dispatch(const Request& request) const {
+  const std::vector<std::string> segments = split_path(request.path);
+  std::vector<std::string> params;
+  bool path_matched = false;
+  for (const Route& route : routes_) {
+    if (!match(route, segments, &params)) continue;
+    path_matched = true;
+    if (route.method != request.method) continue;
+    try {
+      return route.handler(request, params);
+    } catch (const std::exception& e) {
+      SF_LOG_ERROR("net") << "handler for " << request.method << " " << request.path
+                          << " threw: " << e.what();
+      return text_response(500, std::string("handler error: ") + e.what() + "\n");
+    }
+  }
+  if (path_matched) {
+    return text_response(405, "method not allowed\n");
+  }
+  return text_response(404, "no such route: " + request.path + "\n");
+}
+
+}  // namespace smartflux::net

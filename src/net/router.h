@@ -1,0 +1,48 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/http.h"
+
+namespace smartflux::net {
+
+/// Handler for one route. `params` holds the values captured by the
+/// pattern's `<name>` segments, in pattern order. Handlers run on the
+/// server's event-loop thread: they must not block (every connection shares
+/// that thread) — reading the thread-safe DataStore or snapshotting metrics
+/// is fine, running waves or waiting on queues is not.
+using Handler = std::function<Response(const Request&, const std::vector<std::string>& params)>;
+
+/// Method + path-pattern dispatch table. Patterns are segment-exact
+/// ("/status") or capture single segments with angle brackets
+/// ("/ingest/<table>" matches "/ingest/sensors", capturing "sensors").
+/// Routes are tried in registration order; a path that matches no pattern
+/// yields 404, a pattern matched under the wrong method yields 405.
+class Router {
+ public:
+  void add(std::string method, std::string pattern, Handler handler);
+
+  /// Resolves and invokes the handler. Handler exceptions are caught and
+  /// mapped to a 500 with the what() in the body — a buggy handler must not
+  /// tear down the server loop.
+  Response dispatch(const Request& request) const;
+
+  std::size_t size() const noexcept { return routes_.size(); }
+
+ private:
+  struct Route {
+    std::string method;
+    std::vector<std::string> segments;  ///< "<...>" entries capture
+    Handler handler;
+  };
+
+  static std::vector<std::string> split_path(std::string_view path);
+  static bool match(const Route& route, const std::vector<std::string>& segments,
+                    std::vector<std::string>* params);
+
+  std::vector<Route> routes_;
+};
+
+}  // namespace smartflux::net

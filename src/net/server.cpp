@@ -1,0 +1,351 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "common/error.h"
+#include "common/logging.h"
+#include "obs/metrics.h"
+
+namespace smartflux::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw Error("net: " + what + ": " + std::strerror(errno));
+}
+
+void set_nonblocking_fd(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw_errno("fcntl(O_NONBLOCK)");
+  }
+}
+
+/// Status class label ("2xx".."5xx") — a closed set, so the metric family
+/// stays low-cardinality no matter what handlers return.
+const char* status_class(int status) noexcept {
+  if (status < 300) return "2xx";
+  if (status < 400) return "3xx";
+  if (status < 500) return "4xx";
+  return "5xx";
+}
+
+}  // namespace
+
+/// Lifetime counters as relaxed atomics (the loop thread is the only
+/// writer; stats() readers race benignly), plus pre-resolved sf_net_*
+/// metric handles when a registry is attached.
+struct Server::Counters {
+  std::atomic<std::uint64_t> accepted{0};
+  std::atomic<std::uint64_t> refused{0};
+  std::atomic<std::uint64_t> closed{0};
+  std::atomic<std::uint64_t> requests{0};
+  std::atomic<std::uint64_t> parse_errors{0};
+  std::atomic<std::uint64_t> slow_disconnects{0};
+  std::atomic<std::uint64_t> bytes_read{0};
+  std::atomic<std::uint64_t> bytes_written{0};
+
+  obs::Counter* m_connections = nullptr;
+  obs::Counter* m_refused = nullptr;
+  obs::Counter* m_requests_by_class[4] = {};
+  obs::Counter* m_parse_errors = nullptr;
+  obs::Counter* m_slow_disconnects = nullptr;
+  obs::Counter* m_bytes_read = nullptr;
+  obs::Counter* m_bytes_written = nullptr;
+  obs::Gauge* m_active = nullptr;
+  obs::Histogram* m_request_duration = nullptr;
+
+  explicit Counters(obs::MetricsRegistry* registry) {
+    if (registry == nullptr) return;
+    auto& reg = *registry;
+    m_connections = &reg.counter("sf_net_connections_total", {},
+                                 "TCP connections accepted by the HTTP front-end");
+    m_refused = &reg.counter("sf_net_connections_refused_total", {},
+                             "connections closed immediately (max_connections)");
+    const char* classes[4] = {"2xx", "3xx", "4xx", "5xx"};
+    for (int i = 0; i < 4; ++i) {
+      m_requests_by_class[i] = &reg.counter("sf_net_requests_total", {{"status", classes[i]}},
+                                            "HTTP requests served, by status class");
+    }
+    m_parse_errors = &reg.counter("sf_net_parse_errors_total", {},
+                                  "connections dropped on a protocol error");
+    m_slow_disconnects = &reg.counter("sf_net_slow_disconnects_total", {},
+                                      "connections dropped for exceeding the write-buffer bound");
+    m_bytes_read = &reg.counter("sf_net_bytes_read_total", {}, "bytes read from clients");
+    m_bytes_written = &reg.counter("sf_net_bytes_written_total", {}, "bytes written to clients");
+    m_active = &reg.gauge("sf_net_active_connections", {}, "currently open connections");
+    m_request_duration =
+        &reg.histogram("sf_net_request_duration_seconds", obs::duration_buckets(), {},
+                       "handler dispatch latency (parse-complete to response queued)");
+  }
+
+  void count_request(int status) {
+    requests.fetch_add(1, std::memory_order_relaxed);
+    if (m_connections == nullptr) return;
+    const int idx = status < 300 ? 0 : status < 400 ? 1 : status < 500 ? 2 : 3;
+    // Single-writer: only the loop thread counts requests.
+    m_requests_by_class[idx]->inc_single_writer();
+  }
+};
+
+Server::Server(Router router, ServerOptions options)
+    : router_(std::move(router)),
+      options_(std::move(options)),
+      loop_(options_.backend),
+      counters_(std::make_unique<Counters>(options_.metrics)) {}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  SF_CHECK(!running_.load(std::memory_order_acquire), "server already running");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw_errno("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw InvalidArgument("net: invalid bind address '" + options_.bind_address + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(listen_fd_, options_.listen_backlog) < 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    errno = saved;
+    throw_errno("bind/listen on " + options_.bind_address + ":" + std::to_string(options_.port));
+  }
+  set_nonblocking_fd(listen_fd_);
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len) < 0) {
+    throw_errno("getsockname");
+  }
+  port_.store(ntohs(bound.sin_port), std::memory_order_release);
+
+  loop_.watch(listen_fd_, true, false, [this](bool, bool, bool) { on_listener_readable(); });
+
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { loop_.run(); });
+  SF_LOG_INFO("net") << "serving on " << options_.bind_address << ":" << port() << " ("
+                     << loop_.backend_name() << ")";
+}
+
+void Server::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  loop_.stop();
+  if (thread_.joinable()) thread_.join();
+  // The loop thread is gone: tear down every socket from this thread.
+  for (auto& [fd, conn] : connections_) {
+    loop_.unwatch(fd);
+    ::close(fd);
+  }
+  connections_.clear();
+  if (counters_->m_active != nullptr) counters_->m_active->set(0.0);
+  if (listen_fd_ >= 0) {
+    loop_.unwatch(listen_fd_);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+ServerStats Server::stats() const noexcept {
+  const Counters& c = *counters_;
+  ServerStats s;
+  s.connections_accepted = c.accepted.load(std::memory_order_relaxed);
+  s.connections_refused = c.refused.load(std::memory_order_relaxed);
+  s.connections_closed = c.closed.load(std::memory_order_relaxed);
+  s.active_connections = s.connections_accepted - s.connections_closed;
+  s.requests = c.requests.load(std::memory_order_relaxed);
+  s.parse_errors = c.parse_errors.load(std::memory_order_relaxed);
+  s.slow_disconnects = c.slow_disconnects.load(std::memory_order_relaxed);
+  s.bytes_read = c.bytes_read.load(std::memory_order_relaxed);
+  s.bytes_written = c.bytes_written.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Server::on_listener_readable() {
+  // Drain the accept queue: level-triggered, but one readable event can
+  // carry many pending connections.
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      SF_LOG_WARN("net") << "accept failed: " << std::strerror(errno);
+      return;
+    }
+    if (connections_.size() >= options_.max_connections) {
+      ::close(fd);
+      counters_->refused.fetch_add(1, std::memory_order_relaxed);
+      if (counters_->m_refused != nullptr) counters_->m_refused->inc_single_writer();
+      continue;
+    }
+    set_nonblocking_fd(fd);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    auto conn = std::make_unique<Connection>(options_.limits);
+    conn->fd = fd;
+    connections_[fd] = std::move(conn);
+    counters_->accepted.fetch_add(1, std::memory_order_relaxed);
+    if (counters_->m_connections != nullptr) {
+      counters_->m_connections->inc_single_writer();
+      counters_->m_active->set(static_cast<double>(connections_.size()));
+    }
+    loop_.watch(fd, true, false,
+                [this, fd](bool r, bool w, bool e) { on_connection_event(fd, r, w, e); });
+  }
+}
+
+void Server::on_connection_event(int fd, bool readable, bool writable, bool error) {
+  const auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  Connection& conn = *it->second;
+
+  if (readable || error) {
+    char buf[16 * 1024];
+    for (;;) {
+      const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+      if (n > 0) {
+        counters_->bytes_read.fetch_add(static_cast<std::uint64_t>(n),
+                                        std::memory_order_relaxed);
+        if (counters_->m_bytes_read != nullptr) {
+          counters_->m_bytes_read->inc_single_writer(static_cast<std::uint64_t>(n));
+        }
+        conn.parser.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (n < 0 && errno == EINTR) continue;
+      // EOF or hard error: nothing more will arrive. Flush what we owe and
+      // close (a half-closed peer may still be reading).
+      conn.closing = true;
+      break;
+    }
+    process_requests(conn);
+  }
+
+  if (writable || !conn.out.empty() || conn.closing) flush(conn);
+}
+
+void Server::process_requests(Connection& conn) {
+  Request request;
+  for (;;) {
+    const RequestParser::Result result = conn.parser.next(&request);
+    if (result == RequestParser::Result::kNeedMore) break;
+    if (result == RequestParser::Result::kError) {
+      // Answer with the parser's verdict and drop the connection: framing
+      // is unrecoverable after a protocol error.
+      counters_->parse_errors.fetch_add(1, std::memory_order_relaxed);
+      if (counters_->m_parse_errors != nullptr) counters_->m_parse_errors->inc_single_writer();
+      enqueue(conn, text_response(conn.parser.error_status(), conn.parser.error_reason() + "\n"),
+              /*keep_alive=*/false);
+      conn.closing = true;
+      break;
+    }
+    const auto start = std::chrono::steady_clock::now();
+    const Response response = router_.dispatch(request);
+    const bool keep_alive = request.keep_alive && !conn.closing;
+    enqueue(conn, response, keep_alive);
+    counters_->count_request(response.status);
+    if (counters_->m_request_duration != nullptr) {
+      counters_->m_request_duration->observe_single_writer(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count());
+    }
+    if (!keep_alive) {
+      // Later pipelined requests (if any) die with the connection, exactly
+      // as "Connection: close" promises.
+      conn.closing = true;
+      break;
+    }
+  }
+}
+
+void Server::enqueue(Connection& conn, const Response& response, bool keep_alive) {
+  conn.out += serialize(response, keep_alive);
+}
+
+void Server::flush(Connection& conn) {
+  const int fd = conn.fd;
+  while (conn.out_offset < conn.out.size()) {
+    const ssize_t n = ::send(fd, conn.out.data() + conn.out_offset,
+                             conn.out.size() - conn.out_offset, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.out_offset += static_cast<std::size_t>(n);
+      counters_->bytes_written.fetch_add(static_cast<std::uint64_t>(n),
+                                         std::memory_order_relaxed);
+      if (counters_->m_bytes_written != nullptr) {
+        counters_->m_bytes_written->inc_single_writer(static_cast<std::uint64_t>(n));
+      }
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    close_connection(fd);  // peer reset mid-write
+    return;
+  }
+
+  if (conn.out_offset == conn.out.size()) {
+    conn.out.clear();
+    conn.out_offset = 0;
+    if (conn.closing) {
+      close_connection(fd);
+      return;
+    }
+    if (conn.want_write) {
+      conn.want_write = false;
+      loop_.update(fd, true, false);
+    }
+    return;
+  }
+
+  // Still owing bytes. A peer that will not read its responses must not
+  // buffer us into the ground: past the bound, disconnect.
+  if (conn.out.size() - conn.out_offset > options_.max_write_buffer) {
+    counters_->slow_disconnects.fetch_add(1, std::memory_order_relaxed);
+    if (counters_->m_slow_disconnects != nullptr) {
+      counters_->m_slow_disconnects->inc_single_writer();
+    }
+    SF_LOG_WARN("net") << "slow reader: dropping connection with "
+                       << (conn.out.size() - conn.out_offset) << " pending bytes";
+    close_connection(fd);
+    return;
+  }
+  if (!conn.want_write) {
+    conn.want_write = true;
+    loop_.update(fd, true, true);
+  }
+  // Reclaim the written prefix once it dominates the buffer.
+  if (conn.out_offset > 64 * 1024) {
+    conn.out.erase(0, conn.out_offset);
+    conn.out_offset = 0;
+  }
+}
+
+void Server::close_connection(int fd) {
+  const auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  loop_.unwatch(fd);
+  ::close(fd);
+  connections_.erase(it);
+  counters_->closed.fetch_add(1, std::memory_order_relaxed);
+  if (counters_->m_active != nullptr) {
+    counters_->m_active->set(static_cast<double>(connections_.size()));
+  }
+}
+
+}  // namespace smartflux::net

@@ -1,0 +1,122 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "net/event_loop.h"
+#include "net/http.h"
+#include "net/router.h"
+
+namespace smartflux::obs {
+class MetricsRegistry;
+class Counter;
+class Gauge;
+class Histogram;
+}  // namespace smartflux::obs
+
+namespace smartflux::net {
+
+struct ServerOptions {
+  std::string bind_address = "127.0.0.1";
+  /// 0 = ephemeral; the bound port is readable via Server::port() after
+  /// start().
+  std::uint16_t port = 0;
+  PollerBackend backend = PollerBackend::kAuto;
+  HttpLimits limits{};
+  /// Pending response bytes per connection above which the peer is treated
+  /// as a slow reader and disconnected — the bound that keeps one stalled
+  /// client from buffering the server into the ground.
+  std::size_t max_write_buffer = 256 * 1024;
+  /// Connections beyond this are accepted and immediately closed (counted
+  /// as refused) so the kernel backlog cannot grow unread.
+  std::size_t max_connections = 1024;
+  /// listen(2) backlog.
+  int listen_backlog = 128;
+  /// Optional metrics registry (not owned): sf_net_* counters/gauges plus a
+  /// request duration histogram. Null = no instrumentation cost.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// Lifetime counters, readable from any thread while the loop runs.
+struct ServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_refused = 0;  ///< over max_connections
+  std::uint64_t connections_closed = 0;
+  std::uint64_t active_connections = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t parse_errors = 0;
+  std::uint64_t slow_disconnects = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+};
+
+/// Single-threaded asynchronous HTTP/1.1 server: one event-loop thread
+/// drives the non-blocking listener and every connection (reads, incremental
+/// parsing, handler dispatch, buffered writes). Keep-alive and pipelining
+/// come from the RequestParser; responses go out in request order per
+/// connection. Handlers execute on the loop thread — see Router's contract.
+///
+/// Threading: start() spawns the loop thread; stop() (and the destructor)
+/// wakes and joins it, then closes every connection. port() and stats() are
+/// safe from any thread.
+class Server {
+ public:
+  Server(Router router, ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and launches the loop thread. Throws Error when the
+  /// address cannot be bound.
+  void start();
+  /// Idempotent; joins the loop thread and closes all sockets.
+  void stop();
+
+  bool running() const noexcept { return running_.load(std::memory_order_acquire); }
+  /// Actual bound port (after start()).
+  std::uint16_t port() const noexcept { return port_.load(std::memory_order_acquire); }
+  const char* backend_name() const noexcept { return loop_.backend_name(); }
+
+  ServerStats stats() const noexcept;
+
+ private:
+  struct Connection {
+    int fd = -1;
+    RequestParser parser;
+    std::string out;            ///< pending response bytes
+    std::size_t out_offset = 0; ///< already-written prefix of out
+    bool want_write = false;    ///< loop interest currently includes writable
+    bool closing = false;       ///< close once out drains
+    explicit Connection(HttpLimits limits) : parser(limits) {}
+  };
+
+  struct Counters;  ///< atomic ServerStats + metric handles (server.cpp)
+
+  void on_listener_readable();
+  void on_connection_event(int fd, bool readable, bool writable, bool error);
+  /// Drains completed requests from the parser into the write buffer.
+  void process_requests(Connection& conn);
+  /// Writes what the socket accepts; updates write interest; enforces the
+  /// slow-reader bound; closes when done and closing.
+  void flush(Connection& conn);
+  void close_connection(int fd);
+  void enqueue(Connection& conn, const Response& response, bool keep_alive);
+
+  Router router_;
+  ServerOptions options_;
+  EventLoop loop_;
+  std::unique_ptr<Counters> counters_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint16_t> port_{0};
+  int listen_fd_ = -1;
+  /// Loop-thread-only connection table.
+  std::unordered_map<int, std::unique_ptr<Connection>> connections_;
+};
+
+}  // namespace smartflux::net

@@ -1,0 +1,207 @@
+#include "net/testing.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "common/error.h"
+#include "net/http.h"
+
+namespace smartflux::net::testing {
+
+const std::string* ClientResponse::header(std::string_view name) const noexcept {
+  for (const auto& [key, value] : headers) {
+    if (iequals(key, name)) return &value;
+  }
+  return nullptr;
+}
+
+Client::Client(std::uint16_t port, const std::string& host, int recv_timeout_ms) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw Error("testing::Client: socket: " + std::string(std::strerror(errno)));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    fd_ = -1;
+    throw Error("testing::Client: bad address: " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw Error("testing::Client: connect: " + std::string(std::strerror(err)));
+  }
+  if (recv_timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = recv_timeout_ms / 1000;
+    tv.tv_usec = (recv_timeout_ms % 1000) * 1000;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      buffer_(std::move(other.buffer_)),
+      consumed_(std::exchange(other.consumed_, 0)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    buffer_ = std::move(other.buffer_);
+    consumed_ = std::exchange(other.consumed_, 0);
+  }
+  return *this;
+}
+
+void Client::send_raw(std::string_view bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw Error("testing::Client: send: " + std::string(std::strerror(errno)));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+void Client::send_request(std::string_view method, std::string_view target, std::string_view body,
+                          const std::vector<std::pair<std::string, std::string>>& headers) {
+  std::string wire;
+  wire.reserve(128 + body.size());
+  wire += method;
+  wire += ' ';
+  wire += target;
+  wire += " HTTP/1.1\r\nHost: loopback\r\n";
+  for (const auto& [key, value] : headers) {
+    wire += key;
+    wire += ": ";
+    wire += value;
+    wire += "\r\n";
+  }
+  if (!body.empty()) {
+    wire += "Content-Length: ";
+    wire += std::to_string(body.size());
+    wire += "\r\n";
+  }
+  wire += "\r\n";
+  wire += body;
+  send_raw(wire);
+}
+
+ClientResponse Client::request(std::string_view method, std::string_view target,
+                               std::string_view body,
+                               const std::vector<std::pair<std::string, std::string>>& headers) {
+  send_request(method, target, body, headers);
+  return read_response();
+}
+
+bool Client::fill() {
+  char chunk[16 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n > 0) {
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+      return true;
+    }
+    if (n == 0) return false;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      throw Error("testing::Client: recv timed out");
+    }
+    throw Error("testing::Client: recv: " + std::string(std::strerror(errno)));
+  }
+}
+
+ClientResponse Client::read_response() {
+  // Wait for the full head.
+  std::size_t head_end;
+  while ((head_end = buffer_.find("\r\n\r\n", consumed_)) == std::string::npos) {
+    if (!fill()) throw Error("testing::Client: connection closed before response head");
+  }
+
+  ClientResponse response;
+  std::string_view head(buffer_.data() + consumed_, head_end - consumed_);
+
+  // Status line: HTTP/1.x NNN reason
+  const std::size_t line_end = head.find("\r\n");
+  std::string_view status_line = line_end == std::string_view::npos ? head : head.substr(0, line_end);
+  const std::size_t sp1 = status_line.find(' ');
+  if (sp1 == std::string_view::npos) {
+    throw Error("testing::Client: malformed status line");
+  }
+  const std::size_t sp2 = status_line.find(' ', sp1 + 1);
+  const std::string_view code =
+      status_line.substr(sp1 + 1, sp2 == std::string_view::npos ? std::string_view::npos
+                                                                : sp2 - sp1 - 1);
+  response.status = std::atoi(std::string(code).c_str());
+  if (sp2 != std::string_view::npos) response.reason = std::string(status_line.substr(sp2 + 1));
+
+  // Headers.
+  std::size_t content_length = 0;
+  std::size_t pos = line_end == std::string_view::npos ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    std::size_t eol = head.find("\r\n", pos);
+    if (eol == std::string_view::npos) eol = head.size();
+    const std::string_view line = head.substr(pos, eol - pos);
+    pos = eol + 2;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) continue;
+    std::string_view value = line.substr(colon + 1);
+    while (!value.empty() && (value.front() == ' ' || value.front() == '\t')) {
+      value.remove_prefix(1);
+    }
+    response.headers.emplace_back(std::string(line.substr(0, colon)), std::string(value));
+    if (iequals(line.substr(0, colon), "Content-Length")) {
+      content_length = static_cast<std::size_t>(std::atoll(std::string(value).c_str()));
+    }
+  }
+
+  consumed_ = head_end + 4;
+  while (buffer_.size() - consumed_ < content_length) {
+    if (!fill()) throw Error("testing::Client: connection closed mid-body");
+  }
+  response.body = buffer_.substr(consumed_, content_length);
+  consumed_ += content_length;
+
+  // Compact once everything buffered has been handed out.
+  if (consumed_ == buffer_.size()) {
+    buffer_.clear();
+    consumed_ = 0;
+  }
+  return response;
+}
+
+std::string Client::read_until_closed() {
+  while (fill()) {
+  }
+  std::string out = buffer_.substr(consumed_);
+  buffer_.clear();
+  consumed_ = 0;
+  return out;
+}
+
+bool Client::at_eof() {
+  if (consumed_ < buffer_.size()) return false;
+  return !fill();
+}
+
+}  // namespace smartflux::net::testing

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace smartflux::net::testing {
+
+/// One parsed HTTP response on the client side.
+struct ClientResponse {
+  int status = 0;
+  std::string reason;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// First header with this name (case-insensitive), or nullptr.
+  const std::string* header(std::string_view name) const noexcept;
+};
+
+/// Minimal blocking loopback HTTP/1.1 client, shared by the e2e tests and
+/// bench/net_ingest. One Client is one TCP connection (keep-alive reuse is
+/// the default); send_request()/read_response() may be decoupled to keep
+/// several requests in flight on the same connection (pipelining). Reads
+/// carry a receive timeout so a wedged server fails a test instead of
+/// hanging it.
+class Client {
+ public:
+  /// Connects (throws Error on failure). `recv_timeout_ms` bounds every
+  /// read; 0 = no timeout.
+  explicit Client(std::uint16_t port, const std::string& host = "127.0.0.1",
+                  int recv_timeout_ms = 10'000);
+  ~Client();
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Sends one request and blocks for its response.
+  ClientResponse request(std::string_view method, std::string_view target,
+                         std::string_view body = {},
+                         const std::vector<std::pair<std::string, std::string>>& headers = {});
+
+  /// Fire-and-collect halves of request(), for pipelined use.
+  void send_request(std::string_view method, std::string_view target,
+                    std::string_view body = {},
+                    const std::vector<std::pair<std::string, std::string>>& headers = {});
+  ClientResponse read_response();
+
+  /// Raw bytes on the wire — parser-abuse tests feed fragments through this.
+  void send_raw(std::string_view bytes);
+
+  /// Drains until the peer closes; returns the raw bytes read (may be
+  /// empty). Use after a request that should make the server hang up.
+  std::string read_until_closed();
+
+  /// True when the peer has closed and every buffered byte was consumed.
+  bool at_eof();
+
+  int fd() const noexcept { return fd_; }
+
+ private:
+  /// Reads more bytes into buffer_; false on EOF.
+  bool fill();
+
+  int fd_ = -1;
+  std::string buffer_;
+  std::size_t consumed_ = 0;
+};
+
+}  // namespace smartflux::net::testing

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/error.h"
+#include "common/fsync.h"
 
 namespace smartflux::obs {
 
@@ -206,10 +207,20 @@ void write_text_file(const std::string& path, std::string_view content) {
     std::fwrite(content.data(), 1, content.size(), stdout);
     return;
   }
-  std::ofstream os(path, std::ios::binary | std::ios::trunc);
-  if (!os) throw Error("cannot open '" + path + "' for writing");
-  os.write(content.data(), static_cast<std::streamsize>(content.size()));
-  if (!os) throw Error("failed writing '" + path + "'");
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os) throw Error("cannot open '" + path + "' for writing");
+    os.write(content.data(), static_cast<std::streamsize>(content.size()));
+    // flush + close-check before fsync: a full disk surfaces here, not as a
+    // silently truncated export.
+    os.flush();
+    if (!os) throw Error("failed writing '" + path + "'");
+    os.close();
+    if (os.fail()) throw Error("failed closing '" + path + "'");
+  }
+  // Exports feed dashboards and committed bench artifacts; make them durable
+  // with the same primitive (and failure contract) as the WAL.
+  fsync_path(path);
 }
 
 }  // namespace smartflux::obs

@@ -126,6 +126,13 @@ class BoundedWaveQueue {
     std::lock_guard lock(mutex_);
     return gated_;
   }
+  /// True once close() was called: every further push is refused. The
+  /// network front-end's admission check reads this to turn a closed queue
+  /// into 503s instead of silently accepting rows no wave will consume.
+  bool closed() const {
+    std::lock_guard lock(mutex_);
+    return closed_;
+  }
   PressureStats stats() const {
     std::lock_guard lock(mutex_);
     return stats_;

@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <string>
+
+#include "net/event_loop.h"
+#include "net/http.h"
+#include "net/router.h"
+
+namespace smartflux::net {
+namespace {
+
+Request must_parse(RequestParser& parser, std::string_view wire) {
+  parser.feed(wire);
+  Request request;
+  EXPECT_EQ(parser.next(&request), RequestParser::Result::kRequest);
+  return request;
+}
+
+TEST(HttpParser, SimpleGet) {
+  RequestParser parser;
+  const Request request =
+      must_parse(parser, "GET /status HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_EQ(request.method, "GET");
+  EXPECT_EQ(request.path, "/status");
+  EXPECT_EQ(request.version_minor, 1);
+  EXPECT_TRUE(request.keep_alive);
+  ASSERT_NE(request.header("host"), nullptr);
+  EXPECT_EQ(*request.header("HOST"), "x");
+  Request none;
+  EXPECT_EQ(parser.next(&none), RequestParser::Result::kNeedMore);
+}
+
+TEST(HttpParser, ByteAtATime) {
+  const std::string wire =
+      "POST /ingest/sensors HTTP/1.1\r\nContent-Length: 11\r\nHost: a\r\n\r\nr1,c1,3.5\r\n";
+  RequestParser parser;
+  Request request;
+  for (std::size_t i = 0; i + 1 < wire.size(); ++i) {
+    parser.feed(std::string_view(&wire[i], 1));
+    ASSERT_EQ(parser.next(&request), RequestParser::Result::kNeedMore) << "byte " << i;
+  }
+  parser.feed(std::string_view(&wire[wire.size() - 1], 1));
+  ASSERT_EQ(parser.next(&request), RequestParser::Result::kRequest);
+  EXPECT_EQ(request.method, "POST");
+  EXPECT_EQ(request.body, "r1,c1,3.5\r\n");
+  EXPECT_EQ(parser.buffered_bytes(), 0u);
+}
+
+TEST(HttpParser, PipelinedCoalesced) {
+  RequestParser parser;
+  parser.feed(
+      "GET /a HTTP/1.1\r\n\r\n"
+      "POST /b HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi"
+      "GET /c HTTP/1.1\r\nConnection: close\r\n\r\n");
+  Request request;
+  ASSERT_EQ(parser.next(&request), RequestParser::Result::kRequest);
+  EXPECT_EQ(request.path, "/a");
+  ASSERT_EQ(parser.next(&request), RequestParser::Result::kRequest);
+  EXPECT_EQ(request.path, "/b");
+  EXPECT_EQ(request.body, "hi");
+  ASSERT_EQ(parser.next(&request), RequestParser::Result::kRequest);
+  EXPECT_EQ(request.path, "/c");
+  EXPECT_FALSE(request.keep_alive);
+  EXPECT_EQ(parser.next(&request), RequestParser::Result::kNeedMore);
+}
+
+TEST(HttpParser, BareLfTerminatorAccepted) {
+  RequestParser parser;
+  const Request request = must_parse(parser, "GET /x HTTP/1.1\nHost: y\n\n");
+  EXPECT_EQ(request.path, "/x");
+  ASSERT_NE(request.header("Host"), nullptr);
+  EXPECT_EQ(*request.header("Host"), "y");
+}
+
+TEST(HttpParser, KeepAliveDefaults) {
+  {
+    RequestParser parser;
+    EXPECT_FALSE(must_parse(parser, "GET / HTTP/1.0\r\n\r\n").keep_alive);
+  }
+  {
+    RequestParser parser;
+    EXPECT_TRUE(
+        must_parse(parser, "GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").keep_alive);
+  }
+  {
+    RequestParser parser;
+    EXPECT_FALSE(must_parse(parser, "GET / HTTP/1.1\r\nConnection: close\r\n\r\n").keep_alive);
+  }
+}
+
+TEST(HttpParser, QueryParamsDecode) {
+  RequestParser parser;
+  const Request request =
+      must_parse(parser, "GET /get?table=sensors&row=a%2Fb&col=x+y HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(request.path, "/get");
+  EXPECT_EQ(request.query_param("table").value_or(""), "sensors");
+  EXPECT_EQ(request.query_param("row").value_or(""), "a/b");
+  EXPECT_EQ(request.query_param("col").value_or(""), "x y");
+  EXPECT_FALSE(request.query_param("absent").has_value());
+}
+
+TEST(HttpParser, OversizedHeaderIs431) {
+  RequestParser parser(HttpLimits{.max_header_bytes = 128, .max_body_bytes = 1024});
+  parser.feed("GET / HTTP/1.1\r\nX-Pad: " + std::string(200, 'a') + "\r\n\r\n");
+  Request request;
+  EXPECT_EQ(parser.next(&request), RequestParser::Result::kError);
+  EXPECT_EQ(parser.error_status(), 431);
+}
+
+TEST(HttpParser, OversizedBodyIs413) {
+  RequestParser parser(HttpLimits{.max_header_bytes = 1024, .max_body_bytes = 16});
+  parser.feed("POST / HTTP/1.1\r\nContent-Length: 17\r\n\r\n");
+  Request request;
+  EXPECT_EQ(parser.next(&request), RequestParser::Result::kError);
+  EXPECT_EQ(parser.error_status(), 413);
+}
+
+TEST(HttpParser, MalformedRequestLineIs400) {
+  for (const char* wire : {"GET/HTTP/1.1\r\n\r\n", "GET / EXTRA HTTP/1.1\r\n\r\n",
+                           "GET nopath HTTP/1.1\r\n\r\n", "GET / FTP/1.1\r\n\r\n"}) {
+    RequestParser parser;
+    parser.feed(wire);
+    Request request;
+    EXPECT_EQ(parser.next(&request), RequestParser::Result::kError) << wire;
+    EXPECT_EQ(parser.error_status(), 400) << wire;
+  }
+  // A leading empty line before the request line is tolerated (RFC 9112 §2.2).
+  RequestParser lenient;
+  EXPECT_EQ(must_parse(lenient, "\r\nGET / HTTP/1.1\r\n\r\n").path, "/");
+}
+
+TEST(HttpParser, UnsupportedVersionIs505) {
+  RequestParser parser;
+  parser.feed("GET / HTTP/2.0\r\n\r\n");
+  Request request;
+  EXPECT_EQ(parser.next(&request), RequestParser::Result::kError);
+  EXPECT_EQ(parser.error_status(), 505);
+}
+
+TEST(HttpParser, ChunkedBodyIs501) {
+  RequestParser parser;
+  parser.feed("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
+  Request request;
+  EXPECT_EQ(parser.next(&request), RequestParser::Result::kError);
+  EXPECT_EQ(parser.error_status(), 501);
+  EXPECT_TRUE(parser.failed());
+}
+
+TEST(HttpParser, ConflictingContentLengthIs400) {
+  RequestParser parser;
+  parser.feed("POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 3\r\n\r\n");
+  Request request;
+  EXPECT_EQ(parser.next(&request), RequestParser::Result::kError);
+  EXPECT_EQ(parser.error_status(), 400);
+}
+
+TEST(HttpParser, PoisonedAfterError) {
+  RequestParser parser;
+  parser.feed("BAD\r\n\r\n");
+  Request request;
+  ASSERT_EQ(parser.next(&request), RequestParser::Result::kError);
+  // A well-formed request after the error must not resurrect the stream.
+  parser.feed("GET / HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(parser.next(&request), RequestParser::Result::kError);
+}
+
+TEST(HttpSerialize, CarriesStatusLengthAndConnection) {
+  Response response = json_response(503, "{\"error\":\"overloaded\"}\n");
+  response.headers.emplace_back("Retry-After", "1");
+  const std::string wire = serialize(response, /*keep_alive=*/false);
+  EXPECT_NE(wire.find("HTTP/1.1 503 Service Unavailable\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 23\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Retry-After: 1\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("\r\n\r\n{\"error\":\"overloaded\"}\n"), std::string::npos);
+
+  const std::string alive = serialize(response, /*keep_alive=*/true);
+  EXPECT_NE(alive.find("Connection: keep-alive\r\n"), std::string::npos);
+}
+
+TEST(HttpUtil, UrlDecode) {
+  EXPECT_EQ(url_decode("a%20b+c%2f"), "a b c/");
+  EXPECT_EQ(url_decode("%zz"), "%zz");  // malformed escapes pass through
+  EXPECT_TRUE(iequals("Content-Length", "content-length"));
+  EXPECT_FALSE(iequals("a", "ab"));
+}
+
+Request make_request(std::string method, std::string path) {
+  Request request;
+  request.method = std::move(method);
+  request.path = std::move(path);
+  return request;
+}
+
+TEST(Router, DispatchAndCaptures) {
+  Router router;
+  router.add("GET", "/status", [](const Request&, const std::vector<std::string>&) {
+    return text_response(200, "ok");
+  });
+  router.add("POST", "/ingest/<table>",
+             [](const Request&, const std::vector<std::string>& params) {
+               return text_response(202, params.at(0));
+             });
+
+  EXPECT_EQ(router.dispatch(make_request("GET", "/status")).status, 200);
+  const Response captured = router.dispatch(make_request("POST", "/ingest/sensors"));
+  EXPECT_EQ(captured.status, 202);
+  EXPECT_EQ(captured.body, "sensors");
+
+  EXPECT_EQ(router.dispatch(make_request("GET", "/nope")).status, 404);
+  EXPECT_EQ(router.dispatch(make_request("DELETE", "/status")).status, 405);
+  // Captures are single-segment: /ingest/a/b matches nothing.
+  EXPECT_EQ(router.dispatch(make_request("POST", "/ingest/a/b")).status, 404);
+}
+
+TEST(Router, HandlerExceptionBecomes500) {
+  Router router;
+  router.add("GET", "/boom", [](const Request&, const std::vector<std::string>&) -> Response {
+    throw std::runtime_error("handler bug");
+  });
+  const Response response = router.dispatch(make_request("GET", "/boom"));
+  EXPECT_EQ(response.status, 500);
+  EXPECT_NE(response.body.find("handler bug"), std::string::npos);
+}
+
+class EventLoopBackends : public ::testing::TestWithParam<PollerBackend> {};
+
+TEST_P(EventLoopBackends, DispatchesReadableAndStops) {
+  if (GetParam() == PollerBackend::kEpoll && !epoll_available()) GTEST_SKIP();
+  EventLoop loop(GetParam());
+
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  ::fcntl(fds[0], F_SETFL, O_NONBLOCK);
+
+  int hits = 0;
+  loop.watch(fds[0], /*want_read=*/true, /*want_write=*/false,
+             [&](bool readable, bool, bool) {
+               if (!readable) return;
+               char buf[8];
+               while (::read(fds[0], buf, sizeof buf) > 0) {
+               }
+               ++hits;
+             });
+
+  ASSERT_EQ(::write(fds[1], "x", 1), 1);
+  EXPECT_GE(loop.run_once(1000), 1u);
+  EXPECT_EQ(hits, 1);
+
+  // Level-triggered: nothing pending -> no events.
+  EXPECT_EQ(loop.run_once(0), 0u);
+
+  loop.unwatch(fds[0]);
+  EXPECT_FALSE(loop.watching(fds[0]));
+
+  // The stop flag latches: run() after stop() returns immediately.
+  loop.stop();
+  loop.run();
+  EXPECT_TRUE(loop.stopped());
+
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, EventLoopBackends,
+                         ::testing::Values(PollerBackend::kPoll, PollerBackend::kEpoll,
+                                           PollerBackend::kAuto));
+
+}  // namespace
+}  // namespace smartflux::net

@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <cstddef>
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <string>
 #include <thread>
@@ -693,6 +695,19 @@ TEST(SmartFluxObservability, AuditWavesReportOutcomesAndRate) {
     }
   }
   EXPECT_TRUE(saw_rate);
+}
+
+TEST(Export, WriteTextFileRoundTripsAndSurfacesFailure) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "sf_export_test.txt").string();
+  write_text_file(path, "hello\n");
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "hello\n");
+  std::filesystem::remove(path);
+
+  // An unwritable path must throw, not silently drop the export.
+  EXPECT_THROW(write_text_file("/nonexistent-dir/sf/export.txt", "x"), smartflux::Error);
 }
 
 }  // namespace
