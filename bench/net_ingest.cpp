@@ -4,21 +4,34 @@
 // staged rows wave by wave — the full front-end path of DESIGN.md §14 under
 // load on one box.
 //
-// Client shape: kThreads feeder threads each own kConnsPerThread keep-alive
-// connections (threads × conns ≥ 100 concurrent sockets). A round sends one
-// pipelined request on every connection of the thread, then collects every
-// response; per-request latency is measured send→response-read on the
-// client side, under the full concurrent load. The engine runs waves on the
-// main thread concurrently with the feeders.
+// Three measurements, one JSON object:
+//
+//   1. Baseline ingest: the legacy copy path (owned IngestRecord per row,
+//      global-mutex-era shape) on a single event loop.
+//   2. Zero-copy ingest sweep: spans-over-the-body staging + vectored
+//      writes, at loop_threads = 1 / 2 / 4 (SO_REUSEPORT sharding). The
+//      1-loop point isolates the hot-path win; the sweep shows scaling.
+//   3. Streaming scan: a ≥1M-cell container served buffered (large write
+//      bound) vs ?stream=1 (256KB bound) — byte-identical payloads, with
+//      the streaming server's peak per-connection write buffer recorded.
+//
+// Client shape per ingest phase: kThreads feeder threads each own
+// kConnsPerThread keep-alive connections (threads × conns = 128 concurrent
+// sockets). A round pipelines one request per connection, then collects
+// every response; per-request latency is measured send→response-read under
+// the full concurrent load. Each phase runs twice interleaved (full mode)
+// and keeps its best run, so baseline and zero-copy see the same thermal /
+// scheduler conditions.
 //
 // Self-checks (exit 1): every ingest response is 202, every posted row is
 // drained into the store by the final wave, a spot cell is readable over
-// HTTP, and /metrics exposes the sf_net families.
-//
-// Emits one JSON object on stdout:
+// HTTP, /metrics exposes the sf_net families, scan payloads are
+// byte-identical across modes, the streaming peak write buffer stays ≤ the
+// bound, and (full mode only) zero-copy ≥ 1.15x baseline req/s at 1 loop.
 //
 //   ./bench/net_ingest > docs/bench/net_ingest.json
-//   ./bench/net_ingest short > net_ingest.ci.json   (CI smoke: fewer rounds)
+//   ./bench/net_ingest short > net_ingest.ci.json   (CI smoke: fewer rounds,
+//                                                    no speedup gate)
 
 #include <algorithm>
 #include <atomic>
@@ -29,7 +42,9 @@
 #include <thread>
 #include <vector>
 
+#include "datastore/client.h"
 #include "datastore/datastore.h"
+#include "datastore/flat_snapshot.h"
 #include "net/bridge.h"
 #include "net/gateway.h"
 #include "net/server.h"
@@ -46,6 +61,10 @@ using Clock = std::chrono::steady_clock;
 constexpr std::size_t kThreads = 4;
 constexpr std::size_t kConnsPerThread = 32;  // 4 × 32 = 128 concurrent connections
 constexpr std::size_t kRowsPerRequest = 24;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
 
 double micros_since(Clock::time_point start) {
   return std::chrono::duration<double, std::micro>(Clock::now() - start).count();
@@ -90,12 +109,23 @@ struct FeederResult {
   std::size_t bad_status = 0;
 };
 
-}  // namespace
+struct IngestPhaseResult {
+  double wall_seconds = 0.0;
+  double requests_per_sec = 0.0;
+  double rows_per_sec = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  std::size_t requests = 0;
+  std::size_t rows = 0;
+  std::size_t waves = 0;
+  int failures = 0;
+};
 
-int main(int argc, char** argv) {
-  const bool short_mode = argc > 1 && std::strcmp(argv[1], "short") == 0;
-  const std::size_t rounds = short_mode ? 4 : 40;
-
+/// One full ingest measurement: fresh store/bridge/server with the given
+/// loop count and staging path, 128 pipelined feeder connections, a
+/// concurrent pipelined wave engine, end-state self-checks.
+IngestPhaseResult run_ingest_phase(std::size_t loop_threads, bool zero_copy,
+                                   std::size_t rounds) {
   ds::DataStore store(4);
   obs::MetricsRegistry metrics;
 
@@ -114,9 +144,11 @@ int main(int argc, char** argv) {
   gateway.store = &store;
   gateway.ingest = &bridge;
   gateway.metrics = &metrics;
+  gateway.zero_copy_ingest = zero_copy;
   net::ServerOptions server_options;
   server_options.metrics = &metrics;
   server_options.max_connections = 2048;
+  server_options.loop_threads = loop_threads;
   net::Server server(net::make_gateway_router(gateway), server_options);
   server.start();
   const std::uint16_t port = server.port();
@@ -181,44 +213,49 @@ int main(int argc, char** argv) {
   for (auto& thread : feeders) thread.join();
   feeders_done.store(true, std::memory_order_release);
   driver.join();
-  const double wall_seconds =
-      std::chrono::duration<double>(Clock::now() - wall_start).count();
+  const double wall_seconds = seconds_since(wall_start);
 
-  // --- Self-checks ----------------------------------------------------------
-  std::size_t requests = 0;
-  std::size_t rows_posted = 0;
+  IngestPhaseResult out;
   std::size_t bad_status = 0;
   std::vector<double> latencies;
   for (const FeederResult& result : results) {
-    requests += result.requests;
-    rows_posted += result.rows;
+    out.requests += result.requests;
+    out.rows += result.rows;
     bad_status += result.bad_status;
     latencies.insert(latencies.end(), result.latencies_us.begin(), result.latencies_us.end());
   }
   std::sort(latencies.begin(), latencies.end());
+  out.wall_seconds = wall_seconds;
+  out.requests_per_sec = static_cast<double>(out.requests) / wall_seconds;
+  out.rows_per_sec = static_cast<double>(out.rows) / wall_seconds;
+  out.p50_us = quantile(latencies, 0.50);
+  out.p99_us = quantile(latencies, 0.99);
+  out.waves = waves_run;
 
-  int failures = 0;
   if (bad_status != 0) {
-    std::fprintf(stderr, "FAIL: %zu ingest responses were not 202\n", bad_status);
-    ++failures;
+    std::fprintf(stderr, "FAIL(loops=%zu,zc=%d): %zu ingest responses were not 202\n",
+                 loop_threads, zero_copy ? 1 : 0, bad_status);
+    ++out.failures;
   }
-  if (bridge.stats().rows_ingested != rows_posted || bridge.staged_rows() != 0) {
-    std::fprintf(stderr, "FAIL: posted %zu rows but engine drained %llu (staged %zu)\n",
-                 rows_posted, static_cast<unsigned long long>(bridge.stats().rows_ingested),
+  if (bridge.stats().rows_ingested != out.rows || bridge.staged_rows() != 0) {
+    std::fprintf(stderr, "FAIL(loops=%zu,zc=%d): posted %zu rows but engine drained %llu "
+                 "(staged %zu)\n",
+                 loop_threads, zero_copy ? 1 : 0, out.rows,
+                 static_cast<unsigned long long>(bridge.stats().rows_ingested),
                  bridge.staged_rows());
-    ++failures;
+    ++out.failures;
   }
   {
     net::testing::Client probe(port);
     if (probe.request("GET", "/get?table=sensors&row=d0_0&col=o3").status != 200) {
       std::fprintf(stderr, "FAIL: spot read of an ingested cell did not return 200\n");
-      ++failures;
+      ++out.failures;
     }
     const net::testing::ClientResponse metrics_response = probe.request("GET", "/metrics");
     if (metrics_response.status != 200 ||
         metrics_response.body.find("sf_net_ingest_rows_total") == std::string::npos) {
       std::fprintf(stderr, "FAIL: /metrics is missing the sf_net families\n");
-      ++failures;
+      ++out.failures;
     }
   }
   const net::ServerStats stats = server.stats();
@@ -226,31 +263,205 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "FAIL: unexpected slow_disconnects=%llu parse_errors=%llu\n",
                  static_cast<unsigned long long>(stats.slow_disconnects),
                  static_cast<unsigned long long>(stats.parse_errors));
-    ++failures;
+    ++out.failures;
   }
   server.stop();
+  return out;
+}
+
+struct ScanPhaseResult {
+  std::size_t cells = 0;
+  std::size_t payload_bytes = 0;
+  double buffered_seconds = 0.0;
+  double streamed_seconds = 0.0;
+  double streamed_rows_per_sec = 0.0;
+  unsigned long long peak_write_buffer = 0;
+  std::size_t write_buffer_bound = 0;
+  int failures = 0;
+};
+
+/// Streaming scan measurement: one container of `cells` cells fetched
+/// buffered (write bound raised to fit the whole body) and streamed (default
+/// 256KB bound); payloads must match byte for byte and the streaming
+/// server's peak pending buffer must respect its bound.
+ScanPhaseResult run_scan_phase(std::size_t cells) {
+  ScanPhaseResult out;
+  out.cells = cells;
+
+  ds::DataStore store(4);
+  {
+    // Bulk-load outside HTTP; zero-padded keys give a deterministic scan.
+    ds::Client client(store, 1);
+    constexpr std::size_t kBatch = 50'000;
+    std::vector<std::string> keys;
+    std::vector<ds::PutOp> ops;
+    for (std::size_t start = 0; start < cells; start += kBatch) {
+      const std::size_t n = std::min(kBatch, cells - start);
+      keys.clear();
+      keys.reserve(2 * n);
+      ops.clear();
+      ops.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        char row[32], col[16];
+        std::snprintf(row, sizeof row, "r%09zu", start + i);
+        std::snprintf(col, sizeof col, "c%zu", (start + i) % 5);
+        keys.emplace_back(row);
+        keys.emplace_back(col);
+        ops.push_back({keys[keys.size() - 2], keys.back(),
+                       static_cast<double>((start + i) % 1000)});
+      }
+      client.put_batch("grid", ops);
+    }
+  }
+
+  net::GatewayOptions gateway;
+  gateway.store = &store;
+
+  // Buffered reference: the write bound must fit the whole materialized
+  // body, or the server would (correctly) drop us as a slow reader.
+  std::string buffered_body;
+  {
+    net::ServerOptions options;
+    options.max_write_buffer = 256u * 1024 * 1024;
+    net::Server server(net::make_gateway_router(gateway), options);
+    server.start();
+    net::testing::Client client(server.port(), "127.0.0.1", 120'000);
+    const auto start = Clock::now();
+    net::testing::ClientResponse response = client.request("GET", "/scan?table=grid");
+    out.buffered_seconds = seconds_since(start);
+    if (response.status != 200 || response.chunked) {
+      std::fprintf(stderr, "FAIL: buffered scan status=%d chunked=%d\n", response.status,
+                   response.chunked ? 1 : 0);
+      ++out.failures;
+    }
+    buffered_body = std::move(response.body);
+    server.stop();
+  }
+  out.payload_bytes = buffered_body.size();
+
+  // Streamed run: stock 256KB bound — the point is that the bound holds.
+  {
+    net::ServerOptions options;
+    out.write_buffer_bound = options.max_write_buffer;
+    net::Server server(net::make_gateway_router(gateway), options);
+    server.start();
+    net::testing::Client client(server.port(), "127.0.0.1", 120'000);
+    const auto start = Clock::now();
+    const net::testing::ClientResponse response =
+        client.request("GET", "/scan?table=grid&stream=1");
+    out.streamed_seconds = seconds_since(start);
+    out.streamed_rows_per_sec = static_cast<double>(cells) / out.streamed_seconds;
+    if (response.status != 200 || !response.chunked) {
+      std::fprintf(stderr, "FAIL: streamed scan status=%d chunked=%d\n", response.status,
+                   response.chunked ? 1 : 0);
+      ++out.failures;
+    }
+    if (response.body != buffered_body) {
+      std::fprintf(stderr, "FAIL: streamed scan payload differs from buffered (%zu vs %zu "
+                   "bytes)\n",
+                   response.body.size(), buffered_body.size());
+      ++out.failures;
+    }
+    const net::ServerStats stats = server.stats();
+    out.peak_write_buffer = stats.peak_write_buffer;
+    if (stats.streams_completed != 1) {
+      std::fprintf(stderr, "FAIL: expected 1 completed stream, saw %llu\n",
+                   static_cast<unsigned long long>(stats.streams_completed));
+      ++out.failures;
+    }
+    if (stats.peak_write_buffer > options.max_write_buffer) {
+      std::fprintf(stderr, "FAIL: streaming peak write buffer %llu exceeds bound %zu\n",
+                   static_cast<unsigned long long>(stats.peak_write_buffer),
+                   options.max_write_buffer);
+      ++out.failures;
+    }
+    server.stop();
+  }
+  return out;
+}
+
+void print_ingest_phase(const char* key, const IngestPhaseResult& r, const char* trailing) {
+  std::printf("    \"%s\": {\"requests_per_sec\": %.0f, \"rows_per_sec\": %.0f, "
+              "\"p50_us\": %.0f, \"p99_us\": %.0f, \"requests\": %zu, \"waves\": %zu, "
+              "\"wall_seconds\": %.3f}%s\n",
+              key, r.requests_per_sec, r.rows_per_sec, r.p50_us, r.p99_us, r.requests, r.waves,
+              r.wall_seconds, trailing);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool short_mode = argc > 1 && std::strcmp(argv[1], "short") == 0;
+  const std::size_t rounds = short_mode ? 4 : 24;
+  const std::size_t reps = short_mode ? 1 : 2;
+  const std::size_t scan_cells = short_mode ? 65'536 : 1'000'000;
+
+  struct Config {
+    const char* key;
+    std::size_t loops;
+    bool zero_copy;
+  };
+  const Config configs[] = {
+      {"baseline_copy_1loop", 1, false},
+      {"zero_copy_1loop", 1, true},
+      {"zero_copy_2loops", 2, true},
+      {"zero_copy_4loops", 4, true},
+  };
+  constexpr std::size_t kConfigs = sizeof(configs) / sizeof(configs[0]);
+
+  // Interleaved best-of-N: rep-major order so every config samples the same
+  // machine conditions; keep each config's best run.
+  IngestPhaseResult best[kConfigs];
+  int failures = 0;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    for (std::size_t c = 0; c < kConfigs; ++c) {
+      const IngestPhaseResult r =
+          run_ingest_phase(configs[c].loops, configs[c].zero_copy, rounds);
+      failures += r.failures;
+      if (rep == 0 || r.requests_per_sec > best[c].requests_per_sec) best[c] = r;
+    }
+  }
+
+  const double speedup = best[1].requests_per_sec / best[0].requests_per_sec;
+  // Sanitizer/CI smoke runs record the ratio without gating on it — under
+  // ASan/TSan the copy path's allocations don't cost what they cost in a
+  // release build.
+  if (!short_mode && speedup < 1.15) {
+    std::fprintf(stderr, "FAIL: zero-copy 1-loop speedup %.3fx is below the 1.15x floor\n",
+                 speedup);
+    ++failures;
+  }
+
+  const ScanPhaseResult scan = run_scan_phase(scan_cells);
+  failures += scan.failures;
+
+  // Backend name without keeping a server alive: ask a throwaway instance.
+  net::Server probe(net::Router{}, {});
 
   std::printf("{\n");
   std::printf("  \"bench\": \"net_ingest\",\n");
   std::printf("  \"mode\": \"%s\",\n", short_mode ? "short" : "full");
-  std::printf("  \"backend\": \"%s\",\n", server.backend_name());
+  std::printf("  \"backend\": \"%s\",\n", probe.backend_name());
   std::printf("  \"connections\": %zu,\n", kThreads * kConnsPerThread);
   std::printf("  \"feeder_threads\": %zu,\n", kThreads);
-  std::printf("  \"requests\": %zu,\n", requests);
-  std::printf("  \"rows_posted\": %zu,\n", rows_posted);
-  std::printf("  \"waves_run\": %zu,\n", waves_run);
-  std::printf("  \"wall_seconds\": %.3f,\n", wall_seconds);
-  std::printf("  \"requests_per_sec\": %.0f,\n", static_cast<double>(requests) / wall_seconds);
-  std::printf("  \"rows_per_sec\": %.0f,\n", static_cast<double>(rows_posted) / wall_seconds);
-  std::printf("  \"latency_us\": {\"p50\": %.0f, \"p90\": %.0f, \"p99\": %.0f, \"max\": %.0f},\n",
-              quantile(latencies, 0.50), quantile(latencies, 0.90), quantile(latencies, 0.99),
-              latencies.empty() ? 0.0 : latencies.back());
-  std::printf("  \"server\": {\"accepted\": %llu, \"requests\": %llu, \"bytes_read\": %llu, "
-              "\"bytes_written\": %llu},\n",
-              static_cast<unsigned long long>(stats.connections_accepted),
-              static_cast<unsigned long long>(stats.requests),
-              static_cast<unsigned long long>(stats.bytes_read),
-              static_cast<unsigned long long>(stats.bytes_written));
+  std::printf("  \"rows_per_request\": %zu,\n", kRowsPerRequest * 3);
+  std::printf("  \"ingest\": {\n");
+  print_ingest_phase(configs[0].key, best[0], ",");
+  print_ingest_phase(configs[1].key, best[1], ",");
+  print_ingest_phase(configs[2].key, best[2], ",");
+  print_ingest_phase(configs[3].key, best[3], ",");
+  std::printf("    \"zero_copy_speedup_1loop\": %.3f\n", speedup);
+  std::printf("  },\n");
+  std::printf("  \"scan_stream\": {\n");
+  std::printf("    \"cells\": %zu,\n", scan.cells);
+  std::printf("    \"payload_bytes\": %zu,\n", scan.payload_bytes);
+  std::printf("    \"buffered_seconds\": %.3f,\n", scan.buffered_seconds);
+  std::printf("    \"streamed_seconds\": %.3f,\n", scan.streamed_seconds);
+  std::printf("    \"streamed_rows_per_sec\": %.0f,\n", scan.streamed_rows_per_sec);
+  std::printf("    \"peak_write_buffer\": %llu,\n", scan.peak_write_buffer);
+  std::printf("    \"write_buffer_bound\": %zu,\n", scan.write_buffer_bound);
+  std::printf("    \"payload_identical\": %s\n", scan.failures == 0 ? "true" : "false");
+  std::printf("  },\n");
   std::printf("  \"checks\": \"%s\"\n", failures == 0 ? "pass" : "FAIL");
   std::printf("}\n");
   return failures == 0 ? 0 : 1;

@@ -22,6 +22,7 @@
 #include "net/server.h"
 #include "obs/export.h"
 #include "wms/backpressure.h"
+#include "wms/xml_loader.h"
 #include "workloads/aqhi/aqhi.h"
 
 namespace {
@@ -33,7 +34,8 @@ void handle_signal(int) { g_stop.store(true, std::memory_order_release); }
 /// Sensor rows arrive over POST /ingest/sensors; POST /wave/run admits wave
 /// requests into a bounded queue that a driver thread drains through the
 /// pipelined engine, so overload turns into 503s at the front door.
-int serve(std::uint16_t port) {
+/// --loops shards the front-end across that many SO_REUSEPORT event loops.
+int serve(std::uint16_t port, std::size_t loops) {
   using namespace smartflux;
 
   ds::DataStore store(4);
@@ -43,7 +45,14 @@ int serve(std::uint16_t port) {
   const workloads::AqhiWorkload workload(params);
   wms::WorkflowEngine::Options engine_options;
   engine_options.metrics = &registry;
-  wms::WorkflowEngine engine(workload.make_compute_workflow(), store, engine_options);
+  wms::WorkflowSpec compute_spec = workload.make_compute_workflow();
+  // The same step implementations back POST /workflow validation: an
+  // uploaded XML definition may reference any step of the compute workflow.
+  wms::StepRegistry workflow_steps;
+  for (const auto& step : compute_spec.steps()) {
+    workflow_steps.register_step(step.id, step.fn);
+  }
+  wms::WorkflowEngine engine(std::move(compute_spec), store, engine_options);
 
   wms::PressureOptions pressure;
   pressure.high_watermark = 64;
@@ -75,9 +84,11 @@ int serve(std::uint16_t port) {
     return "\"waves_completed\":" + std::to_string(waves_completed.load()) +
            ",\"queue_depth\":" + std::to_string(queue.depth());
   };
+  gateway.workflow_steps = &workflow_steps;
 
   net::ServerOptions server_options;
   server_options.port = port;
+  server_options.loop_threads = loops;
   server_options.metrics = &registry;
   net::Server server(net::make_gateway_router(gateway), server_options);
   server.start();
@@ -93,11 +104,18 @@ int serve(std::uint16_t port) {
     }
   });
 
-  std::printf("serving AQHI stack on http://127.0.0.1:%u (%s backend); Ctrl-C stops\n",
-              server.port(), server.backend_name());
+  std::printf("serving AQHI stack on http://127.0.0.1:%u (%s backend, %zu loop%s%s); "
+              "Ctrl-C stops\n",
+              server.port(), server.backend_name(), server.loop_count(),
+              server.loop_count() == 1 ? "" : "s",
+              server.reuse_port_active() ? ", SO_REUSEPORT" : "");
   std::printf("  curl -d 'd0_0,o3,42.5' http://127.0.0.1:%u/ingest/sensors\n", server.port());
   std::printf("  curl -X POST http://127.0.0.1:%u/wave/run\n", server.port());
   std::printf("  curl 'http://127.0.0.1:%u/get?table=sensors&row=d0_0&col=o3'\n", server.port());
+  std::printf("  curl 'http://127.0.0.1:%u/scan?table=concentration&stream=1&format=ndjson'\n",
+              server.port());
+  std::printf("  curl --data-binary @workflow.xml http://127.0.0.1:%u/workflow\n",
+              server.port());
   std::printf("  curl http://127.0.0.1:%u/status\n", server.port());
   std::fflush(stdout);
 
@@ -120,14 +138,20 @@ int main(int argc, char** argv) {
   using namespace smartflux;
 
   // --metrics <file> dumps a Prometheus exposition page of the run ("-" =
-  // stdout). --serve <port> switches to live HTTP serving instead.
+  // stdout). --serve <port> switches to live HTTP serving instead;
+  // --loops <n> shards the server across n event loops (default 1).
   const char* metrics_path = nullptr;
   int serve_port = -1;
+  int serve_loops = 1;
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--metrics") == 0) metrics_path = argv[i + 1];
     if (std::strcmp(argv[i], "--serve") == 0) serve_port = std::atoi(argv[i + 1]);
+    if (std::strcmp(argv[i], "--loops") == 0) serve_loops = std::atoi(argv[i + 1]);
   }
-  if (serve_port >= 0) return serve(static_cast<std::uint16_t>(serve_port));
+  if (serve_port >= 0) {
+    return serve(static_cast<std::uint16_t>(serve_port),
+                 serve_loops > 0 ? static_cast<std::size_t>(serve_loops) : 1);
+  }
   obs::MetricsRegistry registry;
 
   workloads::AqhiParams params;

@@ -1,5 +1,6 @@
 #include "net/bridge.h"
 
+#include <charconv>
 #include <cstdlib>
 
 #include "core/smartflux.h"
@@ -61,28 +62,13 @@ std::optional<IngestRefusal> IngestBridge::admission() const {
 }
 
 void IngestBridge::report_refusal() {
-  {
-    std::lock_guard lock(mutex_);
-    ++stats_.refusals;
-  }
+  refusals_total_.fetch_add(1, std::memory_order_relaxed);
   if (obs_) obs_->refusals->inc();
 }
 
-std::size_t IngestBridge::stage(const std::string& table, std::vector<IngestRecord> records) {
-  const std::size_t count = records.size();
-  std::size_t total;
-  {
-    std::lock_guard lock(mutex_);
-    auto& bucket = staged_[table];
-    if (bucket.empty()) {
-      bucket = std::move(records);
-    } else {
-      bucket.insert(bucket.end(), std::make_move_iterator(records.begin()),
-                    std::make_move_iterator(records.end()));
-    }
-    stats_.rows_staged += count;
-    total = staged_rows_.fetch_add(count, std::memory_order_relaxed) + count;
-  }
+std::size_t IngestBridge::commit(std::size_t count) {
+  rows_staged_total_.fetch_add(count, std::memory_order_relaxed);
+  const std::size_t total = staged_rows_.fetch_add(count, std::memory_order_relaxed) + count;
   if (obs_) {
     obs_->rows->inc(count);
     obs_->staged->set(static_cast<double>(total));
@@ -90,26 +76,78 @@ std::size_t IngestBridge::stage(const std::string& table, std::vector<IngestReco
   return total;
 }
 
+std::size_t IngestBridge::stage(const std::string& table, std::vector<IngestRecord> records) {
+  const std::size_t count = records.size();
+  Stripe& stripe = stripes_[stripe_of(table)];
+  {
+    std::lock_guard lock(stripe.mutex);
+    TableStage& stage = stripe.staged[table];
+    if (stage.records.empty()) {
+      stage.records = std::move(records);
+    } else {
+      stage.records.insert(stage.records.end(), std::make_move_iterator(records.begin()),
+                           std::make_move_iterator(records.end()));
+    }
+    stage.rows += count;
+  }
+  return commit(count);
+}
+
+std::size_t IngestBridge::stage_spans(const std::string& table, std::string arena,
+                                      std::vector<IngestSpan> spans) {
+  const std::size_t count = spans.size();
+  Stripe& stripe = stripes_[stripe_of(table)];
+  {
+    std::lock_guard lock(stripe.mutex);
+    TableStage& stage = stripe.staged[table];
+    stage.batches.emplace_back(std::move(arena), std::move(spans));
+    stage.rows += count;
+  }
+  return commit(count);
+}
+
 wms::WaveIngest IngestBridge::make_ingest() {
   return [this](ds::Client& client, ds::Timestamp) {
-    Staged batch;
-    {
-      std::lock_guard lock(mutex_);
-      batch.swap(staged_);
-      ++stats_.waves_ingested;
+    // Swap each stripe out under its own lock, then merge into one sorted
+    // table map. A table lives in exactly one stripe, so the merge never
+    // interleaves two partial stages of the same table, and the sorted map
+    // keeps the per-wave put_batch order deterministic across stripe
+    // hashing.
+    std::map<std::string, TableStage> merged;
+    for (Stripe& stripe : stripes_) {
+      std::map<std::string, TableStage> local;
+      {
+        std::lock_guard lock(stripe.mutex);
+        local.swap(stripe.staged);
+      }
+      for (auto& [table, stage] : local) {
+        merged[table] = std::move(stage);
+      }
     }
+    waves_ingested_total_.fetch_add(1, std::memory_order_relaxed);
+
     std::size_t drained = 0;
-    for (const auto& [table, records] : batch) {
-      std::vector<ds::PutOp> ops;
-      ops.reserve(records.size());
-      for (const IngestRecord& r : records) ops.push_back({r.row, r.column, r.value});
+    std::vector<ds::PutOp> ops;
+    for (const auto& [table, stage] : merged) {
+      ops.clear();
+      ops.reserve(stage.rows);
+      for (const IngestRecord& r : stage.records) ops.push_back({r.row, r.column, r.value});
+      // Span batches resolve to views over their arenas — alive until
+      // `merged` dies, which outlasts the put_batch call. No copies.
+      for (const auto& [arena, spans] : stage.batches) {
+        const char* base = arena.data();
+        for (const IngestSpan& s : spans) {
+          ops.push_back({std::string_view(base + s.row_off, s.row_len),
+                         std::string_view(base + s.col_off, s.col_len), s.value});
+        }
+      }
+      if (ops.empty()) continue;
       client.put_batch(table, ops);
-      drained += records.size();
+      drained += ops.size();
     }
     if (drained > 0) {
       staged_rows_.fetch_sub(drained, std::memory_order_relaxed);
-      std::lock_guard lock(mutex_);
-      stats_.rows_ingested += drained;
+      rows_ingested_total_.fetch_add(drained, std::memory_order_relaxed);
     }
     if (obs_) {
       obs_->waves->inc();
@@ -119,8 +157,12 @@ wms::WaveIngest IngestBridge::make_ingest() {
 }
 
 IngestBridge::Stats IngestBridge::stats() const {
-  std::lock_guard lock(mutex_);
-  return stats_;
+  Stats s;
+  s.rows_staged = rows_staged_total_.load(std::memory_order_relaxed);
+  s.rows_ingested = rows_ingested_total_.load(std::memory_order_relaxed);
+  s.waves_ingested = waves_ingested_total_.load(std::memory_order_relaxed);
+  s.refusals = refusals_total_.load(std::memory_order_relaxed);
+  return s;
 }
 
 std::optional<std::vector<IngestRecord>> parse_ingest_body(std::string_view body,
@@ -161,6 +203,57 @@ std::optional<std::vector<IngestRecord>> parse_ingest_body(std::string_view body
     start = next;
   }
   return records;
+}
+
+std::optional<std::vector<IngestSpan>> parse_ingest_spans(std::string_view body,
+                                                          std::string* error) {
+  std::vector<IngestSpan> spans;
+  // ~2 lines per 32 bytes is a decent density guess; one reserve avoids the
+  // doubling churn that dominates small-vector growth on big bodies.
+  spans.reserve(body.size() / 24 + 1);
+  const char* const base = body.data();
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+  while (start <= body.size()) {
+    std::size_t end = body.find('\n', start);
+    if (end == std::string_view::npos) end = body.size();
+    std::size_t line_end = end;
+    if (line_end > start && body[line_end - 1] == '\r') --line_end;
+    ++line_no;
+    if (line_end > start) {
+      const std::string_view line = body.substr(start, line_end - start);
+      const std::size_t c1 = line.find(',');
+      const std::size_t c2 = c1 == std::string_view::npos ? c1 : line.find(',', c1 + 1);
+      if (c1 == std::string_view::npos || c2 == std::string_view::npos || c1 == 0 ||
+          c2 == c1 + 1) {
+        if (error != nullptr) {
+          *error = "line " + std::to_string(line_no) + ": expected row,col,value";
+        }
+        return std::nullopt;
+      }
+      const std::string_view value_text = line.substr(c2 + 1);
+      double value = 0.0;
+      const auto [ptr, ec] =
+          std::from_chars(value_text.data(), value_text.data() + value_text.size(), value);
+      if (value_text.empty() || ec != std::errc() || ptr != value_text.data() + value_text.size()) {
+        if (error != nullptr) {
+          *error = "line " + std::to_string(line_no) + ": malformed value '" +
+                   std::string(value_text) + "'";
+        }
+        return std::nullopt;
+      }
+      IngestSpan span;
+      span.row_off = static_cast<std::uint32_t>(line.data() - base);
+      span.row_len = static_cast<std::uint32_t>(c1);
+      span.col_off = static_cast<std::uint32_t>(line.data() - base + c1 + 1);
+      span.col_len = static_cast<std::uint32_t>(c2 - c1 - 1);
+      span.value = value;
+      spans.push_back(span);
+    }
+    if (end == body.size()) break;
+    start = end + 1;
+  }
+  return spans;
 }
 
 }  // namespace smartflux::net

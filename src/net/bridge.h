@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
@@ -8,6 +9,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "wms/engine.h"
@@ -35,6 +37,19 @@ struct IngestRecord {
   double value = 0.0;
 };
 
+/// One `row,col,value` record of the zero-copy ingest path, as offsets into
+/// an arena string (the request body, moved — not copied — into the staged
+/// batch). Offsets rather than string_views: the arena is a std::string
+/// that gets moved between buffers, and a small-string move relocates the
+/// bytes, which would dangle any view taken earlier.
+struct IngestSpan {
+  std::uint32_t row_off = 0;
+  std::uint32_t row_len = 0;
+  std::uint32_t col_off = 0;
+  std::uint32_t col_len = 0;
+  double value = 0.0;
+};
+
 /// Why an ingest request was refused, and what to tell the client.
 struct IngestRefusal {
   std::string reason;           ///< "queue-closed" | "backpressure" | "shedding" | ...
@@ -42,10 +57,17 @@ struct IngestRefusal {
 };
 
 /// The bridge between the HTTP front-end and the wave engine: hundreds of
-/// connections stage rows concurrently (stage(), called on the server's
-/// loop thread per request), and one pipelined engine drains them wave by
-/// wave through the existing WaveIngest path (make_ingest() feeds every
-/// staged table to Client::put_batch, one batch per table per wave).
+/// connections stage rows concurrently (stage()/stage_spans(), called on
+/// the server's loop threads per request), and one pipelined engine drains
+/// them wave by wave through the existing WaveIngest path (make_ingest()
+/// feeds every staged table to Client::put_batch, one batch per table per
+/// wave).
+///
+/// Staging is striped: tables hash onto kStripes independent lock domains,
+/// so loop threads ingesting different tables never contend on one global
+/// bridge mutex. A table maps to exactly one stripe, which preserves the
+/// per-table append order the drain relies on; the drain merges stripes
+/// into one sorted table map so put_batch order stays deterministic.
 ///
 /// Admission control is evaluated per request *before* any row is staged:
 ///
@@ -96,6 +118,14 @@ class IngestBridge {
   /// Thread-safe; the records become visible to the next wave's ingest.
   std::size_t stage(const std::string& table, std::vector<IngestRecord> records);
 
+  /// Zero-copy staging: takes the request body itself as the backing arena
+  /// (moved, one allocation-free handoff per request) plus the spans
+  /// parse_ingest_spans() cut from it. The drain resolves spans to
+  /// string_views over the arena and hands them straight to put_batch — the
+  /// row/column text is never copied between socket buffer and store.
+  std::size_t stage_spans(const std::string& table, std::string arena,
+                          std::vector<IngestSpan> spans);
+
   /// The WaveIngest callback for WorkflowEngine::run_waves_pipelined (and
   /// for manual per-wave draining): swaps out everything staged so far and
   /// writes it table by table through Client::put_batch. Rows staged while
@@ -108,15 +138,35 @@ class IngestBridge {
   Stats stats() const;
 
  private:
-  using Staged = std::map<std::string, std::vector<IngestRecord>>;
+  /// Everything staged for one table: legacy owned records and zero-copy
+  /// arena batches, drained together (records first — both paths append in
+  /// arrival order within themselves).
+  struct TableStage {
+    std::vector<IngestRecord> records;
+    std::vector<std::pair<std::string, std::vector<IngestSpan>>> batches;
+    std::size_t rows = 0;
+  };
+  /// Lock domains; a power of two so stripe_of is a mask.
+  static constexpr std::size_t kStripes = 16;
+  struct Stripe {
+    mutable std::mutex mutex;
+    std::map<std::string, TableStage> staged;
+  };
   struct BridgeObs;  ///< pre-resolved metric handles (bridge.cpp)
+
+  static std::size_t stripe_of(std::string_view table) noexcept {
+    return std::hash<std::string_view>{}(table) & (kStripes - 1);
+  }
+  std::size_t commit(std::size_t count);
 
   Options options_;
   std::unique_ptr<BridgeObs> obs_;  ///< null when Options::metrics is null
-  mutable std::mutex mutex_;        ///< guards staged_ and stats_
-  Staged staged_;
-  Stats stats_;
+  std::array<Stripe, kStripes> stripes_;
   std::atomic<std::size_t> staged_rows_{0};
+  std::atomic<std::uint64_t> rows_staged_total_{0};
+  std::atomic<std::uint64_t> rows_ingested_total_{0};
+  std::atomic<std::uint64_t> waves_ingested_total_{0};
+  std::atomic<std::uint64_t> refusals_total_{0};
 };
 
 /// Parses a newline-delimited `row,col,value` ingest body. Returns the
@@ -125,5 +175,13 @@ class IngestBridge {
 /// a double.
 std::optional<std::vector<IngestRecord>> parse_ingest_body(std::string_view body,
                                                            std::string* error);
+
+/// Zero-copy variant of parse_ingest_body: the same grammar, but the output
+/// is offset spans into `body` instead of owned copies — nothing is
+/// allocated per field, and the value parses via std::from_chars straight
+/// from the buffer. The caller keeps `body` alive (typically by moving it
+/// into IngestBridge::stage_spans as the arena).
+std::optional<std::vector<IngestSpan>> parse_ingest_spans(std::string_view body,
+                                                          std::string* error);
 
 }  // namespace smartflux::net

@@ -230,6 +230,13 @@ void EventLoop::run() {
   }
 }
 
+void EventLoop::run(int tick_ms, const std::function<void()>& tick) {
+  while (!stop_.load(std::memory_order_acquire)) {
+    run_once(tick_ms);
+    if (tick) tick();
+  }
+}
+
 void EventLoop::stop() {
   stop_.store(true, std::memory_order_release);
   const char byte = 1;

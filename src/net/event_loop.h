@@ -79,6 +79,11 @@ class EventLoop {
   /// stop() issued before the loop thread entered run() and the loop
   /// parking itself (a fresh loop is one EventLoop construction away).
   void run();
+  /// run() with a periodic tick: the poller waits at most tick_ms per round
+  /// and `tick` runs after every round (so it fires at least every tick_ms
+  /// while idle, and between event batches while busy). The server's idle
+  /// sweeps ride on this.
+  void run(int tick_ms, const std::function<void()>& tick);
   /// One poller round: waits up to timeout_ms, dispatches, returns the
   /// number of events handled.
   std::size_t run_once(int timeout_ms);

@@ -2,15 +2,23 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
+#include <optional>
 
 #include "core/smartflux.h"
 #include "datastore/datastore.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "wms/xml_loader.h"
 
 namespace smartflux::net {
 
 namespace {
+
+/// Target size of one streamed scan chunk — big enough to amortize the
+/// chunked framing and syscalls, far enough under any sane max_write_buffer
+/// that the producer contract ("stay well under the bound") holds.
+constexpr std::size_t kScanChunkBytes = 32 * 1024;
 
 std::string format_value(double v) {
   char buf[64];
@@ -18,35 +26,98 @@ std::string format_value(double v) {
   return buf;
 }
 
+void append_value(std::string& out, double v) {
+  char buf[64];
+  const int n = std::snprintf(buf, sizeof buf, "%.17g", v);
+  out.append(buf, static_cast<std::size_t>(n));
+}
+
 Response missing_param(const char* name) {
   return json_response(400, std::string("{\"error\":\"missing query parameter '") + name +
                                 "'\"}\n");
 }
 
-Response refusal_response(const IngestRefusal& refusal) {
+Response make_refusal_response(const IngestRefusal& refusal) {
   Response r = json_response(503, "{\"error\":\"overloaded\",\"reason\":\"" +
                                       obs::json_escape(refusal.reason) + "\"}\n");
   r.headers.emplace_back("Retry-After", std::to_string(refusal.retry_after_seconds));
   return r;
 }
 
-void install_ingest(Router& router, IngestBridge* bridge) {
+/// Refusals arrive in bursts with the same reason (a gated queue refuses
+/// every request until it drains); cache the last formatted response per
+/// loop thread instead of reformatting JSON per refused request.
+const Response& refusal_response(const IngestRefusal& refusal) {
+  thread_local std::string cached_reason;
+  thread_local int cached_retry = -1;
+  thread_local Response cached;
+  if (refusal.reason != cached_reason || refusal.retry_after_seconds != cached_retry) {
+    cached = make_refusal_response(refusal);
+    cached_reason = refusal.reason;
+    cached_retry = refusal.retry_after_seconds;
+  }
+  return cached;
+}
+
+/// The hot 202 — snprintf into a stack buffer instead of four temporary
+/// strings of operator+.
+Response accepted_response(std::size_t count, std::size_t pending) {
+  char buf[96];
+  const int n = std::snprintf(buf, sizeof buf, "{\"staged\":%zu,\"pending\":%zu}\n", count,
+                              pending);
+  return json_response(202, std::string(buf, static_cast<std::size_t>(n)));
+}
+
+void install_ingest(Router& router, IngestBridge* bridge, bool zero_copy) {
   router.add("POST", "/ingest/<table>",
-             [bridge](const Request& request, const std::vector<std::string>& params) {
+             [bridge, zero_copy](Request& request, const std::vector<std::string>& params) {
                if (const auto refusal = bridge->admission()) {
                  bridge->report_refusal();
                  return refusal_response(*refusal);
                }
                std::string error;
+               if (zero_copy) {
+                 // Hot path: cut spans over the body in place, then move the
+                 // body itself into the bridge as the batch's arena — one
+                 // staging call, zero per-row copies.
+                 auto spans = parse_ingest_spans(request.body, &error);
+                 if (!spans) {
+                   return json_response(400, "{\"error\":\"" + obs::json_escape(error) + "\"}\n");
+                 }
+                 const std::size_t count = spans->size();
+                 const std::size_t staged =
+                     bridge->stage_spans(params[0], std::move(request.body), std::move(*spans));
+                 return accepted_response(count, staged);
+               }
                auto records = parse_ingest_body(request.body, &error);
                if (!records) {
                  return json_response(400, "{\"error\":\"" + obs::json_escape(error) + "\"}\n");
                }
                const std::size_t count = records->size();
                const std::size_t staged = bridge->stage(params[0], std::move(*records));
-               return json_response(202, "{\"staged\":" + std::to_string(count) +
-                                             ",\"pending\":" + std::to_string(staged) + "}\n");
+               return accepted_response(count, staged);
              });
+}
+
+/// One scan line in either output shape. Byte-identical between buffered
+/// and streamed responses by construction — both call exactly this.
+void append_scan_entry(std::string& out, const ds::FlatEntry& entry, bool ndjson) {
+  if (ndjson) {
+    out += "{\"row\":\"";
+    out += obs::json_escape(*entry.row);
+    out += "\",\"col\":\"";
+    out += obs::json_escape(*entry.col);
+    out += "\",\"value\":";
+    append_value(out, entry.value);
+    out += "}\n";
+  } else {
+    out += *entry.row;
+    out += ',';
+    out += *entry.col;
+    out += ',';
+    append_value(out, entry.value);
+    out += '\n';
+  }
 }
 
 void install_reads(Router& router, ds::DataStore* store) {
@@ -64,29 +135,87 @@ void install_reads(Router& router, ds::DataStore* store) {
              });
 
   // Scans are served from a FlatSnapshot: the container is copied out under
-  // the table's shared lock and the (possibly large) response is built after
-  // the lock is gone, so a slow scan never blocks ingest writers.
+  // the table's shared lock and the response is produced after the lock is
+  // gone, so a slow scan never blocks ingest writers. Two delivery modes:
+  // buffered (the whole body materializes up front — bounded by the
+  // server's write-buffer limit) and ?stream=1, which walks the snapshot in
+  // ~32KB chunked slices as the socket drains, so a container of millions
+  // of cells streams in constant per-connection memory.
   router.add("GET", "/scan",
              [store](const Request& request, const std::vector<std::string>&) {
                const auto table = request.query_param("table");
                if (!table) return missing_param("table");
+               const auto format = request.query_param("format");
+               const bool ndjson = format && *format == "ndjson";
+               if (format && !ndjson && *format != "csv") {
+                 return json_response(400, "{\"error\":\"format must be csv or ndjson\"}\n");
+               }
+               const auto stream_param = request.query_param("stream");
+               const bool stream = stream_param && *stream_param != "0" && *stream_param != "false";
                if (!store->has_table(*table)) {
                  return json_response(404, "{\"error\":\"no such table\"}\n");
                }
                ds::ContainerRef container(*table, request.query_param("column").value_or(""),
                                           request.query_param("prefix").value_or(""));
-               const ds::FlatSnapshot snapshot = store->snapshot_flat(container);
-               std::string body;
-               body.reserve(snapshot.size() * 32);
-               for (const ds::FlatEntry& entry : snapshot) {
-                 body += *entry.row;
-                 body += ',';
-                 body += *entry.col;
-                 body += ',';
-                 body += format_value(entry.value);
-                 body += '\n';
+               const char* content_type =
+                   ndjson ? "application/x-ndjson" : "text/plain; charset=utf-8";
+               if (!stream) {
+                 const ds::FlatSnapshot snapshot = store->snapshot_flat(container);
+                 std::string body;
+                 body.reserve(snapshot.size() * 32);
+                 for (const ds::FlatEntry& entry : snapshot) {
+                   append_scan_entry(body, entry, ndjson);
+                 }
+                 Response r = text_response(200, std::move(body));
+                 r.content_type = content_type;
+                 return r;
                }
-               return text_response(200, std::move(body));
+               // Streaming: the snapshot (which pins the interned key
+               // strings its entries point into) rides inside the producer
+               // and lives exactly as long as the stream.
+               auto snapshot = std::make_shared<const ds::FlatSnapshot>(
+                   store->snapshot_flat(container));
+               Response r;
+               r.status = 200;
+               r.content_type = content_type;
+               r.stream = [snapshot, ndjson, i = std::size_t{0}](std::string& chunk) mutable {
+                 const auto& entries = snapshot->entries();
+                 while (i < entries.size() && chunk.size() < kScanChunkBytes) {
+                   append_scan_entry(chunk, entries[i], ndjson);
+                   ++i;
+                 }
+                 return i < entries.size();
+               };
+               return r;
+             });
+}
+
+void install_workflow_route(Router& router, const wms::StepRegistry* steps,
+                            std::function<std::string(wms::WorkflowSpec&&)> install) {
+  router.add("POST", "/workflow",
+             [steps, install = std::move(install)](Request& request,
+                                                   const std::vector<std::string>&) {
+               std::optional<wms::WorkflowSpec> spec;
+               try {
+                 spec.emplace(wms::load_workflow_xml(request.body, *steps));
+               } catch (const std::exception& e) {
+                 // Parse/validation diagnostics (unknown impl, cycles, bad
+                 // bounds) go back verbatim — the client wrote the XML.
+                 return json_response(
+                     400, "{\"error\":\"workflow rejected\",\"detail\":\"" +
+                              obs::json_escape(e.what()) + "\"}\n");
+               }
+               std::string body = "{\"workflow\":\"" + obs::json_escape(spec->name()) +
+                                  "\",\"steps\":" + std::to_string(spec->size());
+               if (install) {
+                 const std::string extra = install(std::move(*spec));
+                 if (!extra.empty()) {
+                   body += ',';
+                   body += extra;
+                 }
+               }
+               body += "}\n";
+               return json_response(200, std::move(body));
              });
 }
 
@@ -166,8 +295,13 @@ void install_metrics(Router& router, obs::MetricsRegistry* registry) {
 
 Router make_gateway_router(GatewayOptions options) {
   Router router;
-  if (options.ingest != nullptr) install_ingest(router, options.ingest);
+  if (options.ingest != nullptr) {
+    install_ingest(router, options.ingest, options.zero_copy_ingest);
+  }
   if (options.store != nullptr) install_reads(router, options.store);
+  if (options.workflow_steps != nullptr) {
+    install_workflow_route(router, options.workflow_steps, std::move(options.install_workflow));
+  }
   install_status(router, options);
   install_wave_run(router, options.run_waves);
   if (options.metrics != nullptr) install_metrics(router, options.metrics);

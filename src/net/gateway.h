@@ -15,6 +15,10 @@ class MetricsRegistry;
 namespace smartflux::core {
 class SmartFluxEngine;
 }
+namespace smartflux::wms {
+class StepRegistry;
+class WorkflowSpec;
+}  // namespace smartflux::wms
 
 namespace smartflux::net {
 
@@ -28,10 +32,24 @@ struct GatewayOptions {
   ds::DataStore* store = nullptr;
   /// POST /ingest/<table> — newline-delimited `row,col,value` records.
   IngestBridge* ingest = nullptr;
+  /// Ingest body handling. true (default): lines are parsed in place as
+  /// spans over the request body and the body itself is moved into the
+  /// bridge as the backing arena — no per-row string copies between socket
+  /// buffer and store. false: the legacy owned-record path (kept as the
+  /// benchmark baseline and as a fallback switch).
+  bool zero_copy_ingest = true;
   /// GET /metrics — Prometheus text exposition of the registry.
   obs::MetricsRegistry* metrics = nullptr;
   /// GET /status — health/phase fields (otherwise reported as "unknown").
   const core::SmartFluxEngine* smartflux = nullptr;
+  /// POST /workflow — XML workflow definitions (the paper's §4.2 schema)
+  /// validated against this step registry (not owned). Null = route absent.
+  const wms::StepRegistry* workflow_steps = nullptr;
+  /// Called after a POSTed workflow parses, with the validated spec; returns
+  /// extra JSON fields ("\"installed\":true") appended into the 200 body.
+  /// Runs on a server loop thread — hand the spec off, don't execute it.
+  /// Null = the route only validates and reports the spec's shape.
+  std::function<std::string(wms::WorkflowSpec&&)> install_workflow;
   /// POST /wave/run — app-provided wave submission. The hook is called on
   /// the server loop thread with the requested wave count and must return
   /// quickly (enqueue, don't compute); it reports back a JSON object body.
@@ -47,7 +65,11 @@ struct GatewayOptions {
 ///   POST /ingest/<table>  batched cell ingest (503 + Retry-After under
 ///                         backpressure/shedding — see IngestBridge)
 ///   GET  /get             point read as JSON
-///   GET  /scan            container dump, text lines `row,col,value`
+///   GET  /scan            container dump: text lines `row,col,value`, or
+///                         NDJSON with ?format=ndjson; add ?stream=1 for a
+///                         chunked response that walks the snapshot as the
+///                         socket drains (bounded memory per connection)
+///   POST /workflow        XML workflow upload (400 + diagnostics on bad XML)
 ///   GET  /status          engine/bridge introspection JSON
 ///   POST /wave/run        workflow submission (?count=N, default 1)
 ///   GET  /metrics         Prometheus text exposition

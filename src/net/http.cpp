@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 
 namespace smartflux::net {
 
@@ -102,15 +103,80 @@ const char* status_reason(int status) noexcept {
   }
 }
 
-std::string serialize(const Response& response, bool keep_alive) {
-  std::string out = "HTTP/1.1 ";
-  out += std::to_string(response.status);
-  out += ' ';
-  out += status_reason(response.status);
-  out += "\r\nContent-Type: ";
-  out += response.content_type;
-  out += "\r\nContent-Length: ";
-  out += std::to_string(response.body.size());
+namespace {
+
+constexpr std::string_view kTextPlain = "text/plain; charset=utf-8";
+constexpr std::string_view kJson = "application/json";
+
+std::string make_head_prefix(int status, std::string_view content_type) {
+  std::string s = "HTTP/1.1 ";
+  s += std::to_string(status);
+  s += ' ';
+  s += status_reason(status);
+  s += "\r\nContent-Type: ";
+  s += content_type;
+  s += "\r\nContent-Length: ";
+  return s;
+}
+
+/// Preformatted head prefix (through "Content-Length: ") for the hot
+/// status × stock-content-type combinations, nullptr otherwise. Built once;
+/// magic statics make first use thread-safe across loop threads.
+const std::string* cached_head_prefix(int status, const std::string& content_type) {
+  const bool text = content_type == kTextPlain;
+  if (!text && content_type != kJson) return nullptr;
+  switch (status) {
+    case 200: {
+      static const std::string t = make_head_prefix(200, kTextPlain);
+      static const std::string j = make_head_prefix(200, kJson);
+      return text ? &t : &j;
+    }
+    case 202: {
+      static const std::string t = make_head_prefix(202, kTextPlain);
+      static const std::string j = make_head_prefix(202, kJson);
+      return text ? &t : &j;
+    }
+    case 404: {
+      static const std::string t = make_head_prefix(404, kTextPlain);
+      static const std::string j = make_head_prefix(404, kJson);
+      return text ? &t : &j;
+    }
+    case 503: {
+      static const std::string t = make_head_prefix(503, kTextPlain);
+      static const std::string j = make_head_prefix(503, kJson);
+      return text ? &t : &j;
+    }
+    default: return nullptr;
+  }
+}
+
+}  // namespace
+
+void append_head(std::string& out, const Response& response, bool keep_alive, bool chunked) {
+  if (chunked) {
+    out += "HTTP/1.1 ";
+    out += std::to_string(response.status);
+    out += ' ';
+    out += status_reason(response.status);
+    out += "\r\nContent-Type: ";
+    out += response.content_type;
+    out += "\r\nTransfer-Encoding: chunked";
+  } else if (const std::string* prefix = cached_head_prefix(response.status,
+                                                            response.content_type)) {
+    out += *prefix;
+    char digits[20];
+    const int n = std::snprintf(digits, sizeof digits, "%zu", response.body.size());
+    out.append(digits, static_cast<std::size_t>(n));
+  } else {
+    out += "HTTP/1.1 ";
+    out += std::to_string(response.status);
+    out += ' ';
+    out += status_reason(response.status);
+    out += "\r\nContent-Type: ";
+    out += response.content_type;
+    out += "\r\nContent-Length: ";
+    out += std::to_string(response.body.size());
+  }
   out += "\r\nConnection: ";
   out += keep_alive ? "keep-alive" : "close";
   out += "\r\n";
@@ -121,6 +187,12 @@ std::string serialize(const Response& response, bool keep_alive) {
     out += "\r\n";
   }
   out += "\r\n";
+}
+
+std::string serialize(const Response& response, bool keep_alive) {
+  std::string out;
+  out.reserve(160 + response.body.size());
+  append_head(out, response, keep_alive, /*chunked=*/false);
   out += response.body;
   return out;
 }

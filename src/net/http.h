@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -40,14 +41,31 @@ struct Request {
   std::optional<std::string> query_param(std::string_view key) const;
 };
 
+/// Produces the next chunk of a streaming response body. The server calls
+/// it on the loop thread as the socket drains: append the next slice of the
+/// body to `chunk` (passed in empty) and return true while more may follow,
+/// false once the body is complete (bytes appended on the final call are
+/// still sent). Contract: a call returning true must append at least one
+/// byte — an empty chunk with "more to come" would stall the connection —
+/// and each chunk should stay well under the server's `max_write_buffer`.
+using ChunkProducer = std::function<bool(std::string& chunk)>;
+
 /// One response a handler produces. `headers` carries extras (Retry-After,
 /// ...); Content-Length, Content-Type and Connection are emitted by
 /// serialize().
+///
+/// Setting `stream` turns the response into a chunked (Transfer-Encoding)
+/// stream: `body` must be empty and the producer is pulled as the peer
+/// reads, bounded by the server's write-buffer watermark — a response of
+/// millions of rows never materializes contiguously. HTTP/1.0 peers cannot
+/// parse chunked framing, so for them the server drains the producer into a
+/// buffered body instead.
 struct Response {
   int status = 200;
   std::string content_type = "text/plain; charset=utf-8";
   std::vector<std::pair<std::string, std::string>> headers;
   std::string body;
+  ChunkProducer stream;  ///< non-null = chunked streaming body
 };
 
 /// Canonical reason phrase for the status codes this server emits
@@ -56,6 +74,14 @@ const char* status_reason(int status) noexcept;
 
 /// Wire form of a response; `keep_alive` selects the Connection header.
 std::string serialize(const Response& response, bool keep_alive);
+
+/// Appends the response head (status line through the blank line, body
+/// excluded) to `out`. With `chunked` the framing header is
+/// `Transfer-Encoding: chunked` instead of Content-Length. The hot
+/// (status, content-type) combinations reuse a preformatted prefix so the
+/// per-response cost is one length append — this is the server's write
+/// path, where serialize()'s full-string build would copy the body.
+void append_head(std::string& out, const Response& response, bool keep_alive, bool chunked);
 
 /// Convenience makers used across the gateway and the server's own error
 /// paths.

@@ -45,7 +45,7 @@ bool Router::match(const Route& route, const std::vector<std::string>& segments,
   return true;
 }
 
-Response Router::dispatch(const Request& request) const {
+Response Router::dispatch(Request& request) const {
   const std::vector<std::string> segments = split_path(request.path);
   std::vector<std::string> params;
   bool path_matched = false;

@@ -9,11 +9,15 @@
 namespace smartflux::net {
 
 /// Handler for one route. `params` holds the values captured by the
-/// pattern's `<name>` segments, in pattern order. Handlers run on the
-/// server's event-loop thread: they must not block (every connection shares
-/// that thread) — reading the thread-safe DataStore or snapshotting metrics
-/// is fine, running waves or waiting on queues is not.
-using Handler = std::function<Response(const Request&, const std::vector<std::string>& params)>;
+/// pattern's `<name>` segments, in pattern order. Handlers run on one of
+/// the server's event-loop threads: they must not block (every connection
+/// of that loop shares the thread) and must not touch loop-local state of
+/// other loops — reading the thread-safe DataStore or snapshotting metrics
+/// is fine, running waves or waiting on queues is not. The request is
+/// passed mutably so hot handlers can move the body out instead of copying
+/// it (the zero-copy ingest path); handlers that only read may take
+/// `const Request&` as before.
+using Handler = std::function<Response(Request&, const std::vector<std::string>& params)>;
 
 /// Method + path-pattern dispatch table. Patterns are segment-exact
 /// ("/status") or capture single segments with angle brackets
@@ -27,7 +31,7 @@ class Router {
   /// Resolves and invokes the handler. Handler exceptions are caught and
   /// mapped to a 500 with the what() in the body — a buggy handler must not
   /// tear down the server loop.
-  Response dispatch(const Request& request) const;
+  Response dispatch(Request& request) const;
 
   std::size_t size() const noexcept { return routes_.size(); }
 

@@ -3,9 +3,9 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
-#include <thread>
-#include <unordered_map>
+#include <vector>
 
 #include "net/event_loop.h"
 #include "net/http.h"
@@ -29,19 +29,36 @@ struct ServerOptions {
   HttpLimits limits{};
   /// Pending response bytes per connection above which the peer is treated
   /// as a slow reader and disconnected — the bound that keeps one stalled
-  /// client from buffering the server into the ground.
+  /// client from buffering the server into the ground. Streaming responses
+  /// pause their producer at half this bound, so they never trip it.
   std::size_t max_write_buffer = 256 * 1024;
-  /// Connections beyond this are accepted and immediately closed (counted
-  /// as refused) so the kernel backlog cannot grow unread.
+  /// Connections beyond this (across all loops) are accepted and
+  /// immediately closed (counted as refused) so the kernel backlog cannot
+  /// grow unread.
   std::size_t max_connections = 1024;
   /// listen(2) backlog.
   int listen_backlog = 128;
+  /// Event-loop threads. Each loop owns its own SO_REUSEPORT listener (the
+  /// kernel load-balances accepts across them) and every connection it
+  /// accepted — shared-nothing: per-loop accept, per-loop connection table,
+  /// per-loop stats merged on snapshot. Where SO_REUSEPORT is unavailable
+  /// (or reuse_port is false) all loops share one listener behind a lock.
+  /// 0 is treated as 1; 1 keeps the exact single-loop shape.
+  std::size_t loop_threads = 1;
+  /// Force the shared-listener fallback even where SO_REUSEPORT exists
+  /// (test hook; also the safe setting on exotic kernels).
+  bool reuse_port = true;
+  /// Keep-alive connections with no socket activity for this long are
+  /// reaped (counted as idle_disconnects), so an idle client cannot hold a
+  /// max_connections slot forever. 0 disables reaping.
+  std::size_t idle_timeout_ms = 60'000;
   /// Optional metrics registry (not owned): sf_net_* counters/gauges plus a
   /// request duration histogram. Null = no instrumentation cost.
   obs::MetricsRegistry* metrics = nullptr;
 };
 
-/// Lifetime counters, readable from any thread while the loop runs.
+/// Lifetime counters, readable from any thread while the loops run. With
+/// loop_threads > 1 each loop counts shared-nothing; stats() merges.
 struct ServerStats {
   std::uint64_t connections_accepted = 0;
   std::uint64_t connections_refused = 0;  ///< over max_connections
@@ -50,19 +67,29 @@ struct ServerStats {
   std::uint64_t requests = 0;
   std::uint64_t parse_errors = 0;
   std::uint64_t slow_disconnects = 0;
+  std::uint64_t idle_disconnects = 0;    ///< reaped past idle_timeout_ms
+  std::uint64_t streams_started = 0;     ///< chunked streaming responses begun
+  std::uint64_t streams_completed = 0;   ///< ... that ran to the final chunk
   std::uint64_t bytes_read = 0;
   std::uint64_t bytes_written = 0;
+  /// Largest pending write buffer any single connection ever held — the
+  /// bound streaming mode is designed to keep at ~max_write_buffer/2.
+  std::uint64_t peak_write_buffer = 0;
 };
 
-/// Single-threaded asynchronous HTTP/1.1 server: one event-loop thread
-/// drives the non-blocking listener and every connection (reads, incremental
-/// parsing, handler dispatch, buffered writes). Keep-alive and pipelining
-/// come from the RequestParser; responses go out in request order per
-/// connection. Handlers execute on the loop thread — see Router's contract.
+/// Asynchronous HTTP/1.1 server over N shared-nothing event loops. Each
+/// loop thread drives its own non-blocking listener (SO_REUSEPORT sharding;
+/// locked shared accept as the fallback) and every connection it accepted:
+/// reads, incremental parsing, handler dispatch, and vectored buffered
+/// writes (header + body + stream chunks go out through one writev-style
+/// sendmsg, never concatenated). Keep-alive and pipelining come from the
+/// RequestParser; responses go out in request order per connection —
+/// streaming (chunked) responses hold the order until their final chunk.
+/// Handlers execute on the owning loop thread — see Router's contract.
 ///
-/// Threading: start() spawns the loop thread; stop() (and the destructor)
-/// wakes and joins it, then closes every connection. port() and stats() are
-/// safe from any thread.
+/// Threading: start() spawns the loop threads; stop() (and the destructor)
+/// wakes and joins them, then closes every connection. port(), stats() and
+/// loop_count() are safe from any thread.
 class Server {
  public:
   Server(Router router, ServerOptions options = {});
@@ -71,52 +98,64 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Binds, listens and launches the loop thread. Throws Error when the
+  /// Binds, listens and launches the loop threads. Throws Error when the
   /// address cannot be bound.
   void start();
-  /// Idempotent; joins the loop thread and closes all sockets.
+  /// Idempotent; joins the loop threads and closes all sockets.
   void stop();
 
   bool running() const noexcept { return running_.load(std::memory_order_acquire); }
   /// Actual bound port (after start()).
   std::uint16_t port() const noexcept { return port_.load(std::memory_order_acquire); }
-  const char* backend_name() const noexcept { return loop_.backend_name(); }
+  const char* backend_name() const noexcept;
+
+  std::size_t loop_count() const noexcept { return loops_.size(); }
+  /// True after start() when each loop owns its own SO_REUSEPORT listener
+  /// (false = single-loop or the locked shared-listener fallback).
+  bool reuse_port_active() const noexcept {
+    return reuse_port_active_.load(std::memory_order_acquire);
+  }
 
   ServerStats stats() const noexcept;
 
  private:
-  struct Connection {
-    int fd = -1;
-    RequestParser parser;
-    std::string out;            ///< pending response bytes
-    std::size_t out_offset = 0; ///< already-written prefix of out
-    bool want_write = false;    ///< loop interest currently includes writable
-    bool closing = false;       ///< close once out drains
-    explicit Connection(HttpLimits limits) : parser(limits) {}
-  };
+  struct Connection;  ///< per-connection state (server.cpp)
+  struct Loop;        ///< one event loop + its connections + counters (server.cpp)
+  struct Metrics;     ///< pre-resolved sf_net_* metric handles (server.cpp)
 
-  struct Counters;  ///< atomic ServerStats + metric handles (server.cpp)
-
-  void on_listener_readable();
-  void on_connection_event(int fd, bool readable, bool writable, bool error);
-  /// Drains completed requests from the parser into the write buffer.
-  void process_requests(Connection& conn);
-  /// Writes what the socket accepts; updates write interest; enforces the
-  /// slow-reader bound; closes when done and closing.
-  void flush(Connection& conn);
-  void close_connection(int fd);
-  void enqueue(Connection& conn, const Response& response, bool keep_alive);
+  void bind_listeners();
+  void loop_main(Loop& loop);
+  void on_accept(Loop& loop);
+  void on_connection_event(Loop& loop, int fd, bool readable, bool writable, bool error);
+  /// Drains completed requests from the parser into the write queue; parked
+  /// while a streaming response owns the response order.
+  void process_requests(Loop& loop, Connection& conn);
+  /// Appends one response to the connection's chunk queue (head and body as
+  /// separate chunks — the body is moved, not copied) or begins a stream.
+  void enqueue(Loop& loop, Connection& conn, Response&& response, bool keep_alive,
+               int version_minor);
+  /// Pulls stream chunks while pending bytes sit under the stream watermark.
+  void pump_stream(Loop& loop, Connection& conn);
+  /// Writes what the socket accepts via vectored sendmsg, refilling from an
+  /// active stream as the buffer drains; updates write interest; enforces
+  /// the slow-reader bound. Returns false when the connection was closed.
+  bool flush(Loop& loop, Connection& conn);
+  void push_chunk(Loop& loop, Connection& conn, std::string data);
+  void close_connection(Loop& loop, int fd);
+  void sweep_idle(Loop& loop);
 
   Router router_;
   ServerOptions options_;
-  EventLoop loop_;
-  std::unique_ptr<Counters> counters_;
-  std::thread thread_;
+  std::unique_ptr<Metrics> metrics_;
+  std::vector<std::unique_ptr<Loop>> loops_;
   std::atomic<bool> running_{false};
   std::atomic<std::uint16_t> port_{0};
-  int listen_fd_ = -1;
-  /// Loop-thread-only connection table.
-  std::unordered_map<int, std::unique_ptr<Connection>> connections_;
+  std::atomic<bool> reuse_port_active_{false};
+  /// Global connection count (the max_connections bound spans all loops).
+  std::atomic<std::size_t> total_connections_{0};
+  /// Fallback path: one listener shared by every loop, accepts serialized.
+  std::mutex accept_mutex_;
+  int shared_listen_fd_ = -1;
 };
 
 }  // namespace smartflux::net

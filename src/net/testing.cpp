@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 #include <utility>
@@ -157,6 +158,7 @@ ClientResponse Client::read_response() {
 
   // Headers.
   std::size_t content_length = 0;
+  bool chunked = false;
   std::size_t pos = line_end == std::string_view::npos ? head.size() : line_end + 2;
   while (pos < head.size()) {
     std::size_t eol = head.find("\r\n", pos);
@@ -172,15 +174,48 @@ ClientResponse Client::read_response() {
     response.headers.emplace_back(std::string(line.substr(0, colon)), std::string(value));
     if (iequals(line.substr(0, colon), "Content-Length")) {
       content_length = static_cast<std::size_t>(std::atoll(std::string(value).c_str()));
+    } else if (iequals(line.substr(0, colon), "Transfer-Encoding") && iequals(value, "chunked")) {
+      chunked = true;
     }
   }
 
   consumed_ = head_end + 4;
-  while (buffer_.size() - consumed_ < content_length) {
-    if (!fill()) throw Error("testing::Client: connection closed mid-body");
+  if (chunked) {
+    // De-chunk: size-line (hex) CRLF data CRLF ... "0" CRLF CRLF. The
+    // server never sends trailers, so the terminator is exactly one blank
+    // line after the zero chunk.
+    response.chunked = true;
+    for (;;) {
+      std::size_t eol;
+      while ((eol = buffer_.find("\r\n", consumed_)) == std::string::npos) {
+        if (!fill()) throw Error("testing::Client: connection closed mid-chunk-size");
+      }
+      const std::string size_text = buffer_.substr(consumed_, eol - consumed_);
+      char* end = nullptr;
+      const std::size_t size =
+          static_cast<std::size_t>(std::strtoull(size_text.c_str(), &end, 16));
+      if (end == size_text.c_str()) throw Error("testing::Client: malformed chunk size");
+      consumed_ = eol + 2;
+      if (size == 0) {
+        while (buffer_.size() - consumed_ < 2) {
+          if (!fill()) throw Error("testing::Client: connection closed before chunk terminator");
+        }
+        consumed_ += 2;
+        break;
+      }
+      while (buffer_.size() - consumed_ < size + 2) {
+        if (!fill()) throw Error("testing::Client: connection closed mid-chunk");
+      }
+      response.body.append(buffer_, consumed_, size);
+      consumed_ += size + 2;
+    }
+  } else {
+    while (buffer_.size() - consumed_ < content_length) {
+      if (!fill()) throw Error("testing::Client: connection closed mid-body");
+    }
+    response.body = buffer_.substr(consumed_, content_length);
+    consumed_ += content_length;
   }
-  response.body = buffer_.substr(consumed_, content_length);
-  consumed_ += content_length;
 
   // Compact once everything buffered has been handed out.
   if (consumed_ == buffer_.size()) {

@@ -15,6 +15,9 @@ struct ClientResponse {
   std::string reason;
   std::vector<std::pair<std::string, std::string>> headers;
   std::string body;
+  /// True when the body arrived via Transfer-Encoding: chunked (the client
+  /// de-chunks transparently; `body` is the reassembled payload).
+  bool chunked = false;
 
   /// First header with this name (case-insensitive), or nullptr.
   const std::string* header(std::string_view name) const noexcept;

@@ -195,6 +195,10 @@ Request make_request(std::string method, std::string path) {
   return request;
 }
 
+// dispatch() takes the request mutably (handlers may move the body out);
+// give the rvalues from make_request a home.
+Response dispatch_one(const Router& router, Request request) { return router.dispatch(request); }
+
 TEST(Router, DispatchAndCaptures) {
   Router router;
   router.add("GET", "/status", [](const Request&, const std::vector<std::string>&) {
@@ -205,15 +209,15 @@ TEST(Router, DispatchAndCaptures) {
                return text_response(202, params.at(0));
              });
 
-  EXPECT_EQ(router.dispatch(make_request("GET", "/status")).status, 200);
-  const Response captured = router.dispatch(make_request("POST", "/ingest/sensors"));
+  EXPECT_EQ(dispatch_one(router, make_request("GET", "/status")).status, 200);
+  const Response captured = dispatch_one(router, make_request("POST", "/ingest/sensors"));
   EXPECT_EQ(captured.status, 202);
   EXPECT_EQ(captured.body, "sensors");
 
-  EXPECT_EQ(router.dispatch(make_request("GET", "/nope")).status, 404);
-  EXPECT_EQ(router.dispatch(make_request("DELETE", "/status")).status, 405);
+  EXPECT_EQ(dispatch_one(router, make_request("GET", "/nope")).status, 404);
+  EXPECT_EQ(dispatch_one(router, make_request("DELETE", "/status")).status, 405);
   // Captures are single-segment: /ingest/a/b matches nothing.
-  EXPECT_EQ(router.dispatch(make_request("POST", "/ingest/a/b")).status, 404);
+  EXPECT_EQ(dispatch_one(router, make_request("POST", "/ingest/a/b")).status, 404);
 }
 
 TEST(Router, HandlerExceptionBecomes500) {
@@ -221,7 +225,7 @@ TEST(Router, HandlerExceptionBecomes500) {
   router.add("GET", "/boom", [](const Request&, const std::vector<std::string>&) -> Response {
     throw std::runtime_error("handler bug");
   });
-  const Response response = router.dispatch(make_request("GET", "/boom"));
+  const Response response = dispatch_one(router, make_request("GET", "/boom"));
   EXPECT_EQ(response.status, 500);
   EXPECT_NE(response.body.find("handler bug"), std::string::npos);
 }
