@@ -5,6 +5,7 @@
 // SmartFlux overload health machine and the stall watchdog all armed.
 //
 //   ./bench/soak [app_waves] [train_waves] [grid] [seed] > docs/bench/soak.json
+//   ./bench/soak net [requests_per_client] [clients] [seed]   (network leg)
 //
 // Defaults (1000 app waves, grid 20 = 1200 sensor cells/wave, burst factor 4)
 // push ~2M cells through ingest. The bench exits non-zero when any resilience
@@ -25,12 +26,15 @@
 // consistency cut.
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/fault_injection.h"
@@ -38,6 +42,10 @@
 #include "core/smartflux.h"
 #include "datastore/client.h"
 #include "datastore/datastore.h"
+#include "net/bridge.h"
+#include "net/gateway.h"
+#include "net/server.h"
+#include "net/testing.h"
 #include "scenario/scenario.h"
 #include "wms/journal.h"
 #include "wms/watchdog.h"
@@ -68,9 +76,348 @@ struct Config {
   std::string dir = "soak_data";
 };
 
+// --------------------------------------------------------------------------
+// Network leg: ./bench/soak net [requests_per_client] [clients] [seed]
+//
+// The ingest-reliability soak (DESIGN.md §14): a swarm of keyed HTTP clients
+// feeds the AQHI compute workflow through the real server while the main
+// thread paces waves, a WAL power cut is injected mid-run with one request
+// per client parked in the kill-between-ack-and-commit window, the store is
+// recovered, and the swarm replays every potentially-unacked request before
+// wave driving resumes — the client retry contract. Runs twice: once with a
+// quiet schedule and once under socket-level chaos (fragmented writes,
+// mid-body resets, stalls past the 408 deadline, duplicate sends). Both
+// passes end with Server::drain() and are self-checked for exact row
+// conservation: every expected cell present, with the right value, exactly
+// once — zero lost, zero duplicated.
+
+constexpr std::size_t kNetRowsPerRequest = 4;
+
+std::string net_row(std::size_t c, std::size_t r, std::size_t k) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "c%zu_s%zu_r%zu", c, r, k);
+  return buf;
+}
+
+// Integer + 0.25: survives the %.2f print / from_chars parse round trip
+// bit-exactly, so conservation can compare with ==.
+double net_value(std::size_t c, std::size_t r, std::size_t k) {
+  return static_cast<double>(c * 100000 + r * 100 + k) + 0.25;
+}
+
+std::string net_body(std::size_t c, std::size_t r) {
+  std::string body;
+  for (std::size_t k = 0; k < kNetRowsPerRequest; ++k) {
+    char line[96];
+    std::snprintf(line, sizeof line, "%s,o3,%.2f\n", net_row(c, r, k).c_str(),
+                  net_value(c, r, k));
+    body += line;
+  }
+  return body;
+}
+
+struct NetModeReport {
+  std::uint64_t acked = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t seeded_keys = 0;
+  net::testing::ChaosStats chaos;  ///< summed over the swarm
+  std::uint64_t bridge_duplicates = 0;
+  std::uint64_t http_requests = 0;
+  std::uint64_t read_timeouts = 0;
+  bool crashed = false;
+  ds::Timestamp crash_wave = 0;
+  ds::Timestamp resume_wave = 0;
+  std::size_t expected_cells = 0;
+  std::size_t found_cells = 0;
+  std::size_t missing = 0;
+  std::size_t wrong_value = 0;
+  std::size_t multi_version = 0;
+  bool drained = false;
+  bool pass = false;
+};
+
+NetModeReport run_net_mode(bool chaos, std::size_t requests_per_client, std::size_t clients,
+                           std::uint64_t seed) {
+  namespace nt = net::testing;
+  NetModeReport report;
+
+  scenario::CampaignOptions copts;
+  copts.seed = seed + (chaos ? 1 : 0);
+  if (chaos) {
+    copts.net_chaos.partial_write = 0.12;
+    copts.net_chaos.reset = 0.08;
+    copts.net_chaos.stall = 0.04;
+    copts.net_chaos.duplicate = 0.08;
+    copts.net_chaos.stall_for = std::chrono::milliseconds(120);
+  }
+  scenario::Campaign campaign(copts);
+  const NetChaosSchedule quiet;  // zero probabilities: every draw is kNone
+  const NetChaosSchedule& schedule = chaos ? campaign.net_chaos() : quiet;
+
+  const std::string dir = std::string("soak_net_data/") + (chaos ? "chaos" : "normal");
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string store_dir = dir + "/store";
+
+  ds::DurabilityOptions dur;
+  dur.flush = ds::WalFlushPolicy::kEveryWave;
+  dur.fault_injector = &campaign.faults();
+  const ds::ShardOptions shards{.shards = 2};
+  constexpr std::size_t kMaxVersions = 4;
+
+  workloads::AqhiParams params;
+  params.grid = 6;  // small compute surface; the soak stresses ingest, not math
+  params.seed = seed;
+  const workloads::AqhiWorkload workload(params);
+  const wms::WorkflowSpec spec = workload.make_compute_workflow();
+
+  auto store = std::make_unique<ds::DataStore>(kMaxVersions, shards);
+  store->enable_durability(store_dir, dur);
+  auto engine = std::make_unique<wms::WorkflowEngine>(spec, *store);
+  auto bridge = std::make_unique<net::IngestBridge>(net::IngestBridge::Options{});
+
+  const auto make_server = [&] {
+    net::GatewayOptions gateway;
+    gateway.store = store.get();
+    gateway.ingest = bridge.get();
+    net::ServerOptions server_options;
+    server_options.port = 0;
+    // Under chaos the injected stalls (120ms) must overshoot the read
+    // deadline, so every stall exercises the 408 sweep and a retry.
+    if (chaos) server_options.request_read_timeout_ms = 40;
+    auto server = std::make_unique<net::Server>(net::make_gateway_router(gateway),
+                                                server_options);
+    server->start();
+    return server;
+  };
+  auto server = make_server();
+
+  std::vector<nt::ChaosClient> swarm;
+  swarm.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    swarm.emplace_back(server->port(), &schedule, /*stream=*/c);
+  }
+
+  ds::Timestamp next_wave = 1;
+  const auto drain_wave = [&] {
+    wms::SyncController sync;
+    engine->run_waves_pipelined(next_wave, 1, sync, bridge->make_ingest());
+    ++next_wave;
+  };
+
+  std::atomic<std::uint64_t> failed{0};
+  const auto send_range = [&](std::size_t c, std::size_t lo, std::size_t hi) {
+    for (std::size_t r = lo; r < hi; ++r) {
+      char key[32];
+      std::snprintf(key, sizeof key, "c%zu:%zu", c, r);
+      if (swarm[c].post_ingest("sensors", key, net_body(c, r)) != 202) {
+        failed.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  };
+  const auto run_phase = [&](std::size_t lo, std::size_t hi, bool drive_waves) {
+    std::atomic<std::size_t> live{clients};
+    std::vector<std::thread> workers;
+    workers.reserve(clients);
+    for (std::size_t c = 0; c < clients; ++c) {
+      workers.emplace_back([&, c] {
+        send_range(c, lo, hi);
+        live.fetch_sub(1, std::memory_order_release);
+      });
+    }
+    wms::SyncController sync;
+    const wms::WaveIngest ingest = bridge->make_ingest();
+    while (drive_waves && live.load(std::memory_order_acquire) > 0) {
+      engine->run_waves_pipelined(next_wave, 1, sync, ingest);
+      ++next_wave;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    for (auto& worker : workers) worker.join();
+  };
+
+  // Phase A: the first half of every client's requests, waves pacing along.
+  const std::size_t half = requests_per_client / 2;
+  run_phase(0, half, /*drive_waves=*/true);
+  while (bridge->staged_rows() > 0) drain_wave();  // phase-A keys now durable
+
+  // The straddler: one request per client acked (202 = staged) but never
+  // drained — parked squarely in the kill-between-ack-and-commit window.
+  run_phase(half, half + 1, /*drive_waves=*/false);
+
+  // Power cut: the next WAL append dies mid-wave, taking the straddler's
+  // batch (and its key stamps) down with the process image.
+  {
+    DiskFaultRule crash;
+    crash.kind = DiskFaultKind::kCrash;
+    crash.file_tag = "wal-s0";
+    crash.message = "soak-net: power cut";
+    campaign.faults().add_disk_rule(crash);
+  }
+  report.crash_wave = next_wave;
+  try {
+    drain_wave();
+  } catch (const InjectedFault&) {
+    report.crashed = true;
+  }
+
+  // Abandon the wedged stack and recover from disk.
+  const net::ServerStats server_stats_a = server->stats();
+  server->stop();
+  server.reset();
+  const net::IngestBridge::Stats bridge_stats_a = bridge->stats();
+  engine.reset();
+  store.reset();
+  campaign.faults().clear_rules();
+
+  ds::RecoveryInfo info;
+  store = ds::DataStore::recover(store_dir, dur, kMaxVersions, &info, shards);
+  const ds::Timestamp durable = info.last_durable_wave.value_or(0);
+  next_wave = durable + 1;
+  report.resume_wave = next_wave;
+  bridge = std::make_unique<net::IngestBridge>(net::IngestBridge::Options{});
+  report.seeded_keys = bridge->seed_dedupe(*store);
+  engine = std::make_unique<wms::WorkflowEngine>(spec, *store);
+  server = make_server();
+  for (auto& client : swarm) client.set_port(server->port());
+
+  // Phase B, the client retry contract: first replay EVERY potentially
+  // unacknowledged request (same keys, before wave driving resumes — keys
+  // already durable re-ack as duplicates, torn ones re-stage), then drain
+  // the orphans at exactly wave durable+1 so they overwrite any torn
+  // pre-crash appends at the same timestamp. Only then does new traffic flow.
+  run_phase(0, half + 1, /*drive_waves=*/false);
+  drain_wave();
+  run_phase(half + 1, requests_per_client, /*drive_waves=*/true);
+
+  // Graceful end: drain answers stragglers, then the flush commits whatever
+  // is still staged — an acked row must not die with the process.
+  report.drained = server->drain(5'000, [&] {
+    while (bridge->staged_rows() > 0) drain_wave();
+  });
+  const net::ServerStats server_stats_b = server->stats();
+
+  // Conservation: every cell present, right value, exactly one version.
+  for (std::size_t c = 0; c < clients; ++c) {
+    for (std::size_t r = 0; r < requests_per_client; ++r) {
+      for (std::size_t k = 0; k < kNetRowsPerRequest; ++k) {
+        const auto versions = store->cell_versions("sensors", net_row(c, r, k), "o3");
+        if (versions.empty()) {
+          ++report.missing;
+        } else {
+          if (versions.size() != 1) ++report.multi_version;
+          if (versions.front().value != net_value(c, r, k)) ++report.wrong_value;
+        }
+      }
+    }
+  }
+  report.expected_cells = clients * requests_per_client * kNetRowsPerRequest;
+  report.found_cells = store->cell_count("sensors");
+
+  for (const auto& client : swarm) {
+    const nt::ChaosStats& s = client.stats();
+    report.acked += s.requests;
+    report.chaos.attempts += s.attempts;
+    report.chaos.partial_writes += s.partial_writes;
+    report.chaos.resets += s.resets;
+    report.chaos.stalls += s.stalls;
+    report.chaos.duplicate_sends += s.duplicate_sends;
+    report.chaos.duplicate_acks += s.duplicate_acks;
+    report.chaos.refusals += s.refusals;
+    report.chaos.reconnects += s.reconnects;
+  }
+  report.failed = failed.load();
+  report.bridge_duplicates = bridge_stats_a.duplicates + bridge->stats().duplicates;
+  report.http_requests = server_stats_a.requests + server_stats_b.requests;
+  report.read_timeouts = server_stats_a.read_timeouts + server_stats_b.read_timeouts;
+
+  const std::uint64_t faults_inflicted = report.chaos.partial_writes + report.chaos.resets +
+                                         report.chaos.stalls + report.chaos.duplicate_sends;
+  report.pass = report.crashed && report.failed == 0 && report.missing == 0 &&
+                report.wrong_value == 0 && report.multi_version == 0 &&
+                report.found_cells == report.expected_cells && report.drained &&
+                report.bridge_duplicates > 0 && (!chaos || faults_inflicted > 0);
+  return report;
+}
+
+void print_net_mode(const char* name, const NetModeReport& r) {
+  std::printf("  \"%s\": {\n", name);
+  std::printf("    \"acked\": %llu, \"failed\": %llu, \"attempts\": %llu,\n",
+              static_cast<unsigned long long>(r.acked),
+              static_cast<unsigned long long>(r.failed),
+              static_cast<unsigned long long>(r.chaos.attempts));
+  std::printf("    \"faults\": {\"partial_writes\": %llu, \"resets\": %llu, \"stalls\": %llu, "
+              "\"duplicate_sends\": %llu, \"reconnects\": %llu},\n",
+              static_cast<unsigned long long>(r.chaos.partial_writes),
+              static_cast<unsigned long long>(r.chaos.resets),
+              static_cast<unsigned long long>(r.chaos.stalls),
+              static_cast<unsigned long long>(r.chaos.duplicate_sends),
+              static_cast<unsigned long long>(r.chaos.reconnects));
+  std::printf("    \"duplicate_acks\": %llu, \"refusals_503\": %llu, "
+              "\"bridge_duplicates\": %llu, \"seeded_keys\": %llu,\n",
+              static_cast<unsigned long long>(r.chaos.duplicate_acks),
+              static_cast<unsigned long long>(r.chaos.refusals),
+              static_cast<unsigned long long>(r.bridge_duplicates),
+              static_cast<unsigned long long>(r.seeded_keys));
+  std::printf("    \"server\": {\"requests\": %llu, \"read_timeouts\": %llu},\n",
+              static_cast<unsigned long long>(r.http_requests),
+              static_cast<unsigned long long>(r.read_timeouts));
+  std::printf("    \"crash_wave\": %llu, \"resume_wave\": %llu,\n",
+              static_cast<unsigned long long>(r.crash_wave),
+              static_cast<unsigned long long>(r.resume_wave));
+  std::printf("    \"cells\": {\"expected\": %zu, \"found\": %zu, \"missing\": %zu, "
+              "\"wrong_value\": %zu, \"multi_version\": %zu},\n",
+              r.expected_cells, r.found_cells, r.missing, r.wrong_value, r.multi_version);
+  std::printf("    \"drained\": %s, \"pass\": %s\n", r.drained ? "true" : "false",
+              r.pass ? "true" : "false");
+}
+
+int run_net_leg(std::size_t requests_per_client, std::size_t clients, std::uint64_t seed) {
+  if (requests_per_client < 2) requests_per_client = 2;
+  if (clients == 0) clients = 1;
+
+  const NetModeReport normal = run_net_mode(/*chaos=*/false, requests_per_client, clients, seed);
+  const NetModeReport chaotic = run_net_mode(/*chaos=*/true, requests_per_client, clients, seed);
+  const bool pass = normal.pass && chaotic.pass;
+
+  std::printf("{\n");
+  std::printf("  \"config\": {\"mode\": \"net\", \"requests_per_client\": %zu, "
+              "\"clients\": %zu, \"rows_per_request\": %zu, \"seed\": %llu},\n",
+              requests_per_client, clients, kNetRowsPerRequest,
+              static_cast<unsigned long long>(seed));
+  print_net_mode("normal", normal);
+  std::printf("  },\n");
+  print_net_mode("chaos", chaotic);
+  std::printf("  },\n");
+  std::printf("  \"pass\": %s\n", pass ? "true" : "false");
+  std::printf("}\n");
+
+  if (!pass) {
+    const auto blame = [](const char* name, const NetModeReport& r) {
+      if (r.pass) return;
+      std::fprintf(stderr,
+                   "soak net FAILED (%s): crashed=%d failed=%llu missing=%zu wrong_value=%zu "
+                   "multi_version=%zu found=%zu/%zu drained=%d bridge_duplicates=%llu\n",
+                   name, r.crashed, static_cast<unsigned long long>(r.failed), r.missing,
+                   r.wrong_value, r.multi_version, r.found_cells, r.expected_cells, r.drained,
+                   static_cast<unsigned long long>(r.bridge_duplicates));
+    };
+    blame("normal", normal);
+    blame("chaos", chaotic);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "net") == 0) {
+    const std::size_t requests =
+        argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 48;
+    const std::size_t clients = argc > 3 ? static_cast<std::size_t>(std::atoll(argv[3])) : 4;
+    const std::uint64_t seed = argc > 4 ? static_cast<std::uint64_t>(std::atoll(argv[4])) : 42;
+    return run_net_leg(requests, clients, seed);
+  }
   Config cfg;
   if (argc > 1) cfg.app_waves = static_cast<std::size_t>(std::atoll(argv[1]));
   if (argc > 2) cfg.train_waves = static_cast<std::size_t>(std::atoll(argv[2]));

@@ -90,6 +90,9 @@ int serve(std::uint16_t port, std::size_t loops) {
   server_options.port = port;
   server_options.loop_threads = loops;
   server_options.metrics = &registry;
+  // Hostile-client bounds: a request trickled for >10s is answered 408 and
+  // closed, so a slow-loris peer cannot pin a connection slot.
+  server_options.request_read_timeout_ms = 10'000;
   net::Server server(net::make_gateway_router(gateway), server_options);
   server.start();
 
@@ -125,10 +128,22 @@ int serve(std::uint16_t port, std::size_t loops) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
 
-  queue.close();  // wakes the driver; remaining admitted waves drain first
-  driver.join();
-  server.stop();
-  std::printf("stopped after %zu waves\n", waves_completed.load());
+  // Graceful drain (SIGTERM/SIGINT): stop accepting, answer in-flight
+  // requests with Connection: close, then — with no loop thread left to
+  // stage more — flush everything still staged into one final wave, so an
+  // acked row never dies with the process.
+  const bool drained = server.drain(5'000, [&] {
+    queue.close();  // wakes the driver; remaining admitted waves drain first
+    driver.join();
+    if (bridge.staged_rows() > 0) {
+      wms::SyncController sync;
+      engine.run_waves_pipelined(next_wave.fetch_add(1, std::memory_order_relaxed), 1, sync,
+                                 ingest);
+      waves_completed.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  std::printf("stopped after %zu waves (%s)\n", waves_completed.load(),
+              drained ? "drained cleanly" : "drain deadline hit; stragglers aborted");
   return 0;
 }
 

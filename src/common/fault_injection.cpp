@@ -123,6 +123,34 @@ std::size_t FaultInjector::torn_write_bytes(std::string_view file_tag, std::uint
                                       (total_bytes - 1));
 }
 
+namespace {
+/// Domain-separates net-chaos draws from step/disk draws sharing a seed.
+constexpr std::uint64_t kNetSalt = 0x6e657463686173ULL;
+}  // namespace
+
+NetFaultKind NetChaosSchedule::draw(std::uint64_t stream, std::uint64_t request,
+                                    std::uint64_t attempt) const noexcept {
+  const double u = hash_unit(options_.seed ^ kNetSalt, stream, request, attempt);
+  double threshold = options_.partial_write;
+  if (u < threshold) return NetFaultKind::kPartialWrite;
+  threshold += options_.reset;
+  if (u < threshold) return NetFaultKind::kReset;
+  threshold += options_.stall;
+  if (u < threshold) return NetFaultKind::kStall;
+  threshold += options_.duplicate;
+  if (u < threshold) return NetFaultKind::kDuplicate;
+  return NetFaultKind::kNone;
+}
+
+std::size_t NetChaosSchedule::cut_point(std::uint64_t stream, std::uint64_t request,
+                                        std::uint64_t attempt, std::uint64_t salt,
+                                        std::size_t total) const noexcept {
+  if (total < 2) return total;
+  return 1 + static_cast<std::size_t>(
+                 hash64(options_.seed ^ kNetSalt ^ mix64(salt), stream, request, attempt) %
+                 (total - 1));
+}
+
 bool FaultInjector::should_fail_put(const std::string& step_id, std::uint64_t wave,
                                     std::size_t attempt) const {
   for (std::size_t i = 0; i < rules_.size(); ++i) {

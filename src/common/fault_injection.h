@@ -151,4 +151,63 @@ class FaultInjector {
   mutable std::atomic<std::size_t> injected_{0};
 };
 
+/// What the network chaos schedule does to one client request attempt.
+enum class NetFaultKind : std::uint8_t {
+  kNone,
+  /// The request bytes go out fragmented into several small writes with
+  /// pauses in between — exercises the server's incremental parser and
+  /// mid-request read-deadline tracking without tripping it.
+  kPartialWrite,
+  /// The connection is dropped mid-request (after a deterministic prefix of
+  /// the wire bytes) — the client never learns whether the server staged
+  /// the rows, which is exactly the window idempotent retry exists for.
+  kReset,
+  /// The client sends a prefix and then stalls past the server's
+  /// request_read_timeout_ms; the server should answer 408 and close.
+  kStall,
+  /// The full request is sent twice back-to-back with the same idempotency
+  /// key; the second answer must be the duplicate re-ack.
+  kDuplicate,
+};
+
+/// Per-attempt activation probabilities for ChaosClient (net/testing). All
+/// zero = inert. The draws are stateless-hash-seeded, so one seed yields
+/// one exact fault schedule regardless of timing or interleaving.
+struct NetChaosOptions {
+  std::uint64_t seed = 0;
+  double partial_write = 0.0;
+  double reset = 0.0;
+  double stall = 0.0;
+  double duplicate = 0.0;
+  /// kStall: how long the client sits silent mid-request.
+  std::chrono::milliseconds stall_for{150};
+};
+
+/// Deterministic schedule of socket-level client faults, keyed by
+/// (stream, request, attempt) — the network-side sibling of FaultInjector's
+/// disk rules. Pure draws: the same coordinates always answer the same
+/// fault, so a chaos soak run is reproducible from its seed alone.
+class NetChaosSchedule {
+ public:
+  explicit NetChaosSchedule(NetChaosOptions options = {}) noexcept : options_(options) {}
+
+  /// The fault (if any) for this attempt. Probabilities stack in declared
+  /// order over one uniform draw, so kinds are mutually exclusive per
+  /// attempt and each keeps its configured marginal rate.
+  NetFaultKind draw(std::uint64_t stream, std::uint64_t request,
+                    std::uint64_t attempt) const noexcept;
+
+  /// Deterministic cut point in [1, total - 1] for partial writes and
+  /// mid-request resets (`salt` separates independent cuts of one attempt).
+  /// total < 2 returns total.
+  std::size_t cut_point(std::uint64_t stream, std::uint64_t request, std::uint64_t attempt,
+                        std::uint64_t salt, std::size_t total) const noexcept;
+
+  void reseed(std::uint64_t seed) noexcept { options_.seed = seed; }
+  const NetChaosOptions& options() const noexcept { return options_; }
+
+ private:
+  NetChaosOptions options_;
+};
+
 }  // namespace smartflux

@@ -4,15 +4,21 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_set>
 #include <vector>
 
 #include "wms/engine.h"
+
+namespace smartflux::ds {
+class DataStore;
+}
 
 namespace smartflux::obs {
 class MetricsRegistry;
@@ -76,22 +82,52 @@ struct IngestRefusal {
 ///   - the SmartFlux health machine reports
 ///     shedding or halted                     -> 503 "shedding"/"halted"
 ///   - staged-but-undrained rows exceed
-///     Options::max_staged_rows               -> 503 "staging-full"
+///     Options::max_staged_rows, or their
+///     bytes exceed Options::max_staged_bytes -> 503 "staging-full"
 ///
 /// so overload surfaces to clients as 503 + Retry-After instead of rows
-/// silently queueing toward an engine that cannot keep up.
+/// silently queueing toward an engine that cannot keep up. The Retry-After
+/// value is dynamic: hard states (queue closed, shedding, halted, staging
+/// full) advertise retry_after_max_seconds, while backpressure scales from
+/// retry_after_seconds toward the cap with queue depth above the low
+/// watermark — a shed storm backs clients off harder than a blip.
+///
+/// Idempotent retries: the keyed staging calls remember up to
+/// Options::dedupe_window idempotency keys per stripe, so a client that
+/// retries a POST after a dropped response is re-acked without re-staging.
+/// Each wave's accepted keys are written to Options::dedupe_table in the
+/// *same* wave as their rows — after the data, before commit_wave — and
+/// seed_dedupe() reloads them after crash recovery, so the at-least-once
+/// client retry contract (replay anything unacknowledged) yields
+/// exactly-once rows. See DESIGN.md §14.
 class IngestBridge {
  public:
   struct Options {
     /// Staged-row ceiling across all tables; the local bound that holds
     /// even when no queue/health source is wired. 0 = unbounded.
     std::size_t max_staged_rows = 1 << 20;
+    /// Staged-byte ceiling (row + column text plus the value, or the whole
+    /// arena on the zero-copy path) — the row ceiling alone would let a few
+    /// huge-value rows blow past the memory budget unrefused. 0 = unbounded.
+    std::size_t max_staged_bytes = 256u << 20;
+    /// Idempotency keys remembered per stripe (FIFO window). A keyed POST
+    /// whose key is inside the window re-acks without re-staging; beyond
+    /// the window old keys are forgotten (and unstamped from dedupe_table).
+    /// 0 disables dedupe entirely.
+    std::size_t dedupe_window = 1 << 16;
+    /// Hidden table each wave's accepted keys are written to, inside the
+    /// same wave as their rows, so crash+recover (plus seed_dedupe()) never
+    /// re-admits a row already in the WAL. Empty = memory-only dedupe.
+    std::string dedupe_table = "__sf_ingest_keys";
     /// Wave admission queue (not owned; optional): closed or gated refuses.
     const wms::BoundedWaveQueue* queue = nullptr;
     /// Health machine (not owned; optional): shedding/halted refuses.
     const core::SmartFluxEngine* smartflux = nullptr;
-    /// Retry-After seconds attached to refusals.
+    /// Retry-After floor: what a barely-gated backpressure refusal advertises.
     int retry_after_seconds = 1;
+    /// Retry-After ceiling: hard refusals (queue closed, shedding, halted,
+    /// staging full) and fully-saturated backpressure advertise this.
+    int retry_after_max_seconds = 8;
     /// Optional metrics (not owned): sf_net_ingest_* counters/gauges.
     obs::MetricsRegistry* metrics = nullptr;
   };
@@ -102,6 +138,13 @@ class IngestBridge {
     std::uint64_t rows_ingested = 0;   ///< rows drained into put_batch
     std::uint64_t waves_ingested = 0;  ///< make_ingest() invocations
     std::uint64_t refusals = 0;        ///< admission() refusals reported
+    std::uint64_t duplicates = 0;      ///< keyed retries re-acked, not re-staged
+  };
+
+  /// What a keyed staging call did.
+  struct StageOutcome {
+    std::size_t staged = 0;   ///< rows staged by this call (0 on a duplicate)
+    bool duplicate = false;   ///< key was already inside the dedupe window
   };
 
   IngestBridge();
@@ -126,6 +169,29 @@ class IngestBridge {
   std::size_t stage_spans(const std::string& table, std::string arena,
                           std::vector<IngestSpan> spans);
 
+  /// Keyed (idempotent) variants: atomically check `key` against the dedupe
+  /// window and stage only when it is fresh. A duplicate returns
+  /// {staged: 0, duplicate: true} — the gateway re-acks without re-staging.
+  /// With dedupe disabled (window 0 or empty key) these degrade to the
+  /// unkeyed calls.
+  StageOutcome stage_keyed(const std::string& table, std::string_view key,
+                           std::vector<IngestRecord> records);
+  StageOutcome stage_spans_keyed(const std::string& table, std::string_view key,
+                                 std::string arena, std::vector<IngestSpan> spans);
+
+  /// True when `key` for `table` sits inside the dedupe window. Lets the
+  /// gateway re-ack a retried request *before* admission control — a retry
+  /// of accepted work must not bounce off a 503. Pure query; the caller
+  /// acting on a hit counts it via report_duplicate() (the staging calls
+  /// count their own hits, so each re-acked request counts exactly once).
+  bool is_duplicate(const std::string& table, std::string_view key) const;
+  void report_duplicate();
+
+  /// Reloads the durable key set from Options::dedupe_table after crash
+  /// recovery, so retries of requests acked before the crash are still
+  /// recognized. Returns the number of keys seeded. Call before serving.
+  std::size_t seed_dedupe(const ds::DataStore& store);
+
   /// The WaveIngest callback for WorkflowEngine::run_waves_pipelined (and
   /// for manual per-wave draining): swaps out everything staged so far and
   /// writes it table by table through Client::put_batch. Rows staged while
@@ -134,6 +200,9 @@ class IngestBridge {
 
   std::size_t staged_rows() const noexcept {
     return staged_rows_.load(std::memory_order_relaxed);
+  }
+  std::size_t staged_bytes() const noexcept {
+    return staged_bytes_.load(std::memory_order_relaxed);
   }
   Stats stats() const;
 
@@ -145,28 +214,43 @@ class IngestBridge {
     std::vector<IngestRecord> records;
     std::vector<std::pair<std::string, std::vector<IngestSpan>>> batches;
     std::size_t rows = 0;
+    std::size_t bytes = 0;
   };
   /// Lock domains; a power of two so stripe_of is a mask.
   static constexpr std::size_t kStripes = 16;
   struct Stripe {
     mutable std::mutex mutex;
     std::map<std::string, TableStage> staged;
+    /// Dedupe window, scoped keys ("table\x1fkey"). `keys` answers the
+    /// membership check; `order` drives FIFO eviction; `fresh` are keys
+    /// accepted since the last drain (stamped to dedupe_table with their
+    /// wave); `evicted` are keys the window dropped (unstamped with it).
+    std::unordered_set<std::string> keys;
+    std::deque<std::string> order;
+    std::vector<std::string> fresh;
+    std::vector<std::string> evicted;
   };
   struct BridgeObs;  ///< pre-resolved metric handles (bridge.cpp)
 
   static std::size_t stripe_of(std::string_view table) noexcept {
     return std::hash<std::string_view>{}(table) & (kStripes - 1);
   }
-  std::size_t commit(std::size_t count);
+  std::size_t commit(std::size_t count, std::size_t bytes);
+  /// Caller holds stripe.mutex. False = key already present (duplicate);
+  /// true = accepted (recorded, window eviction applied). `durable` keys
+  /// skip the fresh list (already stamped — seeding path).
+  bool accept_key(Stripe& stripe, const std::string& table, std::string_view key, bool durable);
 
   Options options_;
   std::unique_ptr<BridgeObs> obs_;  ///< null when Options::metrics is null
   std::array<Stripe, kStripes> stripes_;
   std::atomic<std::size_t> staged_rows_{0};
+  std::atomic<std::size_t> staged_bytes_{0};
   std::atomic<std::uint64_t> rows_staged_total_{0};
   std::atomic<std::uint64_t> rows_ingested_total_{0};
   std::atomic<std::uint64_t> waves_ingested_total_{0};
   std::atomic<std::uint64_t> refusals_total_{0};
+  std::atomic<std::uint64_t> duplicates_total_{0};
 };
 
 /// Parses a newline-delimited `row,col,value` ingest body. Returns the

@@ -68,9 +68,36 @@ Response accepted_response(std::size_t count, std::size_t pending) {
   return json_response(202, std::string(buf, static_cast<std::size_t>(n)));
 }
 
+/// The retry answer: the rows are already staged (or durable), so the ack
+/// repeats without re-staging. Same 202 as the original — a client cannot
+/// tell (and must not care) whether its first attempt got through.
+Response duplicate_response() {
+  return json_response(202, "{\"staged\":0,\"duplicate\":true}\n");
+}
+
+/// Idempotency key for an ingest request: the Idempotency-Key header
+/// verbatim, else a per-source sequence number from ?seq= (scoped by
+/// ?source= so independent senders don't collide), else empty (unkeyed).
+std::string idempotency_key(const Request& request) {
+  if (const std::string* header = request.header("Idempotency-Key")) return *header;
+  if (const auto seq = request.query_param("seq")) {
+    return "seq:" + request.query_param("source").value_or("") + ":" + *seq;
+  }
+  return {};
+}
+
 void install_ingest(Router& router, IngestBridge* bridge, bool zero_copy) {
   router.add("POST", "/ingest/<table>",
              [bridge, zero_copy](Request& request, const std::vector<std::string>& params) {
+               // A retry of already-accepted work is re-acked *before*
+               // admission control: the rows are staged (or durable), so
+               // bouncing the retry off a 503 would just make the client
+               // hammer an overloaded server for work it already did.
+               const std::string key = idempotency_key(request);
+               if (!key.empty() && bridge->is_duplicate(params[0], key)) {
+                 bridge->report_duplicate();
+                 return duplicate_response();
+               }
                if (const auto refusal = bridge->admission()) {
                  bridge->report_refusal();
                  return refusal_response(*refusal);
@@ -85,17 +112,20 @@ void install_ingest(Router& router, IngestBridge* bridge, bool zero_copy) {
                    return json_response(400, "{\"error\":\"" + obs::json_escape(error) + "\"}\n");
                  }
                  const std::size_t count = spans->size();
-                 const std::size_t staged =
-                     bridge->stage_spans(params[0], std::move(request.body), std::move(*spans));
-                 return accepted_response(count, staged);
+                 const IngestBridge::StageOutcome outcome = bridge->stage_spans_keyed(
+                     params[0], key, std::move(request.body), std::move(*spans));
+                 if (outcome.duplicate) return duplicate_response();
+                 return accepted_response(count, bridge->staged_rows());
                }
                auto records = parse_ingest_body(request.body, &error);
                if (!records) {
                  return json_response(400, "{\"error\":\"" + obs::json_escape(error) + "\"}\n");
                }
                const std::size_t count = records->size();
-               const std::size_t staged = bridge->stage(params[0], std::move(*records));
-               return accepted_response(count, staged);
+               const IngestBridge::StageOutcome outcome =
+                   bridge->stage_keyed(params[0], key, std::move(*records));
+               if (outcome.duplicate) return duplicate_response();
+               return accepted_response(count, bridge->staged_rows());
              });
 }
 
@@ -239,7 +269,8 @@ void install_status(Router& router, GatewayOptions options) {
                          ",\"rows_staged\":" + std::to_string(stats.rows_staged) +
                          ",\"rows_ingested\":" + std::to_string(stats.rows_ingested) +
                          ",\"waves_ingested\":" + std::to_string(stats.waves_ingested) +
-                         ",\"refusals\":" + std::to_string(stats.refusals);
+                         ",\"refusals\":" + std::to_string(stats.refusals) +
+                         ",\"duplicates\":" + std::to_string(stats.duplicates);
                  if (const auto refusal = options.ingest->admission()) {
                    body += ",\"admission\":\"refusing: " + obs::json_escape(refusal->reason) +
                            "\"}";

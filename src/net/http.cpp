@@ -93,6 +93,7 @@ const char* status_reason(int status) noexcept {
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
     case 413: return "Content Too Large";
     case 431: return "Request Header Fields Too Large";
     case 500: return "Internal Server Error";
@@ -226,49 +227,150 @@ RequestParser::Result RequestParser::fail(int status, std::string reason) {
 RequestParser::Result RequestParser::next(Request* out) {
   if (failed()) return Result::kError;
 
-  if (state_ == State::kHead) {
-    // Find the head terminator (CRLFCRLF, or bare LFLF from lax clients),
-    // resuming the scan where the previous call left off so byte-at-a-time
-    // feeds stay linear.
-    std::size_t head_end = std::string::npos;
-    std::size_t terminator_len = 0;
-    for (std::size_t i = std::max(scanned_, consumed_); i < buffer_.size(); ++i) {
-      if (buffer_[i] != '\n') continue;
-      if (i >= consumed_ + 1 && buffer_[i - 1] == '\n') {
-        head_end = i - 1;
-        terminator_len = 2;
-        break;
+  for (;;) {
+    switch (state_) {
+      case State::kHead: {
+        // Find the head terminator (CRLFCRLF, or bare LFLF from lax
+        // clients), resuming the scan where the previous call left off so
+        // byte-at-a-time feeds stay linear.
+        std::size_t head_end = std::string::npos;
+        std::size_t terminator_len = 0;
+        for (std::size_t i = std::max(scanned_, consumed_); i < buffer_.size(); ++i) {
+          if (buffer_[i] != '\n') continue;
+          if (i >= consumed_ + 1 && buffer_[i - 1] == '\n') {
+            head_end = i - 1;
+            terminator_len = 2;
+            break;
+          }
+          if (i >= consumed_ + 3 && buffer_[i - 1] == '\r' && buffer_[i - 2] == '\n' &&
+              buffer_[i - 3] == '\r') {
+            head_end = i - 3;
+            terminator_len = 4;
+            break;
+          }
+        }
+        if (head_end == std::string::npos) {
+          if (buffer_.size() - consumed_ > limits_.max_header_bytes) {
+            return fail(431, "request head exceeds " +
+                                 std::to_string(limits_.max_header_bytes) + " bytes");
+          }
+          // Keep the last 3 bytes rescannable: the terminator may straddle
+          // feeds.
+          scanned_ = buffer_.size() > consumed_ + 3 ? buffer_.size() - 3 : consumed_;
+          return Result::kNeedMore;
+        }
+        if (head_end + terminator_len - consumed_ > limits_.max_header_bytes) {
+          return fail(431, "request head exceeds " + std::to_string(limits_.max_header_bytes) +
+                               " bytes");
+        }
+        const Result parsed = parse_head(head_end, terminator_len);
+        if (parsed != Result::kRequest) return parsed;  // kError
+        continue;  // parse_head picked kBody or kChunkSize
       }
-      if (i >= consumed_ + 3 && buffer_[i - 1] == '\r' && buffer_[i - 2] == '\n' &&
-          buffer_[i - 3] == '\r') {
-        head_end = i - 3;
-        terminator_len = 4;
-        break;
-      }
-    }
-    if (head_end == std::string::npos) {
-      if (buffer_.size() - consumed_ > limits_.max_header_bytes) {
-        return fail(431, "request head exceeds " + std::to_string(limits_.max_header_bytes) +
-                             " bytes");
-      }
-      // Keep the last 3 bytes rescannable: the terminator may straddle feeds.
-      scanned_ = buffer_.size() > consumed_ + 3 ? buffer_.size() - 3 : consumed_;
-      return Result::kNeedMore;
-    }
-    if (head_end + terminator_len - consumed_ > limits_.max_header_bytes) {
-      return fail(431,
-                  "request head exceeds " + std::to_string(limits_.max_header_bytes) + " bytes");
-    }
-    const Result parsed = parse_head(head_end, terminator_len);
-    if (parsed != Result::kRequest) return parsed;  // kError
-    state_ = State::kBody;
-  }
 
-  // State::kBody: wait for the declared Content-Length.
-  if (buffer_.size() - consumed_ < body_needed_) return Result::kNeedMore;
-  pending_.body = buffer_.substr(consumed_, body_needed_);
-  consumed_ += body_needed_;
-  body_needed_ = 0;
+      case State::kBody: {
+        // Wait for the declared Content-Length.
+        if (buffer_.size() - consumed_ < body_needed_) return Result::kNeedMore;
+        pending_.body = buffer_.substr(consumed_, body_needed_);
+        consumed_ += body_needed_;
+        body_needed_ = 0;
+        return finish_request(out);
+      }
+
+      case State::kChunkSize: {
+        std::size_t nl = buffer_.find('\n', consumed_);
+        if (nl == std::string::npos) {
+          // A chunk-size line is a handful of hex digits plus extensions;
+          // anything longer is an attack on the buffer, not a chunk.
+          if (buffer_.size() - consumed_ > 256) return fail(400, "chunk size line too long");
+          return Result::kNeedMore;
+        }
+        std::string_view line(buffer_.data() + consumed_, nl - consumed_);
+        if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+        // Chunk extensions (";name=value") are tolerated and ignored.
+        const std::size_t semi = line.find(';');
+        if (semi != std::string_view::npos) line = line.substr(0, semi);
+        line = trim(line);
+        if (line.empty()) return fail(400, "malformed chunk size");
+        std::uint64_t size = 0;
+        for (const char c : line) {
+          const int d = hex_digit(c);
+          if (d < 0) return fail(400, "malformed chunk size");
+          if (size > (UINT64_MAX >> 4)) return fail(400, "malformed chunk size");
+          size = size * 16 + static_cast<std::uint64_t>(d);
+        }
+        consumed_ = nl + 1;
+        if (size > limits_.max_body_bytes ||
+            pending_.body.size() + size > limits_.max_body_bytes) {
+          return fail(413, "chunked body exceeds " + std::to_string(limits_.max_body_bytes) +
+                               " bytes");
+        }
+        if (size == 0) {
+          trailer_bytes_ = 0;
+          state_ = State::kTrailer;
+        } else {
+          body_needed_ = static_cast<std::size_t>(size);
+          state_ = State::kChunkData;
+        }
+        continue;
+      }
+
+      case State::kChunkData: {
+        const std::size_t take = std::min(buffer_.size() - consumed_, body_needed_);
+        if (take > 0) {
+          pending_.body.append(buffer_, consumed_, take);
+          consumed_ += take;
+          body_needed_ -= take;
+          // A large chunked upload would otherwise pin every consumed byte
+          // until the request completes.
+          if (consumed_ > 64 * 1024) {
+            buffer_.erase(0, consumed_);
+            consumed_ = 0;
+          }
+        }
+        if (body_needed_ > 0) return Result::kNeedMore;
+        // Chunk-data terminator: CRLF (bare LF tolerated, like the head).
+        if (buffer_.size() == consumed_) return Result::kNeedMore;
+        if (buffer_[consumed_] == '\n') {
+          consumed_ += 1;
+        } else if (buffer_[consumed_] == '\r') {
+          if (buffer_.size() - consumed_ < 2) return Result::kNeedMore;
+          if (buffer_[consumed_ + 1] != '\n') return fail(400, "malformed chunk terminator");
+          consumed_ += 2;
+        } else {
+          return fail(400, "malformed chunk terminator");
+        }
+        state_ = State::kChunkSize;
+        continue;
+      }
+
+      case State::kTrailer: {
+        // Discard trailer lines up to the blank line that ends the request.
+        for (;;) {
+          const std::size_t nl = buffer_.find('\n', consumed_);
+          if (nl == std::string::npos) {
+            if (trailer_bytes_ + (buffer_.size() - consumed_) > limits_.max_header_bytes) {
+              return fail(431, "trailer exceeds " + std::to_string(limits_.max_header_bytes) +
+                                   " bytes");
+            }
+            return Result::kNeedMore;
+          }
+          std::string_view line(buffer_.data() + consumed_, nl - consumed_);
+          if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+          trailer_bytes_ += nl + 1 - consumed_;
+          consumed_ = nl + 1;
+          if (trailer_bytes_ > limits_.max_header_bytes) {
+            return fail(431, "trailer exceeds " + std::to_string(limits_.max_header_bytes) +
+                                 " bytes");
+          }
+          if (line.empty()) return finish_request(out);
+        }
+      }
+    }
+  }
+}
+
+RequestParser::Result RequestParser::finish_request(Request* out) {
   state_ = State::kHead;
   // Compact once the parsed-away prefix dominates, so a long-lived
   // keep-alive connection does not grow its buffer without bound.
@@ -349,12 +451,24 @@ RequestParser::Result RequestParser::parse_head(std::size_t head_end,
     pending_.headers.emplace_back(std::string(name), std::string(trim(line.substr(colon + 1))));
   }
 
-  // Framing headers. Transfer-Encoding (chunked or otherwise) is refused
-  // cleanly — this server only frames bodies by Content-Length.
-  if (pending_.header("Transfer-Encoding") != nullptr) {
-    return fail(501, "Transfer-Encoding not supported");
-  }
+  // Framing headers: Content-Length, or (HTTP/1.1) exactly
+  // "Transfer-Encoding: chunked" — any other coding is refused, and a
+  // request carrying both framings is rejected outright (the classic
+  // request-smuggling ambiguity).
   body_needed_ = 0;
+  bool chunked = false;
+  if (const std::string* te = pending_.header("Transfer-Encoding")) {
+    if (!iequals(trim(*te), "chunked")) {
+      return fail(501, "Transfer-Encoding '" + *te + "' not supported");
+    }
+    if (pending_.header("Content-Length") != nullptr) {
+      return fail(400, "both Content-Length and Transfer-Encoding");
+    }
+    if (pending_.version_minor == 0) {
+      return fail(400, "chunked body requires HTTP/1.1");
+    }
+    chunked = true;
+  }
   bool have_length = false;
   for (const auto& [key, value] : pending_.headers) {
     if (!iequals(key, "Content-Length")) continue;
@@ -370,6 +484,7 @@ RequestParser::Result RequestParser::parse_head(std::size_t head_end,
     body_needed_ = static_cast<std::size_t>(*length);
     have_length = true;
   }
+  state_ = chunked ? State::kChunkSize : State::kBody;
 
   pending_.keep_alive = pending_.version_minor >= 1;
   if (const std::string* conn = pending_.header("Connection")) {

@@ -98,15 +98,21 @@ bool iequals(std::string_view a, std::string_view b) noexcept;
 /// Incremental HTTP/1.1 request parser. Feed it raw bytes as they arrive —
 /// any framing works: byte-at-a-time, one request per read, or many
 /// pipelined requests coalesced into a single buffer — then drain completed
-/// requests with next(). The parser owns one internal buffer; feed() never
-/// blocks and never throws on malformed input: protocol errors surface as
-/// Result::kError with the response status the connection should send
-/// before closing:
+/// requests with next(). Bodies are framed by Content-Length or (HTTP/1.1)
+/// Transfer-Encoding: chunked; a chunked body is decoded into
+/// Request::body, byte-identical to the Content-Length path, with chunk
+/// extensions ignored and trailers discarded. The parser owns one internal
+/// buffer; feed() never blocks and never throws on malformed input:
+/// protocol errors surface as Result::kError with the response status the
+/// connection should send before closing:
 ///
-///   400  malformed request line / header / Content-Length
-///   413  declared body larger than HttpLimits::max_body_bytes
-///   431  head (request line + headers) larger than max_header_bytes
-///   501  Transfer-Encoding (chunked bodies are rejected cleanly)
+///   400  malformed request line / header / Content-Length / chunk framing,
+///        chunked alongside Content-Length (smuggling guard), or chunked on
+///        HTTP/1.0
+///   413  declared or accumulated chunked body larger than max_body_bytes
+///   431  head (request line + headers) or trailer block larger than
+///        max_header_bytes
+///   501  Transfer-Encoding other than exactly "chunked"
 ///   505  HTTP version other than 1.0 / 1.1
 ///
 /// After an error the parser is poisoned: next() keeps returning kError and
@@ -134,20 +140,31 @@ class RequestParser {
   /// Bytes buffered but not yet consumed (diagnostics).
   std::size_t buffered_bytes() const noexcept { return buffer_.size() - consumed_; }
 
+  /// True while the parser sits inside a request: a partial head is
+  /// buffered, or a declared/chunked body is incomplete. Drives the
+  /// server's per-request read deadline (408) — an idle connection at a
+  /// request boundary is not mid-request.
+  bool mid_request() const noexcept {
+    return !failed() && (state_ != State::kHead || buffer_.size() > consumed_);
+  }
+
  private:
-  enum class State { kHead, kBody };
+  enum class State { kHead, kBody, kChunkSize, kChunkData, kTrailer };
 
   Result fail(int status, std::string reason);
   /// Parses the head block [consumed_, head_end) into pending_.
   Result parse_head(std::size_t head_end, std::size_t terminator_len);
+  /// Hands pending_ to the caller and resets to the next request boundary.
+  Result finish_request(Request* out);
 
   HttpLimits limits_;
   std::string buffer_;
   std::size_t consumed_ = 0;   ///< bytes of buffer_ already parsed away
   std::size_t scanned_ = 0;    ///< head-terminator search resumes here
   State state_ = State::kHead;
-  Request pending_;            ///< request being assembled (kBody state)
-  std::size_t body_needed_ = 0;
+  Request pending_;            ///< request being assembled (body states)
+  std::size_t body_needed_ = 0;    ///< kBody: declared bytes left; kChunkData: chunk bytes left
+  std::size_t trailer_bytes_ = 0;  ///< kTrailer: bytes consumed so far (bounded)
   int error_status_ = 0;
   std::string error_reason_;
 };

@@ -54,6 +54,7 @@ struct Server::Metrics {
   obs::Counter* m_parse_errors = nullptr;
   obs::Counter* m_slow_disconnects = nullptr;
   obs::Counter* m_idle_disconnects = nullptr;
+  obs::Counter* m_read_timeouts = nullptr;
   obs::Counter* m_streams = nullptr;
   obs::Counter* m_bytes_read = nullptr;
   obs::Counter* m_bytes_written = nullptr;
@@ -78,6 +79,8 @@ struct Server::Metrics {
                                       "connections dropped for exceeding the write-buffer bound");
     m_idle_disconnects = &reg.counter("sf_net_idle_disconnects_total", {},
                                       "keep-alive connections reaped past idle_timeout_ms");
+    m_read_timeouts = &reg.counter("sf_net_read_timeouts_total", {},
+                                   "connections answered 408 past request_read_timeout_ms");
     m_streams = &reg.counter("sf_net_streams_total", {},
                              "chunked streaming responses begun");
     m_bytes_read = &reg.counter("sf_net_bytes_read_total", {}, "bytes read from clients");
@@ -104,6 +107,12 @@ struct Server::Connection {
   /// stream owns the response order).
   ChunkProducer stream;
   Clock::time_point last_activity;
+  /// Read-deadline tracking: set when the parser first sits mid-request
+  /// (partial head or incomplete body); the sweep answers 408 once
+  /// now - request_start exceeds request_read_timeout_ms.
+  bool mid_request = false;
+  Clock::time_point request_start;
+  std::size_t requests_served = 0;  ///< toward max_requests_per_connection
   explicit Connection(HttpLimits limits) : parser(limits), last_activity(Clock::now()) {}
 };
 
@@ -127,8 +136,10 @@ struct Server::Loop {
   std::atomic<std::uint64_t> parse_errors{0};
   std::atomic<std::uint64_t> slow_disconnects{0};
   std::atomic<std::uint64_t> idle_disconnects{0};
+  std::atomic<std::uint64_t> read_timeouts{0};
   std::atomic<std::uint64_t> streams_started{0};
   std::atomic<std::uint64_t> streams_completed{0};
+  std::atomic<std::uint64_t> streams_aborted{0};
   std::atomic<std::uint64_t> bytes_read{0};
   std::atomic<std::uint64_t> bytes_written{0};
   std::atomic<std::uint64_t> peak_write_buffer{0};
@@ -255,31 +266,88 @@ void Server::start() {
                      << (reuse_port_active() ? ", SO_REUSEPORT" : "") << ")";
 }
 
-void Server::loop_main(Loop& loop) {
-  if (options_.idle_timeout_ms == 0) {
-    loop.loop.run();
-    return;
+int Server::sweep_tick_ms() const {
+  // Tick often enough that a deadline is enforced within ~1.25x its value,
+  // without busy-waking an idle loop; drain() also rides this tick to close
+  // the listeners, so the cap keeps shutdown responsive.
+  std::size_t tick = 250;
+  if (options_.idle_timeout_ms > 0) tick = std::min(tick, options_.idle_timeout_ms / 4);
+  if (options_.request_read_timeout_ms > 0) {
+    tick = std::min(tick, options_.request_read_timeout_ms / 4);
   }
-  // Tick often enough that a connection is reaped within ~1.25x the
-  // timeout, without busy-waking an idle loop.
-  const int tick_ms = static_cast<int>(
-      std::clamp<std::size_t>(options_.idle_timeout_ms / 4, 10, 1000));
-  loop.loop.run(tick_ms, [this, &loop] { sweep_idle(loop); });
+  return static_cast<int>(std::clamp<std::size_t>(tick, 10, 250));
+}
+
+void Server::loop_main(Loop& loop) {
+  // Always tick: the sweep enforces the idle and read deadlines and is also
+  // how a drain() request reaches the loop thread (listener close, idle
+  // keep-alive reap).
+  loop.loop.run(sweep_tick_ms(), [this, &loop] { sweep_idle(loop); });
 }
 
 void Server::sweep_idle(Loop& loop) {
   const auto now = Clock::now();
-  const auto interval = std::chrono::milliseconds(
-      std::clamp<std::size_t>(options_.idle_timeout_ms / 4, 10, 1000));
-  if (now - loop.last_sweep < interval) return;
-  loop.last_sweep = now;
-  const auto timeout = std::chrono::milliseconds(options_.idle_timeout_ms);
-  // Collect first: close_connection mutates the map.
-  std::vector<int> expired;
-  for (const auto& [fd, conn] : loop.connections) {
-    if (now - conn->last_activity > timeout) expired.push_back(fd);
+  const bool draining = draining_.load(std::memory_order_acquire);
+  if (!draining) {
+    // Steady state: the loop may wake far more often than the sweep needs
+    // to run. While draining every tick counts — connections must be
+    // reaped as they go quiet.
+    const auto interval = std::chrono::milliseconds(static_cast<std::size_t>(sweep_tick_ms()));
+    if (now - loop.last_sweep < interval) return;
   }
-  for (const int fd : expired) {
+  loop.last_sweep = now;
+
+  if (draining) {
+    // Stop accepting: close our own listener, or hand back the shared one
+    // (the last loop out closes the fd).
+    if (loop.listen_fd >= 0) {
+      loop.loop.unwatch(loop.listen_fd);
+      ::close(loop.listen_fd);
+      loop.listen_fd = -1;
+    } else {
+      // Shared fallback: every loop watches the one fd, so each unwatches
+      // its own interest and the last one out closes it. accept_mutex_
+      // orders this against concurrent accepts and the peers' sweeps.
+      std::lock_guard lock(accept_mutex_);
+      if (shared_listen_fd_ >= 0 && loop.loop.watching(shared_listen_fd_)) {
+        loop.loop.unwatch(shared_listen_fd_);
+        if (shared_unwatched_.fetch_add(1, std::memory_order_acq_rel) + 1 == loops_.size()) {
+          ::close(shared_listen_fd_);
+          shared_listen_fd_ = -1;
+        }
+      }
+    }
+  }
+
+  const auto idle_timeout = std::chrono::milliseconds(options_.idle_timeout_ms);
+  const auto read_timeout = std::chrono::milliseconds(options_.request_read_timeout_ms);
+  // Collect first: close_connection mutates the map.
+  std::vector<int> read_expired;
+  std::vector<int> drain_quiet;
+  std::vector<int> idle_expired;
+  for (const auto& [fd, conn] : loop.connections) {
+    if (options_.request_read_timeout_ms > 0 && conn->mid_request &&
+        now - conn->request_start > read_timeout) {
+      read_expired.push_back(fd);
+    } else if (draining && conn->out_bytes == 0 && !conn->stream && !conn->mid_request) {
+      // Keep-alive connection idle at a request boundary: nothing is owed
+      // either way, so the drain ends it now.
+      drain_quiet.push_back(fd);
+    } else if (options_.idle_timeout_ms > 0 && now - conn->last_activity > idle_timeout) {
+      idle_expired.push_back(fd);
+    }
+  }
+  for (const int fd : read_expired) {
+    Connection& conn = *loop.connections.at(fd);
+    loop.read_timeouts.fetch_add(1, std::memory_order_relaxed);
+    if (metrics_->m_read_timeouts != nullptr) metrics_->m_read_timeouts->inc();
+    enqueue(loop, conn, text_response(408, "request read timeout\n"),
+            /*keep_alive=*/false, /*version_minor=*/1);
+    conn.closing = true;
+    flush(loop, conn);  // closes once the 408 is out (or on error)
+  }
+  for (const int fd : drain_quiet) close_connection(loop, fd);
+  for (const int fd : idle_expired) {
     loop.idle_disconnects.fetch_add(1, std::memory_order_relaxed);
     if (metrics_->m_idle_disconnects != nullptr) metrics_->m_idle_disconnects->inc();
     close_connection(loop, fd);
@@ -293,9 +361,16 @@ void Server::stop() {
     if (loop_ptr->thread.joinable()) loop_ptr->thread.join();
   }
   // The loop threads are gone: tear down every socket from this thread.
+  // A stream abandoned here (producer never pulled to completion) is
+  // destroyed with its connection — counted, and its captured state
+  // released, so stop-mid-stream cannot leak.
   for (auto& loop_ptr : loops_) {
     Loop& loop = *loop_ptr;
     for (auto& [fd, conn] : loop.connections) {
+      if (conn->stream) {
+        conn->stream = nullptr;
+        loop.streams_aborted.fetch_add(1, std::memory_order_relaxed);
+      }
       loop.loop.unwatch(fd);
       ::close(fd);
     }
@@ -313,7 +388,35 @@ void Server::stop() {
     shared_listen_fd_ = -1;
   }
   total_connections_.store(0, std::memory_order_relaxed);
+  draining_.store(false, std::memory_order_release);
+  shared_unwatched_.store(0, std::memory_order_relaxed);
   if (metrics_->m_active != nullptr) metrics_->m_active->set(0.0);
+}
+
+bool Server::drain(std::size_t deadline_ms, const std::function<void()>& flush) {
+  if (!running_.load(std::memory_order_acquire)) {
+    if (flush) flush();
+    return true;
+  }
+  draining_.store(true, std::memory_order_release);
+  // The loop threads do the actual work on their sweep tick: close the
+  // listeners, refuse late accepts, mark keep-alive responses
+  // `Connection: close`, reap connections as they go quiet. This thread
+  // just waits for the population to hit zero (or the deadline).
+  const auto deadline = Clock::now() + std::chrono::milliseconds(deadline_ms);
+  bool quiesced;
+  while (!(quiesced = total_connections_.load(std::memory_order_acquire) == 0) &&
+         Clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  if (!quiesced) {
+    SF_LOG_WARN("net") << "drain deadline passed with "
+                       << total_connections_.load(std::memory_order_relaxed)
+                       << " connection(s) still open; aborting them";
+  }
+  stop();  // joins the loops; stragglers (and their streams) are aborted
+  if (flush) flush();
+  return quiesced;
 }
 
 ServerStats Server::stats() const noexcept {
@@ -327,8 +430,10 @@ ServerStats Server::stats() const noexcept {
     s.parse_errors += l.parse_errors.load(std::memory_order_relaxed);
     s.slow_disconnects += l.slow_disconnects.load(std::memory_order_relaxed);
     s.idle_disconnects += l.idle_disconnects.load(std::memory_order_relaxed);
+    s.read_timeouts += l.read_timeouts.load(std::memory_order_relaxed);
     s.streams_started += l.streams_started.load(std::memory_order_relaxed);
     s.streams_completed += l.streams_completed.load(std::memory_order_relaxed);
+    s.streams_aborted += l.streams_aborted.load(std::memory_order_relaxed);
     s.bytes_read += l.bytes_read.load(std::memory_order_relaxed);
     s.bytes_written += l.bytes_written.load(std::memory_order_relaxed);
     s.peak_write_buffer =
@@ -349,12 +454,21 @@ void Server::on_accept(Loop& loop) {
       // Shared-listener fallback: every loop polls the same fd, so the
       // actual accept is serialized (classic locked accept).
       std::lock_guard lock(accept_mutex_);
+      if (shared_listen_fd_ < 0) return;  // a draining peer closed it
       fd = ::accept(shared_listen_fd_, nullptr, nullptr);
     }
     if (fd < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
       SF_LOG_WARN("net") << "accept failed: " << std::strerror(errno);
       return;
+    }
+    if (draining_.load(std::memory_order_acquire)) {
+      // Late arrival in the window before the sweep closes the listener:
+      // refuse outright rather than admit work the drain will abandon.
+      ::close(fd);
+      loop.refused.fetch_add(1, std::memory_order_relaxed);
+      if (metrics_->m_refused != nullptr) metrics_->m_refused->inc();
+      continue;
     }
     if (total_connections_.fetch_add(1, std::memory_order_relaxed) >= options_.max_connections) {
       total_connections_.fetch_sub(1, std::memory_order_relaxed);
@@ -418,6 +532,18 @@ void Server::on_connection_event(Loop& loop, int fd, bool readable, bool writabl
     if (had_stream && !conn.stream) continue;
     break;
   }
+
+  // Read-deadline bookkeeping: the clock starts when the parser first sits
+  // mid-request and resets at each request boundary, so a slow-loris trickle
+  // cannot stay under the deadline by keeping the socket merely non-idle.
+  if (!conn.stream && conn.parser.mid_request()) {
+    if (!conn.mid_request) {
+      conn.mid_request = true;
+      conn.request_start = Clock::now();
+    }
+  } else {
+    conn.mid_request = false;
+  }
 }
 
 void Server::process_requests(Loop& loop, Connection& conn) {
@@ -438,7 +564,13 @@ void Server::process_requests(Loop& loop, Connection& conn) {
     }
     const auto start = Clock::now();
     Response response = router_.dispatch(request);
-    const bool keep_alive = request.keep_alive && !conn.closing;
+    // The cap and the drain both end the connection the polite way: this
+    // response carries `Connection: close` and later pipelined requests die
+    // with the connection, exactly as that header promises.
+    const bool cap_hit = options_.max_requests_per_connection > 0 &&
+                         ++conn.requests_served >= options_.max_requests_per_connection;
+    const bool keep_alive = request.keep_alive && !conn.closing && !cap_hit &&
+                            !draining_.load(std::memory_order_acquire);
     const int status = response.status;
     enqueue(loop, conn, std::move(response), keep_alive, request.version_minor);
     loop.requests.fetch_add(1, std::memory_order_relaxed);
@@ -614,6 +746,10 @@ bool Server::flush(Loop& loop, Connection& conn) {
 void Server::close_connection(Loop& loop, int fd) {
   const auto it = loop.connections.find(fd);
   if (it == loop.connections.end()) return;
+  if (it->second->stream) {
+    it->second->stream = nullptr;
+    loop.streams_aborted.fetch_add(1, std::memory_order_relaxed);
+  }
   loop.loop.unwatch(fd);
   ::close(fd);
   loop.connections.erase(it);

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -52,6 +53,17 @@ struct ServerOptions {
   /// reaped (counted as idle_disconnects), so an idle client cannot hold a
   /// max_connections slot forever. 0 disables reaping.
   std::size_t idle_timeout_ms = 60'000;
+  /// A connection that has sat *mid-request* (partial head, or an
+  /// incomplete declared/chunked body) for longer than this is answered
+  /// 408 and closed by the idle sweep — the slow-loris bound. Enforced
+  /// within one sweep tick (<= min(idle_timeout, this)/4, capped at 250ms)
+  /// past the deadline. 0 disables.
+  std::size_t request_read_timeout_ms = 30'000;
+  /// After this many requests on one connection the response carries
+  /// `Connection: close` and the connection ends — bounds how long a
+  /// single peer can pin a connection slot with legitimate-looking
+  /// keep-alive traffic. 0 = unlimited.
+  std::size_t max_requests_per_connection = 0;
   /// Optional metrics registry (not owned): sf_net_* counters/gauges plus a
   /// request duration histogram. Null = no instrumentation cost.
   obs::MetricsRegistry* metrics = nullptr;
@@ -68,8 +80,10 @@ struct ServerStats {
   std::uint64_t parse_errors = 0;
   std::uint64_t slow_disconnects = 0;
   std::uint64_t idle_disconnects = 0;    ///< reaped past idle_timeout_ms
+  std::uint64_t read_timeouts = 0;       ///< 408s for requests trickled past the deadline
   std::uint64_t streams_started = 0;     ///< chunked streaming responses begun
   std::uint64_t streams_completed = 0;   ///< ... that ran to the final chunk
+  std::uint64_t streams_aborted = 0;     ///< ... abandoned by close/stop mid-pull
   std::uint64_t bytes_read = 0;
   std::uint64_t bytes_written = 0;
   /// Largest pending write buffer any single connection ever held — the
@@ -101,8 +115,23 @@ class Server {
   /// Binds, listens and launches the loop threads. Throws Error when the
   /// address cannot be bound.
   void start();
-  /// Idempotent; joins the loop threads and closes all sockets.
+  /// Idempotent; joins the loop threads and closes all sockets. Active
+  /// streaming responses are abandoned (counted as streams_aborted) —
+  /// drain() first for a graceful end.
   void stop();
+
+  /// Graceful shutdown: stops accepting (listeners close within one sweep
+  /// tick), reaps idle keep-alive connections, answers in-flight requests
+  /// with `Connection: close`, and lets active streaming responses run to
+  /// their final chunk. Once every connection has drained — or
+  /// `deadline_ms` elapsed, whichever comes first — the loops stop
+  /// (stragglers are aborted), and then `flush` (optional) runs from the
+  /// calling thread: the hook where the application drains its staged
+  /// ingest into one final wave with no loop thread left to stage more.
+  /// Returns true when every connection drained inside the deadline.
+  /// Idempotent; a later stop() is a no-op.
+  bool drain(std::size_t deadline_ms, const std::function<void()>& flush = {});
+  bool draining() const noexcept { return draining_.load(std::memory_order_acquire); }
 
   bool running() const noexcept { return running_.load(std::memory_order_acquire); }
   /// Actual bound port (after start()).
@@ -143,12 +172,19 @@ class Server {
   void push_chunk(Loop& loop, Connection& conn, std::string data);
   void close_connection(Loop& loop, int fd);
   void sweep_idle(Loop& loop);
+  /// Sweep cadence: fine enough that idle/read deadlines are enforced
+  /// within a quarter of the shorter timeout, capped at 250ms.
+  int sweep_tick_ms() const;
 
   Router router_;
   ServerOptions options_;
   std::unique_ptr<Metrics> metrics_;
   std::vector<std::unique_ptr<Loop>> loops_;
   std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
+  /// Loops that already unwatched the shared listener during drain; the
+  /// last one closes the fd.
+  std::atomic<std::size_t> shared_unwatched_{0};
   std::atomic<std::uint16_t> port_{0};
   std::atomic<bool> reuse_port_active_{false};
   /// Global connection count (the max_connections bound spans all loops).

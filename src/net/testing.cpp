@@ -7,10 +7,14 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "common/error.h"
@@ -105,6 +109,35 @@ void Client::send_request(std::string_view method, std::string_view target, std:
   }
   wire += "\r\n";
   wire += body;
+  send_raw(wire);
+}
+
+void Client::send_chunked_request(
+    std::string_view method, std::string_view target, std::string_view body,
+    std::size_t chunk_size, const std::vector<std::pair<std::string, std::string>>& headers) {
+  if (chunk_size == 0) chunk_size = 1;
+  std::string wire;
+  wire.reserve(160 + body.size() + 8 * (body.size() / chunk_size + 2));
+  wire += method;
+  wire += ' ';
+  wire += target;
+  wire += " HTTP/1.1\r\nHost: loopback\r\n";
+  for (const auto& [key, value] : headers) {
+    wire += key;
+    wire += ": ";
+    wire += value;
+    wire += "\r\n";
+  }
+  wire += "Transfer-Encoding: chunked\r\n\r\n";
+  for (std::size_t off = 0; off < body.size(); off += chunk_size) {
+    const std::size_t len = std::min(chunk_size, body.size() - off);
+    char frame[20];
+    const int n = std::snprintf(frame, sizeof frame, "%zx\r\n", len);
+    wire.append(frame, static_cast<std::size_t>(n));
+    wire.append(body.data() + off, len);
+    wire += "\r\n";
+  }
+  wire += "0\r\n\r\n";
   send_raw(wire);
 }
 
@@ -237,6 +270,146 @@ std::string Client::read_until_closed() {
 bool Client::at_eof() {
   if (consumed_ < buffer_.size()) return false;
   return !fill();
+}
+
+ChaosClient::ChaosClient(std::uint16_t port, const NetChaosSchedule* schedule,
+                         std::uint64_t stream, int recv_timeout_ms)
+    : port_(port), schedule_(schedule), stream_(stream), recv_timeout_ms_(recv_timeout_ms) {}
+
+Client& ChaosClient::ensure_connected() {
+  if (!client_) client_.emplace(port_, "127.0.0.1", recv_timeout_ms_);
+  return *client_;
+}
+
+void ChaosClient::reconnect() {
+  client_.reset();
+  ++stats_.reconnects;
+}
+
+void ChaosClient::set_port(std::uint16_t port) {
+  port_ = port;
+  client_.reset();
+}
+
+int ChaosClient::post_ingest(const std::string& table, const std::string& key,
+                             const std::string& body, std::size_t max_attempts) {
+  const std::uint64_t request = request_seq_++;
+  // The exact bytes of one attempt, built once — chaos cuts index into this.
+  std::string wire;
+  wire.reserve(160 + key.size() + body.size());
+  wire += "POST /ingest/";
+  wire += table;
+  wire += " HTTP/1.1\r\nHost: loopback\r\nIdempotency-Key: ";
+  wire += key;
+  wire += "\r\nContent-Length: ";
+  wire += std::to_string(body.size());
+  wire += "\r\n\r\n";
+  wire += body;
+
+  for (std::uint64_t attempt = 0; attempt < max_attempts; ++attempt) {
+    ++stats_.attempts;
+    const NetFaultKind fault =
+        schedule_ != nullptr ? schedule_->draw(stream_, request, attempt) : NetFaultKind::kNone;
+    try {
+      Client& client = ensure_connected();
+      ClientResponse response;
+      bool duplicate_sent = false;
+      switch (fault) {
+        case NetFaultKind::kPartialWrite: {
+          // Fragmented send with pauses: the request arrives in three
+          // arbitrary slices, exercising the incremental parser and the
+          // mid-request deadline clock (which must NOT fire — the trickle
+          // finishes well inside the deadline).
+          ++stats_.partial_writes;
+          std::size_t a = schedule_->cut_point(stream_, request, attempt, 1, wire.size());
+          std::size_t b = schedule_->cut_point(stream_, request, attempt, 2, wire.size());
+          if (a > b) std::swap(a, b);
+          client.send_raw(std::string_view(wire).substr(0, a));
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          client.send_raw(std::string_view(wire).substr(a, b - a));
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          client.send_raw(std::string_view(wire).substr(b));
+          response = client.read_response();
+          break;
+        }
+        case NetFaultKind::kReset: {
+          // Drop the connection mid-request: the ack never arrives, so the
+          // client must retry blind — the exact window idempotency covers.
+          ++stats_.resets;
+          const std::size_t cut =
+              schedule_->cut_point(stream_, request, attempt, 3, wire.size());
+          client.send_raw(std::string_view(wire).substr(0, cut));
+          reconnect();
+          continue;
+        }
+        case NetFaultKind::kStall: {
+          // Sit silent mid-request past the server's read deadline; the
+          // server should 408 and close. Whatever comes back (or however
+          // the socket dies), the retry carries the same key.
+          ++stats_.stalls;
+          const std::size_t cut =
+              schedule_->cut_point(stream_, request, attempt, 4, wire.size());
+          client.send_raw(std::string_view(wire).substr(0, cut));
+          std::this_thread::sleep_for(schedule_->options().stall_for);
+          try {
+            client.send_raw(std::string_view(wire).substr(cut));
+            response = client.read_response();
+          } catch (const Error&) {
+            reconnect();
+            continue;
+          }
+          if (response.status != 202) {
+            reconnect();
+            continue;
+          }
+          break;
+        }
+        case NetFaultKind::kDuplicate: {
+          // The same request twice back-to-back on one connection: the
+          // second answer must be the duplicate re-ack, not a second 202
+          // that staged the rows again.
+          ++stats_.duplicate_sends;
+          duplicate_sent = true;
+          client.send_raw(wire);
+          client.send_raw(wire);
+          response = client.read_response();
+          const ClientResponse second = client.read_response();
+          if (second.status == 202 &&
+              second.body.find("\"duplicate\":true") != std::string::npos) {
+            ++stats_.duplicate_acks;
+          }
+          if (response.status != 202 && second.status == 202) response = second;
+          break;
+        }
+        case NetFaultKind::kNone:
+        default:
+          client.send_raw(wire);
+          response = client.read_response();
+          break;
+      }
+      if (response.status == 202) {
+        ++stats_.requests;
+        if (!duplicate_sent && response.body.find("\"duplicate\":true") != std::string::npos) {
+          ++stats_.duplicate_acks;
+        }
+        return 202;
+      }
+      if (response.status == 503) {
+        // Overloaded: honor the spirit of Retry-After at test time scale.
+        ++stats_.refusals;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        continue;
+      }
+      return response.status;  // 4xx: the request itself is wrong; no retry
+    } catch (const Error&) {
+      // Connect refused (server restarting), recv timeout, peer reset —
+      // all retryable with the same key.
+      reconnect();
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      continue;
+    }
+  }
+  return 0;
 }
 
 }  // namespace smartflux::net::testing

@@ -1,11 +1,14 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "common/fault_injection.h"
 
 namespace smartflux::net::testing {
 
@@ -53,6 +56,13 @@ class Client {
                     const std::vector<std::pair<std::string, std::string>>& headers = {});
   ClientResponse read_response();
 
+  /// Sends `body` as a Transfer-Encoding: chunked request, cut into
+  /// `chunk_size`-byte chunks — the client half of the server's chunked
+  /// request decoding. Collect the answer with read_response().
+  void send_chunked_request(std::string_view method, std::string_view target,
+                            std::string_view body, std::size_t chunk_size = 7,
+                            const std::vector<std::pair<std::string, std::string>>& headers = {});
+
   /// Raw bytes on the wire — parser-abuse tests feed fragments through this.
   void send_raw(std::string_view bytes);
 
@@ -72,6 +82,60 @@ class Client {
   int fd_ = -1;
   std::string buffer_;
   std::size_t consumed_ = 0;
+};
+
+/// What a ChaosClient did across its lifetime (per fault kind, plus the
+/// retry bookkeeping the conservation checks assert against).
+struct ChaosStats {
+  std::uint64_t requests = 0;       ///< post_ingest calls that ended in a 202
+  std::uint64_t attempts = 0;       ///< wire attempts including retries
+  std::uint64_t partial_writes = 0;
+  std::uint64_t resets = 0;
+  std::uint64_t stalls = 0;
+  std::uint64_t duplicate_sends = 0;
+  std::uint64_t duplicate_acks = 0; ///< 202s with "duplicate":true
+  std::uint64_t refusals = 0;       ///< 503s absorbed (retried after backoff)
+  std::uint64_t reconnects = 0;
+};
+
+/// An adversarial ingest client: wraps Client and, per attempt, consults a
+/// NetChaosSchedule for a socket-level fault to inflict on its own request —
+/// fragmented writes, a mid-body reset, a stall past the server's read
+/// deadline, or a back-to-back duplicate send. Every request carries an
+/// idempotency key and is retried (same key) until acknowledged, so a chaos
+/// run makes progress by construction and the store can be checked for
+/// exact row conservation afterwards. Deterministic: faults come from the
+/// schedule's stateless draws keyed by (stream, request, attempt).
+class ChaosClient {
+ public:
+  /// `stream` namespaces this client's draws inside the shared schedule.
+  ChaosClient(std::uint16_t port, const NetChaosSchedule* schedule, std::uint64_t stream,
+              int recv_timeout_ms = 10'000);
+
+  /// POSTs `body` to /ingest/<table> with Idempotency-Key `key`, retrying
+  /// through injected faults and 503s until a 202 lands (at most
+  /// `max_attempts` tries). Returns the final HTTP status (202 on success,
+  /// 0 when every attempt failed), and reports whether the winning ack was
+  /// a duplicate re-ack via stats().
+  int post_ingest(const std::string& table, const std::string& key, const std::string& body,
+                  std::size_t max_attempts = 64);
+
+  /// Point at a new port after a server restart (drops the connection).
+  void set_port(std::uint16_t port);
+
+  const ChaosStats& stats() const noexcept { return stats_; }
+
+ private:
+  Client& ensure_connected();
+  void reconnect();
+
+  std::uint16_t port_;
+  const NetChaosSchedule* schedule_;
+  std::uint64_t stream_;
+  int recv_timeout_ms_;
+  std::uint64_t request_seq_ = 0;
+  std::optional<Client> client_;
+  ChaosStats stats_;
 };
 
 }  // namespace smartflux::net::testing

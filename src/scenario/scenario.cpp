@@ -140,10 +140,18 @@ ScenarioOptions derive_scenario(const CampaignOptions& options) {
   return scenario;
 }
 
+NetChaosOptions derive_net_chaos(const CampaignOptions& options) {
+  NetChaosOptions net = options.net_chaos;
+  net.seed = hash64(options.seed, 3);
+  return net;
+}
+
 }  // namespace
 
 Campaign::Campaign(CampaignOptions options)
-    : scenario_(derive_scenario(options)), faults_(hash64(options.seed, 2)) {
+    : scenario_(derive_scenario(options)),
+      faults_(hash64(options.seed, 2)),
+      net_chaos_(derive_net_chaos(options)) {
   for (FaultRule& rule : options.step_faults) faults_.add_rule(std::move(rule));
   for (DiskFaultRule& rule : options.disk_faults) faults_.add_disk_rule(std::move(rule));
 }

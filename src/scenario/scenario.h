@@ -145,8 +145,9 @@ class ScenarioEngine {
 };
 
 /// One deterministic chaos campaign: an input-mutation scenario plus a
-/// step/disk fault schedule, both derived from a single master seed
-/// (scenario draws use hash64(seed, 1), fault draws hash64(seed, 2)), so a
+/// step/disk fault schedule plus a socket-level client fault schedule, all
+/// derived from a single master seed (scenario draws use hash64(seed, 1),
+/// step/disk fault draws hash64(seed, 2), net chaos hash64(seed, 3)), so a
 /// campaign is reproduced end to end by one number.
 struct CampaignOptions {
   std::uint64_t seed = 0;
@@ -156,6 +157,9 @@ struct CampaignOptions {
   std::vector<FaultRule> step_faults{};
   /// Durable-sink faults (torn/short writes, fsync failures, crashes).
   std::vector<DiskFaultRule> disk_faults{};
+  /// Socket-level client faults (partial writes, resets, stalls, duplicate
+  /// retries); its `seed` field is overwritten with the derived seed.
+  NetChaosOptions net_chaos{};
 };
 
 class Campaign {
@@ -169,10 +173,13 @@ class Campaign {
   /// Wire this into WorkflowEngine::Options::fault_injector and/or
   /// DurabilityOptions::fault_injector.
   FaultInjector& faults() noexcept { return faults_; }
+  /// Wire this into net::testing::ChaosClient instances driving the server.
+  const NetChaosSchedule& net_chaos() const noexcept { return net_chaos_; }
 
  private:
   ScenarioEngine scenario_;
   FaultInjector faults_;
+  NetChaosSchedule net_chaos_;
 };
 
 }  // namespace smartflux::scenario

@@ -140,9 +140,9 @@ TEST(HttpParser, UnsupportedVersionIs505) {
   EXPECT_EQ(parser.error_status(), 505);
 }
 
-TEST(HttpParser, ChunkedBodyIs501) {
+TEST(HttpParser, NonChunkedTransferEncodingIs501) {
   RequestParser parser;
-  parser.feed("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n");
+  parser.feed("POST / HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n");
   Request request;
   EXPECT_EQ(parser.next(&request), RequestParser::Result::kError);
   EXPECT_EQ(parser.error_status(), 501);

@@ -101,7 +101,10 @@ TEST_F(GatewayServerTest, ClosedQueueRefusesWith503RetryAfter) {
   const ClientResponse response = client.request("POST", "/ingest/sensors", "r1,o3,1\n");
   ASSERT_EQ(response.status, 503);
   ASSERT_NE(response.header("Retry-After"), nullptr);
-  EXPECT_EQ(*response.header("Retry-After"), "1");
+  // A closed queue is a hard refusal: the dynamic Retry-After advertises
+  // the configured ceiling, not the floor.
+  EXPECT_EQ(*response.header("Retry-After"),
+            std::to_string(IngestBridge::Options{}.retry_after_max_seconds));
   EXPECT_NE(response.body.find("queue-closed"), std::string::npos);
   EXPECT_EQ(bridge_.staged_rows(), 0u);
   EXPECT_EQ(bridge_.stats().refusals, 1u);
